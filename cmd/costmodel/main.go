@@ -1,0 +1,55 @@
+// Command costmodel prints the paper's Table IV cost model and sweeps die
+// cost versus area for the 2-D and 3-D integration options, showing where
+// folding a design into two half-footprint tiers becomes cheaper than one
+// large die despite the 3-D integration premium.
+//
+// Usage:
+//
+//	costmodel [-from 0.05] [-to 2.0] [-steps 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/eval"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		from  = flag.Float64("from", 0.05, "sweep start, 2-D die area in mm²")
+		to    = flag.Float64("to", 2.0, "sweep end, mm²")
+		steps = flag.Int("steps", 12, "sweep points")
+	)
+	flag.Parse()
+
+	fmt.Println(eval.TableIV())
+
+	m := cost.Default()
+	t := report.NewTable("Die cost sweep: one 2-D die vs the same silicon folded into two 3-D tiers (×10⁻⁶ C')",
+		"2D area mm²", "2D cost", "3D cost (A/2 per tier)", "3D/2D")
+	if *steps < 2 {
+		*steps = 2
+	}
+	for i := 0; i < *steps; i++ {
+		a := *from + (*to-*from)*float64(i)/float64(*steps-1)
+		c2, err := m.DieCost2D(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costmodel:", err)
+			os.Exit(1)
+		}
+		c3, err := m.DieCost3D(a / 2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costmodel:", err)
+			os.Exit(1)
+		}
+		t.AddRowf(fmt.Sprintf("%.3f", a), fmt.Sprintf("%.3f", c2*1e6),
+			fmt.Sprintf("%.3f", c3*1e6), fmt.Sprintf("%.3f", c3/c2))
+	}
+	fmt.Println(t)
+	fmt.Println("The heterogeneous flow additionally shrinks the folded footprint by 12.5 %")
+	fmt.Println("(9-track top tier), moving the 3D/2D ratio further in 3-D's favour.")
+}

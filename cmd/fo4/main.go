@@ -1,0 +1,55 @@
+// Command fo4 runs the paper's FO-4 boundary-cell study on the
+// switch-level simulator and prints Tables II and III: the slew, delay,
+// leakage, and power shifts caused by heterogeneous driver/load and
+// driver-input voltage combinations (Fig. 2).
+//
+// Usage:
+//
+//	fo4 [-dt 0.00005] [-slew 0.016]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+func main() {
+	var (
+		dt   = flag.Float64("dt", 0, "integration step in ns (0 = default)")
+		slew = flag.Float64("slew", 0, "input ramp time in ns (0 = default)")
+	)
+	flag.Parse()
+
+	opt := spice.DefaultSimOptions()
+	if *dt > 0 {
+		opt.Dt = *dt
+	}
+	if *slew > 0 {
+		opt.InputSlew = *slew
+	}
+
+	fast, slow := tech.Variant12T(), tech.Variant9T()
+	fmt.Printf("libraries: fast = %v @ %.2f V, slow = %v @ %.2f V\n",
+		fast.Track, fast.VDD, slow.Track, slow.VDD)
+	fmt.Printf("level-shifter-free: %v (V_DDH − V_DDL = %.2f V < 0.3 × V_DDH = %.2f V)\n\n",
+		spice.VoltageCompatible(fast, slow), fast.VDD-slow.VDD, 0.3*fast.VDD)
+
+	t2, err := eval.TableII()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fo4:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t2)
+
+	t3, err := eval.TableIII()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fo4:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t3)
+}

@@ -1,0 +1,162 @@
+// Command hetero3d implements one of the paper's benchmark designs in a
+// chosen configuration (2D-9T, 2D-12T, M3D-9T, M3D-12T, Hetero-M3D) and
+// prints its PPAC record, optionally with the Table VIII-style deep dive
+// and layout SVGs.
+//
+// Usage:
+//
+//	hetero3d -design cpu -config Hetero-M3D -scale 0.1 [-clock 1.2] [-deep] [-svg dir] [-verilog out.v]
+//
+// When -clock is omitted the tool first sweeps the design's 2D-12T f_max
+// and uses it as the target, exactly like the paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/report"
+	"repro/internal/tech"
+)
+
+func main() {
+	var (
+		design = flag.String("design", "cpu", "design: netcard, aes, ldpc, cpu")
+		config = flag.String("config", string(core.ConfigHetero), "configuration: 2D-9T, 2D-12T, M3D-9T, M3D-12T, Hetero-M3D")
+		scale  = flag.Float64("scale", 0.1, "design scale (1.0 = paper-size netlists)")
+		clock  = flag.Float64("clock", 0, "target clock in GHz (0 = sweep 2D-12T f_max first)")
+		seed   = flag.Int64("seed", 1, "generation/partitioning seed")
+		deep   = flag.Bool("deep", false, "print the Table VIII-style deep dive")
+		svgDir = flag.String("svg", "", "write per-tier layout SVGs to this directory")
+		vlog   = flag.String("verilog", "", "write the implemented netlist (with physical attributes) to this file")
+	)
+	flag.Parse()
+
+	if err := run(*design, *config, *scale, *clock, *seed, *deep, *svgDir, *vlog); err != nil {
+		fmt.Fprintln(os.Stderr, "hetero3d:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design, config string, scale, clock float64, seed int64, deep bool, svgDir, vlog string) error {
+	lib12 := cell.NewLibrary(tech.Variant12T())
+	src, err := designs.Generate(designs.Name(design), lib12, designs.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	stats := src.ComputeStats()
+	fmt.Printf("design %s: %d cells, %d macros, %d nets\n", design, stats.Cells, stats.Macros, stats.Nets)
+
+	if clock <= 0 {
+		fmt.Println("sweeping 2D-12T f_max...")
+		fopt := core.DefaultFmaxOptions()
+		fopt.Flow.Seed = seed
+		clock, err = core.FindFmax(src, core.Config2D12T, fopt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("f_max(2D-12T) = %.3f GHz\n", clock)
+	}
+
+	opt := core.DefaultOptions(clock)
+	opt.Seed = seed
+	r, err := core.Run(src, core.ConfigName(config), opt)
+	if err != nil {
+		return err
+	}
+	p := r.PPAC
+
+	t := report.NewTable(fmt.Sprintf("PPAC — %s in %s @ %.3f GHz", design, config, clock), "Metric", "Value")
+	t.AddRowf("Si area", fmt.Sprintf("%.4f mm²", p.SiAreaMM2))
+	t.AddRowf("Footprint", fmt.Sprintf("%.4f mm² (%.0f µm wide)", p.FootprintMM2, p.ChipWidthUM))
+	t.AddRowf("Density", fmt.Sprintf("%.0f %%", p.Density*100))
+	t.AddRowf("Wirelength", fmt.Sprintf("%.3f m", p.WLm))
+	t.AddRowf("MIVs", fmt.Sprint(p.MIVs))
+	t.AddRowf("Total power", fmt.Sprintf("%.2f mW (leak %.2f, clock %.2f)", p.PowerMW, p.LeakageMW, p.ClockPowerMW))
+	t.AddRowf("WNS / TNS", fmt.Sprintf("%+.3f / %+.2f ns", p.WNS, p.TNS))
+	t.AddRowf("Timing met", fmt.Sprint(p.TimingMet()))
+	t.AddRowf("Effective delay", fmt.Sprintf("%.3f ns", p.EffDelayNS))
+	t.AddRowf("PDP", fmt.Sprintf("%.2f pJ", p.PDPpJ))
+	t.AddRowf("Die cost", fmt.Sprintf("%.3f ×10⁻⁶C'", p.DieCostMicroC))
+	t.AddRowf("Cost per cm²", fmt.Sprintf("%.1f ×10⁻⁶C'", p.CostPerCm2))
+	t.AddRowf("PPC", fmt.Sprintf("%.3f GHz/(W·10⁻⁶C')", p.PPC))
+	t.AddRowf("Flow notes", p.Refinement)
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if deep {
+		dd, err := core.DeepAnalyze(r)
+		if err != nil {
+			return err
+		}
+		dt := report.NewTable("Deep dive (Table VIII metrics)", "Metric", "Value")
+		dt.AddRowf("Clock buffers", fmt.Sprintf("%d (top %d / bottom %d)", dd.ClockBuffers, dd.TopBuffers, dd.BottomBuffers))
+		dt.AddRowf("Clock buffer area", fmt.Sprintf("%.0f µm²", dd.ClockBufferAreaUM2))
+		dt.AddRowf("Clock max latency / skew", fmt.Sprintf("%.3f / %.3f ns", dd.ClockMaxLatencyNS, dd.ClockMaxSkewNS))
+		dt.AddRowf("100-path avg skew", fmt.Sprintf("%+.4f ns", dd.AvgSkew100NS))
+		dt.AddRowf("Critical path", fmt.Sprintf("%d cells (%d top / %d bottom), %d MIVs",
+			dd.PathCells, dd.TopCells, dd.BottomCells, dd.PathMIVs))
+		dt.AddRowf("Path delay", fmt.Sprintf("%.3f ns (cell %.3f, wire %.3f)", dd.PathDelayNS, dd.CellDelayNS, dd.WireDelayNS))
+		dt.AddRowf("Avg stage delay top/bottom", fmt.Sprintf("%.1f / %.1f ps", dd.AvgTopDelayNS*1000, dd.AvgBotDelayNS*1000))
+		if dd.HasMacros {
+			dt.AddRowf("Memory net latency in/out", fmt.Sprintf("%.2f / %.2f ps", dd.MemInLatencyPS, dd.MemOutLatencyPS))
+			dt.AddRowf("Memory net switching", fmt.Sprintf("%.2f µW", dd.MemNetSwitchUW))
+		}
+		if err := dt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if vlog != "" {
+		f, err := os.Create(vlog)
+		if err != nil {
+			return err
+		}
+		if err := netlist.WriteVerilog(f, r.Design); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", vlog)
+	}
+
+	if svgDir != "" {
+		tiers := core.ConfigName(config).Tiers()
+		for ti := 0; ti < tiers; ti++ {
+			svg := &report.LayoutSVG{Design: r.Design, Outline: r.Outline, Tier: tech.Tier(ti), Tiers: tiers}
+			name := filepath.Join(svgDir, fmt.Sprintf("%s_%s_tier%d.svg", design, config, ti))
+			if err := os.MkdirAll(svgDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := svg.Write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Println("wrote", name)
+
+			hist, err := place.DensityMap(r.Design, r.Outline, tech.Tier(ti), tiers, 48, 24)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("tier %d density map:\n%s", ti, report.AsciiDensity(hist))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command libgen writes the generated standard-cell libraries as Liberty
+// (.lib) files — the 9-track and 12-track anchors by default, or any
+// member of the interpolated 9–12-track family.
+//
+// Usage:
+//
+//	libgen [-tracks 9,12] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/tech"
+)
+
+func main() {
+	var (
+		tracks = flag.String("tracks", "9,12", "comma-separated track heights (9–12)")
+		outDir = flag.String("out", "out/libs", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "libgen:", err)
+		os.Exit(1)
+	}
+	for _, txt := range strings.Split(*tracks, ",") {
+		tr, err := strconv.Atoi(strings.TrimSpace(txt))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen: bad track", txt)
+			os.Exit(1)
+		}
+		v, err := tech.MakeVariant(tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		lib := cell.NewLibrary(v)
+		path := filepath.Join(*outDir, fmt.Sprintf("hetero3d_%dt.lib", tr))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		if err := cell.WriteLiberty(f, lib); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d masters, VDD %.2f V, cell height %.1f tracks)\n",
+			path, len(lib.Masters()), v.VDD, float64(tr))
+	}
+}

@@ -1,0 +1,78 @@
+// Command ppac runs the paper's full evaluation — every design in every
+// configuration at its 2D-12T f_max — and prints Tables I, VI, VII, and
+// VIII plus the figure summaries.
+//
+// Usage:
+//
+//	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/designs"
+	"repro/internal/eval"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.25, "design scale (1.0 = paper-size netlists)")
+		seed    = flag.Int64("seed", 1, "generation/partitioning seed")
+		designL = flag.String("designs", "", "comma-separated subset of netcard,aes,ldpc,cpu (default all)")
+		svgDir  = flag.String("svg", "", "write Fig. 3/4 SVGs to this directory")
+	)
+	flag.Parse()
+
+	opt := eval.DefaultSuiteOptions(*scale)
+	opt.Seed = *seed
+	opt.Progress = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
+	if *designL != "" {
+		opt.Designs = nil
+		for _, n := range strings.Split(*designL, ",") {
+			opt.Designs = append(opt.Designs, designs.Name(strings.TrimSpace(n)))
+		}
+	}
+
+	s, err := eval.RunSuite(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppac:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Println(report.Fig1())
+	fmt.Println(s.TableI())
+	fmt.Println(s.TableVI())
+	fmt.Println(s.TableVII())
+
+	hasCPU := false
+	for _, n := range opt.Designs {
+		if n == designs.CPU {
+			hasCPU = true
+		}
+	}
+	if hasCPU {
+		t8, err := s.TableVIII()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppac: Table VIII:", err)
+		} else {
+			fmt.Println(t8)
+		}
+		f3, err := s.Fig3(*svgDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppac: Fig. 3:", err)
+		} else {
+			fmt.Println(f3)
+		}
+		f4, err := s.Fig4(*svgDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppac: Fig. 4:", err)
+		} else {
+			fmt.Println(f4)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Heterogeneous
+// Monolithic 3D ICs: EDA Solutions, and Power, Performance, Cost
+// Tradeoffs" (Pentapati & Lim, DAC 2021; journal version IEEE TVLSI
+// 2024): a complete physical-design substrate (libraries, placement,
+// routing estimation, STA, CTS, partitioning, cost model, switch-level
+// simulation) and the Hetero-Pin-3D flow built on top of it.
+//
+// The implementation lives under internal/; the executables under cmd/
+// and the runnable walkthroughs under examples/ are the public surface.
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation — see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for measured-vs-paper results.
+package repro

@@ -1,0 +1,81 @@
+// Fo4boundary walks through the paper's Sec. II-B boundary-cell study on
+// the switch-level simulator: what happens to an FO-4 stage when its
+// loads sit on the other die (Fig. 2a) or its input arrives at the other
+// die's voltage (Fig. 2b), and why the 9T/12T pair needs no level
+// shifters.
+//
+//	go run ./examples/fo4boundary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+func main() {
+	fast, slow := tech.Variant12T(), tech.Variant9T()
+	pf, ps := spice.ParamsFor(fast), spice.ParamsFor(slow)
+	opt := spice.DefaultSimOptions()
+
+	// --- The voltage rule (Sec. II-B).
+	fmt.Printf("V_DDH=%.2f V (12T), V_DDL=%.2f V (9T): ΔV=%.2f V vs limit %.2f V → level-shifter-free: %v\n\n",
+		fast.VDD, slow.VDD, fast.VDD-slow.VDD, tech.MaxHeteroVoltageRatio*fast.VDD,
+		spice.VoltageCompatible(fast, slow))
+
+	// --- Homogeneous baselines.
+	mf, err := spice.SimulateFO4(pf, 4*pf.CGate, pf.VDD, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := spice.SimulateFO4(ps, 4*ps.CGate, ps.VDD, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FO-4 baselines: fast %.1f ps / %.2f µW, slow %.1f ps / %.2f µW (ratio %.2f×)\n\n",
+		mf.FallDelay*1000, mf.TotalPow, ms.FallDelay*1000, ms.TotalPow, ms.FallDelay/mf.FallDelay)
+
+	// --- Boundary at the driver output (Fig. 2a): loads from the other
+	// tier change the capacitance the driver sees.
+	m12, err := spice.SimulateFO4(pf, 4*ps.CGate, pf.VDD, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast driver, slow loads:  fall delay %.1f → %.1f ps (%+.1f%%) — lighter 9T gates speed it up\n",
+		mf.FallDelay*1000, m12.FallDelay*1000, pct(m12.FallDelay, mf.FallDelay))
+	m21, err := spice.SimulateFO4(ps, 4*pf.CGate, ps.VDD, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slow driver, fast loads:  fall delay %.1f → %.1f ps (%+.1f%%) — heavier 12T gates slow it down\n\n",
+		ms.FallDelay*1000, m21.FallDelay*1000, pct(m21.FallDelay, ms.FallDelay))
+
+	// --- Boundary at the driver input (Fig. 2b): the gate swings to the
+	// other tier's VDD.
+	mUnder, err := spice.SimulateFO4(pf, 4*pf.CGate, slow.VDD, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast cell driven at 0.81 V: delay %+.1f%%, leakage %+.0f%% — the PMOS never quite turns off\n",
+		pct(mUnder.FallDelay, mf.FallDelay), pct(mUnder.Leakage, mf.Leakage))
+	mOver, err := spice.SimulateFO4(ps, 4*ps.CGate, fast.VDD, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slow cell driven at 0.90 V: delay %+.1f%%, leakage %+.0f%% — overdrive helps on both counts\n\n",
+		pct(mOver.FallDelay, ms.FallDelay), pct(mOver.Leakage, ms.Leakage))
+
+	fmt.Println("takeaway: the timing shifts stay within the library characterization range")
+	fmt.Println("and cancel along multi-stage paths, so the flow models them as boundary-cell")
+	fmt.Println("derates (tech.DefaultDerates) instead of inserting costly level shifters.")
+
+	// --- What a too-low input would do: below V_th the signal stops
+	// registering — the case the paper's voltage rule forbids.
+	if _, err := spice.SimulateFO4(pf, 4*pf.CGate, 0.25, opt); err != nil {
+		fmt.Printf("\nand with a 0.25 V input the simulator refuses, as the silicon would: %v\n", err)
+	}
+}
+
+func pct(a, b float64) float64 { return (a - b) / b * 100 }

@@ -1,0 +1,126 @@
+// Interop demonstrates the interchange path a downstream user would run:
+// implement a design with the heterogeneous flow, export the cell
+// libraries as Liberty and the implemented netlist as structural Verilog
+// (with tier/placement attributes), read both back, and prove the
+// re-imported design times identically.
+//
+//	go run ./examples/interop
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hetero3d-interop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Implement a small LDPC in the heterogeneous flow.
+	lib12 := cell.NewLibrary(tech.Variant12T())
+	src, err := designs.Generate(designs.LDPC, lib12, designs.Params{Scale: 0.05, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := core.Run(src, core.ConfigHetero, core.DefaultOptions(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("implemented %s: %d cells, WNS %+0.3f ns\n",
+		src.Name, r.PPAC.Cells, r.PPAC.WNS)
+
+	// 2. Export the two tier libraries as Liberty.
+	libPaths := map[tech.Track]string{}
+	for _, lib := range []*cell.Library{r.Libs[0], r.Libs[1]} {
+		p := filepath.Join(dir, fmt.Sprintf("%dt.lib", int(lib.Variant.Track)))
+		f, err := os.Create(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cell.WriteLiberty(f, lib); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		libPaths[lib.Variant.Track] = p
+		fmt.Printf("exported %s (%d masters)\n", p, len(lib.Masters()))
+	}
+
+	// 3. Export the implemented netlist as Verilog with attributes.
+	vPath := filepath.Join(dir, "ldpc_hetero.v")
+	vf, err := os.Create(vPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := netlist.WriteVerilog(vf, r.Design); err != nil {
+		log.Fatal(err)
+	}
+	if err := vf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(vPath)
+	fmt.Printf("exported %s (%d bytes)\n", vPath, info.Size())
+
+	// 4. Read everything back from disk.
+	reload := func(track tech.Track) *cell.Library {
+		f, err := os.Open(libPaths[track])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		lib, err := cell.ReadLiberty(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return lib
+	}
+	rl12, rl9 := reload(tech.Track12), reload(tech.Track9)
+
+	vsrc, err := os.ReadFile(vPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := netlist.ReadVerilog(strings.NewReader(string(vsrc)), func(name string) (*cell.Master, error) {
+		if strings.HasSuffix(name, "_9T") {
+			return rl9.Master(name)
+		}
+		return rl12.Master(name)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-imported %s: %d cells\n", back.Name, back.ComputeStats().Cells)
+
+	// 5. Re-time the imported design against the imported libraries; the
+	// ideal-clock timing must agree with the original to print precision.
+	cfg := sta.DefaultConfig(1.0)
+	resOrig, err := sta.Analyze(r.Design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resBack, err := sta.Analyze(back, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nideal-clock WNS: original %+0.6f ns, re-imported %+0.6f ns\n", resOrig.WNS, resBack.WNS)
+	if diff := resOrig.WNS - resBack.WNS; diff < 1e-4 && diff > -1e-4 {
+		fmt.Println("round trip preserved timing ✓")
+	} else {
+		fmt.Println("WARNING: timing drifted across the round trip")
+		os.Exit(1)
+	}
+}

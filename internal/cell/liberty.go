@@ -1,0 +1,468 @@
+package cell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/tech"
+)
+
+// Liberty-format interchange.
+//
+// WriteLiberty serializes a library in the industry-standard Liberty
+// syntax (groups, attributes, lu_table templates) so the generated
+// libraries can be inspected with ordinary EDA tooling; ReadLiberty
+// parses the same subset back. Units follow the repository conventions
+// (ns, fF, kΩ, µW) and are declared in the header.
+
+// WriteLiberty serializes the library.
+func WriteLiberty(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	name := fmt.Sprintf("hetero3d_%dt", int(l.Variant.Track))
+	fmt.Fprintf(bw, "library (%s) {\n", name)
+	fmt.Fprintf(bw, "  delay_model : table_lookup;\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ns\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(bw, "  leakage_power_unit : \"1uW\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.3f;\n", l.Variant.VDD)
+	fmt.Fprintf(bw, "  comment : \"track height %d, cell height %.2f um\";\n", int(l.Variant.Track), l.Variant.CellHeight)
+
+	fmt.Fprintf(bw, "  lu_table_template (delay_template) {\n")
+	fmt.Fprintf(bw, "    variable_1 : input_net_transition;\n")
+	fmt.Fprintf(bw, "    variable_2 : total_output_net_capacitance;\n")
+	fmt.Fprintf(bw, "    index_1 (\"%s\");\n", floats(l.SlewAxis))
+	fmt.Fprintf(bw, "    index_2 (\"%s\");\n", floats(l.LoadAxis))
+	fmt.Fprintf(bw, "  }\n")
+
+	for _, m := range l.Masters() {
+		if err := writeLibertyCell(bw, m); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func writeLibertyCell(bw *bufio.Writer, m *Master) error {
+	fmt.Fprintf(bw, "  cell (%s) {\n", m.Name)
+	fmt.Fprintf(bw, "    area : %.4f;\n", m.Area())
+	fmt.Fprintf(bw, "    cell_leakage_power : %.6f;\n", m.Leakage)
+	fmt.Fprintf(bw, "    user_function_info : \"function %s drive X%d width %.4f height %.4f\";\n",
+		m.Function, m.Drive, m.Width, m.Height)
+	if m.Function.IsSequential() {
+		fmt.Fprintf(bw, "    ff (IQ, IQN) { clocked_on : \"%s\"; next_state : \"D\"; }\n", m.ClockPin())
+	}
+	for _, p := range m.Pins {
+		fmt.Fprintf(bw, "    pin (%s) {\n", p.Name)
+		switch p.Dir {
+		case DirOut:
+			fmt.Fprintf(bw, "      direction : output;\n")
+			fmt.Fprintf(bw, "      max_capacitance : %.4f;\n", m.MaxLoad)
+			if m.Delay != nil {
+				fmt.Fprintf(bw, "      timing () {\n")
+				fmt.Fprintf(bw, "        related_pin : \"%s\";\n", firstInput(m))
+				writeLibertyTable(bw, "cell_rise", m.Delay)
+				writeLibertyTable(bw, "rise_transition", m.OutSlew)
+				fmt.Fprintf(bw, "      }\n")
+			}
+			fmt.Fprintf(bw, "      internal_power () { rise_power : %.6f; }\n", m.InternalEnergy)
+		case DirClk:
+			fmt.Fprintf(bw, "      direction : input;\n")
+			fmt.Fprintf(bw, "      clock : true;\n")
+			fmt.Fprintf(bw, "      capacitance : %.4f;\n", p.Cap)
+		default:
+			fmt.Fprintf(bw, "      direction : input;\n")
+			fmt.Fprintf(bw, "      capacitance : %.4f;\n", p.Cap)
+			if m.Function.IsSequential() && p.Name == "D" {
+				fmt.Fprintf(bw, "      timing () { timing_type : setup_rising; rise_constraint : %.6f; fall_constraint : %.6f; }\n",
+					m.Setup, m.Hold)
+			}
+		}
+		fmt.Fprintf(bw, "    }\n")
+	}
+	fmt.Fprintf(bw, "  }\n")
+	return nil
+}
+
+func writeLibertyTable(bw *bufio.Writer, kind string, t *NLDM) {
+	fmt.Fprintf(bw, "        %s (delay_template) {\n", kind)
+	fmt.Fprintf(bw, "          values ( \\\n")
+	for i, row := range t.Values {
+		sep := ", \\"
+		if i == len(t.Values)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(bw, "            \"%s\"%s\n", floats(row), sep)
+	}
+	fmt.Fprintf(bw, "          );\n")
+	fmt.Fprintf(bw, "        }\n")
+}
+
+func firstInput(m *Master) string {
+	for _, p := range m.Pins {
+		if p.Dir != DirOut {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+func floats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', 8, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// --- Liberty reader (subset) ---
+
+// libGroup is a parsed Liberty group: name, arguments, attributes, and
+// child groups.
+type libGroup struct {
+	kind, arg string
+	attrs     map[string]string
+	children  []*libGroup
+}
+
+// ReadLiberty parses a library written by WriteLiberty and reconstructs
+// masters with their tables. The tech variant is inferred from the
+// library name and header attributes.
+func ReadLiberty(r io.Reader) (*Library, error) {
+	root, err := parseLibertyGroup(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	if root.kind != "library" {
+		return nil, fmt.Errorf("cell: top group is %q, want library", root.kind)
+	}
+
+	var track int
+	if _, err := fmt.Sscanf(root.arg, "hetero3d_%dt", &track); err != nil {
+		return nil, fmt.Errorf("cell: unrecognized library name %q", root.arg)
+	}
+	variant, err := tech.MakeVariant(track)
+	if err != nil {
+		return nil, err
+	}
+
+	lib := &Library{
+		Variant: variant,
+		byName:  make(map[string]*Master),
+		byFunc:  make(map[Function][]*Master),
+	}
+	for _, g := range root.children {
+		switch g.kind {
+		case "lu_table_template":
+			lib.SlewAxis, err = parseFloatList(stripIndex(g.attrs["index_1"]))
+			if err != nil {
+				return nil, fmt.Errorf("cell: index_1: %w", err)
+			}
+			lib.LoadAxis, err = parseFloatList(stripIndex(g.attrs["index_2"]))
+			if err != nil {
+				return nil, fmt.Errorf("cell: index_2: %w", err)
+			}
+		case "cell":
+			m, err := libertyCell(lib, g)
+			if err != nil {
+				return nil, err
+			}
+			lib.add(m)
+		}
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+func stripIndex(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	return strings.Trim(strings.TrimSpace(s), "\"")
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(strings.Trim(strings.TrimSpace(tok), "\""))
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// funcByName inverts Function.String.
+func funcByName(s string) (Function, bool) {
+	for f, n := range funcNames {
+		if n == s {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func libertyCell(lib *Library, g *libGroup) (*Master, error) {
+	m := &Master{Name: g.arg, Track: lib.Variant.Track, VDD: lib.Variant.VDD}
+	// A user attribute carries function/drive/geometry; Liberty proper
+	// has no standard slot for them.
+	var fn string
+	if _, err := fmt.Sscanf(g.attrs["user_function_info"], "function %s drive X%d width %f height %f",
+		&fn, &m.Drive, &m.Width, &m.Height); err != nil {
+		return nil, fmt.Errorf("cell: cell %s missing user_function_info: %w", g.arg, err)
+	}
+	f, ok := funcByName(fn)
+	if !ok {
+		return nil, fmt.Errorf("cell: unknown function %q in %s", fn, g.arg)
+	}
+	m.Function = f
+	if v, err := strconv.ParseFloat(g.attrs["cell_leakage_power"], 64); err == nil {
+		m.Leakage = v
+	}
+
+	for _, pg := range g.children {
+		if pg.kind != "pin" {
+			continue
+		}
+		spec := PinSpec{Name: pg.arg}
+		switch {
+		case pg.attrs["direction"] == "output":
+			spec.Dir = DirOut
+			if v, err := strconv.ParseFloat(pg.attrs["max_capacitance"], 64); err == nil {
+				m.MaxLoad = v
+			}
+			for _, tg := range pg.children {
+				switch tg.kind {
+				case "timing":
+					for _, tbl := range tg.children {
+						vals, err := parseLibertyValues(tbl.attrs["values"])
+						if err != nil {
+							return nil, fmt.Errorf("cell: %s/%s: %w", g.arg, tbl.kind, err)
+						}
+						nl := &NLDM{SlewAxis: lib.SlewAxis, LoadAxis: lib.LoadAxis, Values: vals}
+						if tbl.kind == "cell_rise" {
+							m.Delay = nl
+						} else {
+							m.OutSlew = nl
+						}
+					}
+				case "internal_power":
+					if v, err := strconv.ParseFloat(tg.attrs["rise_power"], 64); err == nil {
+						m.InternalEnergy = v
+					}
+				}
+			}
+		case pg.attrs["clock"] == "true":
+			spec.Dir = DirClk
+		default:
+			spec.Dir = DirIn
+		}
+		if spec.Dir != DirOut {
+			if v, err := strconv.ParseFloat(pg.attrs["capacitance"], 64); err == nil {
+				spec.Cap = v
+			}
+			for _, tg := range pg.children {
+				if tg.kind == "timing" && tg.attrs["timing_type"] == "setup_rising" {
+					if v, err := strconv.ParseFloat(tg.attrs["rise_constraint"], 64); err == nil {
+						m.Setup = v
+					}
+					if v, err := strconv.ParseFloat(tg.attrs["fall_constraint"], 64); err == nil {
+						m.Hold = v
+					}
+				}
+			}
+		}
+		m.Pins = append(m.Pins, spec)
+	}
+	return m, m.Validate()
+}
+
+func parseLibertyValues(s string) ([][]float64, error) {
+	s = stripIndex(s)
+	var out [][]float64
+	for _, rowTxt := range strings.Split(s, "\"") {
+		rowTxt = strings.Trim(strings.TrimSpace(rowTxt), ",\\ \t")
+		if rowTxt == "" || rowTxt == "," {
+			continue
+		}
+		row, err := parseFloatList(rowTxt)
+		if err != nil {
+			return nil, err
+		}
+		if len(row) > 0 {
+			out = append(out, row)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cell: empty values table")
+	}
+	return out, nil
+}
+
+// parseLibertyGroup reads one `kind (arg) { ... }` group, recursively.
+func parseLibertyGroup(br *bufio.Reader) (*libGroup, error) {
+	head, err := readUntil(br, '{')
+	if err != nil {
+		return nil, err
+	}
+	g := &libGroup{attrs: map[string]string{}}
+	g.kind, g.arg = splitHead(head)
+	for {
+		tok, delim, err := readStatement(br)
+		if err != nil {
+			return nil, err
+		}
+		switch delim {
+		case '}':
+			if strings.TrimSpace(tok) != "" {
+				return nil, fmt.Errorf("cell: dangling text %q before '}'", tok)
+			}
+			return g, nil
+		case ';':
+			k, v := splitAttr(tok)
+			if k != "" {
+				g.attrs[k] = v
+			}
+		case '{':
+			// Nested group: tok is its head. Re-parse its body.
+			child := &libGroup{attrs: map[string]string{}}
+			child.kind, child.arg = splitHead(tok)
+			if err := parseGroupBody(br, child); err != nil {
+				return nil, err
+			}
+			g.children = append(g.children, child)
+		}
+	}
+}
+
+func parseGroupBody(br *bufio.Reader, g *libGroup) error {
+	for {
+		tok, delim, err := readStatement(br)
+		if err != nil {
+			return err
+		}
+		switch delim {
+		case '}':
+			if strings.TrimSpace(tok) != "" {
+				return fmt.Errorf("cell: dangling text %q before '}'", tok)
+			}
+			return nil
+		case ';':
+			k, v := splitAttr(tok)
+			if k != "" {
+				g.attrs[k] = v
+			}
+		case '{':
+			child := &libGroup{attrs: map[string]string{}}
+			child.kind, child.arg = splitHead(tok)
+			if err := parseGroupBody(br, child); err != nil {
+				return err
+			}
+			g.children = append(g.children, child)
+		}
+	}
+}
+
+// readStatement reads until ';', '{' or '}' outside quotes, handling
+// comments and line continuations, and returns the text plus delimiter.
+func readStatement(br *bufio.Reader) (string, byte, error) {
+	var sb strings.Builder
+	inQuote := false
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return "", 0, fmt.Errorf("cell: unexpected EOF in liberty")
+		}
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			sb.WriteByte(c)
+		case inQuote:
+			sb.WriteByte(c)
+		case c == '\\':
+			// line continuation: swallow through end of line
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", 0, err
+			}
+		case c == '/':
+			if nc, err := br.ReadByte(); err == nil && nc == '*' {
+				// block comment: skipped
+				if _, err := readBlockComment(br); err != nil {
+					return "", 0, err
+				}
+			} else {
+				sb.WriteByte(c)
+				if err == nil {
+					if err := br.UnreadByte(); err != nil {
+						return "", 0, err
+					}
+				}
+			}
+		case c == ';' || c == '{' || c == '}':
+			return strings.TrimSpace(sb.String()), c, nil
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func readBlockComment(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	prev := byte(0)
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("cell: unterminated comment")
+		}
+		if prev == '*' && c == '/' {
+			return strings.TrimSpace(strings.TrimSuffix(sb.String(), "*")), nil
+		}
+		sb.WriteByte(c)
+		prev = c
+	}
+}
+
+func readUntil(br *bufio.Reader, delim byte) (string, error) {
+	s, err := br.ReadString(delim)
+	if err != nil {
+		return "", fmt.Errorf("cell: missing %q in liberty", string(delim))
+	}
+	return strings.TrimSuffix(s, string(delim)), nil
+}
+
+// splitHead splits `kind (arg)` into its parts.
+func splitHead(s string) (kind, arg string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		kind = strings.TrimSpace(s[:i])
+		arg = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s[i+1:]), ")"))
+		return kind, arg
+	}
+	return s, ""
+}
+
+// splitAttr splits `key : value` (also handling `key (args)` simple
+// attributes and the _comment pseudo-attribute).
+func splitAttr(s string) (key, val string) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", ""
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.Trim(strings.TrimSpace(s[i+1:]), "\"")
+	}
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i:])
+	}
+	return s, "true"
+}

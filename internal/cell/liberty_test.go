@@ -1,0 +1,127 @@
+package cell
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestLibertyWrite(t *testing.T) {
+	lib := NewLibrary(tech.Variant9T())
+	var sb strings.Builder
+	if err := WriteLiberty(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"library (hetero3d_9t)",
+		"lu_table_template (delay_template)",
+		"cell (INV_X1_9T)",
+		"cell (DFF_X4_9T)",
+		"direction : output",
+		"clock : true",
+		"cell_rise (delay_template)",
+		"rise_transition (delay_template)",
+		"nom_voltage : 0.810",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("liberty missing %q", want)
+		}
+	}
+}
+
+func TestLibertyRoundtrip(t *testing.T) {
+	src := NewLibrary(tech.Variant12T())
+	var sb strings.Builder
+	if err := WriteLiberty(&sb, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLiberty(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Variant.Track != tech.Track12 {
+		t.Fatalf("track = %v", back.Variant.Track)
+	}
+	if len(back.Masters()) != len(src.Masters()) {
+		t.Fatalf("masters: %d vs %d", len(back.Masters()), len(src.Masters()))
+	}
+	for _, sm := range src.Masters() {
+		bm, err := back.Master(sm.Name)
+		if err != nil {
+			t.Fatalf("master %s lost: %v", sm.Name, err)
+		}
+		if bm.Function != sm.Function || bm.Drive != sm.Drive {
+			t.Errorf("%s identity changed", sm.Name)
+		}
+		if math.Abs(bm.Area()-sm.Area()) > 1e-6 {
+			t.Errorf("%s area %v vs %v", sm.Name, bm.Area(), sm.Area())
+		}
+		if math.Abs(bm.Leakage-sm.Leakage) > 1e-6 {
+			t.Errorf("%s leakage changed", sm.Name)
+		}
+		if len(bm.Pins) != len(sm.Pins) {
+			t.Fatalf("%s pins %d vs %d", sm.Name, len(bm.Pins), len(sm.Pins))
+		}
+		for i := range sm.Pins {
+			if bm.Pins[i].Name != sm.Pins[i].Name || bm.Pins[i].Dir != sm.Pins[i].Dir {
+				t.Errorf("%s pin %d changed", sm.Name, i)
+			}
+			if math.Abs(bm.Pins[i].Cap-sm.Pins[i].Cap) > 1e-4 {
+				t.Errorf("%s pin %s cap %v vs %v", sm.Name, sm.Pins[i].Name, bm.Pins[i].Cap, sm.Pins[i].Cap)
+			}
+		}
+		// Timing tables reproduce within print precision at a few lookup
+		// points.
+		for _, pt := range [][2]float64{{0.01, 2}, {0.1, 50}, {0.4, 300}} {
+			want := sm.Delay.Lookup(pt[0], pt[1])
+			got := bm.Delay.Lookup(pt[0], pt[1])
+			if math.Abs(got-want) > 1e-6+1e-6*want {
+				t.Errorf("%s delay(%v,%v) %v vs %v", sm.Name, pt[0], pt[1], got, want)
+			}
+		}
+		if sm.Function.IsSequential() {
+			if math.Abs(bm.Setup-sm.Setup) > 1e-6 || math.Abs(bm.Hold-sm.Hold) > 1e-6 {
+				t.Errorf("%s setup/hold changed", sm.Name)
+			}
+		}
+	}
+}
+
+func TestLibertyReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"module (x) { }",
+		"library (unknown_name) { }",
+		"library (hetero3d_9t) { cell (X) { } }", // missing metadata
+	}
+	for i, src := range cases {
+		if _, err := ReadLiberty(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSplitHelpers(t *testing.T) {
+	k, a := splitHead("cell (INV_X1_9T)")
+	if k != "cell" || a != "INV_X1_9T" {
+		t.Errorf("splitHead = %q %q", k, a)
+	}
+	k, a = splitHead("timing ()")
+	if k != "timing" || a != "" {
+		t.Errorf("splitHead() = %q %q", k, a)
+	}
+	key, val := splitAttr(`time_unit : "1ns"`)
+	if key != "time_unit" || val != "1ns" {
+		t.Errorf("splitAttr = %q %q", key, val)
+	}
+	key, val = splitAttr(`index_1 ("1, 2, 3")`)
+	if key != "index_1" || !strings.Contains(val, "1, 2, 3") {
+		t.Errorf("splitAttr index = %q %q", key, val)
+	}
+	if vals, err := parseFloatList(`"1.5, 2.5"`); err != nil || len(vals) != 2 || vals[1] != 2.5 {
+		t.Errorf("parseFloatList = %v %v", vals, err)
+	}
+}

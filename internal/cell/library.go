@@ -1,0 +1,291 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tech"
+)
+
+// leParams carries the logical-effort-style generation parameters for one
+// function: logical effort g (relative input load / drive resistance),
+// parasitic p (intrinsic delay multiple), layout width (µm at X1), and
+// scaling factors for leakage and internal energy.
+type leParams struct {
+	g, p       float64
+	width      float64
+	leakFactor float64
+	enerFactor float64
+}
+
+// Classic logical-effort values (Sutherland/Sproull/Harris), with layout
+// widths typical of a 28 nm high-density library.
+var leTable = map[Function]leParams{
+	FuncInv:     {g: 1.00, p: 1.0, width: 0.40, leakFactor: 1.0, enerFactor: 1.0},
+	FuncBuf:     {g: 1.00, p: 2.0, width: 0.60, leakFactor: 1.6, enerFactor: 1.8},
+	FuncNand2:   {g: 4.0 / 3, p: 2.0, width: 0.50, leakFactor: 1.4, enerFactor: 1.5},
+	FuncNor2:    {g: 5.0 / 3, p: 2.0, width: 0.50, leakFactor: 1.4, enerFactor: 1.5},
+	FuncAnd2:    {g: 4.0 / 3, p: 3.0, width: 0.70, leakFactor: 1.9, enerFactor: 2.2},
+	FuncOr2:     {g: 5.0 / 3, p: 3.0, width: 0.70, leakFactor: 1.9, enerFactor: 2.2},
+	FuncXor2:    {g: 4.00, p: 4.0, width: 1.10, leakFactor: 2.8, enerFactor: 3.5},
+	FuncXnor2:   {g: 4.00, p: 4.0, width: 1.10, leakFactor: 2.8, enerFactor: 3.5},
+	FuncAoi21:   {g: 1.70, p: 2.5, width: 0.80, leakFactor: 2.0, enerFactor: 2.3},
+	FuncOai21:   {g: 1.70, p: 2.5, width: 0.80, leakFactor: 2.0, enerFactor: 2.3},
+	FuncMux2:    {g: 2.00, p: 3.5, width: 1.00, leakFactor: 2.4, enerFactor: 2.8},
+	FuncDFF:     {g: 1.50, p: 3.0, width: 2.20, leakFactor: 4.5, enerFactor: 6.0},
+	FuncClkBuf:  {g: 1.00, p: 2.0, width: 0.70, leakFactor: 1.8, enerFactor: 2.0},
+	FuncClkInv:  {g: 1.00, p: 1.0, width: 0.45, leakFactor: 1.1, enerFactor: 1.1},
+	FuncLevelSh: {g: 2.50, p: 6.0, width: 1.40, leakFactor: 5.0, enerFactor: 7.0},
+}
+
+// driveSet returns the drive strengths generated for a function.
+func driveSet(f Function) []int {
+	switch f {
+	case FuncDFF:
+		return []int{1, 2, 4}
+	case FuncClkBuf, FuncClkInv:
+		return []int{2, 4, 8, 16}
+	case FuncLevelSh:
+		return []int{1, 2, 4}
+	default:
+		return []int{1, 2, 4, 8}
+	}
+}
+
+// Library is a complete standard-cell library for one track variant.
+type Library struct {
+	Variant tech.Variant
+	// SlewAxis and LoadAxis are shared by every master's tables.
+	SlewAxis, LoadAxis []float64
+
+	byName  map[string]*Master
+	byFunc  map[Function][]*Master // ascending drive
+	masters []*Master
+}
+
+// CombFunctions lists the combinational functions every library provides,
+// in deterministic order (used by synthesis and tests).
+var CombFunctions = []Function{
+	FuncInv, FuncBuf, FuncNand2, FuncNor2, FuncAnd2, FuncOr2,
+	FuncXor2, FuncXnor2, FuncAoi21, FuncOai21, FuncMux2,
+}
+
+// NewLibrary generates the full library for a track variant. Table axes
+// span roughly three decades of slew and load, matching the paper's remark
+// that characterization ranges comfortably absorb ±15 % boundary slew
+// shifts (Sec. II-B).
+func NewLibrary(v tech.Variant) *Library {
+	lib := &Library{
+		Variant:  v,
+		SlewAxis: LogAxis(0.002, 0.600, 7),
+		LoadAxis: LogAxis(0.4, 400.0, 7),
+		byName:   make(map[string]*Master),
+		byFunc:   make(map[Function][]*Master),
+	}
+	funcs := append(append([]Function{}, CombFunctions...), FuncDFF, FuncClkBuf, FuncClkInv, FuncLevelSh)
+	for _, f := range funcs {
+		for _, d := range driveSet(f) {
+			lib.add(lib.genMaster(f, d))
+		}
+	}
+	return lib
+}
+
+func (l *Library) add(m *Master) {
+	l.byName[m.Name] = m
+	l.byFunc[m.Function] = append(l.byFunc[m.Function], m)
+	sort.Slice(l.byFunc[m.Function], func(i, j int) bool {
+		return l.byFunc[m.Function][i].Drive < l.byFunc[m.Function][j].Drive
+	})
+	l.masters = append(l.masters, m)
+}
+
+// genMaster builds one master from the logical-effort model.
+func (l *Library) genMaster(f Function, drive int) *Master {
+	v := l.Variant
+	le := leTable[f]
+	d := float64(drive)
+
+	// Effective switching resistance of this gate at this drive.
+	reff := v.DriveRes * le.g / d
+	intrinsic := v.IntrinsicDelay * le.p
+	// The level shifter additionally pays a voltage-conversion penalty.
+	if f == FuncLevelSh {
+		intrinsic *= 1.5
+	}
+
+	delay := NewNLDM(l.SlewAxis, l.LoadAxis, func(slew, load float64) float64 {
+		return intrinsic + tech.RCps(reff, load) + 0.22*slew
+	})
+	outSlew := NewNLDM(l.SlewAxis, l.LoadAxis, func(slew, load float64) float64 {
+		s := 2.2*tech.RCps(reff, load) + 0.10*slew + 0.3*intrinsic
+		return math.Max(s, 0.001)
+	})
+
+	width := le.width * (0.6 + 0.4*d)
+	inCap := v.InputCap * le.g * (0.55 + 0.45*d)
+
+	name := fmt.Sprintf("%s_X%d_%dT", f, drive, int(v.Track))
+
+	m := &Master{
+		Name:           name,
+		Function:       f,
+		Drive:          drive,
+		Width:          width,
+		Height:         v.CellHeight,
+		Delay:          delay,
+		OutSlew:        outSlew,
+		Leakage:        v.LeakagePower * le.leakFactor * d,
+		InternalEnergy: v.InternalEnergy * le.enerFactor * d,
+		MaxLoad:        25 * d / v.DriveRes,
+		Track:          v.Track,
+		VDD:            v.VDD,
+	}
+
+	switch {
+	case f.IsSequential():
+		m.Pins = []PinSpec{
+			{Name: "D", Dir: DirIn, Cap: inCap * 0.8},
+			{Name: "CK", Dir: DirClk, Cap: inCap * 0.6},
+			{Name: "Q", Dir: DirOut},
+		}
+		// Slower libraries need longer setup windows.
+		m.Setup = 0.018 * v.DriveRes
+		m.Hold = 0.002
+	case f.InputCount() == 1:
+		m.Pins = []PinSpec{
+			{Name: "A", Dir: DirIn, Cap: inCap},
+			{Name: "Y", Dir: DirOut},
+		}
+	case f.InputCount() == 2:
+		m.Pins = []PinSpec{
+			{Name: "A", Dir: DirIn, Cap: inCap},
+			{Name: "B", Dir: DirIn, Cap: inCap},
+			{Name: "Y", Dir: DirOut},
+		}
+	default: // 3-input gates
+		m.Pins = []PinSpec{
+			{Name: "A", Dir: DirIn, Cap: inCap},
+			{Name: "B", Dir: DirIn, Cap: inCap},
+			{Name: "C", Dir: DirIn, Cap: inCap * 0.8},
+			{Name: "Y", Dir: DirOut},
+		}
+	}
+	return m
+}
+
+// Master returns the named master, or an error naming the library.
+func (l *Library) Master(name string) (*Master, error) {
+	if m, ok := l.byName[name]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("cell: no master %q in %v library", name, l.Variant.Track)
+}
+
+// ByFunction returns the masters implementing f, ascending by drive. The
+// returned slice is owned by the library; callers must not mutate it.
+func (l *Library) ByFunction(f Function) []*Master { return l.byFunc[f] }
+
+// Smallest returns the weakest-drive master for f, or nil.
+func (l *Library) Smallest(f Function) *Master {
+	ms := l.byFunc[f]
+	if len(ms) == 0 {
+		return nil
+	}
+	return ms[0]
+}
+
+// Strongest returns the strongest-drive master for f, or nil.
+func (l *Library) Strongest(f Function) *Master {
+	ms := l.byFunc[f]
+	if len(ms) == 0 {
+		return nil
+	}
+	return ms[len(ms)-1]
+}
+
+// ForDrive returns the master of function f whose drive is the smallest
+// one ≥ want, falling back to the strongest available.
+func (l *Library) ForDrive(f Function, want int) *Master {
+	ms := l.byFunc[f]
+	if len(ms) == 0 {
+		return nil
+	}
+	for _, m := range ms {
+		if m.Drive >= want {
+			return m
+		}
+	}
+	return ms[len(ms)-1]
+}
+
+// NextDriveUp returns the next stronger master of the same function, or
+// nil when m is already the strongest.
+func (l *Library) NextDriveUp(m *Master) *Master {
+	ms := l.byFunc[m.Function]
+	for i, c := range ms {
+		if c.Drive == m.Drive && i+1 < len(ms) {
+			return ms[i+1]
+		}
+	}
+	return nil
+}
+
+// Equivalent returns this library's master matching another library's
+// master by function and drive — the retargeting primitive used when the
+// heterogeneous flow remaps pseudo-3-D 12-track cells onto the 9-track top
+// tier (Sec. IV-A2).
+func (l *Library) Equivalent(other *Master) (*Master, error) {
+	if other.Function.IsMacro() {
+		return nil, fmt.Errorf("cell: macros have no library equivalent")
+	}
+	m := l.ForDrive(other.Function, other.Drive)
+	if m == nil {
+		return nil, fmt.Errorf("cell: no %v master in %v library", other.Function, l.Variant.Track)
+	}
+	return m, nil
+}
+
+// Masters returns all masters in deterministic generation order.
+func (l *Library) Masters() []*Master { return l.masters }
+
+// Validate checks every master in the library.
+func (l *Library) Validate() error {
+	for _, m := range l.masters {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewRAMMacro builds a memory hard-macro master. Memory macros keep the
+// same size in both technology variants (the paper: "the memories in the
+// CPU design are of the same size in both technology variants").
+func NewRAMMacro(name string, width, height float64, accessDelay, inCap, leakage float64) *Master {
+	return &Master{
+		Name:     name,
+		Function: FuncMacroRAM,
+		Drive:    1,
+		Width:    width,
+		Height:   height,
+		Pins: []PinSpec{
+			{Name: "A", Dir: DirIn, Cap: inCap},
+			{Name: "CK", Dir: DirClk, Cap: inCap},
+			{Name: "Q", Dir: DirOut},
+		},
+		Delay: NewNLDM([]float64{0.01}, []float64{1, 100}, func(_, load float64) float64 {
+			return accessDelay + load*1e-4
+		}),
+		OutSlew: NewNLDM([]float64{0.01}, []float64{1, 100}, func(_, load float64) float64 {
+			return 0.02 + load*2e-4
+		}),
+		Setup:          0.050,
+		Leakage:        leakage,
+		InternalEnergy: 50,
+		MaxLoad:        200,
+		Track:          tech.Track12,
+		VDD:            0.9,
+	}
+}

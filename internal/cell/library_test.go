@@ -1,0 +1,242 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func testVariant9() tech.Variant  { return tech.Variant9T() }
+func testVariant12() tech.Variant { return tech.Variant12T() }
+
+func TestNewLibraryComplete(t *testing.T) {
+	for _, v := range []tech.Variant{testVariant9(), testVariant12()} {
+		lib := NewLibrary(v)
+		if err := lib.Validate(); err != nil {
+			t.Fatalf("%v library: %v", v.Track, err)
+		}
+		for _, f := range CombFunctions {
+			if len(lib.ByFunction(f)) == 0 {
+				t.Errorf("%v library missing %v", v.Track, f)
+			}
+		}
+		if len(lib.ByFunction(FuncDFF)) != 3 {
+			t.Errorf("%v library wants 3 DFF drives", v.Track)
+		}
+		if len(lib.ByFunction(FuncClkBuf)) != 4 {
+			t.Errorf("%v library wants 4 CLKBUF drives", v.Track)
+		}
+	}
+}
+
+func TestMasterLookupByName(t *testing.T) {
+	lib := NewLibrary(testVariant12())
+	m, err := lib.Master("INV_X1_12T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Function != FuncInv || m.Drive != 1 {
+		t.Errorf("wrong master: %+v", m)
+	}
+	if _, err := lib.Master("NOPE"); err == nil {
+		t.Error("expected error for unknown master")
+	}
+}
+
+func TestDriveOrderingAndSelectors(t *testing.T) {
+	lib := NewLibrary(testVariant12())
+	invs := lib.ByFunction(FuncInv)
+	for i := 1; i < len(invs); i++ {
+		if invs[i].Drive <= invs[i-1].Drive {
+			t.Fatal("ByFunction not ascending by drive")
+		}
+	}
+	if lib.Smallest(FuncInv).Drive != 1 {
+		t.Error("Smallest INV should be X1")
+	}
+	if lib.Strongest(FuncInv).Drive != 8 {
+		t.Error("Strongest INV should be X8")
+	}
+	if got := lib.ForDrive(FuncInv, 3); got.Drive != 4 {
+		t.Errorf("ForDrive(3) = X%d, want X4", got.Drive)
+	}
+	if got := lib.ForDrive(FuncInv, 99); got.Drive != 8 {
+		t.Errorf("ForDrive(99) = X%d, want strongest X8", got.Drive)
+	}
+	if lib.Smallest(FuncMacroRAM) != nil {
+		t.Error("library should not contain RAM masters")
+	}
+	up := lib.NextDriveUp(lib.Smallest(FuncInv))
+	if up == nil || up.Drive != 2 {
+		t.Errorf("NextDriveUp(X1) = %v", up)
+	}
+	if lib.NextDriveUp(lib.Strongest(FuncInv)) != nil {
+		t.Error("NextDriveUp(strongest) should be nil")
+	}
+}
+
+func TestTrackRelativeTiming(t *testing.T) {
+	l9, l12 := NewLibrary(testVariant9()), NewLibrary(testVariant12())
+	// Same gate, same drive, same conditions: the 9-track variant must be
+	// substantially slower — the paper reports ≈2.3× average stage delay
+	// on critical paths (Table VIII).
+	for _, f := range []Function{FuncInv, FuncNand2, FuncDFF} {
+		m9, m12 := l9.Smallest(f), l12.Smallest(f)
+		d9 := m9.Delay.Lookup(0.05, 10)
+		d12 := m12.Delay.Lookup(0.05, 10)
+		ratio := d9 / d12
+		if ratio < 1.5 || ratio > 4.0 {
+			t.Errorf("%v delay ratio 9T/12T = %v, want within [1.5, 4]", f, ratio)
+		}
+	}
+}
+
+func TestTrackRelativeAreaAndPower(t *testing.T) {
+	l9, l12 := NewLibrary(testVariant9()), NewLibrary(testVariant12())
+	m9, m12 := l9.Smallest(FuncNand2), l12.Smallest(FuncNand2)
+	// Same width, 25 % lower height → 25 % smaller area.
+	if math.Abs(m9.Width-m12.Width) > 1e-9 {
+		t.Errorf("widths differ: %v vs %v", m9.Width, m12.Width)
+	}
+	if r := m9.Area() / m12.Area(); math.Abs(r-0.75) > 1e-9 {
+		t.Errorf("area ratio = %v, want 0.75", r)
+	}
+	if m9.Leakage >= m12.Leakage {
+		t.Error("9T must leak less than 12T")
+	}
+	if m9.InternalEnergy >= m12.InternalEnergy {
+		t.Error("9T must switch cheaper than 12T")
+	}
+}
+
+func TestEquivalentRetarget(t *testing.T) {
+	l9, l12 := NewLibrary(testVariant9()), NewLibrary(testVariant12())
+	src, _ := l12.Master("NAND2_X4_12T")
+	got, err := l9.Equivalent(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Function != FuncNand2 || got.Drive != 4 || got.Track != tech.Track9 {
+		t.Errorf("Equivalent = %+v", got)
+	}
+	ram := NewRAMMacro("RAM0", 50, 60, 0.3, 2, 5)
+	if _, err := l9.Equivalent(ram); err == nil {
+		t.Error("macros must not retarget")
+	}
+}
+
+func TestMasterPins(t *testing.T) {
+	lib := NewLibrary(testVariant12())
+	dff := lib.Smallest(FuncDFF)
+	if dff.ClockPin() != "CK" {
+		t.Errorf("DFF clock pin = %q", dff.ClockPin())
+	}
+	if dff.OutputPin() != "Q" {
+		t.Errorf("DFF output pin = %q", dff.OutputPin())
+	}
+	if dff.Setup <= 0 {
+		t.Error("DFF setup must be positive")
+	}
+	nand := lib.Smallest(FuncNand2)
+	if nand.ClockPin() != "" {
+		t.Error("NAND2 must have no clock pin")
+	}
+	if nand.InputCap("A") <= 0 || nand.InputCap("B") <= 0 {
+		t.Error("NAND2 input caps must be positive")
+	}
+	if nand.InputCap("") != nand.InputCap("A") {
+		t.Error("empty pin name should return first input cap")
+	}
+	mux := lib.Smallest(FuncMux2)
+	ins := 0
+	for _, p := range mux.Pins {
+		if p.Dir == DirIn {
+			ins++
+		}
+	}
+	if ins != 3 {
+		t.Errorf("MUX2 has %d inputs, want 3", ins)
+	}
+}
+
+func TestSequentialSetupScalesWithSlowness(t *testing.T) {
+	l9, l12 := NewLibrary(testVariant9()), NewLibrary(testVariant12())
+	if l9.Smallest(FuncDFF).Setup <= l12.Smallest(FuncDFF).Setup {
+		t.Error("slower library should have larger setup time")
+	}
+}
+
+func TestDriveStrengthImprovesDelayAndLoad(t *testing.T) {
+	lib := NewLibrary(testVariant12())
+	x1 := lib.ForDrive(FuncInv, 1)
+	x8 := lib.ForDrive(FuncInv, 8)
+	if x8.Delay.Lookup(0.05, 50) >= x1.Delay.Lookup(0.05, 50) {
+		t.Error("X8 should be faster than X1 at heavy load")
+	}
+	if x8.MaxLoad <= x1.MaxLoad {
+		t.Error("X8 should drive more load than X1")
+	}
+	if x8.InputCap("A") <= x1.InputCap("A") {
+		t.Error("X8 should present more input cap than X1")
+	}
+	if x8.Area() <= x1.Area() {
+		t.Error("X8 should be bigger than X1")
+	}
+}
+
+func TestRAMMacro(t *testing.T) {
+	ram := NewRAMMacro("RAM_4K", 55, 40, 0.25, 2.5, 8)
+	if err := ram.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !ram.Function.IsMacro() {
+		t.Error("RAM should be a macro")
+	}
+	if ram.Area() != 55*40 {
+		t.Errorf("Area = %v", ram.Area())
+	}
+	if d := ram.Delay.Lookup(0.01, 10); d < 0.25 {
+		t.Errorf("access delay = %v, want >= 0.25", d)
+	}
+}
+
+func TestMasterValidateErrors(t *testing.T) {
+	bad := &Master{Name: "", Width: 1, Height: 1, Drive: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name should fail")
+	}
+	bad = &Master{Name: "X", Width: 0, Height: 1, Drive: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero width should fail")
+	}
+	bad = &Master{Name: "X", Width: 1, Height: 1, Drive: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero drive should fail")
+	}
+	bad = &Master{Name: "X", Width: 1, Height: 1, Drive: 1, Function: FuncInv}
+	if err := bad.Validate(); err == nil {
+		t.Error("missing tables should fail")
+	}
+}
+
+func TestFunctionPredicates(t *testing.T) {
+	if !FuncDFF.IsSequential() || FuncInv.IsSequential() {
+		t.Error("IsSequential wrong")
+	}
+	if !FuncClkBuf.IsClockCell() || !FuncClkInv.IsClockCell() || FuncBuf.IsClockCell() {
+		t.Error("IsClockCell wrong")
+	}
+	if !FuncMacroRAM.IsMacro() || FuncDFF.IsMacro() {
+		t.Error("IsMacro wrong")
+	}
+	if FuncNand2.InputCount() != 2 || FuncAoi21.InputCount() != 3 || FuncInv.InputCount() != 1 {
+		t.Error("InputCount wrong")
+	}
+	if FuncInv.String() != "INV" || Function(99).String() == "" {
+		t.Error("Function.String wrong")
+	}
+	if DirIn.String() != "in" || DirOut.String() != "out" || DirClk.String() != "clk" {
+		t.Error("Dir.String wrong")
+	}
+}

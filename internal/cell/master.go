@@ -1,0 +1,206 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+)
+
+// Function is the logic function of a cell master.
+type Function int
+
+const (
+	FuncInv Function = iota
+	FuncBuf
+	FuncNand2
+	FuncNor2
+	FuncAnd2
+	FuncOr2
+	FuncXor2
+	FuncXnor2
+	FuncAoi21
+	FuncOai21
+	FuncMux2
+	FuncDFF      // D flip-flop, rising edge
+	FuncClkBuf   // clock buffer
+	FuncClkInv   // clock inverter
+	FuncLevelSh  // level shifter (used only by the ablation study, Sec. III-B)
+	FuncMacroRAM // memory macro (black box)
+)
+
+var funcNames = map[Function]string{
+	FuncInv:      "INV",
+	FuncBuf:      "BUF",
+	FuncNand2:    "NAND2",
+	FuncNor2:     "NOR2",
+	FuncAnd2:     "AND2",
+	FuncOr2:      "OR2",
+	FuncXor2:     "XOR2",
+	FuncXnor2:    "XNOR2",
+	FuncAoi21:    "AOI21",
+	FuncOai21:    "OAI21",
+	FuncMux2:     "MUX2",
+	FuncDFF:      "DFF",
+	FuncClkBuf:   "CLKBUF",
+	FuncClkInv:   "CLKINV",
+	FuncLevelSh:  "LVLSH",
+	FuncMacroRAM: "RAM",
+}
+
+// String implements fmt.Stringer.
+func (f Function) String() string {
+	if s, ok := funcNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("FUNC(%d)", int(f))
+}
+
+// IsSequential reports whether the function is a clocked storage element.
+func (f Function) IsSequential() bool { return f == FuncDFF }
+
+// IsClockCell reports whether the function belongs to the clock network.
+func (f Function) IsClockCell() bool { return f == FuncClkBuf || f == FuncClkInv }
+
+// IsMacro reports whether the function is a hard macro rather than a
+// standard cell.
+func (f Function) IsMacro() bool { return f == FuncMacroRAM }
+
+// InputCount returns the number of signal (non-clock) inputs.
+func (f Function) InputCount() int {
+	switch f {
+	case FuncInv, FuncBuf, FuncDFF, FuncClkBuf, FuncClkInv, FuncLevelSh:
+		return 1
+	case FuncNand2, FuncNor2, FuncAnd2, FuncOr2, FuncXor2, FuncXnor2:
+		return 2
+	case FuncAoi21, FuncOai21, FuncMux2:
+		return 3
+	case FuncMacroRAM:
+		return 0 // variable; macro pins are explicit
+	default:
+		return 0
+	}
+}
+
+// Dir is a pin direction.
+type Dir int
+
+const (
+	DirIn Dir = iota
+	DirOut
+	DirClk // clock input of a sequential cell
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return "clk"
+	}
+}
+
+// PinSpec describes one pin of a master.
+type PinSpec struct {
+	Name string
+	Dir  Dir
+	// Cap is the pin input capacitance in fF; zero for outputs.
+	Cap float64
+}
+
+// Master is a standard-cell (or macro) master: the library's description
+// of one cell type at one drive strength.
+type Master struct {
+	Name     string
+	Function Function
+	// Drive is the drive strength multiple (1, 2, 4, 8, ...).
+	Drive int
+	// Width and Height in µm; Area = Width × Height.
+	Width, Height float64
+	Pins          []PinSpec
+	// Delay and OutSlew are the NLDM timing tables of the cell's single
+	// timing arc (input → output; for a DFF this is the CLK→Q arc).
+	Delay   *NLDM
+	OutSlew *NLDM
+	// Setup and Hold apply only to sequential cells, in ns.
+	Setup, Hold float64
+	// Leakage is the static power in µW.
+	Leakage float64
+	// InternalEnergy is the internal energy per output transition in fJ.
+	InternalEnergy float64
+	// MaxLoad is the maximum output load in fF before the cell is
+	// considered overloaded (drives buffering decisions in synth).
+	MaxLoad float64
+	// Track records which library variant the master belongs to.
+	Track tech.Track
+	// VDD is the master's supply voltage in volts (from its variant).
+	VDD float64
+}
+
+// Area returns the footprint in µm².
+func (m *Master) Area() float64 { return m.Width * m.Height }
+
+// InputCap returns the capacitance of the named input pin, or the first
+// input pin's cap when name is empty.
+func (m *Master) InputCap(name string) float64 {
+	for _, p := range m.Pins {
+		if p.Dir == DirOut {
+			continue
+		}
+		if name == "" || p.Name == name {
+			return p.Cap
+		}
+	}
+	return 0
+}
+
+// OutputPin returns the name of the output pin ("" if none, e.g. for a
+// pure sink macro).
+func (m *Master) OutputPin() string {
+	for _, p := range m.Pins {
+		if p.Dir == DirOut {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// ClockPin returns the clock pin name for sequential cells ("" otherwise).
+func (m *Master) ClockPin() string {
+	for _, p := range m.Pins {
+		if p.Dir == DirClk {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// Validate checks structural sanity of the master.
+func (m *Master) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("cell: master has empty name")
+	}
+	if m.Width <= 0 || m.Height <= 0 {
+		return fmt.Errorf("cell: master %s has non-positive size %vx%v", m.Name, m.Width, m.Height)
+	}
+	if m.Drive < 1 {
+		return fmt.Errorf("cell: master %s has drive %d < 1", m.Name, m.Drive)
+	}
+	if !m.Function.IsMacro() {
+		if m.Delay == nil || m.OutSlew == nil {
+			return fmt.Errorf("cell: master %s missing timing tables", m.Name)
+		}
+		if err := m.Delay.Validate(); err != nil {
+			return fmt.Errorf("cell: master %s delay table: %w", m.Name, err)
+		}
+		if err := m.OutSlew.Validate(); err != nil {
+			return fmt.Errorf("cell: master %s slew table: %w", m.Name, err)
+		}
+	}
+	if m.Function.IsSequential() && m.ClockPin() == "" {
+		return fmt.Errorf("cell: sequential master %s has no clock pin", m.Name)
+	}
+	return nil
+}

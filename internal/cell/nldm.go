@@ -1,0 +1,148 @@
+// Package cell models standard-cell libraries: cell masters with
+// NLDM-style (nonlinear delay model) timing tables, pin capacitances, area,
+// and power data, plus a generator that builds complete 9-track and
+// 12-track libraries from a tech.Variant.
+//
+// The libraries are the substitution for the paper's commercial foundry
+// 28 nm multi-track libraries (DESIGN.md §1): absolute numbers are
+// synthetic but the relative 9T-vs-12T behaviour is calibrated to the
+// paper.
+package cell
+
+import (
+	"fmt"
+	"math"
+)
+
+// NLDM is a two-dimensional lookup table indexed by input slew (ns) and
+// output load (fF), the standard Liberty table form. Lookups use bilinear
+// interpolation inside the characterized ranges and clamped linear
+// extrapolation outside, mirroring commercial STA behaviour. The paper
+// leans on this: boundary-cell slews shifted by ±15 % stay "easily captured
+// by the tool" because characterization spans two to three orders of
+// magnitude (Sec. II-B).
+type NLDM struct {
+	SlewAxis []float64 // ascending, ns
+	LoadAxis []float64 // ascending, fF
+	// Values[i][j] corresponds to SlewAxis[i], LoadAxis[j].
+	Values [][]float64
+}
+
+// NewNLDM builds a table by evaluating f at every axis point.
+func NewNLDM(slewAxis, loadAxis []float64, f func(slew, load float64) float64) *NLDM {
+	vals := make([][]float64, len(slewAxis))
+	for i, s := range slewAxis {
+		row := make([]float64, len(loadAxis))
+		for j, l := range loadAxis {
+			row[j] = f(s, l)
+		}
+		vals[i] = row
+	}
+	return &NLDM{SlewAxis: slewAxis, LoadAxis: loadAxis, Values: vals}
+}
+
+// Validate checks table invariants: axes ascending, dimensions consistent.
+func (t *NLDM) Validate() error {
+	if len(t.SlewAxis) == 0 || len(t.LoadAxis) == 0 {
+		return fmt.Errorf("cell: NLDM axes must be non-empty")
+	}
+	for i := 1; i < len(t.SlewAxis); i++ {
+		if t.SlewAxis[i] <= t.SlewAxis[i-1] {
+			return fmt.Errorf("cell: NLDM slew axis not ascending at %d", i)
+		}
+	}
+	for j := 1; j < len(t.LoadAxis); j++ {
+		if t.LoadAxis[j] <= t.LoadAxis[j-1] {
+			return fmt.Errorf("cell: NLDM load axis not ascending at %d", j)
+		}
+	}
+	if len(t.Values) != len(t.SlewAxis) {
+		return fmt.Errorf("cell: NLDM has %d rows, want %d", len(t.Values), len(t.SlewAxis))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.LoadAxis) {
+			return fmt.Errorf("cell: NLDM row %d has %d cols, want %d", i, len(row), len(t.LoadAxis))
+		}
+	}
+	return nil
+}
+
+// segment finds the bracketing interval [k, k+1] for x on axis and the
+// interpolation fraction within it. Outside the axis it clamps to the edge
+// interval, yielding linear extrapolation.
+func segment(axis []float64, x float64) (k int, frac float64) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0
+	}
+	if x <= axis[0] {
+		k = 0
+	} else if x >= axis[n-1] {
+		k = n - 2
+	} else {
+		// Binary search for the interval.
+		lo, hi := 0, n-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if axis[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		k = lo
+	}
+	frac = (x - axis[k]) / (axis[k+1] - axis[k])
+	return k, frac
+}
+
+// Lookup evaluates the table at (slew, load) with bilinear interpolation
+// and clamped-slope extrapolation beyond the characterized box.
+func (t *NLDM) Lookup(slew, load float64) float64 {
+	i, fs := segment(t.SlewAxis, slew)
+	j, fl := segment(t.LoadAxis, load)
+	if len(t.SlewAxis) == 1 && len(t.LoadAxis) == 1 {
+		return t.Values[0][0]
+	}
+	if len(t.SlewAxis) == 1 {
+		return lerp(t.Values[0][j], t.Values[0][j+1], fl)
+	}
+	if len(t.LoadAxis) == 1 {
+		return lerp(t.Values[i][0], t.Values[i+1][0], fs)
+	}
+	v0 := lerp(t.Values[i][j], t.Values[i][j+1], fl)
+	v1 := lerp(t.Values[i+1][j], t.Values[i+1][j+1], fl)
+	return lerp(v0, v1, fs)
+}
+
+func lerp(a, b, f float64) float64 { return a + (b-a)*f }
+
+// MinValue returns the smallest table entry (used by sanity checks).
+func (t *NLDM) MinValue() float64 {
+	m := math.Inf(1)
+	for _, row := range t.Values {
+		for _, v := range row {
+			if v < m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// LogAxis builds an n-point logarithmically spaced axis from lo to hi,
+// the usual shape of Liberty characterization axes.
+func LogAxis(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := range out {
+		out[i] = x
+		x *= ratio
+	}
+	out[n-1] = hi // kill accumulated rounding
+	return out
+}

@@ -1,0 +1,127 @@
+package cell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func linTable() *NLDM {
+	// f(s, l) = 2s + 3l: bilinear interpolation must be exact.
+	return NewNLDM([]float64{0.01, 0.1, 1.0}, []float64{1, 10, 100},
+		func(s, l float64) float64 { return 2*s + 3*l })
+}
+
+func TestNLDMValidate(t *testing.T) {
+	if err := linTable().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &NLDM{SlewAxis: []float64{1, 1}, LoadAxis: []float64{1}, Values: [][]float64{{1}, {1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for non-ascending slew axis")
+	}
+	bad2 := &NLDM{SlewAxis: []float64{1}, LoadAxis: []float64{1, 2}, Values: [][]float64{{1}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected error for ragged values")
+	}
+	empty := &NLDM{}
+	if err := empty.Validate(); err == nil {
+		t.Error("expected error for empty axes")
+	}
+}
+
+func TestNLDMExactAtGridPoints(t *testing.T) {
+	tab := linTable()
+	for _, s := range tab.SlewAxis {
+		for _, l := range tab.LoadAxis {
+			want := 2*s + 3*l
+			if got := tab.Lookup(s, l); math.Abs(got-want) > 1e-9 {
+				t.Errorf("Lookup(%v,%v) = %v, want %v", s, l, got, want)
+			}
+		}
+	}
+}
+
+func TestNLDMInterpolationIsExactForLinear(t *testing.T) {
+	tab := linTable()
+	f := func(su, lu uint16) bool {
+		s := 0.01 + float64(su%1000)/1000*0.99
+		l := 1 + float64(lu%1000)/1000*99
+		want := 2*s + 3*l
+		return math.Abs(tab.Lookup(s, l)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNLDMExtrapolation(t *testing.T) {
+	tab := linTable()
+	// Beyond the characterized box, the clamped-slope extrapolation keeps
+	// the linear model exact.
+	if got, want := tab.Lookup(2.0, 200), 2*2.0+3*200.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("extrapolated Lookup = %v, want %v", got, want)
+	}
+	if got, want := tab.Lookup(0.001, 0.5), 2*0.001+3*0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("low extrapolation = %v, want %v", got, want)
+	}
+}
+
+func TestNLDMDegenerateAxes(t *testing.T) {
+	one := NewNLDM([]float64{0.1}, []float64{5}, func(s, l float64) float64 { return 42 })
+	if got := one.Lookup(9, 9); got != 42 {
+		t.Errorf("1x1 Lookup = %v, want 42", got)
+	}
+	row := NewNLDM([]float64{0.1}, []float64{1, 10}, func(s, l float64) float64 { return l })
+	if got := row.Lookup(0.5, 5.5); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("1xN Lookup = %v, want 5.5", got)
+	}
+	col := NewNLDM([]float64{1, 10}, []float64{5}, func(s, l float64) float64 { return s })
+	if got := col.Lookup(4, 99); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Nx1 Lookup = %v, want 4", got)
+	}
+}
+
+func TestNLDMMonotoneInLoad(t *testing.T) {
+	// Real delay tables must be monotone in load; check a generated one.
+	lib := NewLibrary(testVariant12())
+	m := lib.Smallest(FuncInv)
+	prev := -1.0
+	for l := 1.0; l < 300; l *= 1.7 {
+		d := m.Delay.Lookup(0.05, l)
+		if d <= prev {
+			t.Fatalf("delay not increasing in load at %v: %v <= %v", l, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestNLDMMinValue(t *testing.T) {
+	tab := linTable()
+	want := 2*0.01 + 3*1.0
+	if got := tab.MinValue(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MinValue = %v, want %v", got, want)
+	}
+}
+
+func TestLogAxis(t *testing.T) {
+	ax := LogAxis(0.01, 10, 4)
+	if len(ax) != 4 {
+		t.Fatalf("len = %d", len(ax))
+	}
+	if ax[0] != 0.01 || ax[3] != 10 {
+		t.Errorf("endpoints = %v, %v", ax[0], ax[3])
+	}
+	// Log spacing: constant ratio.
+	r1, r2 := ax[1]/ax[0], ax[2]/ax[1]
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("ratios differ: %v vs %v", r1, r2)
+	}
+	// Degenerate requests collapse to a single point.
+	if got := LogAxis(1, 0.5, 5); len(got) != 1 {
+		t.Errorf("descending axis should degrade to single point, got %v", got)
+	}
+	if got := LogAxis(1, 10, 1); len(got) != 1 {
+		t.Errorf("n=1 should return single point, got %v", got)
+	}
+}

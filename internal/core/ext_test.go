@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/tech"
+)
+
+func TestHeteroTopVariantOverride(t *testing.T) {
+	src := genSrc(t, "cpu", 0.03)
+	v11, err := tech.MakeVariant(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(testClock)
+	opt.TopVariant = &v11
+	r, err := Run(src, ConfigHetero, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top tier carries 11-track cells.
+	found := false
+	for _, inst := range r.Design.Instances {
+		if inst.Master.Function.IsMacro() {
+			continue
+		}
+		if inst.Tier == tech.TierTop {
+			if inst.Master.Track != tech.Track(11) {
+				t.Fatalf("top-tier cell %s uses %v", inst.Name, inst.Master.Track)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no top-tier cells")
+	}
+	// An 11-track top die shrinks less than a 9-track one.
+	r9, err := Run(src, ConfigHetero, DefaultOptions(testClock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PPAC.SiAreaMM2 <= r9.PPAC.SiAreaMM2 {
+		t.Errorf("11-track top Si %v should exceed 9-track top %v",
+			r.PPAC.SiAreaMM2, r9.PPAC.SiAreaMM2)
+	}
+	// ... and burns more power (higher VDD, bigger cells).
+	if r.PPAC.PowerMW <= r9.PPAC.PowerMW {
+		t.Errorf("11-track top power %v should exceed 9-track top %v",
+			r.PPAC.PowerMW, r9.PPAC.PowerMW)
+	}
+}
+
+func TestHeteroForceLevelShifters(t *testing.T) {
+	src := genSrc(t, "cpu", 0.03)
+	base, err := Run(src, ConfigHetero, DefaultOptions(testClock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(testClock)
+	opt.ForceLevelShifters = true
+	shifted, err := Run(src, ConfigHetero, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifters exist and the design stays consistent.
+	if err := shifted.Design.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, inst := range shifted.Design.Instances {
+		if inst.Master.Function == cell.FuncLevelSh {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no level shifters inserted")
+	}
+	// The paper's Sec. III-B claim: shifters cost cells, power, and
+	// timing.
+	if shifted.PPAC.Cells <= base.PPAC.Cells {
+		t.Error("shifters should add cells")
+	}
+	if shifted.PPAC.PowerMW <= base.PPAC.PowerMW {
+		t.Errorf("shifters should cost power: %v vs %v", shifted.PPAC.PowerMW, base.PPAC.PowerMW)
+	}
+	if shifted.PPAC.WNS >= base.PPAC.WNS {
+		t.Errorf("shifters should hurt timing: WNS %v vs %v", shifted.PPAC.WNS, base.PPAC.WNS)
+	}
+}

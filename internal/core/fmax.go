@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// FmaxOptions controls the maximum-frequency search.
+type FmaxOptions struct {
+	// LoGHz and HiGHz bracket the search.
+	LoGHz, HiGHz float64
+	// Iterations of binary search (each runs a full flow).
+	Iterations int
+	// SlackFrac is the timing-met criterion: WNS ≥ −SlackFrac × period
+	// ("a worst negative slack of ≈5–7 % of the clock period",
+	// Sec. IV-A2).
+	SlackFrac float64
+	// Flow carries the per-run options (ClockGHz is overwritten).
+	Flow Options
+}
+
+// DefaultFmaxOptions brackets 28 nm digital logic frequencies.
+func DefaultFmaxOptions() FmaxOptions {
+	return FmaxOptions{
+		LoGHz:      0.2,
+		HiGHz:      6.0,
+		Iterations: 6,
+		SlackFrac:  0.05,
+		Flow:       DefaultOptions(1.0),
+	}
+}
+
+// FindFmax binary-searches the maximum achievable frequency of the design
+// in the given configuration. The paper sweeps the fast 12-track 2-D
+// implementation this way and uses the result as the iso-performance
+// target for every other configuration.
+func FindFmax(src *netlist.Design, cfg ConfigName, opt FmaxOptions) (float64, error) {
+	if opt.LoGHz <= 0 || opt.HiGHz <= opt.LoGHz {
+		return 0, fmt.Errorf("core: bad fmax bracket [%v, %v]", opt.LoGHz, opt.HiGHz)
+	}
+	if opt.Iterations <= 0 {
+		opt.Iterations = 1
+	}
+	probe := func(f float64) (met bool, effD float64, err error) {
+		o := opt.Flow
+		o.ClockGHz = f
+		r, err := Run(src, cfg, o)
+		if err != nil {
+			return false, 0, err
+		}
+		return r.PPAC.WNS >= -opt.SlackFrac/f, r.PPAC.EffDelayNS, nil
+	}
+
+	// Adaptive fixed-point search: each probe's effective delay predicts
+	// the achievable frequency directly (1/effDelay), so the sweep
+	// converges in a handful of flow runs instead of a long bisection.
+	f := (opt.LoGHz + opt.HiGHz) / 4
+	best := 0.0
+	for i := 0; i < opt.Iterations; i++ {
+		met, effD, err := probe(f)
+		if err != nil {
+			return 0, err
+		}
+		if met && f > best {
+			best = f
+		}
+		next := 1 / effD
+		if next < opt.LoGHz {
+			next = opt.LoGHz
+		}
+		if next > opt.HiGHz {
+			next = opt.HiGHz
+		}
+		// Converged: the prediction matches the probe.
+		if math.Abs(next-f)/f < 0.02 {
+			if met {
+				return f, nil
+			}
+			// Barely-failing fixed point: settle slightly below.
+			f = next * 0.97
+			continue
+		}
+		f = next
+	}
+	if best > 0 {
+		return best, nil
+	}
+	return opt.LoGHz, nil
+}

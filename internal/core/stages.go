@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/cts"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// cloneMapped clones src with every standard cell remapped onto lib
+// (macros pass through unchanged) — "the netlists are synthesized in the
+// respective technology nodes" (Sec. IV-A2).
+func cloneMapped(src *netlist.Design, lib *cell.Library, name string) (*netlist.Design, error) {
+	return src.CloneInto(name, func(m *cell.Master) (*cell.Master, error) {
+		if m.Function.IsMacro() {
+			return m, nil
+		}
+		return lib.Equivalent(m)
+	})
+}
+
+// assignMacroTiers balances hard macros across the two dies by area
+// (largest first onto the lighter die) and returns the assignment as a
+// preassign map for the tier partitioner.
+func assignMacroTiers(d *netlist.Design) map[*netlist.Instance]tech.Tier {
+	var macros []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Master.Function.IsMacro() {
+			macros = append(macros, inst)
+		}
+	}
+	sort.Slice(macros, func(i, j int) bool {
+		ai, aj := macros[i].Master.Area(), macros[j].Master.Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return macros[i].Name < macros[j].Name
+	})
+	var area [2]float64
+	out := make(map[*netlist.Instance]tech.Tier, len(macros))
+	for _, m := range macros {
+		t := tech.TierBottom
+		if area[1] < area[0] {
+			t = tech.TierTop
+		}
+		m.Tier = t
+		area[t] += m.Master.Area()
+		out[m] = t
+	}
+	return out
+}
+
+// rowHeights returns the per-tier legalization row heights of a library
+// pair.
+func rowHeights(libs [2]*cell.Library) [2]float64 {
+	var h [2]float64
+	h[0] = libs[0].Variant.CellHeight
+	if libs[1] != nil {
+		h[1] = libs[1].Variant.CellHeight
+	}
+	return h
+}
+
+// placeWithCongestionRetry floorplans and globally places the design,
+// then checks routing congestion; a heavily overflowing design (the
+// paper's wire-dominant LDPC) is re-floorplanned at reduced utilization
+// and re-placed — "the routing feasibility drives the optimization"
+// (Sec. IV-B2), which is why LDPC's density lands near 64 % while the
+// cell-dominant designs stay at their 70 %+ targets.
+func placeWithCongestionRetry(d *netlist.Design, opt Options, tiers int, areaScale float64) (*place.Floorplan, error) {
+	router := route.New()
+	util := opt.TargetUtil
+	var fp *place.Floorplan
+	for attempt := 0; attempt < 3; attempt++ {
+		var err error
+		fp, err = place.NewFloorplan(d, place.Options{
+			TargetUtil:  util,
+			AspectRatio: 1,
+			Tiers:       tiers,
+			AreaScale:   areaScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := place.Global(d, fp.Core, place.DefaultGlobalOptions()); err != nil {
+			return nil, err
+		}
+		cm, err := router.Congestion(d, fp.Outline, 16, 16)
+		if err != nil {
+			return nil, err
+		}
+		// Per-tier wiring shares the same outline in 3-D, so demand is
+		// effectively halved per tier's stack.
+		overflow := cm.OverflowFraction()
+		if tiers == 2 {
+			overflow = overflowAtHalfDemand(cm)
+		}
+		if overflow <= 0.10 {
+			return fp, nil
+		}
+		util *= 0.82 // relax utilization and retry
+	}
+	return fp, nil
+}
+
+// overflowAtHalfDemand evaluates the overflow fraction with per-bin
+// demand halved (two routing stacks share the 3-D footprint).
+func overflowAtHalfDemand(cm *route.CongestionMap) float64 {
+	over := 0
+	for i := range cm.DemandH.Vals {
+		if cm.DemandH.Vals[i]/2 > cm.SupplyH || cm.DemandV.Vals[i]/2 > cm.SupplyV {
+			over++
+		}
+	}
+	return float64(over) / float64(cm.Grid.Bins())
+}
+
+// timingEnv bundles everything needed to (re-)analyze a design's timing
+// during optimization.
+type timingEnv struct {
+	d       *netlist.Design
+	libs    [2]*cell.Library
+	router  *route.Router
+	period  float64
+	latency func(*netlist.Instance) float64
+	hetero  bool
+}
+
+func (e *timingEnv) analyze() (*sta.Result, error) {
+	cfg := sta.DefaultConfig(e.period)
+	cfg.Router = e.router
+	cfg.Latency = e.latency
+	cfg.Hetero = e.hetero
+	return sta.Analyze(e.d, cfg)
+}
+
+// libOf returns the library an instance sizes within (by its tier for
+// hetero designs, the bottom library otherwise).
+func (e *timingEnv) libOf(inst *netlist.Instance) *cell.Library {
+	if e.libs[1] != nil && inst.Master.Track == e.libs[1].Variant.Track {
+		return e.libs[1]
+	}
+	return e.libs[0]
+}
+
+// preSizeForClock is the synthesis-stage timing optimization: before the
+// floorplan is frozen, cells on failing paths are upsized against an
+// ideal-wire timing estimate at the target clock. Because the floorplan
+// is sized *after* this pass at constant utilization, a slow library
+// chasing an unreachable target grows the die — the 9-track
+// "over-correction in the synthesis stage" the paper reports
+// (Sec. IV-B2).
+func preSizeForClock(d *netlist.Design, libs [2]*cell.Library, period float64, rounds int) error {
+	// Pre-placement timing needs a wire-load model: 2.5 fF of estimated
+	// wire per sink stands in for the not-yet-placed interconnect, so
+	// the sizes baked into the floorplan survive real extraction.
+	wlmRouter := route.New()
+	wlmRouter.WLMPerSinkFF = 2.5
+	e := &timingEnv{d: d, libs: libs, router: wlmRouter, period: period}
+	// Synthesis aims for margin, not bare closure: cells within 3 % of
+	// the period get upsized too, which is what makes a slow library
+	// chasing a fast target balloon in area.
+	margin := 0.03 * period
+	for r := 0; r < rounds; r++ {
+		res, err := e.analyze()
+		if err != nil {
+			return err
+		}
+		if res.WNS >= margin {
+			return nil
+		}
+		slack := res.SlackMap()
+		changed := 0
+		for _, inst := range d.Instances {
+			if inst.Master.Function.IsMacro() || inst.Master.Function.IsClockCell() {
+				continue
+			}
+			if slack[inst.ID] >= margin {
+				continue
+			}
+			up := e.libOf(inst).NextDriveUp(inst.Master)
+			if up == nil {
+				continue
+			}
+			if err := d.ReplaceMaster(inst, up); err != nil {
+				return fmt.Errorf("core: presize %s: %w", inst.Name, err)
+			}
+			changed++
+		}
+		if changed == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// repairTiming runs the post-placement timing-driven sizing loop: upsize
+// every cell with negative worst slack one drive step per round,
+// re-legalize, re-analyze. Upsizing stops per tier when the core fills to
+// the capacity guard, mirroring a real engine's density limit.
+func repairTiming(e *timingEnv, fp *place.Floorplan, rounds int) (*sta.Result, error) {
+	return repairTimingBudget(e, fp, rounds, 0.93)
+}
+
+// repairTimingBudget is repairTiming with an explicit per-tier capacity
+// fraction; the hetero flow runs its pre-ECO pass with a tighter budget
+// so the repartitioner keeps headroom on the fast die.
+func repairTimingBudget(e *timingEnv, fp *place.Floorplan, rounds int, capFrac float64) (*sta.Result, error) {
+	res, err := e.analyze()
+	if err != nil {
+		return nil, err
+	}
+	// maxTran is the max-transition DRC limit: drivers whose output slew
+	// exceeds it get upsized even off the critical path, because a slow
+	// edge poisons every downstream stage's delay (worst-slew
+	// propagation). Commercial flows fix these violations before timing.
+	const maxTran = 0.060
+	// Per-tier capacity from the actual row grid (row quantization makes
+	// this slightly less than the raw core area).
+	heights := rowHeights(e.libs)
+	var budget [2]float64
+	for t := 0; t < 2; t++ {
+		h := heights[t]
+		if h <= 0 {
+			h = heights[0]
+		}
+		rows := float64(int(fp.Core.H() / h))
+		budget[t] = fp.Core.W() * rows * h * capFrac
+	}
+	for r := 0; r < rounds; r++ {
+		// Current movable area per tier.
+		var used [2]float64
+		for _, inst := range e.d.Instances {
+			if inst.Fixed || inst.Master.Function.IsMacro() {
+				continue
+			}
+			used[inst.Tier] += inst.Master.Area()
+		}
+		slack := res.SlackMap()
+		changed := 0
+		for _, inst := range e.d.Instances {
+			if inst.Master.Function.IsMacro() || inst.Master.Function.IsClockCell() {
+				continue
+			}
+			if slack[inst.ID] >= 0 && res.OutputSlew(inst) <= maxTran {
+				continue
+			}
+			up := e.libOf(inst).NextDriveUp(inst.Master)
+			if up == nil {
+				// Already at max drive: a slew violator gets its load
+				// split with a buffer instead (the far half of the
+				// sinks moves behind it) — post-route buffering, the
+				// other half of commercial DRC fixing.
+				if res.OutputSlew(inst) > maxTran {
+					bufArea := e.libOf(inst).Strongest(cell.FuncBuf).Area()
+					if used[inst.Tier]+bufArea > budget[inst.Tier] {
+						continue
+					}
+					added, err := splitLoad(e, inst)
+					if err != nil {
+						return nil, err
+					}
+					if added {
+						used[inst.Tier] += bufArea
+						changed++
+					}
+				}
+				continue
+			}
+			grow := up.Area() - inst.Master.Area()
+			if used[inst.Tier]+grow > budget[inst.Tier] {
+				continue // density guard: no room on this die
+			}
+			if err := e.d.ReplaceMaster(inst, up); err != nil {
+				return nil, fmt.Errorf("core: repair %s: %w", inst.Name, err)
+			}
+			used[inst.Tier] += grow
+			changed++
+		}
+		if changed == 0 {
+			break
+		}
+		if _, err := place.LegalizeTiers(e.d, fp.Core, rowHeights(e.libs), fp.Tiers); err != nil {
+			return nil, err
+		}
+		if res, err = e.analyze(); err != nil {
+			return nil, err
+		}
+		if res.WNS >= 0 && r >= 1 {
+			break // timing met and DRCs had one cleanup round
+		}
+	}
+	return res, nil
+}
+
+// splitLoad inserts a buffer on inst's output net, moving the farther
+// half of the sinks behind it. No-op for small fanouts or nets that
+// cannot legally split.
+func splitLoad(e *timingEnv, inst *netlist.Instance) (bool, error) {
+	out := e.d.OutputNet(inst)
+	if out == nil || out.IsClock || len(out.Sinks) < 4 {
+		return false, nil
+	}
+	// Sort sinks by distance from the driver; the far half moves.
+	sinks := append([]netlist.PinRef{}, out.Sinks...)
+	sort.Slice(sinks, func(i, j int) bool {
+		di := inst.Loc.ManhattanDist(sinks[i].Loc())
+		dj := inst.Loc.ManhattanDist(sinks[j].Loc())
+		if di != dj {
+			return di < dj
+		}
+		return sinks[i].Inst.ID < sinks[j].Inst.ID
+	})
+	far := sinks[len(sinks)/2:]
+	lib := e.libOf(inst)
+	buf := lib.Strongest(cell.FuncBuf)
+	name := fmt.Sprintf("drc_%s", inst.Name)
+	if e.d.Instance(name) != nil {
+		name = fmt.Sprintf("drc%d_%s", len(e.d.Instances), inst.Name)
+	}
+	nb, _, err := e.d.InsertBuffer(out, far, buf, name)
+	if err != nil {
+		return false, fmt.Errorf("core: splitLoad %s: %w", inst.Name, err)
+	}
+	nb.Tier = inst.Tier
+	return true, nil
+}
+
+// recoverPower downsizes cells whose worst slack comfortably clears the
+// period margin, trading unneeded speed for power ("when the timing
+// target is not set tightly, the tool starts optimizing for power",
+// Sec. IV-A2). Returns the final timing result.
+func recoverPower(e *timingEnv, fp *place.Floorplan, res *sta.Result) (*sta.Result, error) {
+	slack := res.SlackMap()
+	margin := 0.25 * e.period
+	changed := 0
+	for _, inst := range e.d.Instances {
+		f := inst.Master.Function
+		if f.IsMacro() || f.IsClockCell() || inst.Master.Drive == 1 {
+			continue
+		}
+		if slack[inst.ID] < margin {
+			continue
+		}
+		lib := e.libOf(inst)
+		ms := lib.ByFunction(inst.Master.Function)
+		// Step down one drive.
+		var down *cell.Master
+		for i, m := range ms {
+			if m.Drive == inst.Master.Drive && i > 0 {
+				down = ms[i-1]
+				break
+			}
+		}
+		if down == nil {
+			continue
+		}
+		if err := e.d.ReplaceMaster(inst, down); err != nil {
+			return nil, err
+		}
+		changed++
+	}
+	if changed == 0 {
+		return res, nil
+	}
+	if _, err := place.LegalizeTiers(e.d, fp.Core, rowHeights(e.libs), fp.Tiers); err != nil {
+		return nil, err
+	}
+	return e.analyze()
+}
+
+// collect assembles the PPAC record from the finished implementation.
+func collect(d *netlist.Design, cfg ConfigName, opt Options, fp *place.Floorplan,
+	ct *cts.Result, st *sta.Result, router *route.Router, notes string, cut int) (*PPAC, *power.Breakdown, error) {
+
+	pcfg := power.DefaultConfig(opt.ClockGHz)
+	pcfg.Router = router
+	pcfg.Hetero = cfg == ConfigHetero
+	pw, err := power.Analyze(d, pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	footprintMM2 := fp.Outline.Area() / 1e6
+	sig, clk := router.Wirelength(d)
+
+	p := &PPAC{
+		Design:       d.Name,
+		Config:       cfg,
+		FreqGHz:      opt.ClockGHz,
+		FootprintMM2: footprintMM2,
+		SiAreaMM2:    footprintMM2 * float64(fp.Tiers),
+		ChipWidthUM:  fp.Outline.W(),
+		Density:      place.Density(d, fp),
+		WLm:          (sig + clk) / 1e6,
+		PowerMW:      pw.Total / 1000,
+		LeakageMW:    pw.Leakage / 1000,
+		ClockPowerMW: pw.Clock / 1000,
+		WNS:          st.WNS,
+		TNS:          st.TNS,
+		EffDelayNS:   st.EffectiveDelay(),
+		Clock:        ct,
+		CutSize:      cut,
+		Refinement:   notes,
+		Cells:        d.ComputeStats().Cells,
+	}
+	if fp.Tiers == 2 {
+		p.MIVs = router.TotalMIVs(d)
+	}
+
+	var dieCost float64
+	if fp.Tiers == 1 {
+		dieCost, err = opt.Cost.DieCost2D(footprintMM2)
+	} else {
+		dieCost, err = opt.Cost.DieCost3D(footprintMM2)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	p.DieCostMicroC = dieCost * 1e6
+	p.CostPerCm2 = dieCost * 1e6 / (p.SiAreaMM2 / 100)
+	p.PDPpJ = p.PowerMW * p.EffDelayNS
+	// PPC uses the *achieved* frequency: the target when timing is met,
+	// 1/effective-delay when it fails (a design missing its clock only
+	// delivers the performance its worst path allows).
+	achieved := p.FreqGHz
+	if p.WNS < 0 {
+		achieved = 1 / p.EffDelayNS
+	}
+	p.PPC = achieved / (p.PowerMW / 1000 * p.DieCostMicroC)
+	return p, pw, nil
+}

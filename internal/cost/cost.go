@@ -1,0 +1,172 @@
+// Package cost implements the paper's die-cost model (Table IV, adapted
+// from Ku et al. [10]): wafer cost split between FEOL and BEOL, a 5 % 3-D
+// integration penalty, defect-limited die yield with an extra 3-D yield
+// degradation factor, and the derived metrics the evaluation reports —
+// die cost, cost per cm², PDP, and performance per cost (PPC).
+//
+// All costs are expressed in units of C', the baseline wafer cost
+// (FEOL + 8 metal layers), so results are technology-normalized exactly
+// like the paper's Table VI ("Die Cost, 10⁻⁶ C'").
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model carries the Table IV assumptions.
+type Model struct {
+	// FEOLFrac is the fraction of C' attributable to the FEOL layer.
+	FEOLFrac float64
+	// BEOLFracPerLayer is the cost fraction of one metal layer; the
+	// baseline has 8, the designs use 6 per tier.
+	BEOLFracPerLayer float64
+	// SignalLayers is the metal layer count per die/tier.
+	SignalLayers int
+	// Alpha is the 3-D integration cost premium (α = 0.05 × C').
+	Alpha float64
+	// WaferDiameterMM is the wafer diameter (300 mm).
+	WaferDiameterMM float64
+	// DefectDensity is D_w in defects per mm².
+	DefectDensity float64
+	// WaferYield is κ.
+	WaferYield float64
+	// YieldDegradation3D is β, the extra multiplicative 3-D yield hit.
+	YieldDegradation3D float64
+}
+
+// Default returns the paper's Table IV numbers.
+func Default() Model {
+	return Model{
+		FEOLFrac:           0.30,
+		BEOLFracPerLayer:   0.11, // 6 metals → 0.66 × C'
+		SignalLayers:       6,
+		Alpha:              0.05,
+		WaferDiameterMM:    300,
+		DefectDensity:      0.2,
+		WaferYield:         0.95,
+		YieldDegradation3D: 0.95,
+	}
+}
+
+// Validate checks parameter sanity.
+func (m Model) Validate() error {
+	switch {
+	case m.FEOLFrac <= 0 || m.FEOLFrac >= 1:
+		return fmt.Errorf("cost: FEOLFrac %v out of (0,1)", m.FEOLFrac)
+	case m.BEOLFracPerLayer <= 0:
+		return fmt.Errorf("cost: BEOLFracPerLayer %v must be positive", m.BEOLFracPerLayer)
+	case m.SignalLayers <= 0:
+		return fmt.Errorf("cost: SignalLayers %d must be positive", m.SignalLayers)
+	case m.WaferDiameterMM <= 0:
+		return fmt.Errorf("cost: wafer diameter %v must be positive", m.WaferDiameterMM)
+	case m.DefectDensity < 0:
+		return fmt.Errorf("cost: defect density %v must be non-negative", m.DefectDensity)
+	case m.WaferYield <= 0 || m.WaferYield > 1:
+		return fmt.Errorf("cost: wafer yield %v out of (0,1]", m.WaferYield)
+	case m.YieldDegradation3D <= 0 || m.YieldDegradation3D > 1:
+		return fmt.Errorf("cost: 3-D yield degradation %v out of (0,1]", m.YieldDegradation3D)
+	}
+	return nil
+}
+
+// WaferArea returns the wafer area in mm².
+func (m Model) WaferArea() float64 {
+	r := m.WaferDiameterMM / 2
+	return math.Pi * r * r
+}
+
+// WaferCost2D returns C_2D in units of C': FEOL + SignalLayers metals
+// (0.96 C' with the defaults).
+func (m Model) WaferCost2D() float64 {
+	return m.FEOLFrac + float64(m.SignalLayers)*m.BEOLFracPerLayer
+}
+
+// WaferCost3D returns C_3D in units of C': two FEOL layers, two tiers of
+// metals, plus the integration premium (1.97 C' with the defaults).
+func (m Model) WaferCost3D() float64 {
+	return 2*m.FEOLFrac + 2*float64(m.SignalLayers)*m.BEOLFracPerLayer + m.Alpha
+}
+
+// DiesPerWafer evaluates formula (1): DPW = A_w/A_d − sqrt(2π·A_w/A_d).
+// dieAreaMM2 is the die footprint in mm².
+func (m Model) DiesPerWafer(dieAreaMM2 float64) float64 {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	ratio := m.WaferArea() / dieAreaMM2
+	dpw := ratio - math.Sqrt(2*math.Pi*ratio)
+	if dpw < 0 {
+		return 0
+	}
+	return dpw
+}
+
+// Yield2D evaluates formula (2): κ × (1 + A_d·D_w/2)⁻².
+func (m Model) Yield2D(dieAreaMM2 float64) float64 {
+	t := 1 + dieAreaMM2*m.DefectDensity/2
+	return m.WaferYield / (t * t)
+}
+
+// Yield3D evaluates formula (3): κ × β × (1 + A_d·D_w/2)⁻². The defect
+// term uses the per-tier die area (each tier is manufactured and then
+// degraded by the integration step).
+func (m Model) Yield3D(dieAreaMM2 float64) float64 {
+	return m.Yield2D(dieAreaMM2) * m.YieldDegradation3D
+}
+
+// DieCost2D evaluates formulas (4)–(5) for a 2-D die of the given
+// footprint (mm²), in units of C'. The paper's formula (5) divides the
+// wafer cost by N_GD × Y — i.e. good dies further derated by yield — and
+// we reproduce it as written.
+func (m Model) DieCost2D(dieAreaMM2 float64) (float64, error) {
+	return m.dieCost(dieAreaMM2, m.WaferCost2D(), m.Yield2D(dieAreaMM2))
+}
+
+// DieCost3D evaluates the same for a two-tier 3-D die of the given
+// per-tier footprint (mm²).
+func (m Model) DieCost3D(dieAreaMM2 float64) (float64, error) {
+	return m.dieCost(dieAreaMM2, m.WaferCost3D(), m.Yield3D(dieAreaMM2))
+}
+
+func (m Model) dieCost(area, waferCost, yield float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if area <= 0 {
+		return 0, fmt.Errorf("cost: die area %v must be positive", area)
+	}
+	dpw := m.DiesPerWafer(area)
+	if dpw <= 0 {
+		return 0, fmt.Errorf("cost: die area %v mm² yields no dies per wafer", area)
+	}
+	return waferCost / (dpw * yield * yield), nil
+}
+
+// CostPerCm2 returns die cost / total silicon area, the paper's
+// technology-cost intensity metric. siAreaMM2 is the *total* silicon
+// (footprint × tiers) in mm²; the result is in C' per cm².
+func CostPerCm2(dieCost, siAreaMM2 float64) float64 {
+	if siAreaMM2 <= 0 {
+		return 0
+	}
+	return dieCost / (siAreaMM2 / 100)
+}
+
+// PDP returns the power-delay product in pJ given total power in mW and
+// effective delay in ns (the paper: power × (clock period − worst slack)).
+func PDP(powerMW, effDelayNS float64) float64 {
+	return powerMW * effDelayNS
+}
+
+// PPC returns the paper's performance-per-cost figure of merit:
+// frequency (GHz) per (power × die cost). "Intuitively, it shows the
+// achievable performance per unit of power and cost." The scale matches
+// Table VI exactly when power enters in watts and die cost in 10⁻⁶ C'
+// (netcard: 1.75 GHz / (0.550 W × 6.16) = 0.517).
+func PPC(freqGHz, powerMW, dieCostMicroC float64) float64 {
+	if powerMW <= 0 || dieCostMicroC <= 0 {
+		return 0
+	}
+	return freqGHz / (powerMW / 1000 * dieCostMicroC)
+}

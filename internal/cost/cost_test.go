@@ -1,0 +1,175 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIVConstants(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2-D wafer: FEOL (0.30) + 6 metals (0.66) = 0.96 C'.
+	if got := m.WaferCost2D(); math.Abs(got-0.96) > 1e-9 {
+		t.Errorf("WaferCost2D = %v, want 0.96", got)
+	}
+	// 3-D wafer: 2 FEOL + 12 metals + α = 1.97 C'.
+	if got := m.WaferCost3D(); math.Abs(got-1.97) > 1e-9 {
+		t.Errorf("WaferCost3D = %v, want 1.97", got)
+	}
+	// 300 mm wafer area.
+	if got := m.WaferArea(); math.Abs(got-math.Pi*150*150) > 1e-6 {
+		t.Errorf("WaferArea = %v", got)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	m := Default()
+	// A 1 mm² die on a 300 mm wafer: Aw/Ad ≈ 70686, edge loss term
+	// sqrt(2π·70686) ≈ 666.
+	got := m.DiesPerWafer(1.0)
+	want := 70685.83 - math.Sqrt(2*math.Pi*70685.83)
+	if math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("DPW(1mm²) = %v, want ≈%v", got, want)
+	}
+	// Bigger dies → fewer dies.
+	if m.DiesPerWafer(100) >= m.DiesPerWafer(10) {
+		t.Error("DPW must decrease with die area")
+	}
+	if m.DiesPerWafer(0) != 0 || m.DiesPerWafer(-5) != 0 {
+		t.Error("degenerate areas must give 0")
+	}
+}
+
+func TestYields(t *testing.T) {
+	m := Default()
+	// Tiny die: yield → κ.
+	if got := m.Yield2D(1e-9); math.Abs(got-0.95) > 1e-6 {
+		t.Errorf("Yield2D(→0) = %v, want κ=0.95", got)
+	}
+	// 3-D yield = 2-D × β.
+	a := 0.5
+	if got, want := m.Yield3D(a), m.Yield2D(a)*0.95; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Yield3D = %v, want %v", got, want)
+	}
+	// Yield decreases with area.
+	if m.Yield2D(10) >= m.Yield2D(1) {
+		t.Error("yield must decrease with area")
+	}
+}
+
+func TestDieCost(t *testing.T) {
+	m := Default()
+	// Paper's Table VI scale check: a ≈0.39 mm² footprint CPU die in 3-D
+	// costs ≈6×10⁻⁶ C'. Our die area is per-tier footprint ≈0.195 mm².
+	c3, err := m.DieCost3D(0.195)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 < 2e-6 || c3 > 20e-6 {
+		t.Errorf("3-D die cost = %v C', want order 6e-6", c3)
+	}
+	// 3-D of half-footprint must cost more than 2-D of the full area with
+	// the same silicon (integration + yield penalties) — the paper's
+	// "cost per cm² shows heterogeneous 3-D is more expensive per area".
+	c2, err := m.DieCost2D(0.39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := 0.39 // total silicon mm² in both cases
+	if CostPerCm2(c3, si) <= CostPerCm2(c2, si) {
+		t.Errorf("3-D cost/cm² %v should exceed 2-D %v", CostPerCm2(c3, si), CostPerCm2(c2, si))
+	}
+	// Errors.
+	if _, err := m.DieCost2D(0); err == nil {
+		t.Error("zero area should fail")
+	}
+	if _, err := m.DieCost2D(80000); err == nil {
+		t.Error("die bigger than wafer should fail")
+	}
+}
+
+func TestDieCostMonotonicity(t *testing.T) {
+	m := Default()
+	f := func(a8 uint8) bool {
+		a := 0.05 + float64(a8)/255*5 // 0.05..5 mm²
+		c1, err1 := m.DieCost2D(a)
+		c2, err2 := m.DieCost2D(a * 1.3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c2 > c1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Cost increases with defect density too.
+	dirty := Default()
+	dirty.DefectDensity = 0.5
+	c1, _ := m.DieCost2D(1)
+	c2, _ := dirty.DieCost2D(1)
+	if c2 <= c1 {
+		t.Error("cost must increase with defect density")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.FEOLFrac = 0 },
+		func(m *Model) { m.BEOLFracPerLayer = -1 },
+		func(m *Model) { m.SignalLayers = 0 },
+		func(m *Model) { m.WaferDiameterMM = 0 },
+		func(m *Model) { m.DefectDensity = -0.1 },
+		func(m *Model) { m.WaferYield = 1.5 },
+		func(m *Model) { m.YieldDegradation3D = 0 },
+	}
+	for i, mut := range cases {
+		m := Default()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPDPAndPPC(t *testing.T) {
+	// CPU row of Table VI: 188 mW, 0.888 ns → 167 pJ.
+	if got := PDP(188, 0.888); math.Abs(got-166.9) > 0.1 {
+		t.Errorf("PDP = %v, want ≈167", got)
+	}
+	// PPC: 1.2 GHz / (188 mW × 6.26e-6... the paper expresses die cost in
+	// 10⁻⁶C' units, giving PPC 1.02.
+	if got := PPC(1.2, 188, 6.26); math.Abs(got-1.02) > 0.01 {
+		t.Errorf("PPC = %v, want ≈1.02", got)
+	}
+	if PPC(1, 0, 1) != 0 || PPC(1, 1, 0) != 0 {
+		t.Error("degenerate PPC must be 0")
+	}
+	if CostPerCm2(1, 0) != 0 {
+		t.Error("degenerate CostPerCm2 must be 0")
+	}
+}
+
+func TestTableVIDieCostScale(t *testing.T) {
+	// Reproduce the Table VI die-cost ordering: netcard (0.384 mm²
+	// footprint per two tiers → 0.192 per tier) and CPU (0.390) cost
+	// ≈6×10⁻⁶ C'; AES (0.126) ≈ 2×10⁻⁶ C'.
+	m := Default()
+	get := func(footprint float64) float64 {
+		c, err := m.DieCost3D(footprint / 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c * 1e6
+	}
+	netcard, aes, ldpc, cpu := get(0.384), get(0.126), get(0.216), get(0.390)
+	if !(aes < ldpc && ldpc < netcard && netcard < cpu) {
+		t.Errorf("die-cost ordering broken: aes=%v ldpc=%v netcard=%v cpu=%v", aes, ldpc, netcard, cpu)
+	}
+	// Order of magnitude matches the paper's 1.97–6.26 × 10⁻⁶ C' range.
+	if aes < 0.5 || cpu > 25 {
+		t.Errorf("die costs out of scale: aes=%v cpu=%v", aes, cpu)
+	}
+}

@@ -1,0 +1,81 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// genAES builds the cell-dominant AES-like encryption datapath: 128
+// structurally identical bit slices, each running the same ten-round
+// substitution/permutation pipeline. Because every bit's functional path
+// matches every other bit's, timing criticality is nearly uniform — the
+// property the paper blames for AES being the worst fit for heterogeneous
+// partitioning (Sec. IV-C).
+func genAES(lib *cell.Library, p Params) (*netlist.Design, error) {
+	b := newBuilder("aes", lib, p.Seed)
+
+	const rounds = 10
+	bits := scaleInt(128, p.Scale, 8)
+	keyBits := 32
+	if keyBits > bits {
+		keyBits = bits
+	}
+
+	// Key schedule inputs: registered once, fanned out to every round.
+	key := make([]*netlist.Net, keyBits)
+	for k := 0; k < keyBits; k++ {
+		in := b.input(fmt.Sprintf("key%d", k))
+		key[k] = b.dff(fmt.Sprintf("kreg%d", k), in)
+	}
+
+	// Input state registers.
+	state := make([]*netlist.Net, bits)
+	for i := 0; i < bits; i++ {
+		in := b.input(fmt.Sprintf("pt%d", i))
+		state[i] = b.dff(fmt.Sprintf("inreg%d", i), in)
+	}
+
+	// Ten identical rounds. Each bit's round function consumes its own
+	// state, two permuted neighbours (ShiftRows/MixColumns stand-in), and
+	// a key bit (AddRoundKey), through an S-box-like nonlinear stage.
+	for r := 0; r < rounds; r++ {
+		next := make([]*netlist.Net, bits)
+		for i := 0; i < bits; i++ {
+			n1 := state[(i+1)%bits]
+			n5 := state[(i+5)%bits]
+			kb := key[(i+r)%keyBits]
+			pfx := fmt.Sprintf("r%d_b%d", r, i)
+
+			// SubBytes stand-in: a small nonlinear cone.
+			t1 := b.gate(cell.FuncXor2, pfx+"_t1", state[i], n1)
+			t2 := b.gate(cell.FuncNand2, pfx+"_t2", state[i], n5)
+			t3 := b.gate(cell.FuncAoi21, pfx+"_t3", t1, t2, n1)
+			t4 := b.gate(cell.FuncXnor2, pfx+"_t4", t3, n5)
+			t5 := b.gate(cell.FuncOai21, pfx+"_t5", t4, t1, state[i])
+			t6 := b.gate(cell.FuncNor2, pfx+"_t6", t5, t2)
+			t7 := b.gate(cell.FuncXor2, pfx+"_t7", t6, t3)
+			// MixColumns stand-in.
+			m1 := b.gate(cell.FuncXor2, pfx+"_m1", t7, n1)
+			m2 := b.gate(cell.FuncXor2, pfx+"_m2", m1, n5)
+			m3 := b.gate(cell.FuncMux2, pfx+"_m3", m2, t7, kb)
+			// AddRoundKey.
+			a1 := b.gate(cell.FuncXor2, pfx+"_a1", m3, kb)
+			a2 := b.gate(cell.FuncAnd2, pfx+"_a2", a1, t4)
+			a3 := b.gate(cell.FuncXor2, pfx+"_a3", a2, m1)
+			next[i] = a3
+		}
+		// Pipeline register between rounds keeps every stage's depth
+		// identical (the symmetric structure the paper describes).
+		for i := 0; i < bits; i++ {
+			next[i] = b.dff(fmt.Sprintf("r%d_reg%d", r, i), next[i])
+		}
+		state = next
+	}
+
+	for i := 0; i < bits; i++ {
+		b.output(fmt.Sprintf("ct%d", i), state[i])
+	}
+	return b.finish()
+}

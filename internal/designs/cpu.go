@@ -1,0 +1,202 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// genCPU builds the general-purpose processor: the one complex IP in the
+// suite, with the diverse block-level timing criticality the heterogeneous
+// methodology feeds on (Sec. IV-C) — a deep multiplier core whose paths
+// dominate timing, medium-depth ALU slices, a shallow wide-fanout decoder,
+// a big register file, and cache memory macros that occupy ≈40 % of the
+// footprint ("a large area dedicated to the cache", Sec. IV-B1).
+func genCPU(lib *cell.Library, p Params) (*netlist.Design, error) {
+	b := newBuilder("cpu", lib, p.Seed)
+
+	nMult := scaleInt(8, p.Scale, 1)
+	nALU := scaleInt(96, p.Scale, 2)
+	nDecode := scaleInt(6000, p.Scale, 40)
+	nRegBits := scaleInt(16384, p.Scale, 64)
+	nPipe := scaleInt(20000, p.Scale, 30)
+	const ramMacros = 8
+
+	// Instruction/data inputs.
+	nIns := 32
+	ins := make([]*netlist.Net, nIns)
+	for i := range ins {
+		ins[i] = b.dff(fmt.Sprintf("ifreg%d", i), b.input(fmt.Sprintf("insn%d", i)))
+	}
+
+	// --- Decoder: shallow (depth ≈3) but wide-fanout control signals.
+	ctrl := make([]*netlist.Net, 0, 16)
+	for i := 0; i < nDecode; i++ {
+		pfx := fmt.Sprintf("dec%d", i)
+		a := ins[i%nIns]
+		c := ins[(i*7+3)%nIns]
+		t1 := b.gate(cell.FuncNand2, pfx+"_t1", a, c)
+		t2 := b.gate(cell.FuncNor2, pfx+"_t2", t1, ins[(i*3+1)%nIns])
+		t3 := b.gate(cell.FuncInv, pfx+"_t3", t2)
+		if i < 16 {
+			ctrl = append(ctrl, b.dff(pfx+"_r", t3))
+		} else {
+			b.dff(pfx+"_r", t3)
+		}
+	}
+
+	// --- Register file: DFF bits plus MUX read trees.
+	regQ := make([]*netlist.Net, nRegBits)
+	for i := 0; i < nRegBits; i++ {
+		src := ins[i%nIns]
+		if i%3 == 0 {
+			src = ctrl[i%len(ctrl)]
+		}
+		regQ[i] = b.dff(fmt.Sprintf("rf%d", i), src)
+	}
+	// Read ports: binary MUX trees over 16-bit groups.
+	readOut := make([]*netlist.Net, 0, nRegBits/16+1)
+	for g := 0; g+16 <= nRegBits; g += 16 {
+		cur := regQ[g : g+16]
+		lvl := 0
+		for len(cur) > 1 {
+			var next []*netlist.Net
+			for i := 0; i+1 < len(cur); i += 2 {
+				sel := ctrl[(g+lvl)%len(ctrl)]
+				next = append(next, b.gate(cell.FuncMux2,
+					fmt.Sprintf("rp%d_l%d_%d", g, lvl, i/2), cur[i], cur[i+1], sel))
+			}
+			cur = next
+			lvl++
+		}
+		readOut = append(readOut, cur[0])
+	}
+	if len(readOut) == 0 {
+		readOut = append(readOut, regQ[0])
+	}
+
+	// --- Multiplier cores: deep partial-product reduction. These are the
+	// timing-critical paths of the design.
+	fullAdder := func(pfx string, a, bb, c *netlist.Net) (sum, carry *netlist.Net) {
+		s1 := b.gate(cell.FuncXor2, pfx+"_s1", a, bb)
+		sum = b.gate(cell.FuncXor2, pfx+"_s", s1, c)
+		c1 := b.gate(cell.FuncAnd2, pfx+"_c1", a, bb)
+		c2 := b.gate(cell.FuncAnd2, pfx+"_c2", s1, c)
+		carry = b.gate(cell.FuncOr2, pfx+"_c", c1, c2)
+		return sum, carry
+	}
+	multOuts := make([]*netlist.Net, 0, nMult)
+	const mw = 16 // multiplier width
+	for m := 0; m < nMult; m++ {
+		// Operand registers fed from the register file reads.
+		a := make([]*netlist.Net, mw)
+		c := make([]*netlist.Net, mw)
+		for i := 0; i < mw; i++ {
+			a[i] = b.dff(fmt.Sprintf("m%d_a%d", m, i), readOut[(m*mw+i)%len(readOut)])
+			c[i] = b.dff(fmt.Sprintf("m%d_b%d", m, i), readOut[(m*mw+i+7)%len(readOut)])
+		}
+		// Carry-save partial-product reduction: each row absorbs one
+		// partial product with full adders whose carries feed the *next*
+		// row (no intra-row ripple), so the depth is ≈2 gates per row ×
+		// mw rows plus the final reduction — the deep-but-realistic
+		// multiplier core whose paths dominate the CPU's timing.
+		row := make([]*netlist.Net, mw)
+		carry := make([]*netlist.Net, mw)
+		for j := 0; j < mw; j++ {
+			row[j] = b.gate(cell.FuncAnd2, fmt.Sprintf("m%d_pp0_%d", m, j), a[j], c[0])
+			carry[j] = b.gate(cell.FuncAnd2, fmt.Sprintf("m%d_cc0_%d", m, j), a[j], c[1%mw])
+		}
+		for i := 1; i < mw; i++ {
+			nextCarry := make([]*netlist.Net, mw)
+			for j := 0; j < mw; j++ {
+				pp := b.gate(cell.FuncAnd2, fmt.Sprintf("m%d_pp%d_%d", m, i, j), a[j], c[i])
+				var s *netlist.Net
+				s, nextCarry[j] = fullAdder(fmt.Sprintf("m%d_fa%d_%d", m, i, j), row[j], pp, carry[(j+mw-1)%mw])
+				row[j] = s
+			}
+			carry = nextCarry
+		}
+		out := b.xorTree(fmt.Sprintf("m%d_red", m), append(append([]*netlist.Net{}, row...), carry[0], carry[mw/2]))
+		multOuts = append(multOuts, b.dff(fmt.Sprintf("m%d_out", m), out))
+	}
+
+	// --- ALU slices: medium-depth 8-bit ripple adders with logic ops
+	// (clearly shallower than the multiplier core).
+	aluOuts := make([]*netlist.Net, 0, nALU)
+	for u := 0; u < nALU; u++ {
+		carry := ctrl[u%len(ctrl)]
+		var s *netlist.Net
+		for i := 0; i < 8; i++ {
+			x := readOut[(u*16+i)%len(readOut)]
+			y := multOuts[u%len(multOuts)]
+			s, carry = fullAdder(fmt.Sprintf("alu%d_fa%d", u, i), x, y, carry)
+		}
+		lg := b.gate(cell.FuncAoi21, fmt.Sprintf("alu%d_lg", u), s, carry, ctrl[(u+1)%len(ctrl)])
+		aluOuts = append(aluOuts, b.dff(fmt.Sprintf("alu%d_out", u), lg))
+	}
+
+	// --- Periphery pipelines: bulk medium-depth logic (bus interfaces,
+	// debug, timers). Non-critical by construction — shallow stages.
+	prev := aluOuts[0]
+	for i := 0; i < nPipe; i++ {
+		pfx := fmt.Sprintf("per%d", i)
+		t1 := b.gate(cell.FuncXor2, pfx+"_t1", prev, readOut[i%len(readOut)])
+		t2 := b.gate(cell.FuncOai21, pfx+"_t2", t1, ctrl[i%len(ctrl)], prev)
+		q := b.dff(pfx+"_r", t2)
+		if i%4 == 3 {
+			prev = q
+		} else {
+			prev = t2
+		}
+	}
+
+	// --- Cache: RAM macros sized so total macro area ≈ 0.9× the final
+	// cell area, putting the cache near 40 % of the footprint. Address
+	// and data nets to/from the macros are the "memory interconnects" of
+	// Table VIII.
+	cellArea := b.d.ComputeStats().CellArea
+	// Small headroom for the LSU glue cells added in this block.
+	perMacro := 0.9 * cellArea * 1.002 / ramMacros
+	side := 1.0
+	for side*side < perMacro {
+		side *= 1.05
+	}
+	ram := cell.NewRAMMacro("CACHE_RAM", side, perMacro/side, 0.30, 2.5, 8.0)
+	for r := 0; r < ramMacros; r++ {
+		inst, err := b.d.AddInstance(fmt.Sprintf("cache%d", r), ram)
+		if err != nil {
+			return nil, err
+		}
+		inst.Fixed = true
+		// Address from LSU address calc (a few gates deep from ALU outs).
+		addr := b.gate(cell.FuncXor2, fmt.Sprintf("lsu%d_ad1", r),
+			aluOuts[r%len(aluOuts)], aluOuts[(r+1)%len(aluOuts)])
+		addr = b.gate(cell.FuncAnd2, fmt.Sprintf("lsu%d_ad2", r), addr, ctrl[r%len(ctrl)])
+		if err := b.d.Connect(inst, "A", addr); err != nil {
+			return nil, err
+		}
+		if err := b.d.Connect(inst, "CK", b.clk); err != nil {
+			return nil, err
+		}
+		dq := b.net()
+		if b.err != nil {
+			return nil, b.err
+		}
+		if err := b.d.Connect(inst, "Q", dq); err != nil {
+			return nil, err
+		}
+		// Data return into writeback registers.
+		wb := b.gate(cell.FuncXor2, fmt.Sprintf("lsu%d_wb", r), dq, multOuts[r%len(multOuts)])
+		b.dff(fmt.Sprintf("lsu%d_reg", r), wb)
+	}
+
+	// Outputs.
+	for i, m := range multOuts {
+		b.output(fmt.Sprintf("mres%d", i), m)
+	}
+	for i := 0; i < 8 && i < len(aluOuts); i++ {
+		b.output(fmt.Sprintf("ares%d", i), aluOuts[i])
+	}
+	return b.finish()
+}

@@ -1,0 +1,79 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// genLDPC builds the wire-dominant LDPC decoder: a bipartite graph of
+// variable nodes (VN) and check nodes (CN) where every check node XORs a
+// handful of *randomly chosen* variable nodes. The random global
+// connectivity is what makes real LDPC decoders routing-limited — "the
+// timing paths span the entire chip" and utilization must stay low
+// (Sec. IV-B1) — and the generator reproduces exactly that wiring pattern.
+func genLDPC(lib *cell.Library, p Params) (*netlist.Design, error) {
+	b := newBuilder("ldpc", lib, p.Seed)
+
+	vn := scaleInt(3072, p.Scale, 24)
+	cn := scaleInt(2048, p.Scale, 16)
+	const dv = 8 // VNs per check equation
+	const dc = 6 // CN messages consumed per VN update
+
+	// Variable-node state registers. Each register's next state is a MUX
+	// between the channel input (load) and the iterative update computed
+	// below — a genuine sequential feedback loop through the check-node
+	// network. Only a subset of channels are primary inputs to keep the
+	// port count sane.
+	nIn := vn / 8
+	if nIn < 4 {
+		nIn = 4
+	}
+	inNets := make([]*netlist.Net, nIn)
+	for i := range inNets {
+		inNets[i] = b.input(fmt.Sprintf("ch%d", i))
+	}
+	load := b.dff("loadreg", b.input("load"))
+
+	vq := make([]*netlist.Net, vn)
+	fb := make([]*netlist.Net, vn) // update feedback, driven later
+	for i := 0; i < vn; i++ {
+		fb[i] = b.net()
+		d := b.gate(cell.FuncMux2, fmt.Sprintf("vin%d", i), inNets[i%nIn], fb[i], load)
+		vq[i] = b.dff(fmt.Sprintf("vreg%d", i), d)
+	}
+
+	// Check nodes: XOR tree over dv randomly selected variable nodes.
+	// The selections are global — this is the long-wire source.
+	cnOut := make([]*netlist.Net, cn)
+	for c := 0; c < cn; c++ {
+		ins := make([]*netlist.Net, dv)
+		for k := 0; k < dv; k++ {
+			ins[k] = vq[b.rng.Intn(vn)]
+		}
+		cnOut[c] = b.xorTree(fmt.Sprintf("cn%d", c), ins)
+	}
+
+	// Variable-node update: XOR of dc random check messages with the
+	// node's own state, closing the iteration loop into the feedback
+	// nets allocated above.
+	for i := 0; i < vn; i++ {
+		ins := make([]*netlist.Net, dc)
+		for k := 0; k < dc; k++ {
+			ins[k] = cnOut[b.rng.Intn(cn)]
+		}
+		msg := b.xorTree(fmt.Sprintf("vn%d", i), ins)
+		b.gateTo(cell.FuncXor2, fmt.Sprintf("vupd%d", i), fb[i], msg, vq[i])
+	}
+
+	// Decoded outputs: a sample of the check results.
+	nOut := cn / 64
+	if nOut < 2 {
+		nOut = 2
+	}
+	for o := 0; o < nOut; o++ {
+		b.output(fmt.Sprintf("dec%d", o), cnOut[(o*cn)/nOut])
+	}
+	return b.finish()
+}

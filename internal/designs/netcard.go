@@ -1,0 +1,61 @@
+package designs
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// genNetcard builds the large, simple-logic network-interface design:
+// many independent packet channels, each a deep but structurally trivial
+// pipeline (CRC-like mixing plus control gating). Connectivity is almost
+// entirely local — neighbouring bits and the previous pipeline stage —
+// with a per-channel control signal as the only wide fanout. At full scale
+// it reaches the paper's ≈250 k cells ("a simple logic RTL with 250k
+// cells", Sec. IV-B1).
+func genNetcard(lib *cell.Library, p Params) (*netlist.Design, error) {
+	b := newBuilder("netcard", lib, p.Seed)
+
+	channels := scaleInt(128, p.Scale, 2)
+	const stages = 10
+	const width = 48
+
+	cfg := b.input("cfg")
+	cfgQ := b.dff("cfgreg", cfg)
+
+	for ch := 0; ch < channels; ch++ {
+		// Channel control FSM: a couple of gates deriving per-channel
+		// enables from the global config — modest depth, wide fanout.
+		en := b.gate(cell.FuncXor2, fmt.Sprintf("c%d_en", ch), cfgQ, cfgQ)
+		enq := b.dff(fmt.Sprintf("c%d_enreg", ch), en)
+
+		// Input stage: channels share a pool of 16 data ports.
+		var cur [width]*netlist.Net
+		var din *netlist.Net
+		if ch < 16 {
+			din = b.input(fmt.Sprintf("d%d", ch))
+		} else {
+			din = b.d.Net(fmt.Sprintf("pi_d%d", ch%16))
+		}
+		for w := 0; w < width; w++ {
+			cur[w] = b.dff(fmt.Sprintf("c%d_in%d", ch, w), din)
+		}
+
+		for st := 0; st < stages; st++ {
+			var next [width]*netlist.Net
+			for w := 0; w < width; w++ {
+				pfx := fmt.Sprintf("c%d_s%d_b%d", ch, st, w)
+				// CRC-ish local mixing: self, right neighbour, control.
+				t1 := b.gate(cell.FuncXor2, pfx+"_t1", cur[w], cur[(w+1)%width])
+				t2 := b.gate(cell.FuncAnd2, pfx+"_t2", t1, enq)
+				t3 := b.gate(cell.FuncXor2, pfx+"_t3", t2, cur[(w+width-1)%width])
+				next[w] = b.dff(pfx+"_r", t3)
+			}
+			cur = next
+		}
+		// One output bit per channel (packet checksum stand-in).
+		b.output(fmt.Sprintf("crc%d", ch), cur[0])
+	}
+	return b.finish()
+}

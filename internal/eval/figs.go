@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/place"
+	"repro/internal/report"
+	"repro/internal/tech"
+)
+
+// Fig3 regenerates the paper's Fig. 3 views for the CPU: placement
+// density heatmaps (returned as text) and per-tier layout SVGs written to
+// dir (skipped when dir is empty). The 2-D 9-track, 2-D 12-track, and
+// heterogeneous implementations are rendered; in the hetero SVGs the two
+// tiers show the different cell heights.
+func (s *Suite) Fig3(dir string) (string, error) {
+	out := "Fig. 3 — CPU placement density (darker = denser)\n"
+	for _, cfg := range []core.ConfigName{core.Config2D9T, core.Config2D12T, core.ConfigHetero} {
+		r, ok := s.Results[designs.CPU][cfg]
+		if !ok {
+			return "", fmt.Errorf("eval: Fig. 3 needs the CPU in %s", cfg)
+		}
+		tiers := cfg.Tiers()
+		for ti := 0; ti < tiers; ti++ {
+			hist, err := place.DensityMap(r.Design, r.Outline, tech.Tier(ti), tiers, 48, 24)
+			if err != nil {
+				return "", err
+			}
+			label := string(cfg)
+			if tiers == 2 {
+				label += fmt.Sprintf(" tier-%d (%s)", ti, tech.Tier(ti))
+			}
+			out += "\n[" + label + "]\n" + report.AsciiDensity(hist)
+
+			if dir != "" {
+				svg := &report.LayoutSVG{
+					Design:  r.Design,
+					Outline: r.Outline,
+					Tier:    tech.Tier(ti),
+					Tiers:   tiers,
+				}
+				name := fmt.Sprintf("fig3_%s_tier%d.svg", cfg, ti)
+				if err := writeSVG(filepath.Join(dir, name), svg); err != nil {
+					return "", err
+				}
+				out += "  → " + filepath.Join(dir, name) + "\n"
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig4 regenerates the Fig. 4 overlays for the CPU — clock tree, memory
+// nets, and critical path — over the 2-D 12-track and heterogeneous
+// layouts. SVGs go to dir; a text summary is returned.
+func (s *Suite) Fig4(dir string) (string, error) {
+	out := "Fig. 4 — CPU clock tree / memory nets / critical path overlays\n"
+	for _, cfg := range []core.ConfigName{core.Config2D12T, core.ConfigHetero} {
+		r, ok := s.Results[designs.CPU][cfg]
+		if !ok {
+			return "", fmt.Errorf("eval: Fig. 4 needs the CPU in %s", cfg)
+		}
+		paths := r.Timing.CriticalPaths(1)
+		memIn, memOut := report.MemoryOverlay(r.Design)
+		tiers := cfg.Tiers()
+		for ti := 0; ti < tiers; ti++ {
+			overlays := []report.Overlay{
+				report.ClockOverlay(r.Design, tiers, tech.Tier(ti)),
+				memIn, memOut,
+			}
+			if len(paths) > 0 {
+				overlays = append(overlays, report.PathOverlay(paths[0]))
+			}
+			if dir != "" {
+				svg := &report.LayoutSVG{
+					Design:   r.Design,
+					Outline:  r.Outline,
+					Tier:     tech.Tier(ti),
+					Tiers:    tiers,
+					Overlays: overlays,
+				}
+				name := fmt.Sprintf("fig4_%s_tier%d.svg", cfg, ti)
+				if err := writeSVG(filepath.Join(dir, name), svg); err != nil {
+					return "", err
+				}
+				out += "  → " + filepath.Join(dir, name) + "\n"
+			}
+		}
+		if len(paths) > 0 {
+			p := paths[0]
+			out += fmt.Sprintf("  [%s] critical path: %d cells, %.1f µm, slack %+.3f ns\n",
+				cfg, len(p.Stages), p.Wirelength(), p.Slack)
+		}
+		out += fmt.Sprintf("  [%s] clock nets: %d overlays, memory nets: %d in / %d out\n",
+			cfg, 1, len(memIn.Lines), len(memOut.Lines))
+	}
+	return out, nil
+}
+
+func writeSVG(path string, svg *report.LayoutSVG) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return svg.Write(f)
+}

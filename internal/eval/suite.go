@@ -1,0 +1,143 @@
+// Package eval orchestrates the paper's full evaluation: it finds each
+// netlist's 2D-12T f_max, implements every design in the five Fig. 1
+// configurations at that iso-performance target, and renders every table
+// (I–VIII) and figure (1, 3, 4) of the paper from the measured results.
+// Both cmd/ppac and the repository's benchmark harness drive this
+// package.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/tech"
+)
+
+// SuiteOptions configures an evaluation run.
+type SuiteOptions struct {
+	// Scale is the design-size multiplier (1.0 = paper-comparable cell
+	// counts; the benchmarks default lower for wall-clock sanity).
+	Scale float64
+	// Seed feeds generation and partitioning.
+	Seed int64
+	// Designs to evaluate (default: all four).
+	Designs []designs.Name
+	// Configs to implement (default: all five).
+	Configs []core.ConfigName
+	// FmaxIterations bounds the per-design frequency search.
+	FmaxIterations int
+	// Quiet suppresses progress logging to stdout.
+	Progress func(format string, args ...interface{})
+}
+
+// DefaultSuiteOptions returns paper-order defaults at the given scale.
+func DefaultSuiteOptions(scale float64) SuiteOptions {
+	return SuiteOptions{
+		Scale:          scale,
+		Seed:           1,
+		Designs:        append([]designs.Name{}, designs.All...),
+		Configs:        append([]core.ConfigName{}, core.AllConfigs...),
+		FmaxIterations: 5,
+	}
+}
+
+// Suite holds a completed evaluation.
+type Suite struct {
+	Opt SuiteOptions
+	// Fmax is each design's 2D-12T maximum frequency (GHz), the
+	// iso-performance target for every configuration.
+	Fmax map[designs.Name]float64
+	// Results[design][config] is the full flow result.
+	Results map[designs.Name]map[core.ConfigName]*core.Result
+}
+
+// RunSuite executes the evaluation.
+func RunSuite(opt SuiteOptions) (*Suite, error) {
+	if opt.Scale <= 0 {
+		return nil, fmt.Errorf("eval: scale must be positive")
+	}
+	if len(opt.Designs) == 0 {
+		opt.Designs = append([]designs.Name{}, designs.All...)
+	}
+	if len(opt.Configs) == 0 {
+		opt.Configs = append([]core.ConfigName{}, core.AllConfigs...)
+	}
+	logf := opt.Progress
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+
+	lib12 := cell.NewLibrary(tech.Variant12T())
+	s := &Suite{
+		Opt:     opt,
+		Fmax:    make(map[designs.Name]float64),
+		Results: make(map[designs.Name]map[core.ConfigName]*core.Result),
+	}
+	for _, name := range opt.Designs {
+		src, err := designs.Generate(name, lib12, designs.Params{Scale: opt.Scale, Seed: opt.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("eval: generate %s: %w", name, err)
+		}
+		logf("[%s] %d cells; sweeping 2D-12T f_max...", name, src.ComputeStats().Cells)
+
+		fopt := core.DefaultFmaxOptions()
+		if opt.FmaxIterations > 0 {
+			fopt.Iterations = opt.FmaxIterations
+		}
+		fopt.Flow.Seed = opt.Seed
+		fmax, err := core.FindFmax(src, core.Config2D12T, fopt)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fmax %s: %w", name, err)
+		}
+		s.Fmax[name] = fmax
+		logf("[%s] f_max = %.3f GHz", name, fmax)
+
+		s.Results[name] = make(map[core.ConfigName]*core.Result)
+		for _, cfg := range opt.Configs {
+			o := core.DefaultOptions(fmax)
+			o.Seed = opt.Seed
+			r, err := core.Run(src, cfg, o)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s/%s: %w", name, cfg, err)
+			}
+			s.Results[name][cfg] = r
+			logf("[%s] %-10s WNS=%+.3f P=%.1fmW Si=%.4fmm² PPC=%.3f",
+				name, cfg, r.PPAC.WNS, r.PPAC.PowerMW, r.PPAC.SiAreaMM2, r.PPAC.PPC)
+		}
+	}
+	return s, nil
+}
+
+// Hetero returns the heterogeneous result for a design (nil if absent).
+func (s *Suite) Hetero(n designs.Name) *core.Result {
+	return s.Results[n][core.ConfigHetero]
+}
+
+// DesignsInOrder returns the evaluated designs in the paper's column
+// order (netcard, aes, ldpc, cpu), restricted to those actually run.
+func (s *Suite) DesignsInOrder() []designs.Name {
+	var out []designs.Name
+	for _, n := range designs.All {
+		if _, ok := s.Results[n]; ok {
+			out = append(out, n)
+		}
+	}
+	// Any extras (shouldn't happen) appended deterministically.
+	var rest []designs.Name
+	for n := range s.Results {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+			}
+		}
+		if !found {
+			rest = append(rest, n)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	return append(out, rest...)
+}

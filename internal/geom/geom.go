@@ -1,0 +1,178 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// physical-design substrates: points, rectangles, and spatial bin grids.
+//
+// All coordinates are in micrometers (µm) unless stated otherwise. The
+// package is deliberately free of any EDA semantics so that placement,
+// routing, and clock-tree code can share one vocabulary.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the die plane, in µm.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// ManhattanDist returns the L1 distance between p and q, the natural
+// metric for rectilinear on-chip wiring.
+func (p Point) ManhattanDist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// EuclideanDist returns the L2 distance between p and q.
+func (p Point) EuclideanDist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle with inclusive lower-left corner
+// (Lx, Ly) and exclusive upper-right corner (Ux, Uy).
+type Rect struct {
+	Lx, Ly, Ux, Uy float64
+}
+
+// R is shorthand for Rect{lx, ly, ux, uy}.
+func R(lx, ly, ux, uy float64) Rect { return Rect{Lx: lx, Ly: ly, Ux: ux, Uy: uy} }
+
+// W returns the rectangle width (may be negative for an invalid rect).
+func (r Rect) W() float64 { return r.Ux - r.Lx }
+
+// H returns the rectangle height.
+func (r Rect) H() float64 { return r.Uy - r.Ly }
+
+// Area returns width × height; zero for degenerate rectangles.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Empty reports whether r has non-positive extent in either dimension.
+func (r Rect) Empty() bool { return r.Ux <= r.Lx || r.Uy <= r.Ly }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point { return Point{(r.Lx + r.Ux) / 2, (r.Ly + r.Uy) / 2} }
+
+// Contains reports whether p lies inside r (lower-inclusive, upper-exclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lx && p.X < r.Ux && p.Y >= r.Ly && p.Y < r.Uy
+}
+
+// ContainsClosed reports whether p lies inside r with all edges inclusive.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.Lx && p.X <= r.Ux && p.Y >= r.Ly && p.Y <= r.Uy
+}
+
+// Intersect returns the overlap of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Lx: math.Max(r.Lx, s.Lx),
+		Ly: math.Max(r.Ly, s.Ly),
+		Ux: math.Min(r.Ux, s.Ux),
+		Uy: math.Min(r.Uy, s.Uy),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the bounding box of r and s. A degenerate rect is treated
+// as absent.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Lx: math.Min(r.Lx, s.Lx),
+		Ly: math.Min(r.Ly, s.Ly),
+		Ux: math.Max(r.Ux, s.Ux),
+		Uy: math.Max(r.Uy, s.Uy),
+	}
+}
+
+// Expand grows r by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Lx: r.Lx - d, Ly: r.Ly - d, Ux: r.Ux + d, Uy: r.Uy + d}
+}
+
+// Clamp returns p moved to the nearest location inside (or on the border
+// of) r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Lx), r.Ux),
+		Y: math.Min(math.Max(p.Y, r.Ly), r.Uy),
+	}
+}
+
+// Overlaps reports whether r and s share interior area.
+func (r Rect) Overlaps(s Rect) bool {
+	return !r.Intersect(s).Empty()
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f)x[%.3f,%.3f)", r.Lx, r.Ux, r.Ly, r.Uy)
+}
+
+// BBox is an accumulating bounding box. The zero value is "empty"; Extend
+// points into it and read Rect() at the end. It is the standard way to
+// compute net bounding boxes for HPWL.
+type BBox struct {
+	r     Rect
+	valid bool
+}
+
+// Extend grows the box to include p.
+func (b *BBox) Extend(p Point) {
+	if !b.valid {
+		b.r = Rect{Lx: p.X, Ly: p.Y, Ux: p.X, Uy: p.Y}
+		b.valid = true
+		return
+	}
+	b.r.Lx = math.Min(b.r.Lx, p.X)
+	b.r.Ly = math.Min(b.r.Ly, p.Y)
+	b.r.Ux = math.Max(b.r.Ux, p.X)
+	b.r.Uy = math.Max(b.r.Uy, p.Y)
+}
+
+// Valid reports whether any point has been added.
+func (b *BBox) Valid() bool { return b.valid }
+
+// Rect returns the accumulated box; the zero Rect if no points were added.
+func (b *BBox) Rect() Rect {
+	if !b.valid {
+		return Rect{}
+	}
+	return b.r
+}
+
+// HalfPerimeter returns the half-perimeter wirelength of the box, the
+// classic HPWL net-length lower bound.
+func (b *BBox) HalfPerimeter() float64 {
+	if !b.valid {
+		return 0
+	}
+	return b.r.W() + b.r.H()
+}

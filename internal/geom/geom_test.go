@@ -1,0 +1,257 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, 5)
+	if got := p.Add(q); got != Pt(4, 7) {
+		t.Errorf("Add = %v, want (4,7)", got)
+	}
+	if got := q.Sub(p); got != Pt(2, 3) {
+		t.Errorf("Sub = %v, want (2,3)", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+	if got := p.ManhattanDist(q); !almostEq(got, 5) {
+		t.Errorf("ManhattanDist = %v, want 5", got)
+	}
+	if got := p.EuclideanDist(q); !almostEq(got, math.Sqrt(13)) {
+		t.Errorf("EuclideanDist = %v, want sqrt(13)", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	if !almostEq(r.W(), 10) || !almostEq(r.H(), 4) {
+		t.Fatalf("W/H = %v/%v", r.W(), r.H())
+	}
+	if !almostEq(r.Area(), 40) {
+		t.Errorf("Area = %v, want 40", r.Area())
+	}
+	if r.Empty() {
+		t.Error("r should not be empty")
+	}
+	if c := r.Center(); c != Pt(5, 2) {
+		t.Errorf("Center = %v, want (5,2)", c)
+	}
+	if !r.Contains(Pt(0, 0)) {
+		t.Error("lower-left corner should be contained")
+	}
+	if r.Contains(Pt(10, 4)) {
+		t.Error("upper-right corner should be excluded")
+	}
+	if !r.ContainsClosed(Pt(10, 4)) {
+		t.Error("ContainsClosed should include upper-right corner")
+	}
+}
+
+func TestRectEmptyAndDegenerate(t *testing.T) {
+	deg := R(5, 5, 5, 9)
+	if !deg.Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if deg.Area() != 0 {
+		t.Errorf("degenerate Area = %v, want 0", deg.Area())
+	}
+	inv := R(3, 3, 1, 1)
+	if !inv.Empty() {
+		t.Error("inverted rect should be empty")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a, b := R(0, 0, 10, 10), R(5, 5, 15, 15)
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != R(0, 0, 15, 15) {
+		t.Errorf("Union = %v", u)
+	}
+	disjoint := a.Intersect(R(20, 20, 30, 30))
+	if !disjoint.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", disjoint)
+	}
+	// Union with an empty rect returns the other operand.
+	if u := a.Union(Rect{}); u != a {
+		t.Errorf("Union with empty = %v, want %v", u, a)
+	}
+	if u := (Rect{}).Union(b); u != b {
+		t.Errorf("empty Union = %v, want %v", u, b)
+	}
+}
+
+func TestRectExpandClampOverlaps(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	if e := r.Expand(1); e != R(1, 1, 5, 5) {
+		t.Errorf("Expand = %v", e)
+	}
+	if p := r.Clamp(Pt(-1, 10)); p != Pt(2, 4) {
+		t.Errorf("Clamp = %v, want (2,4)", p)
+	}
+	if p := r.Clamp(Pt(3, 3)); p != Pt(3, 3) {
+		t.Errorf("Clamp interior point moved: %v", p)
+	}
+	if !r.Overlaps(R(3, 3, 9, 9)) {
+		t.Error("expected overlap")
+	}
+	if r.Overlaps(R(4, 4, 9, 9)) {
+		t.Error("edge-touching rects should not overlap")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	var b BBox
+	if b.Valid() {
+		t.Fatal("zero BBox should be invalid")
+	}
+	if b.HalfPerimeter() != 0 {
+		t.Fatal("empty BBox HPWL should be 0")
+	}
+	b.Extend(Pt(1, 1))
+	if !b.Valid() {
+		t.Fatal("BBox should be valid after Extend")
+	}
+	if hp := b.HalfPerimeter(); hp != 0 {
+		t.Errorf("single-point HPWL = %v, want 0", hp)
+	}
+	b.Extend(Pt(4, 5))
+	b.Extend(Pt(2, 0))
+	want := R(1, 0, 4, 5)
+	if b.Rect() != want {
+		t.Errorf("Rect = %v, want %v", b.Rect(), want)
+	}
+	if hp := b.HalfPerimeter(); !almostEq(hp, 3+5) {
+		t.Errorf("HPWL = %v, want 8", hp)
+	}
+}
+
+// Property: intersection area never exceeds either operand's area, and
+// union always contains both.
+func TestRectIntersectUnionProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := R(float64(ax), float64(ay), float64(ax)+float64(aw%32)+1, float64(ay)+float64(ah%32)+1)
+		b := R(float64(bx), float64(by), float64(bx)+float64(bw%32)+1, float64(by)+float64(bh%32)+1)
+		in := a.Intersect(b)
+		if in.Area() > a.Area()+1e-9 || in.Area() > b.Area()+1e-9 {
+			return false
+		}
+		u := a.Union(b)
+		return u.Area() >= a.Area()-1e-9 && u.Area() >= b.Area()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(R(0, 0, 10, 10), 0, 5); err == nil {
+		t.Error("expected error for zero nx")
+	}
+	if _, err := NewGrid(Rect{}, 2, 2); err == nil {
+		t.Error("expected error for empty region")
+	}
+}
+
+func TestGridLocate(t *testing.T) {
+	g, err := NewGrid(R(0, 0, 10, 10), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, iy := g.Locate(Pt(0.5, 9.5))
+	if ix != 0 || iy != 4 {
+		t.Errorf("Locate = (%d,%d), want (0,4)", ix, iy)
+	}
+	// Out-of-region points clamp to border bins.
+	ix, iy = g.Locate(Pt(-5, 100))
+	if ix != 0 || iy != 4 {
+		t.Errorf("clamped Locate = (%d,%d), want (0,4)", ix, iy)
+	}
+	if got := g.Bins(); got != 25 {
+		t.Errorf("Bins = %d, want 25", got)
+	}
+	i := g.Index(3, 2)
+	cx, cy := g.Coord(i)
+	if cx != 3 || cy != 2 {
+		t.Errorf("Coord(Index(3,2)) = (%d,%d)", cx, cy)
+	}
+}
+
+func TestGridBinRect(t *testing.T) {
+	g, _ := NewGrid(R(0, 0, 10, 20), 2, 4)
+	r := g.BinRect(1, 3)
+	if r != R(5, 15, 10, 20) {
+		t.Errorf("BinRect = %v", r)
+	}
+	if c := g.BinCenter(0, 0); c != Pt(2.5, 2.5) {
+		t.Errorf("BinCenter = %v", c)
+	}
+	dx, dy := g.BinSize()
+	if !almostEq(dx, 5) || !almostEq(dy, 5) {
+		t.Errorf("BinSize = %v,%v", dx, dy)
+	}
+}
+
+func TestHistogramAddPoint(t *testing.T) {
+	g, _ := NewGrid(R(0, 0, 10, 10), 2, 2)
+	h := NewHistogram(g)
+	h.AddPoint(Pt(1, 1), 2)
+	h.AddPoint(Pt(9, 9), 3)
+	if !almostEq(h.Sum(), 5) {
+		t.Errorf("Sum = %v, want 5", h.Sum())
+	}
+	if !almostEq(h.Max(), 3) {
+		t.Errorf("Max = %v, want 3", h.Max())
+	}
+	if !almostEq(h.Mean(), 5.0/4) {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+// AddRect must conserve the total weight regardless of how the rectangle
+// straddles bins.
+func TestHistogramAddRectConservation(t *testing.T) {
+	g, _ := NewGrid(R(0, 0, 100, 100), 7, 9)
+	h := NewHistogram(g)
+	h.AddRect(R(3.3, 4.4, 55.5, 66.6), 10)
+	if !almostEq(h.Sum(), 10) {
+		t.Errorf("Sum = %v, want 10", h.Sum())
+	}
+	// A rect fully inside one bin lands entirely there.
+	h2 := NewHistogram(g)
+	h2.AddRect(R(1, 1, 2, 2), 4)
+	ix, iy := g.Locate(Pt(1.5, 1.5))
+	if got := h2.Vals[g.Index(ix, iy)]; !almostEq(got, 4) {
+		t.Errorf("in-bin weight = %v, want 4", got)
+	}
+}
+
+func TestHistogramAddRectProperties(t *testing.T) {
+	g, _ := NewGrid(R(0, 0, 64, 64), 8, 8)
+	f := func(x, y, w, hgt uint8) bool {
+		h := NewHistogram(g)
+		r := R(float64(x%48), float64(y%48), float64(x%48)+float64(w%15)+0.5, float64(y%48)+float64(hgt%15)+0.5)
+		h.AddRect(r, 1)
+		return math.Abs(h.Sum()-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramZeroWeight(t *testing.T) {
+	g, _ := NewGrid(R(0, 0, 10, 10), 2, 2)
+	h := NewHistogram(g)
+	h.AddRect(R(1, 1, 3, 3), 0)
+	h.AddRect(Rect{}, 5)
+	if h.Sum() != 0 {
+		t.Errorf("Sum = %v, want 0", h.Sum())
+	}
+}

@@ -1,0 +1,134 @@
+package geom
+
+import "fmt"
+
+// Grid overlays a rectangular region with Nx × Ny uniform bins and maps
+// continuous coordinates to bin indices. Placement binning, congestion
+// estimation, and density maps all ride on this type.
+type Grid struct {
+	Region Rect
+	Nx, Ny int
+	dx, dy float64
+}
+
+// NewGrid builds a grid over region with nx × ny bins. nx and ny must be
+// positive and the region non-empty.
+func NewGrid(region Rect, nx, ny int) (*Grid, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("geom: grid dimensions must be positive, got %dx%d", nx, ny)
+	}
+	if region.Empty() {
+		return nil, fmt.Errorf("geom: grid region %v is empty", region)
+	}
+	return &Grid{
+		Region: region,
+		Nx:     nx,
+		Ny:     ny,
+		dx:     region.W() / float64(nx),
+		dy:     region.H() / float64(ny),
+	}, nil
+}
+
+// BinSize returns the (width, height) of one bin.
+func (g *Grid) BinSize() (float64, float64) { return g.dx, g.dy }
+
+// Bins returns the total bin count Nx*Ny.
+func (g *Grid) Bins() int { return g.Nx * g.Ny }
+
+// Index maps a bin coordinate (ix, iy) to a flat index.
+func (g *Grid) Index(ix, iy int) int { return iy*g.Nx + ix }
+
+// Coord maps a flat index back to (ix, iy).
+func (g *Grid) Coord(i int) (ix, iy int) { return i % g.Nx, i / g.Nx }
+
+// Locate returns the bin containing p, clamping out-of-region points onto
+// the border bins so that slightly off-die cells still land somewhere sane.
+func (g *Grid) Locate(p Point) (ix, iy int) {
+	ix = int((p.X - g.Region.Lx) / g.dx)
+	iy = int((p.Y - g.Region.Ly) / g.dy)
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= g.Nx {
+		ix = g.Nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= g.Ny {
+		iy = g.Ny - 1
+	}
+	return ix, iy
+}
+
+// BinRect returns the rectangle of bin (ix, iy).
+func (g *Grid) BinRect(ix, iy int) Rect {
+	lx := g.Region.Lx + float64(ix)*g.dx
+	ly := g.Region.Ly + float64(iy)*g.dy
+	return Rect{Lx: lx, Ly: ly, Ux: lx + g.dx, Uy: ly + g.dy}
+}
+
+// BinCenter returns the center of bin (ix, iy).
+func (g *Grid) BinCenter(ix, iy int) Point { return g.BinRect(ix, iy).Center() }
+
+// Histogram accumulates a float64 per grid bin. It is the shared
+// implementation behind density and congestion maps.
+type Histogram struct {
+	Grid *Grid
+	Vals []float64
+}
+
+// NewHistogram builds a zeroed histogram over g.
+func NewHistogram(g *Grid) *Histogram {
+	return &Histogram{Grid: g, Vals: make([]float64, g.Bins())}
+}
+
+// AddPoint adds w to the bin containing p.
+func (h *Histogram) AddPoint(p Point, w float64) {
+	ix, iy := h.Grid.Locate(p)
+	h.Vals[h.Grid.Index(ix, iy)] += w
+}
+
+// AddRect distributes w over every bin overlapping r, proportional to the
+// overlap area. Used to smear cell area into density bins.
+func (h *Histogram) AddRect(r Rect, w float64) {
+	if r.Empty() || w == 0 {
+		return
+	}
+	total := r.Area()
+	ix0, iy0 := h.Grid.Locate(Point{r.Lx, r.Ly})
+	// Upper corner is exclusive; nudge inward so a rect ending exactly on
+	// a bin boundary does not spill into the next bin.
+	ix1, iy1 := h.Grid.Locate(Point{r.Ux - 1e-9, r.Uy - 1e-9})
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			ov := h.Grid.BinRect(ix, iy).Intersect(r).Area()
+			if ov > 0 {
+				h.Vals[h.Grid.Index(ix, iy)] += w * ov / total
+			}
+		}
+	}
+}
+
+// Max returns the maximum bin value (0 for an all-zero histogram).
+func (h *Histogram) Max() float64 {
+	m := 0.0
+	for _, v := range h.Vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the total across all bins.
+func (h *Histogram) Sum() float64 {
+	s := 0.0
+	for _, v := range h.Vals {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the average bin value.
+func (h *Histogram) Mean() float64 { return h.Sum() / float64(len(h.Vals)) }

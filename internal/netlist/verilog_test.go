@@ -1,0 +1,192 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func resolver(t *testing.T) MasterResolver {
+	t.Helper()
+	ram := cell.NewRAMMacro("RAM1", 50, 40, 0.3, 2, 6)
+	return func(name string) (*cell.Master, error) {
+		if name == "RAM1" {
+			return ram, nil
+		}
+		if strings.HasSuffix(name, "_9T") {
+			return lib9.Master(name)
+		}
+		return lib12.Master(name)
+	}
+}
+
+func TestVerilogRoundtrip(t *testing.T) {
+	d := buildMini(t)
+	d.Instance("u1").Loc = geom.Pt(1.25, 3.5)
+	d.Instance("u2").Tier = tech.TierTop
+	d.Instance("r1").Fixed = true
+	d.Ports[0].Loc = geom.Pt(0, 7)
+
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"module mini", "endmodule", ".CK(clk)", "tier=1", `clk="true"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("verilog missing %q:\n%s", want, text)
+		}
+	}
+
+	rd, err := ReadVerilog(strings.NewReader(text), resolver(t))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if err := rd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Structure survives.
+	s1, s2 := d.ComputeStats(), rd.ComputeStats()
+	if s1 != s2 {
+		t.Errorf("stats changed: %+v vs %+v", s1, s2)
+	}
+	// Physical attributes survive.
+	if rd.Instance("u1").Loc != geom.Pt(1.25, 3.5) {
+		t.Errorf("u1 loc = %v", rd.Instance("u1").Loc)
+	}
+	if rd.Instance("u2").Tier != tech.TierTop {
+		t.Error("u2 tier lost")
+	}
+	if !rd.Instance("r1").Fixed {
+		t.Error("r1 fixed flag lost")
+	}
+	if rd.Port("in").Loc != geom.Pt(0, 7) {
+		t.Errorf("port loc = %v", rd.Port("in").Loc)
+	}
+	if !rd.Net("clk").IsClock {
+		t.Error("clock marking lost")
+	}
+	// Connectivity identical: same driver for every net. Nets serving a
+	// differently-named port come back under the port's name (Verilog
+	// semantics), so resolve through the ports.
+	for _, n := range d.Nets {
+		name := n.Name
+		if rd.Net(name) == nil {
+			for _, p := range d.Ports {
+				if p.Net == n {
+					name = p.Name
+				}
+			}
+		}
+		rn := rd.Net(name)
+		if rn == nil {
+			t.Fatalf("net %q lost", n.Name)
+		}
+		if n.Driver.Valid() != rn.Driver.Valid() || len(n.Sinks) != len(rn.Sinks) {
+			t.Errorf("net %q connectivity changed", n.Name)
+		}
+		if n.Driver.Valid() && n.Driver.Inst.Name != rn.Driver.Inst.Name {
+			t.Errorf("net %q driver changed", n.Name)
+		}
+	}
+}
+
+func TestVerilogRoundtripWithMacroAndEscapes(t *testing.T) {
+	d := New("weird-design")  // name needs escaping
+	in, _ := d.AddNet("1bad") // net name starting with a digit
+	if _, err := d.AddPort("1bad", cell.DirIn, in); err != nil {
+		t.Fatal(err)
+	}
+	clk, _ := d.AddNet("clk")
+	clk.IsClock = true
+	if _, err := d.AddPort("clk", cell.DirClk, clk); err != nil {
+		t.Fatal(err)
+	}
+	ram := cell.NewRAMMacro("RAM1", 50, 40, 0.3, 2, 6)
+	ri, _ := d.AddInstance("mem/0", ram) // instance name with '/'
+	if err := d.Connect(ri, "A", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ri, "CK", clk); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := d.AddNet("q")
+	if err := d.Connect(ri, "Q", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out", cell.DirOut, q); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ReadVerilog(strings.NewReader(sb.String()), resolver(t))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if rd.Instance("mem/0") == nil {
+		t.Error("escaped instance name lost")
+	}
+	if rd.Net("1bad") == nil {
+		t.Error("escaped net name lost")
+	}
+	if rd.ComputeStats().Macros != 1 {
+		t.Error("macro lost")
+	}
+}
+
+func TestReadVerilogErrors(t *testing.T) {
+	res := resolver(t)
+	cases := []string{
+		"",            // empty
+		"module m (;", // broken port list
+		"module m (); wire w; bogus u0 (); endmodule",          // unknown master
+		"module m (); INV_X1_12T u0 (.A(nx)); endmodule",       // undeclared net
+		"module m (); wire w; INV_X1_12T u0 (.A(w))",           // missing ; and endmodule
+		"module m (); wire w; INV_X1_12T u0 (A(w)); endmodule", // missing dot
+	}
+	for i, src := range cases {
+		if _, err := ReadVerilog(strings.NewReader(src), res); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestAttrMap(t *testing.T) {
+	m := attrMap(`tier=1 loc="3.5,4.25" fixed="true" clock`)
+	if m["tier"] != "1" || m["loc"] != "3.5,4.25" || m["fixed"] != "true" || m["clock"] != "true" {
+		t.Errorf("attrMap = %v", m)
+	}
+	if p, ok := parseLoc(m["loc"]); !ok || p != geom.Pt(3.5, 4.25) {
+		t.Errorf("parseLoc = %v %v", p, ok)
+	}
+	if _, ok := parseLoc("garbage"); ok {
+		t.Error("garbage loc should fail")
+	}
+}
+
+// Round-trip a generated design through Verilog and confirm timing is
+// bit-identical — the integration-grade check that nothing physical leaks.
+func TestVerilogRoundtripGenerated(t *testing.T) {
+	src := buildMini(t)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVerilog(strings.NewReader(sb.String()), resolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb2 strings.Builder
+	if err := WriteVerilog(&sb2, back); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("write→read→write is not a fixed point")
+	}
+}

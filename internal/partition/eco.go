@@ -1,0 +1,235 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// This file implements the repartitioning ECO loop of the heterogeneous
+// flow — Algorithm 1 in the paper (Sec. III-C). After the initial
+// timing-based partition, the timing data that drove it is stale (it came
+// from the single-technology pseudo-3-D stage), so the flow repeatedly
+// identifies cells that are too slow for their tier on the *accurately
+// timed* 3-D design and moves them to the fast die, undoing any batch that
+// degrades WNS/TNS beyond the configured thresholds.
+
+// PathCell is one cell on an extracted critical path with its stage delay.
+type PathCell struct {
+	Inst *netlist.Instance
+	// Delay is the cell's stage delay on the path, in ns.
+	Delay float64
+}
+
+// TimingOracle abstracts the sign-off timer the ECO loop consults. The
+// flow engine implements it with the sta package; tests use stubs.
+type TimingOracle interface {
+	// CriticalPaths returns up to n worst register-to-register paths,
+	// each as an ordered list of cells with stage delays.
+	CriticalPaths(n int) [][]PathCell
+	// WNSTNS returns the current worst negative slack and total negative
+	// slack (both ≤ 0 when timing fails), in ns.
+	WNSTNS() (wns, tns float64)
+	// Refresh re-times the design after tier moves (including any
+	// library retargeting the flow performs on moved cells).
+	Refresh() error
+}
+
+// ECOOptions are the knobs of Algorithm 1, named after the paper's
+// pseudocode symbols.
+type ECOOptions struct {
+	// UnbalanceTh stops the loop once |areaFast − areaSlow|/total drops
+	// to this value (unbalance_th).
+	UnbalanceTh float64
+	// D0 is the initial delay-threshold multiplier d_0: a cell is
+	// critical when its stage delay exceeds d_k × (average stage delay of
+	// the n_p critical paths).
+	D0 float64
+	// NP is n_0, the number of critical paths examined per iteration.
+	NP int
+	// CritTh is crit_th: the loop stops when fewer than this fraction of
+	// critical cells sit on the slow die (nothing left to win).
+	CritTh float64
+	// Alpha is α < 1, the d_k decay applied after an undone batch.
+	Alpha float64
+	// WTh and TTh are the WNS/TNS degradation thresholds (ΔWNS < W_th or
+	// ΔTNS < T_th triggers undo); both are ≤ 0.
+	WTh, TTh float64
+	// FastTier is the die carrying the fast library (bottom in the
+	// paper's arrangement).
+	FastTier tech.Tier
+	// FastCapacity, when positive, is the fast die's placeable area in
+	// µm². The loop then interprets the area term as fast-die headroom:
+	// it keeps repartitioning while headroom remains and drops moves that
+	// would not fit. Zero keeps the plain |ΔA|/A_total reading.
+	FastCapacity float64
+	// MaxIters bounds the loop regardless of convergence.
+	MaxIters int
+	// OnMove, when non-nil, is invoked for every tier change (moves and
+	// undos) so the flow can retarget the cell's library to match its new
+	// tier.
+	OnMove func(inst *netlist.Instance, to tech.Tier) error
+}
+
+// DefaultECOOptions returns the paper-faithful defaults.
+func DefaultECOOptions() ECOOptions {
+	return ECOOptions{
+		UnbalanceTh: 0.02,
+		D0:          1.5,
+		NP:          100,
+		CritTh:      0.05,
+		Alpha:       0.7,
+		WTh:         -0.010,
+		TTh:         -1.0,
+		FastTier:    tech.TierBottom,
+		MaxIters:    12,
+	}
+}
+
+// ECOReport summarizes a repartitioning run.
+type ECOReport struct {
+	Iterations int
+	Moved      int
+	Undone     int
+	FinalWNS   float64
+	FinalTNS   float64
+	// FinalUnbalance is |areaFast − areaSlow| / total at exit.
+	FinalUnbalance float64
+}
+
+// unbalanceOf computes the loop-control area term: with a known fast-die
+// capacity it is the remaining headroom fraction on the fast die (stop
+// when the fast die fills up); otherwise the plain tier-area unbalance.
+func unbalanceOf(d *netlist.Design, opt ECOOptions) float64 {
+	if opt.FastCapacity > 0 {
+		// Capacity mode compares *movable standard-cell* area against the
+		// fast die's core capacity — macros live outside the core and
+		// never move.
+		used := 0.0
+		for _, inst := range d.Instances {
+			if inst.Master.Function.IsMacro() || inst.Tier != opt.FastTier {
+				continue
+			}
+			used += inst.Master.Area()
+		}
+		head := (opt.FastCapacity - used) / opt.FastCapacity
+		if head < 0 {
+			return 0
+		}
+		return head
+	}
+	s := d.ComputeStats()
+	total := s.AreaByTier[0] + s.AreaByTier[1]
+	if total == 0 {
+		return 0
+	}
+	return math.Abs(s.AreaByTier[0]-s.AreaByTier[1]) / total
+}
+
+// RepartitionECO runs Algorithm 1 on d using the supplied timing oracle.
+func RepartitionECO(d *netlist.Design, oracle TimingOracle, opt ECOOptions) (*ECOReport, error) {
+	if opt.NP <= 0 || opt.D0 <= 0 || opt.Alpha <= 0 || opt.Alpha >= 1 {
+		return nil, fmt.Errorf("partition: invalid ECO options %+v", opt)
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 1
+	}
+	move := func(inst *netlist.Instance, to tech.Tier) error {
+		inst.Tier = to
+		if opt.OnMove != nil {
+			return opt.OnMove(inst, to)
+		}
+		return nil
+	}
+
+	rep := &ECOReport{}
+	dk := opt.D0
+	unbalance := unbalanceOf(d, opt)
+
+	for rep.Iterations = 0; rep.Iterations < opt.MaxIters && unbalance > opt.UnbalanceTh; rep.Iterations++ {
+		paths := oracle.CriticalPaths(opt.NP)
+		// d_th ← d_k × (avg. cell delay of n_p critical paths)
+		sum, cnt := 0.0, 0
+		for _, p := range paths {
+			for _, pc := range p {
+				sum += pc.Delay
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			break
+		}
+		dth := dk * (sum / float64(cnt))
+
+		allCrit, slowCrit := 0, 0
+		seen := make(map[*netlist.Instance]bool)
+		var moveList []*netlist.Instance
+		headroom := 0.0
+		if opt.FastCapacity > 0 {
+			headroom = opt.FastCapacity * unbalance
+		}
+		for _, p := range paths {
+			for _, pc := range p {
+				if pc.Delay <= dth || seen[pc.Inst] {
+					continue
+				}
+				seen[pc.Inst] = true
+				allCrit++
+				if pc.Inst.Tier != opt.FastTier && !pc.Inst.Master.Function.IsMacro() {
+					slowCrit++
+					if opt.FastCapacity > 0 {
+						// Drop moves that would not fit on the fast die.
+						// The cell grows when retargeted to the fast
+						// library, so budget 1.35× its current area.
+						if a := pc.Inst.Master.Area() * 1.35; a <= headroom {
+							headroom -= a
+							moveList = append(moveList, pc.Inst)
+						}
+						continue
+					}
+					moveList = append(moveList, pc.Inst)
+				}
+			}
+		}
+		if allCrit == 0 || float64(slowCrit)/float64(allCrit) < opt.CritTh {
+			break // Stop re-partitioning: slow die no longer hosts criticals.
+		}
+		if len(moveList) == 0 {
+			break // nothing fits on the fast die anymore
+		}
+
+		wns0, tns0 := oracle.WNSTNS()
+		for _, inst := range moveList {
+			if err := move(inst, opt.FastTier); err != nil {
+				return rep, err
+			}
+		}
+		if err := oracle.Refresh(); err != nil {
+			return rep, err
+		}
+		wns1, tns1 := oracle.WNSTNS()
+
+		if wns1-wns0 < opt.WTh || tns1-tns0 < opt.TTh {
+			// The batch hurt timing: undo and tighten the threshold.
+			for _, inst := range moveList {
+				if err := move(inst, opt.FastTier.Other()); err != nil {
+					return rep, err
+				}
+			}
+			if err := oracle.Refresh(); err != nil {
+				return rep, err
+			}
+			rep.Undone += len(moveList)
+			dk *= opt.Alpha
+		} else {
+			rep.Moved += len(moveList)
+		}
+		unbalance = unbalanceOf(d, opt)
+	}
+
+	rep.FinalWNS, rep.FinalTNS = oracle.WNSTNS()
+	rep.FinalUnbalance = unbalance
+	return rep, nil
+}

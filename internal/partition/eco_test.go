@@ -1,0 +1,220 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// stubOracle simulates a timer for the ECO loop: a fixed set of "paths"
+// whose cell delays depend on tier (slow tier = 2× delay), with WNS
+// improving as critical cells land on the fast tier.
+type stubOracle struct {
+	d       *netlist.Design
+	paths   [][]*netlist.Instance
+	refresh int
+	// poison makes every batch look like a timing degradation, forcing
+	// undo.
+	poison bool
+	wns    float64
+}
+
+func (o *stubOracle) delay(inst *netlist.Instance) float64 {
+	if inst.Tier == tech.TierTop {
+		return 0.045 // slow tier stage delay
+	}
+	return 0.019
+}
+
+func (o *stubOracle) CriticalPaths(n int) [][]PathCell {
+	out := make([][]PathCell, 0, n)
+	for _, p := range o.paths {
+		pc := make([]PathCell, len(p))
+		for i, inst := range p {
+			pc[i] = PathCell{Inst: inst, Delay: o.delay(inst)}
+		}
+		out = append(out, pc)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+func (o *stubOracle) WNSTNS() (float64, float64) {
+	if o.poison {
+		// Each refresh makes timing worse.
+		o.wns -= 0.1
+		return o.wns, o.wns * 10
+	}
+	// WNS improves with the number of fast-tier path cells.
+	slow := 0
+	for _, p := range o.paths {
+		for _, inst := range p {
+			if inst.Tier == tech.TierTop {
+				slow++
+			}
+		}
+	}
+	return -0.001 * float64(slow), -0.01 * float64(slow)
+}
+
+func (o *stubOracle) Refresh() error {
+	o.refresh++
+	return nil
+}
+
+func ecoFixture(t *testing.T) (*netlist.Design, *stubOracle) {
+	t.Helper()
+	lib := cell.NewLibrary(tech.Variant12T())
+	d := netlist.New("eco")
+	var path []*netlist.Instance
+	// 30 path cells, all starting on the slow (top) tier, plus 170
+	// filler cells on the bottom tier → strong area unbalance.
+	for i := 0; i < 200; i++ {
+		inst, err := d.AddInstance(name(i), lib.Smallest(cell.FuncInv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 30 {
+			inst.Tier = tech.TierTop
+			path = append(path, inst)
+		} else {
+			inst.Tier = tech.TierBottom
+		}
+	}
+	return d, &stubOracle{d: d, paths: [][]*netlist.Instance{path[:10], path[10:20], path[20:30]}}
+}
+
+func name(i int) string {
+	return string(rune('a'+i/26%26)) + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i/100))
+}
+
+func TestRepartitionECOMovesSlowCriticals(t *testing.T) {
+	d, oracle := ecoFixture(t)
+	opt := DefaultECOOptions()
+	opt.D0 = 0.9 // slow-tier cells (0.045) exceed 0.9×avg
+	rep, err := RepartitionECO(d, oracle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved == 0 {
+		t.Fatal("expected moves")
+	}
+	if rep.Undone != 0 {
+		t.Errorf("unexpected undos: %d", rep.Undone)
+	}
+	// All slow-tier criticals should now be on the fast tier.
+	for _, p := range oracle.paths {
+		for _, inst := range p {
+			if inst.Tier != tech.TierBottom {
+				t.Errorf("path cell %s still on slow tier", inst.Name)
+			}
+		}
+	}
+	if oracle.refresh == 0 {
+		t.Error("oracle never refreshed")
+	}
+}
+
+func TestRepartitionECOUndoOnDegradation(t *testing.T) {
+	d, oracle := ecoFixture(t)
+	oracle.poison = true
+	opt := DefaultECOOptions()
+	opt.D0 = 0.9
+	rep, err := RepartitionECO(d, oracle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Undone == 0 {
+		t.Fatal("expected undos under poisoned timing")
+	}
+	// Every undone cell must be back on the slow tier.
+	for _, p := range oracle.paths {
+		for _, inst := range p {
+			if inst.Tier != tech.TierTop {
+				t.Errorf("cell %s not restored after undo", inst.Name)
+			}
+		}
+	}
+	if rep.Moved != 0 {
+		t.Errorf("poisoned run recorded %d kept moves", rep.Moved)
+	}
+}
+
+func TestRepartitionECOStopsWhenBalanced(t *testing.T) {
+	d, oracle := ecoFixture(t)
+	// Balance the design up front: unbalance below threshold → no loop.
+	for i, inst := range d.Instances {
+		inst.Tier = tech.Tier(i % 2)
+	}
+	opt := DefaultECOOptions()
+	rep, err := RepartitionECO(d, oracle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 0 {
+		t.Errorf("balanced design ran %d iterations", rep.Iterations)
+	}
+}
+
+func TestRepartitionECOCritThStops(t *testing.T) {
+	d, oracle := ecoFixture(t)
+	// Move all path cells to the fast tier already: slow_crit = 0 →
+	// slow_crit/all_crit = 0 < crit_th → break immediately.
+	for _, p := range oracle.paths {
+		for _, inst := range p {
+			inst.Tier = tech.TierBottom
+		}
+	}
+	// Keep the design unbalanced so the loop would otherwise run: put
+	// bulk cells on top.
+	for _, inst := range d.Instances[30:] {
+		inst.Tier = tech.TierTop
+	}
+	opt := DefaultECOOptions()
+	opt.D0 = 0.1 // everything is "critical"
+	rep, err := RepartitionECO(d, oracle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved != 0 {
+		t.Errorf("moved %d despite no slow criticals", rep.Moved)
+	}
+}
+
+func TestRepartitionECOOnMoveCallback(t *testing.T) {
+	d, oracle := ecoFixture(t)
+	opt := DefaultECOOptions()
+	opt.D0 = 0.9
+	calls := 0
+	opt.OnMove = func(inst *netlist.Instance, to tech.Tier) error {
+		calls++
+		if inst.Tier != to {
+			t.Errorf("callback sees stale tier for %s", inst.Name)
+		}
+		return nil
+	}
+	if _, err := RepartitionECO(d, oracle, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("OnMove never invoked")
+	}
+}
+
+func TestRepartitionECOInvalidOptions(t *testing.T) {
+	d, oracle := ecoFixture(t)
+	bad := DefaultECOOptions()
+	bad.Alpha = 1.5
+	if _, err := RepartitionECO(d, oracle, bad); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	bad = DefaultECOOptions()
+	bad.NP = 0
+	if _, err := RepartitionECO(d, oracle, bad); err == nil {
+		t.Error("NP = 0 should fail")
+	}
+}

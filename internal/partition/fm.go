@@ -1,0 +1,379 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FMOptions tunes the Fiduccia–Mattheyses engine.
+type FMOptions struct {
+	// TargetFrac is the desired fraction of total area on side 0
+	// (0.5 = balanced bisection).
+	TargetFrac float64
+	// Tolerance is the allowed deviation of side 0's area fraction from
+	// TargetFrac (e.g. 0.05 → ±5 % of total area).
+	Tolerance float64
+	// MaxPasses bounds the outer improvement loop; a pass that yields no
+	// cut reduction terminates early regardless.
+	MaxPasses int
+	// Seed randomizes the initial assignment when none is supplied.
+	Seed int64
+}
+
+// DefaultFMOptions returns balanced-bisection defaults.
+func DefaultFMOptions() FMOptions {
+	return FMOptions{TargetFrac: 0.5, Tolerance: 0.05, MaxPasses: 12, Seed: 1}
+}
+
+// FM runs Fiduccia–Mattheyses min-cut improvement on h. If initial is
+// non-nil it seeds the assignment (and must respect Fixed pins); otherwise
+// a random area-balanced assignment is generated. The returned solution
+// satisfies the balance constraint whenever the initial assignment does
+// (moves violating it are never accepted).
+func FM(h *Hypergraph, initial []uint8, opt FMOptions) (*Solution, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.TargetFrac <= 0 || opt.TargetFrac >= 1 {
+		return nil, fmt.Errorf("partition: TargetFrac %v out of (0,1)", opt.TargetFrac)
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 1
+	}
+	n := h.NumCells()
+	side := make([]uint8, n)
+	if initial != nil {
+		if len(initial) != n {
+			return nil, fmt.Errorf("partition: initial has %d entries, want %d", len(initial), n)
+		}
+		copy(side, initial)
+		for i, f := range h.Fixed {
+			if f >= 0 && side[i] != uint8(f) {
+				return nil, fmt.Errorf("partition: initial violates Fixed pin of cell %d", i)
+			}
+		}
+	} else {
+		seedAssignment(h, side, opt)
+	}
+
+	st := newFMState(h, side, opt)
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if st.runPass() == 0 {
+			break
+		}
+	}
+	return Evaluate(h, st.side), nil
+}
+
+// seedAssignment produces a random assignment that respects Fixed pins
+// and approximates the target fraction by greedy area filling.
+func seedAssignment(h *Hypergraph, side []uint8, opt FMOptions) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	total := h.TotalArea()
+	want0 := opt.TargetFrac * total
+	var a0 float64
+	// Fixed cells first.
+	for i, f := range h.Fixed {
+		if f >= 0 {
+			side[i] = uint8(f)
+			if f == 0 {
+				a0 += h.Area[i]
+			}
+		}
+	}
+	// Free cells in random order, filling side 0 up to its target.
+	order := rng.Perm(len(side))
+	for _, i := range order {
+		if h.Fixed[i] >= 0 {
+			continue
+		}
+		if a0 < want0 {
+			side[i] = 0
+			a0 += h.Area[i]
+		} else {
+			side[i] = 1
+		}
+	}
+}
+
+// fmState holds the gain-bucket machinery for one FM run.
+type fmState struct {
+	h    *Hypergraph
+	opt  FMOptions
+	side []uint8
+
+	// Per-net side counts.
+	cnt [][2]int
+	// Gain bucket doubly-linked lists indexed by gain+maxDeg.
+	gain    []int
+	next    []int
+	prev    []int
+	bucket  []int // head cell per gain value, -1 if empty
+	maxDeg  int
+	maxGain int // current highest non-empty bucket index
+	locked  []bool
+
+	area  [2]float64
+	total float64
+}
+
+const nilCell = -1
+
+func newFMState(h *Hypergraph, side []uint8, opt FMOptions) *fmState {
+	n := h.NumCells()
+	st := &fmState{
+		h:    h,
+		opt:  opt,
+		side: side,
+		cnt:  make([][2]int, len(h.Nets)),
+		gain: make([]int, n),
+		next: make([]int, n),
+		prev: make([]int, n),
+
+		locked: make([]bool, n),
+		total:  h.TotalArea(),
+	}
+	cellNets := h.cellNets()
+	for _, nets := range cellNets {
+		if len(nets) > st.maxDeg {
+			st.maxDeg = len(nets)
+		}
+	}
+	st.bucket = make([]int, 2*st.maxDeg+1)
+	st.area = sideAreas(h, side)
+	return st
+}
+
+// recount refreshes net side counts from the current assignment.
+func (st *fmState) recount() {
+	for i := range st.cnt {
+		st.cnt[i] = [2]int{}
+	}
+	for ni, net := range st.h.Nets {
+		for _, c := range net {
+			st.cnt[ni][st.side[c]]++
+		}
+	}
+}
+
+// computeGain returns the cut-size reduction from moving cell c.
+func (st *fmState) computeGain(c int) int {
+	g := 0
+	from := st.side[c]
+	to := 1 - from
+	for _, ni := range st.h.cellNets()[c] {
+		net := st.h.Nets[ni]
+		if len(net) < 2 {
+			continue
+		}
+		if st.cnt[ni][from] == 1 {
+			g++ // net leaves the cut
+		}
+		if st.cnt[ni][to] == 0 {
+			g-- // net enters the cut
+		}
+	}
+	return g
+}
+
+func (st *fmState) bucketIdx(g int) int { return g + st.maxDeg }
+
+func (st *fmState) insert(c int) {
+	b := st.bucketIdx(st.gain[c])
+	st.prev[c] = nilCell
+	st.next[c] = st.bucket[b]
+	if st.bucket[b] != nilCell {
+		st.prev[st.bucket[b]] = c
+	}
+	st.bucket[b] = c
+	if b > st.maxGain {
+		st.maxGain = b
+	}
+}
+
+func (st *fmState) remove(c int) {
+	b := st.bucketIdx(st.gain[c])
+	if st.prev[c] != nilCell {
+		st.next[st.prev[c]] = st.next[c]
+	} else {
+		st.bucket[b] = st.next[c]
+	}
+	if st.next[c] != nilCell {
+		st.prev[st.next[c]] = st.prev[c]
+	}
+}
+
+// balancedAfter reports whether moving cell c is acceptable: the result
+// must be within tolerance of the target, or — when the current state is
+// itself out of tolerance — the move must strictly reduce the imbalance.
+// The second clause lets FM repair unbalanced seed assignments (the
+// bin-based refinement feeds it those).
+func (st *fmState) balancedAfter(c int) bool {
+	if st.total <= 0 {
+		return true
+	}
+	a0 := st.area[0]
+	if st.side[c] == 0 {
+		a0 -= st.h.Area[c]
+	} else {
+		a0 += st.h.Area[c]
+	}
+	frac := a0 / st.total
+	dev := frac - st.opt.TargetFrac
+	if dev >= -st.opt.Tolerance && dev <= st.opt.Tolerance {
+		return true
+	}
+	curDev := st.area[0]/st.total - st.opt.TargetFrac
+	if curDev < -st.opt.Tolerance || curDev > st.opt.Tolerance {
+		return abs(dev) < abs(curDev)
+	}
+	return false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// runPass performs one FM pass (move every free cell once, keep the best
+// prefix) and returns the cut improvement achieved.
+func (st *fmState) runPass() int {
+	st.recount()
+	for i := range st.bucket {
+		st.bucket[i] = nilCell
+	}
+	st.maxGain = 0
+	free := 0
+	for c := range st.gain {
+		st.locked[c] = st.h.Fixed[c] >= 0
+		if st.locked[c] {
+			continue
+		}
+		st.gain[c] = st.computeGain(c)
+		st.insert(c)
+		free++
+	}
+
+	type move struct {
+		cell int
+		gain int
+	}
+	moves := make([]move, 0, free)
+	cum, best, bestIdx := 0, 0, -1
+	bestFeasible := st.inTolerance()
+
+	for len(moves) < free {
+		c := st.pickMove()
+		if c == nilCell {
+			break
+		}
+		st.remove(c)
+		st.locked[c] = true
+		g := st.gain[c]
+		st.applyMove(c)
+		moves = append(moves, move{c, g})
+		cum += g
+		// Prefer prefixes that restore balance feasibility; among equal
+		// feasibility, maximize cut gain.
+		feas := st.inTolerance()
+		if (feas && !bestFeasible) || (feas == bestFeasible && cum > best) {
+			best = cum
+			bestIdx = len(moves) - 1
+			bestFeasible = feas
+		}
+	}
+
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		st.applyMove(moves[i].cell) // moving back
+	}
+	if best < 0 {
+		// A negative-gain prefix is only kept to restore balance; report
+		// it as progress so the outer loop runs another pass.
+		return 1
+	}
+	return best
+}
+
+// inTolerance reports whether the current side-0 area fraction satisfies
+// the balance constraint.
+func (st *fmState) inTolerance() bool {
+	if st.total <= 0 {
+		return true
+	}
+	dev := st.area[0]/st.total - st.opt.TargetFrac
+	return dev >= -st.opt.Tolerance && dev <= st.opt.Tolerance
+}
+
+// pickMove returns the highest-gain unlocked cell whose move keeps
+// balance, or nilCell.
+func (st *fmState) pickMove() int {
+	for b := st.maxGain; b >= 0; b-- {
+		for c := st.bucket[b]; c != nilCell; c = st.next[c] {
+			if st.balancedAfter(c) {
+				st.maxGain = b
+				return c
+			}
+		}
+	}
+	return nilCell
+}
+
+// applyMove flips cell c's side, updating areas, net counts, and the
+// gains of unlocked neighbours.
+func (st *fmState) applyMove(c int) {
+	from := st.side[c]
+	to := 1 - from
+	st.area[from] -= st.h.Area[c]
+	st.area[to] += st.h.Area[c]
+	st.side[c] = to
+
+	for _, ni := range st.h.cellNets()[c] {
+		net := st.h.Nets[ni]
+		if len(net) < 2 {
+			continue
+		}
+		// Standard FM incremental gain update around the critical net
+		// states (0, 1 pins on a side before/after the move).
+		if st.cnt[ni][to] == 0 {
+			// Net was uncut on 'from'; all its cells gain +1.
+			for _, x := range net {
+				st.bumpGain(x, +1)
+			}
+		} else if st.cnt[ni][to] == 1 {
+			// One cell was alone on 'to'; it loses its +1.
+			for _, x := range net {
+				if st.side[x] == to && x != c {
+					st.bumpGain(x, -1)
+				}
+			}
+		}
+		st.cnt[ni][from]--
+		st.cnt[ni][to]++
+		if st.cnt[ni][from] == 0 {
+			// Net is now uncut on 'to'; all its cells lose a potential +1.
+			for _, x := range net {
+				st.bumpGain(x, -1)
+			}
+		} else if st.cnt[ni][from] == 1 {
+			// One cell is now alone on 'from'; it gains +1.
+			for _, x := range net {
+				if st.side[x] == from {
+					st.bumpGain(x, +1)
+				}
+			}
+		}
+	}
+}
+
+// bumpGain adjusts an unlocked cell's gain and its bucket position.
+func (st *fmState) bumpGain(c, delta int) {
+	if st.locked[c] {
+		return
+	}
+	st.remove(c)
+	st.gain[c] += delta
+	st.insert(c)
+}

@@ -1,0 +1,149 @@
+// Package partition implements the partitioning machinery of the
+// heterogeneous 3-D flow: a Fiduccia–Mattheyses (FM) min-cut engine with
+// area balancing, the placement-driven bin-based tier partitioning the
+// pseudo-3-D flows use, the paper's timing-based pre-assignment of
+// critical cells to the fast die, and the repartitioning ECO loop
+// (Algorithm 1).
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hypergraph is the partitioning view of a netlist: weighted cells
+// connected by hyperedges. Cell and net identities are dense indices so
+// the FM engine can use flat arrays.
+type Hypergraph struct {
+	// Area is the weight of each cell (µm² in flow usage).
+	Area []float64
+	// Nets lists, per hyperedge, the cells it connects. Degenerate nets
+	// (0 or 1 pins) are allowed and ignored.
+	Nets [][]int
+	// Fixed[i] is -1 for a free cell, or 0/1 to pin cell i to a side.
+	// Timing-based partitioning pins critical cells to the fast die this
+	// way before FM runs on the remainder.
+	Fixed []int8
+
+	// pinsOf is the inverse map, built lazily: nets incident to a cell.
+	pinsOf [][]int
+}
+
+// NewHypergraph creates a hypergraph with n free cells of the given areas.
+func NewHypergraph(areas []float64) *Hypergraph {
+	fixed := make([]int8, len(areas))
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	return &Hypergraph{Area: areas, Fixed: fixed}
+}
+
+// AddNet appends a hyperedge over the given cells.
+func (h *Hypergraph) AddNet(cells ...int) { h.Nets = append(h.Nets, cells) }
+
+// NumCells returns the cell count.
+func (h *Hypergraph) NumCells() int { return len(h.Area) }
+
+// Validate checks index ranges and weights.
+func (h *Hypergraph) Validate() error {
+	n := len(h.Area)
+	if len(h.Fixed) != n {
+		return fmt.Errorf("partition: Fixed has %d entries, want %d", len(h.Fixed), n)
+	}
+	for i, a := range h.Area {
+		if a < 0 || math.IsNaN(a) {
+			return fmt.Errorf("partition: cell %d has invalid area %v", i, a)
+		}
+	}
+	for i, f := range h.Fixed {
+		if f < -1 || f > 1 {
+			return fmt.Errorf("partition: cell %d has invalid Fixed %d", i, f)
+		}
+	}
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			if c < 0 || c >= n {
+				return fmt.Errorf("partition: net %d references cell %d of %d", ni, c, n)
+			}
+		}
+	}
+	return nil
+}
+
+// cellNets returns nets incident to each cell, building the map on first
+// use.
+func (h *Hypergraph) cellNets() [][]int {
+	if h.pinsOf != nil {
+		return h.pinsOf
+	}
+	h.pinsOf = make([][]int, len(h.Area))
+	deg := make([]int, len(h.Area))
+	for _, net := range h.Nets {
+		for _, c := range net {
+			deg[c]++
+		}
+	}
+	for i, d := range deg {
+		h.pinsOf[i] = make([]int, 0, d)
+	}
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			h.pinsOf[c] = append(h.pinsOf[c], ni)
+		}
+	}
+	return h.pinsOf
+}
+
+// TotalArea returns the sum of cell areas.
+func (h *Hypergraph) TotalArea() float64 {
+	t := 0.0
+	for _, a := range h.Area {
+		t += a
+	}
+	return t
+}
+
+// Solution is a two-way partition assignment.
+type Solution struct {
+	// Side[i] ∈ {0, 1} is cell i's side.
+	Side []uint8
+	// AreaSide holds the total area per side.
+	AreaSide [2]float64
+	// Cut is the number of hyperedges spanning both sides.
+	Cut int
+}
+
+// CutSize recounts the cut of sides over h (authoritative; Solution.Cut is
+// a cached copy maintained incrementally by FM).
+func CutSize(h *Hypergraph, side []uint8) int {
+	cut := 0
+	for _, net := range h.Nets {
+		if len(net) < 2 {
+			continue
+		}
+		s0 := side[net[0]]
+		for _, c := range net[1:] {
+			if side[c] != s0 {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// sideAreas recomputes per-side area.
+func sideAreas(h *Hypergraph, side []uint8) [2]float64 {
+	var a [2]float64
+	for i, s := range side {
+		a[s] += h.Area[i]
+	}
+	return a
+}
+
+// Evaluate builds a Solution (with recomputed cut and areas) from a side
+// assignment.
+func Evaluate(h *Hypergraph, side []uint8) *Solution {
+	cp := append([]uint8{}, side...)
+	return &Solution{Side: cp, AreaSide: sideAreas(h, cp), Cut: CutSize(h, cp)}
+}

@@ -1,0 +1,302 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// TierOptions tunes the 3-D tier partitioning.
+type TierOptions struct {
+	FM FMOptions
+	// BinsX, BinsY define the placement-bin grid for the bin-based FM
+	// refinement; ≤1 disables binning (pure global FM).
+	BinsX, BinsY int
+	// MaxNetDegree excludes enormous nets (pre-CTS clock, reset) from the
+	// cut objective; they would dominate runtime without informing the
+	// partition.
+	MaxNetDegree int
+	// BinSweeps is how many scan passes of per-bin FM refinement run.
+	BinSweeps int
+}
+
+// DefaultTierOptions returns the flow defaults.
+func DefaultTierOptions() TierOptions {
+	return TierOptions{
+		FM:           DefaultFMOptions(),
+		BinsX:        8,
+		BinsY:        8,
+		MaxNetDegree: 64,
+		BinSweeps:    2,
+	}
+}
+
+// TierResult reports what the partitioner did.
+type TierResult struct {
+	Cut          int
+	AreaTop      float64
+	AreaBottom   float64
+	Preassigned  int
+	MovableCells int
+}
+
+// TierPartition assigns every instance of d to a tier: the
+// placement-driven, area-balanced FM min-cut of the pseudo-3-D flows
+// (Sec. III-A1). Side 0 is TierBottom, side 1 is TierTop.
+//
+// preassign pins specific instances to a tier before FM runs — the hook
+// the timing-based partitioning uses to lock critical cells onto the fast
+// die. Macros are balanced across tiers by area (alternating assignment)
+// unless preassigned.
+//
+// The algorithm: global FM over the whole netlist for the initial
+// min-cut, then (when the design is placed and binning is enabled) a
+// bin-based refinement that re-runs FM inside each placement bin with
+// external neighbours fixed, enforcing local area balance so the 3-D
+// legalization stays close to the pseudo-3-D placement.
+func TierPartition(d *netlist.Design, outline geom.Rect, preassign map[*netlist.Instance]tech.Tier, opt TierOptions) (*TierResult, error) {
+	// Collect movable cells (everything non-macro).
+	var cells []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Master.Function.IsMacro() {
+			continue
+		}
+		cells = append(cells, inst)
+	}
+	idx := make(map[*netlist.Instance]int, len(cells))
+	areas := make([]float64, len(cells))
+	for i, c := range cells {
+		idx[c] = i
+		areas[i] = c.Master.Area()
+	}
+
+	h := NewHypergraph(areas)
+	for i, c := range cells {
+		if t, ok := preassign[c]; ok {
+			h.Fixed[i] = int8(t)
+		}
+	}
+	maxDeg := opt.MaxNetDegree
+	if maxDeg <= 0 {
+		maxDeg = 1 << 30
+	}
+	for _, n := range d.Nets {
+		if n.IsClock || n.Degree() > maxDeg {
+			continue
+		}
+		pins := make([]int, 0, len(n.Sinks)+1)
+		if n.Driver.Valid() {
+			if i, ok := idx[n.Driver.Inst]; ok {
+				pins = append(pins, i)
+			}
+		}
+		for _, s := range n.Sinks {
+			if i, ok := idx[s.Inst]; ok {
+				pins = append(pins, i)
+			}
+		}
+		if len(pins) >= 2 {
+			h.AddNet(pins...)
+		}
+	}
+
+	sol, err := FM(h, nil, opt.FM)
+	if err != nil {
+		return nil, fmt.Errorf("partition: global FM: %w", err)
+	}
+
+	// Bin-based refinement keeps the partition locally balanced so 3-D
+	// legalization does not scramble the pseudo-3-D placement.
+	if opt.BinsX > 1 && opt.BinsY > 1 && !outline.Empty() {
+		grid, err := geom.NewGrid(outline, opt.BinsX, opt.BinsY)
+		if err != nil {
+			return nil, err
+		}
+		for sweep := 0; sweep < opt.BinSweeps; sweep++ {
+			if err := refineBins(h, sol, cells, grid, opt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &TierResult{
+		Cut:          CutSize(h, sol.Side),
+		Preassigned:  len(preassign),
+		MovableCells: len(cells),
+	}
+	for i, c := range cells {
+		c.Tier = tech.Tier(sol.Side[i])
+		if c.Tier == tech.TierTop {
+			res.AreaTop += areas[i]
+		} else {
+			res.AreaBottom += areas[i]
+		}
+	}
+	assignMacros(d, preassign, res)
+	return res, nil
+}
+
+// assignMacros balances macros across tiers by area: biggest first onto
+// the lighter side, honouring preassignments.
+func assignMacros(d *netlist.Design, preassign map[*netlist.Instance]tech.Tier, res *TierResult) {
+	var macros []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Master.Function.IsMacro() {
+			macros = append(macros, inst)
+		}
+	}
+	sort.Slice(macros, func(i, j int) bool {
+		ai, aj := macros[i].Master.Area(), macros[j].Master.Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return macros[i].Name < macros[j].Name
+	})
+	for _, m := range macros {
+		if t, ok := preassign[m]; ok {
+			m.Tier = t
+		} else if res.AreaBottom <= res.AreaTop {
+			m.Tier = tech.TierBottom
+		} else {
+			m.Tier = tech.TierTop
+		}
+		if m.Tier == tech.TierTop {
+			res.AreaTop += m.Master.Area()
+		} else {
+			res.AreaBottom += m.Master.Area()
+		}
+	}
+}
+
+// refineBins runs FM inside each placement bin with out-of-bin neighbours
+// pinned to their current side.
+func refineBins(h *Hypergraph, sol *Solution, cells []*netlist.Instance, grid *geom.Grid, opt TierOptions) error {
+	// Bucket cell indices by bin.
+	bins := make([][]int, grid.Bins())
+	for i, c := range cells {
+		ix, iy := grid.Locate(c.Loc)
+		b := grid.Index(ix, iy)
+		bins[b] = append(bins[b], i)
+	}
+	cellNets := h.cellNets()
+
+	for _, members := range bins {
+		if len(members) < 4 {
+			continue
+		}
+		// Build the bin sub-hypergraph: member cells free, plus two
+		// virtual fixed terminals standing in for external pins.
+		sub := make(map[int]int, len(members)) // global idx → local idx
+		areas := make([]float64, 0, len(members)+2)
+		for li, gi := range members {
+			sub[gi] = li
+			areas = append(areas, h.Area[gi])
+		}
+		ext0 := len(areas) // virtual terminal on side 0
+		ext1 := ext0 + 1
+		areas = append(areas, 0, 0)
+
+		sh := NewHypergraph(areas)
+		for li, gi := range members {
+			sh.Fixed[li] = h.Fixed[gi] // keep timing pins pinned
+			_ = li
+		}
+		sh.Fixed[ext0] = 0
+		sh.Fixed[ext1] = 1
+
+		seen := make(map[int]bool)
+		for _, gi := range members {
+			for _, ni := range cellNets[gi] {
+				if seen[ni] {
+					continue
+				}
+				seen[ni] = true
+				net := h.Nets[ni]
+				if len(net) < 2 {
+					continue
+				}
+				pins := make([]int, 0, len(net))
+				hasExt := [2]bool{}
+				for _, c := range net {
+					if li, ok := sub[c]; ok {
+						pins = append(pins, li)
+					} else {
+						hasExt[sol.Side[c]] = true
+					}
+				}
+				if hasExt[0] {
+					pins = append(pins, ext0)
+				}
+				if hasExt[1] {
+					pins = append(pins, ext1)
+				}
+				if len(pins) >= 2 {
+					sh.AddNet(pins...)
+				}
+			}
+		}
+
+		init := make([]uint8, len(areas))
+		for li, gi := range members {
+			init[li] = sol.Side[gi]
+		}
+		init[ext1] = 1
+
+		fmOpt := opt.FM
+		fmOpt.MaxPasses = 4
+		ssol, err := FM(sh, init, fmOpt)
+		if err != nil {
+			// An infeasible bin (e.g. all pinned) is not fatal: keep the
+			// current assignment.
+			continue
+		}
+		for li, gi := range members {
+			sol.Side[gi] = ssol.Side[li]
+		}
+	}
+	sol.AreaSide = sideAreas(h, sol.Side)
+	sol.Cut = CutSize(h, sol.Side)
+	return nil
+}
+
+// PreassignCritical returns the timing-based pre-assignment of the most
+// critical cells to the fast tier (Sec. III-A1): cells are ranked by
+// cell-based worst slack (ascending — most negative first) and pinned to
+// fastTier until areaFrac of the total movable cell area is covered. The
+// paper caps this at 20–30 % to avoid dense physical clusters landing on
+// one die and wrecking 3-D legalization.
+func PreassignCritical(cells []*netlist.Instance, slack func(*netlist.Instance) float64, areaFrac float64, fastTier tech.Tier) map[*netlist.Instance]tech.Tier {
+	type entry struct {
+		inst  *netlist.Instance
+		slack float64
+	}
+	total := 0.0
+	entries := make([]entry, 0, len(cells))
+	for _, c := range cells {
+		if c.Master.Function.IsMacro() {
+			continue
+		}
+		total += c.Master.Area()
+		entries = append(entries, entry{c, slack(c)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].slack != entries[j].slack {
+			return entries[i].slack < entries[j].slack
+		}
+		return entries[i].inst.ID < entries[j].inst.ID
+	})
+	budget := areaFrac * total
+	out := make(map[*netlist.Instance]tech.Tier)
+	used := 0.0
+	for _, e := range entries {
+		if used >= budget {
+			break
+		}
+		out[e.inst] = fastTier
+		used += e.inst.Master.Area()
+	}
+	return out
+}

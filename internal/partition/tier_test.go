@@ -1,0 +1,199 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/designs"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+var lib = cell.NewLibrary(tech.Variant12T())
+
+func smallCPU(t *testing.T) *netlist.Design {
+	t.Helper()
+	d, err := designs.Generate(designs.CPU, lib, designs.Params{Scale: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter locations so bin refinement has geometry to work with.
+	for i, inst := range d.Instances {
+		inst.Loc = geom.Pt(float64(i%97), float64((i*13)%89))
+	}
+	return d
+}
+
+func TestTierPartitionBalances(t *testing.T) {
+	d := smallCPU(t)
+	outline := geom.R(0, 0, 100, 90)
+	res, err := TierPartition(d, outline, nil, DefaultTierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.AreaTop + res.AreaBottom
+	frac := res.AreaBottom / total
+	if frac < 0.38 || frac > 0.62 {
+		t.Errorf("tier balance = %v, want ≈0.5", frac)
+	}
+	if res.Cut <= 0 {
+		t.Error("expected a non-trivial cut")
+	}
+	// Every instance must have a tier in {0, 1}.
+	for _, inst := range d.Instances {
+		if inst.Tier != tech.TierBottom && inst.Tier != tech.TierTop {
+			t.Fatalf("instance %s has invalid tier %d", inst.Name, inst.Tier)
+		}
+	}
+}
+
+func TestTierPartitionHonorsPreassign(t *testing.T) {
+	d := smallCPU(t)
+	pre := make(map[*netlist.Instance]tech.Tier)
+	cnt := 0
+	for _, inst := range d.Instances {
+		if inst.Master.Function.IsMacro() {
+			continue
+		}
+		if cnt%17 == 0 {
+			pre[inst] = tech.TierBottom
+		}
+		cnt++
+	}
+	res, err := TierPartition(d, geom.R(0, 0, 100, 90), pre, DefaultTierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preassigned != len(pre) {
+		t.Errorf("Preassigned = %d, want %d", res.Preassigned, len(pre))
+	}
+	for inst, want := range pre {
+		if inst.Tier != want {
+			t.Errorf("preassigned %s on tier %v, want %v", inst.Name, inst.Tier, want)
+		}
+	}
+}
+
+func TestTierPartitionMacrosBalanced(t *testing.T) {
+	d := smallCPU(t)
+	if _, err := TierPartition(d, geom.R(0, 0, 100, 90), nil, DefaultTierOptions()); err != nil {
+		t.Fatal(err)
+	}
+	var macroArea [2]float64
+	for _, inst := range d.Instances {
+		if inst.Master.Function.IsMacro() {
+			macroArea[inst.Tier] += inst.Master.Area()
+		}
+	}
+	tot := macroArea[0] + macroArea[1]
+	if tot == 0 {
+		t.Fatal("no macros found")
+	}
+	if r := macroArea[0] / tot; r < 0.3 || r > 0.7 {
+		t.Errorf("macro area split = %v, want near-balanced", r)
+	}
+}
+
+func TestTierPartitionReducesCutVsRandom(t *testing.T) {
+	d := smallCPU(t)
+	outline := geom.R(0, 0, 100, 90)
+	res, err := TierPartition(d, outline, nil, DefaultTierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random alternating assignment as baseline.
+	cross := 0
+	for i, inst := range d.Instances {
+		inst.Tier = tech.Tier(i % 2)
+	}
+	for _, n := range d.Nets {
+		if !n.IsClock && n.CrossesTiers() {
+			cross++
+		}
+	}
+	if res.Cut >= cross {
+		t.Errorf("FM cut %d not better than alternating cut %d", res.Cut, cross)
+	}
+}
+
+func TestPreassignCritical(t *testing.T) {
+	d := smallCPU(t)
+	var cells []*netlist.Instance
+	for _, inst := range d.Instances {
+		cells = append(cells, inst)
+	}
+	// Synthetic slack: instance ID as slack (lowest ID = most critical).
+	slack := func(i *netlist.Instance) float64 { return float64(i.ID) }
+	pre := PreassignCritical(cells, slack, 0.25, tech.TierBottom)
+	if len(pre) == 0 {
+		t.Fatal("nothing preassigned")
+	}
+	// Area accounting: pinned area ≈ 25 % of movable area (within one
+	// cell of the budget).
+	var pinned, total float64
+	maxID := 0
+	for _, inst := range cells {
+		if inst.Master.Function.IsMacro() {
+			continue
+		}
+		total += inst.Master.Area()
+	}
+	for inst := range pre {
+		pinned += inst.Master.Area()
+		if inst.ID > maxID {
+			maxID = inst.ID
+		}
+		if inst.Master.Function.IsMacro() {
+			t.Error("macro preassigned")
+		}
+	}
+	frac := pinned / total
+	if frac < 0.24 || frac > 0.30 {
+		t.Errorf("pinned fraction = %v, want ≈0.25", frac)
+	}
+	// The selection must be the lowest-slack prefix: every unpinned
+	// non-macro cell has ID ≥ every pinned cell... i.e. maxID+1 cells is
+	// roughly the pinned count (IDs are dense over instances including
+	// macros, so allow slop).
+	if maxID > len(pre)+16 {
+		t.Errorf("selection not a criticality prefix: maxID=%d for %d pins", maxID, len(pre))
+	}
+}
+
+func TestPreassignCriticalZeroFraction(t *testing.T) {
+	d := smallCPU(t)
+	var cells []*netlist.Instance
+	for _, inst := range d.Instances {
+		cells = append(cells, inst)
+	}
+	pre := PreassignCritical(cells, func(*netlist.Instance) float64 { return 0 }, 0, tech.TierBottom)
+	if len(pre) != 0 {
+		t.Errorf("zero fraction pinned %d cells", len(pre))
+	}
+}
+
+func TestUnbalanceOf(t *testing.T) {
+	d := smallCPU(t)
+	for _, inst := range d.Instances {
+		inst.Tier = tech.TierBottom
+	}
+	if u := unbalanceOf(d, ECOOptions{}); math.Abs(u-1) > 1e-9 {
+		t.Errorf("all-bottom unbalance = %v, want 1", u)
+	}
+	// Move roughly half the area to top.
+	var half, total float64
+	for _, inst := range d.Instances {
+		total += inst.Master.Area()
+	}
+	for _, inst := range d.Instances {
+		if half < total/2 {
+			inst.Tier = tech.TierTop
+			half += inst.Master.Area()
+		}
+	}
+	if u := unbalanceOf(d, ECOOptions{}); u > 0.05 {
+		t.Errorf("balanced unbalance = %v, want ≈0", u)
+	}
+}

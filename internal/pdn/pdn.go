@@ -1,0 +1,266 @@
+// Package pdn analyzes power delivery: a resistive power-grid model with
+// per-cell current sinks, solved for static IR drop by successive
+// over-relaxation. The paper runs its whole evaluation under *ideal*
+// power delivery and explicitly flags PDN analysis of heterogeneous 3-D
+// ICs as required future work (Sec. V) — this package is that study's
+// substrate: each tier gets its own grid at its own supply voltage, and
+// the top tier of a monolithic stack draws its current through the
+// bottom die's via field, modeled as extra series resistance at the
+// pads.
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/tech"
+)
+
+// Config tunes the grid model.
+type Config struct {
+	// StrapPitchUM is the node spacing of the power mesh in µm.
+	StrapPitchUM float64
+	// StrapResOhm is the resistance of one strap segment between adjacent
+	// nodes, in Ω.
+	StrapResOhm float64
+	// PadResOhm is the series resistance from the package bump into a
+	// pad node, in Ω.
+	PadResOhm float64
+	// TopTierExtraOhm adds series resistance to the top tier's pads: in
+	// sequential 3-D the upper die's current threads through the bottom
+	// die's power vias.
+	TopTierExtraOhm float64
+	// Pads are pad locations; empty means the four die corners plus the
+	// center.
+	Pads []geom.Point
+	// MaxIter and Tol control the SOR solve.
+	MaxIter int
+	Tol     float64
+}
+
+// DefaultConfig returns grid parameters typical of a 28 nm mesh.
+func DefaultConfig() Config {
+	return Config{
+		StrapPitchUM:    10,
+		StrapResOhm:     0.4,
+		PadResOhm:       0.05,
+		TopTierExtraOhm: 0.15,
+		MaxIter:         4000,
+		Tol:             1e-7,
+	}
+}
+
+// TierReport is the IR-drop result for one die.
+type TierReport struct {
+	Tier tech.Tier
+	// VDD is the tier's nominal supply.
+	VDD float64
+	// WorstDroopV and AvgDroopV are the maximum and mean node voltage
+	// drops below VDD.
+	WorstDroopV, AvgDroopV float64
+	// WorstLoc is the location of the worst droop.
+	WorstLoc geom.Point
+	// CurrentA is the tier's total supply current in amperes.
+	CurrentA float64
+	// Iterations the solver used.
+	Iterations int
+}
+
+// DroopFrac returns the worst droop as a fraction of VDD — PDN signoff
+// usually demands < 5 %.
+func (t TierReport) DroopFrac() float64 {
+	if t.VDD == 0 {
+		return 0
+	}
+	return t.WorstDroopV / t.VDD
+}
+
+// Analyze solves the IR drop of every tier of a placed, power-analyzed
+// design. tiers is 1 for 2-D. pw must come from power.Analyze on the same
+// design (PerInstance drives the current map).
+func Analyze(d *netlist.Design, outline geom.Rect, tiers int, pw *power.Breakdown, cfg Config) ([]TierReport, error) {
+	if tiers != 1 && tiers != 2 {
+		return nil, fmt.Errorf("pdn: tiers must be 1 or 2, got %d", tiers)
+	}
+	if len(pw.PerInstance) != len(d.Instances) {
+		return nil, fmt.Errorf("pdn: power breakdown does not match the design (%d vs %d instances)",
+			len(pw.PerInstance), len(d.Instances))
+	}
+	if cfg.StrapPitchUM <= 0 || cfg.StrapResOhm <= 0 {
+		return nil, fmt.Errorf("pdn: invalid grid parameters %+v", cfg)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 1000
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-7
+	}
+
+	var out []TierReport
+	for t := 0; t < tiers; t++ {
+		rep, err := analyzeTier(d, outline, tech.Tier(t), tiers, pw, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// tierVDD picks the die's supply from its cells' masters (majority by
+// power).
+func tierVDD(d *netlist.Design, tier tech.Tier, tiers int, pw *power.Breakdown) float64 {
+	weights := map[float64]float64{}
+	for _, inst := range d.Instances {
+		if tiers == 2 && inst.Tier != tier {
+			continue
+		}
+		v := inst.Master.VDD
+		if v == 0 {
+			v = 0.9
+		}
+		weights[v] += pw.PerInstance[inst.ID]
+	}
+	best, bw := 0.9, -1.0
+	for v, w := range weights {
+		if w > bw {
+			best, bw = v, w
+		}
+	}
+	return best
+}
+
+func analyzeTier(d *netlist.Design, outline geom.Rect, tier tech.Tier, tiers int, pw *power.Breakdown, cfg Config) (TierReport, error) {
+	nx := int(outline.W()/cfg.StrapPitchUM) + 1
+	ny := int(outline.H()/cfg.StrapPitchUM) + 1
+	if nx < 2 || ny < 2 {
+		return TierReport{}, fmt.Errorf("pdn: outline %v too small for pitch %v", outline, cfg.StrapPitchUM)
+	}
+	vdd := tierVDD(d, tier, tiers, pw)
+
+	// Current sinks per node: cell power / VDD, nearest node. Power in
+	// µW, VDD in V → current in µA; convert to A for reporting.
+	cur := make([]float64, nx*ny)
+	idx := func(ix, iy int) int { return iy*nx + ix }
+	locate := func(p geom.Point) int {
+		ix := int((p.X - outline.Lx) / cfg.StrapPitchUM)
+		iy := int((p.Y - outline.Ly) / cfg.StrapPitchUM)
+		if ix < 0 {
+			ix = 0
+		}
+		if iy < 0 {
+			iy = 0
+		}
+		if ix >= nx {
+			ix = nx - 1
+		}
+		if iy >= ny {
+			iy = ny - 1
+		}
+		return idx(ix, iy)
+	}
+	totalCur := 0.0
+	for _, inst := range d.Instances {
+		if tiers == 2 && inst.Tier != tier {
+			continue
+		}
+		i := locate(inst.Loc)
+		c := pw.PerInstance[inst.ID] / vdd // µA
+		cur[i] += c
+		totalCur += c
+	}
+
+	// Pads: fixed-voltage nodes behind a pad resistance.
+	pads := cfg.Pads
+	if len(pads) == 0 {
+		pads = []geom.Point{
+			{X: outline.Lx, Y: outline.Ly},
+			{X: outline.Ux, Y: outline.Ly},
+			{X: outline.Lx, Y: outline.Uy},
+			{X: outline.Ux, Y: outline.Uy},
+			outline.Center(),
+		}
+	}
+	padRes := cfg.PadResOhm
+	if tier == tech.TierTop && tiers == 2 {
+		padRes += cfg.TopTierExtraOhm
+	}
+	padAt := make(map[int]bool, len(pads))
+	for _, p := range pads {
+		padAt[locate(p)] = true
+	}
+
+	// SOR solve of G·V = I with strap conductance g between neighbours
+	// and pad conductance gp to the VDD rail. Work in volts and µA:
+	// conductance in µA/V = 1/(Ω·1e-6)... keep Ω and µA: g = 1e6/R? To
+	// avoid huge constants, solve in units of (mA, Ω, V): convert sinks
+	// to mA.
+	g := 1.0 / cfg.StrapResOhm // 1/Ω → V per mA is 1e-3... see below
+	gp := 1.0 / math.Max(padRes, 1e-6)
+	// Using I in mA and R in Ω gives V in millivolts; report in volts.
+	v := make([]float64, nx*ny) // droop below VDD, in mV
+	const omega = 1.8
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		maxDelta := 0.0
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				i := idx(ix, iy)
+				var gSum, iSum float64
+				// Neighbour straps.
+				if ix > 0 {
+					gSum += g
+					iSum += g * v[idx(ix-1, iy)]
+				}
+				if ix < nx-1 {
+					gSum += g
+					iSum += g * v[idx(ix+1, iy)]
+				}
+				if iy > 0 {
+					gSum += g
+					iSum += g * v[idx(ix, iy-1)]
+				}
+				if iy < ny-1 {
+					gSum += g
+					iSum += g * v[idx(ix, iy+1)]
+				}
+				// Pad tie to zero droop.
+				if padAt[i] {
+					gSum += gp
+				}
+				// Node current sink (µA → mA).
+				iSink := cur[i] * 1e-3
+				nv := (iSum - iSink) / gSum
+				delta := nv - v[i]
+				v[i] += omega * delta
+				if math.Abs(delta) > maxDelta {
+					maxDelta = math.Abs(delta)
+				}
+			}
+		}
+		if maxDelta < cfg.Tol*1e3 { // Tol in volts; v is in millivolts
+			break
+		}
+	}
+
+	rep := TierReport{Tier: tier, VDD: vdd, CurrentA: totalCur * 1e-6, Iterations: iters}
+	sum := 0.0
+	worst := 0.0
+	worstIdx := 0
+	for i, droop := range v {
+		dv := -droop // sinks pull v negative; droop is positive below VDD
+		sum += dv
+		if dv > worst {
+			worst = dv
+			worstIdx = i
+		}
+	}
+	rep.WorstDroopV = worst * 1e-3
+	rep.AvgDroopV = sum / float64(len(v)) * 1e-3
+	wx, wy := worstIdx%nx, worstIdx/nx
+	rep.WorstLoc = geom.Pt(outline.Lx+float64(wx)*cfg.StrapPitchUM, outline.Ly+float64(wy)*cfg.StrapPitchUM)
+	return rep, nil
+}

@@ -1,0 +1,174 @@
+package pdn
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/designs"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/tech"
+)
+
+var lib12 = cell.NewLibrary(tech.Variant12T())
+
+func placedDesign(t *testing.T) (*netlist.Design, geom.Rect, *power.Breakdown) {
+	t.Helper()
+	d, err := designs.Generate(designs.AES, lib12, designs.Params{Scale: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outline := geom.R(0, 0, 100, 100)
+	for i, inst := range d.Instances {
+		inst.Loc = geom.Pt(float64(i%97)+1, float64((i*13)%89)+1)
+	}
+	pw, err := power.Analyze(d, power.DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, outline, pw
+}
+
+func TestAnalyze2D(t *testing.T) {
+	d, outline, pw := placedDesign(t)
+	reps, err := Analyze(d, outline, 1, pw, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	r := reps[0]
+	if r.VDD != 0.9 {
+		t.Errorf("VDD = %v, want 0.9", r.VDD)
+	}
+	if r.WorstDroopV <= 0 {
+		t.Error("expected positive droop under load")
+	}
+	if r.WorstDroopV >= r.VDD {
+		t.Errorf("droop %v exceeds VDD", r.WorstDroopV)
+	}
+	if r.AvgDroopV > r.WorstDroopV {
+		t.Error("average droop above worst droop")
+	}
+	if r.CurrentA <= 0 {
+		t.Error("no supply current")
+	}
+	if !outline.ContainsClosed(r.WorstLoc) {
+		t.Errorf("worst location %v outside die", r.WorstLoc)
+	}
+	if r.DroopFrac() <= 0 || r.DroopFrac() > 0.5 {
+		t.Errorf("droop fraction %v implausible", r.DroopFrac())
+	}
+}
+
+func TestTopTierDroopsMore(t *testing.T) {
+	d, outline, _ := placedDesign(t)
+	// Split tiers evenly; recompute power after the split.
+	for i, inst := range d.Instances {
+		inst.Tier = tech.Tier(i % 2)
+	}
+	pw, err := power.Analyze(d, power.DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := Analyze(d, outline, 2, pw, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	// The top die pays the through-bottom via resistance: worse droop per
+	// ampere. With symmetric tiers the top's droop fraction must exceed
+	// the bottom's.
+	if reps[1].DroopFrac() <= reps[0].DroopFrac() {
+		t.Errorf("top droop %v should exceed bottom %v (via-field resistance)",
+			reps[1].DroopFrac(), reps[0].DroopFrac())
+	}
+}
+
+func TestMorePadsLessDroop(t *testing.T) {
+	d, outline, pw := placedDesign(t)
+	few := DefaultConfig()
+	few.Pads = []geom.Point{outline.Center()}
+	many := DefaultConfig()
+	for x := 10.0; x < 100; x += 20 {
+		for y := 10.0; y < 100; y += 20 {
+			many.Pads = append(many.Pads, geom.Pt(x, y))
+		}
+	}
+	rf, err := Analyze(d, outline, 1, pw, few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Analyze(d, outline, 1, pw, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm[0].WorstDroopV >= rf[0].WorstDroopV {
+		t.Errorf("25 pads (%v) should beat 1 pad (%v)", rm[0].WorstDroopV, rf[0].WorstDroopV)
+	}
+}
+
+func TestHigherPowerMoreDroop(t *testing.T) {
+	d, outline, _ := placedDesign(t)
+	lo, err := power.Analyze(d, power.DefaultConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := power.Analyze(d, power.DefaultConfig(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Analyze(d, outline, 1, lo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Analyze(d, outline, 1, hi, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh[0].WorstDroopV <= rl[0].WorstDroopV {
+		t.Errorf("4× power should droop more: %v vs %v", rh[0].WorstDroopV, rl[0].WorstDroopV)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	d, outline, pw := placedDesign(t)
+	if _, err := Analyze(d, outline, 3, pw, DefaultConfig()); err == nil {
+		t.Error("tiers=3 should fail")
+	}
+	bad := DefaultConfig()
+	bad.StrapPitchUM = 0
+	if _, err := Analyze(d, outline, 1, pw, bad); err == nil {
+		t.Error("zero pitch should fail")
+	}
+	tiny := DefaultConfig()
+	tiny.StrapPitchUM = 500
+	if _, err := Analyze(d, outline, 1, pw, tiny); err == nil {
+		t.Error("pitch larger than die should fail")
+	}
+	// Mismatched breakdown.
+	other, _ := designs.Generate(designs.LDPC, lib12, designs.Params{Scale: 0.02, Seed: 1})
+	pwOther, err := power.Analyze(other, power.DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(d, outline, 1, pwOther, DefaultConfig()); err == nil {
+		t.Error("mismatched power breakdown should fail")
+	}
+}
+
+func TestSolverConverges(t *testing.T) {
+	d, outline, pw := placedDesign(t)
+	cfg := DefaultConfig()
+	reps, err := Analyze(d, outline, 1, pw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Iterations >= cfg.MaxIter {
+		t.Errorf("solver hit the iteration cap (%d)", reps[0].Iterations)
+	}
+}

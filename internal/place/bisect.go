@@ -1,0 +1,283 @@
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+)
+
+// GlobalOptions tunes the recursive min-cut bisection placer.
+type GlobalOptions struct {
+	// LeafCells stops recursion once a region holds this few cells.
+	LeafCells int
+	// FM configures the per-cut partitioner.
+	FM partition.FMOptions
+	// MaxNetDegree excludes huge nets from cut objectives.
+	MaxNetDegree int
+}
+
+// DefaultGlobalOptions returns the flow defaults.
+func DefaultGlobalOptions() GlobalOptions {
+	fm := partition.DefaultFMOptions()
+	fm.MaxPasses = 6
+	fm.Tolerance = 0.1
+	return GlobalOptions{LeafCells: 12, FM: fm, MaxNetDegree: 64}
+}
+
+// Global runs recursive min-cut bisection placement of every movable
+// instance into the core region, writing inst.Loc. Fixed instances
+// (macros) keep their locations and act as terminals. Port locations act
+// as terminals too (terminal propagation steers the cut).
+//
+// This is the classic Breuer-style placement that "placement-driven FM
+// min-cut" pseudo-3-D flows build on: deterministic, hierarchy-free, and
+// fast enough for 250 k-cell netlists.
+func Global(d *netlist.Design, region geom.Rect, opt GlobalOptions) error {
+	if region.Empty() {
+		return fmt.Errorf("place: empty core region")
+	}
+	if opt.LeafCells < 2 {
+		opt.LeafCells = 2
+	}
+	var movable []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Fixed || inst.Master.Function.IsMacro() {
+			continue
+		}
+		movable = append(movable, inst)
+		inst.Loc = region.Center() // initial estimate for terminal propagation
+	}
+	if len(movable) == 0 {
+		return nil
+	}
+
+	// Net adjacency once, by instance ID.
+	adj := buildAdjacency(d, opt.MaxNetDegree)
+
+	type job struct {
+		region geom.Rect
+		cells  []*netlist.Instance
+	}
+	queue := []job{{region, movable}}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		if len(j.cells) <= opt.LeafCells {
+			spreadLeaf(j.region, j.cells)
+			continue
+		}
+		left, right, lr, rr, err := bisect(d, adj, j.region, j.cells, opt)
+		if err != nil {
+			return err
+		}
+		// Update location estimates to the new subregion centers so
+		// later cuts see propagated terminals.
+		for _, c := range left {
+			c.Loc = lr.Center()
+		}
+		for _, c := range right {
+			c.Loc = rr.Center()
+		}
+		queue = append(queue, job{lr, left}, job{rr, right})
+	}
+	return nil
+}
+
+// adjacency maps instance ID → list of net IDs; nets stored once.
+type adjacency struct {
+	nets    [][]*netlist.Instance // per kept net: member instances
+	ofInst  map[int][]int
+	portLoc map[int]geom.Point // net index → representative port location
+}
+
+func buildAdjacency(d *netlist.Design, maxDeg int) *adjacency {
+	if maxDeg <= 0 {
+		maxDeg = 1 << 30
+	}
+	a := &adjacency{ofInst: make(map[int][]int), portLoc: make(map[int]geom.Point)}
+	for _, n := range d.Nets {
+		if n.IsClock || n.Degree() > maxDeg || n.Degree() < 2 {
+			continue
+		}
+		var members []*netlist.Instance
+		if n.Driver.Valid() {
+			members = append(members, n.Driver.Inst)
+		}
+		for _, s := range n.Sinks {
+			members = append(members, s.Inst)
+		}
+		if len(members) == 0 {
+			continue
+		}
+		idx := len(a.nets)
+		a.nets = append(a.nets, members)
+		for _, m := range members {
+			a.ofInst[m.ID] = append(a.ofInst[m.ID], idx)
+		}
+		if n.DriverPort != nil {
+			a.portLoc[idx] = n.DriverPort.Loc
+		} else if len(n.SinkPorts) > 0 {
+			a.portLoc[idx] = n.SinkPorts[0].Loc
+		}
+	}
+	return a
+}
+
+// bisect splits cells across the longer axis of region using FM with
+// terminal propagation, returning the two cell sets and subregions.
+func bisect(d *netlist.Design, adj *adjacency, region geom.Rect, cells []*netlist.Instance, opt GlobalOptions) (left, right []*netlist.Instance, lr, rr geom.Rect, err error) {
+	vertCut := region.W() >= region.H() // vertical cut line splits x
+
+	// Build the sub-hypergraph over cells, with two virtual terminals.
+	local := make(map[int]int, len(cells)) // inst ID → local index
+	areas := make([]float64, 0, len(cells)+2)
+	totalArea := 0.0
+	for i, c := range cells {
+		local[c.ID] = i
+		a := c.Master.Area()
+		areas = append(areas, a)
+		totalArea += a
+	}
+	t0 := len(areas)
+	t1 := t0 + 1
+	areas = append(areas, 0, 0)
+	h := partition.NewHypergraph(areas)
+	h.Fixed[t0] = 0
+	h.Fixed[t1] = 1
+
+	// Split line position: proportional area split at the midline.
+	var mid float64
+	if vertCut {
+		mid = (region.Lx + region.Ux) / 2
+	} else {
+		mid = (region.Ly + region.Uy) / 2
+	}
+	sideOfPoint := func(p geom.Point) uint8 {
+		v := p.Y
+		if vertCut {
+			v = p.X
+		}
+		if v < mid {
+			return 0
+		}
+		return 1
+	}
+
+	seenNet := make(map[int]bool)
+	for _, c := range cells {
+		for _, ni := range adj.ofInst[c.ID] {
+			if seenNet[ni] {
+				continue
+			}
+			seenNet[ni] = true
+			members := adj.nets[ni]
+			pins := make([]int, 0, len(members)+2)
+			hasExt := [2]bool{}
+			for _, m := range members {
+				if li, ok := local[m.ID]; ok {
+					pins = append(pins, li)
+				} else {
+					hasExt[sideOfPoint(m.Loc)] = true
+				}
+			}
+			if p, ok := adj.portLoc[ni]; ok {
+				hasExt[sideOfPoint(p)] = true
+			}
+			if hasExt[0] {
+				pins = append(pins, t0)
+			}
+			if hasExt[1] {
+				pins = append(pins, t1)
+			}
+			if len(pins) >= 2 {
+				h.AddNet(pins...)
+			}
+		}
+	}
+
+	fmOpt := opt.FM
+	sol, err := partition.FM(h, nil, fmOpt)
+	if err != nil {
+		return nil, nil, geom.Rect{}, geom.Rect{}, fmt.Errorf("place: bisect FM: %w", err)
+	}
+
+	var areaLeft float64
+	for i, c := range cells {
+		if sol.Side[i] == 0 {
+			left = append(left, c)
+			areaLeft += c.Master.Area()
+		} else {
+			right = append(right, c)
+		}
+	}
+	// Degenerate splits (all cells one side) get a forced even split.
+	if len(left) == 0 || len(right) == 0 {
+		left, right, areaLeft = forcedSplit(cells, vertCut)
+	}
+
+	frac := 0.5
+	if totalArea > 0 {
+		frac = areaLeft / totalArea
+	}
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	if vertCut {
+		cut := region.Lx + region.W()*frac
+		lr = geom.R(region.Lx, region.Ly, cut, region.Uy)
+		rr = geom.R(cut, region.Ly, region.Ux, region.Uy)
+	} else {
+		cut := region.Ly + region.H()*frac
+		lr = geom.R(region.Lx, region.Ly, region.Ux, cut)
+		rr = geom.R(region.Lx, cut, region.Ux, region.Uy)
+	}
+	return left, right, lr, rr, nil
+}
+
+// forcedSplit halves the cell list by area when FM degenerates.
+func forcedSplit(cells []*netlist.Instance, vertCut bool) (left, right []*netlist.Instance, areaLeft float64) {
+	sorted := append([]*netlist.Instance{}, cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	total := 0.0
+	for _, c := range sorted {
+		total += c.Master.Area()
+	}
+	for _, c := range sorted {
+		if areaLeft < total/2 {
+			left = append(left, c)
+			areaLeft += c.Master.Area()
+		} else {
+			right = append(right, c)
+		}
+	}
+	return left, right, areaLeft
+}
+
+// spreadLeaf distributes a leaf region's cells on a small grid inside it.
+func spreadLeaf(region geom.Rect, cells []*netlist.Instance) {
+	n := len(cells)
+	if n == 0 {
+		return
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	dx := region.W() / float64(cols)
+	dy := region.H() / float64(rows)
+	// Deterministic order.
+	sorted := append([]*netlist.Instance{}, cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, c := range sorted {
+		cx := region.Lx + (float64(i%cols)+0.5)*dx
+		cy := region.Ly + (float64(i/cols)+0.5)*dy
+		c.Loc = geom.Pt(cx, cy)
+	}
+}

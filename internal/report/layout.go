@@ -1,0 +1,159 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// AsciiDensity renders a density histogram as a heatmap (space → '@' in
+// increasing density), one character per bin, row 0 at the bottom — the
+// text rendition of Fig. 3's placement views.
+func AsciiDensity(h *geom.Histogram) string {
+	const ramp = " .:-=+*#%@"
+	max := h.Max()
+	var sb strings.Builder
+	for iy := h.Grid.Ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < h.Grid.Nx; ix++ {
+			v := h.Vals[h.Grid.Index(ix, iy)]
+			k := 0
+			if max > 0 {
+				k = int(v / max * float64(len(ramp)-1))
+			}
+			sb.WriteByte(ramp[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// LayoutSVG writes an SVG of one tier's placement: standard cells as
+// rectangles (height showing the track variant — the visual point of
+// Fig. 3c), macros hatched, plus optional net overlays.
+type LayoutSVG struct {
+	Design  *netlist.Design
+	Outline geom.Rect
+	// Tier selects which die to draw; ignored when Tiers == 1.
+	Tier  tech.Tier
+	Tiers int
+	// Overlays are polylines drawn over the cells (clock tree, memory
+	// nets, critical path — the Fig. 4 views).
+	Overlays []Overlay
+	// PxPerUM scales the drawing (default 8).
+	PxPerUM float64
+}
+
+// Overlay is a named set of line segments with a colour.
+type Overlay struct {
+	Name  string
+	Color string
+	Lines [][2]geom.Point
+}
+
+// Write emits the SVG document.
+func (l *LayoutSVG) Write(w io.Writer) error {
+	scale := l.PxPerUM
+	if scale <= 0 {
+		scale = 8
+	}
+	W := l.Outline.W() * scale
+	H := l.Outline.H() * scale
+	// SVG y grows downward; flip.
+	X := func(x float64) float64 { return (x - l.Outline.Lx) * scale }
+	Y := func(y float64) float64 { return H - (y-l.Outline.Ly)*scale }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", W, H, W, H)
+	fmt.Fprintf(&sb, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#101018"/>`+"\n", W, H)
+
+	for _, inst := range l.Design.Instances {
+		if l.Tiers == 2 && inst.Tier != l.Tier {
+			continue
+		}
+		w := inst.Master.Width * scale
+		h := inst.Master.Height * scale
+		x := X(inst.Loc.X) - w/2
+		y := Y(inst.Loc.Y) - h/2
+		color := "#3c78d8" // 12-track blue
+		switch {
+		case inst.Master.Function.IsMacro():
+			color = "#555555"
+		case inst.Master.Function.IsClockCell():
+			color = "#e06666"
+		case inst.Master.Track == tech.Track9:
+			color = "#6aa84f" // 9-track green
+		}
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.85"/>`+"\n",
+			x, y, w, h, color)
+	}
+
+	for _, ov := range l.Overlays {
+		for _, ln := range ov.Lines {
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2"/>`+"\n",
+				X(ln[0].X), Y(ln[0].Y), X(ln[1].X), Y(ln[1].Y), ov.Color)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ClockOverlay builds the Fig. 4(a) clock-tree overlay: a line from every
+// clock buffer to each of its fanouts.
+func ClockOverlay(d *netlist.Design, tiers int, tier tech.Tier) Overlay {
+	ov := Overlay{Name: "clock", Color: "#00e5ff"}
+	for _, inst := range d.Instances {
+		if !inst.Master.Function.IsClockCell() {
+			continue
+		}
+		if tiers == 2 && inst.Tier != tier {
+			continue
+		}
+		out := d.OutputNet(inst)
+		if out == nil {
+			continue
+		}
+		for _, s := range out.Sinks {
+			ov.Lines = append(ov.Lines, [2]geom.Point{inst.Loc, s.Loc()})
+		}
+	}
+	return ov
+}
+
+// MemoryOverlay builds the Fig. 4(b) view: yellow lines into memory
+// macros, magenta lines out of them.
+func MemoryOverlay(d *netlist.Design) (in, out Overlay) {
+	in = Overlay{Name: "mem-in", Color: "#ffd966"}
+	out = Overlay{Name: "mem-out", Color: "#ff00ff"}
+	for _, inst := range d.Instances {
+		if !inst.Master.Function.IsMacro() {
+			continue
+		}
+		if a := d.NetOf(inst, "A"); a != nil && a.Driver.Valid() {
+			in.Lines = append(in.Lines, [2]geom.Point{a.Driver.Loc(), inst.Loc})
+		}
+		if q := d.NetOf(inst, "Q"); q != nil {
+			for _, s := range q.Sinks {
+				out.Lines = append(out.Lines, [2]geom.Point{inst.Loc, s.Loc()})
+			}
+		}
+	}
+	return in, out
+}
+
+// PathOverlay builds the Fig. 4(c) view: the critical path drawn stage to
+// stage.
+func PathOverlay(p sta.Path) Overlay {
+	ov := Overlay{Name: "critical-path", Color: "#ff3333"}
+	for i := 1; i < len(p.Stages); i++ {
+		ov.Lines = append(ov.Lines, [2]geom.Point{
+			p.Stages[i-1].Inst.Loc, p.Stages[i].Inst.Loc,
+		})
+	}
+	return ov
+}

@@ -1,0 +1,200 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "Name", "Val")
+	tab.AddRow("aaa", 1.2345)
+	tab.AddRow("b", 12345.6)
+	tab.AddRowf("c", "x")
+	out := tab.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "Name") {
+		t.Errorf("missing headers: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+	// Second column right-aligned: the shorter value ends at the same
+	// column as the longer one.
+	if !strings.Contains(out, "12346") {
+		t.Errorf("float formatting: %q", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345.6: "12346",
+		42.42:   "42.4",
+		1.2345:  "1.234",
+		0.0123:  "0.0123",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	f := Fig1()
+	for _, want := range []string{"2D-12T", "Hetero", "0.81", "0.90", "level shifters"} {
+		if !strings.Contains(f, want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+}
+
+func TestAsciiDensity(t *testing.T) {
+	g, err := geom.NewGrid(geom.R(0, 0, 10, 10), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := geom.NewHistogram(g)
+	h.AddPoint(geom.Pt(1, 1), 5)
+	out := AsciiDensity(h)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 4 {
+		t.Fatalf("dimensions wrong: %q", out)
+	}
+	// Hottest bin renders '@' and is in the bottom row (printed last).
+	if !strings.Contains(lines[1], "@") {
+		t.Errorf("hot bin not rendered: %q", out)
+	}
+	// Empty histogram renders all spaces.
+	empty := AsciiDensity(geom.NewHistogram(g))
+	if strings.Trim(empty, " \n") != "" {
+		t.Errorf("empty histogram should be blank: %q", empty)
+	}
+}
+
+func layoutFixture(t *testing.T) *netlist.Design {
+	t.Helper()
+	lib12 := cell.NewLibrary(tech.Variant12T())
+	lib9 := cell.NewLibrary(tech.Variant9T())
+	d := netlist.New("lay")
+	a, _ := d.AddInstance("a", lib12.Smallest(cell.FuncInv))
+	b, _ := d.AddInstance("b", lib9.Smallest(cell.FuncInv))
+	cb, _ := d.AddInstance("ck", lib12.Smallest(cell.FuncClkBuf))
+	ram := cell.NewRAMMacro("R", 3, 3, 0.1, 1, 1)
+	m, _ := d.AddInstance("ram", ram)
+	a.Loc, b.Loc, cb.Loc, m.Loc = geom.Pt(2, 2), geom.Pt(5, 5), geom.Pt(7, 2), geom.Pt(8, 8)
+	b.Tier = tech.TierTop
+
+	in, _ := d.AddNet("in")
+	if _, err := d.AddPort("in", cell.DirIn, in); err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := d.AddNet("n1")
+	if err := d.Connect(a, "A", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(a, "Y", n1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(m, "A", n1); err != nil {
+		t.Fatal(err)
+	}
+	nq, _ := d.AddNet("nq")
+	if err := d.Connect(m, "Q", nq); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(b, "A", nq); err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := d.AddNet("nb")
+	if err := d.Connect(b, "Y", nb); err != nil {
+		t.Fatal(err)
+	}
+	ck, _ := d.AddNet("ck")
+	ck.IsClock = true
+	if err := d.Connect(cb, "A", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(cb, "Y", ck); err != nil {
+		t.Fatal(err)
+	}
+	// A register gives the clock buffer a sink for the overlay.
+	ff, _ := d.AddInstance("ff", lib12.Smallest(cell.FuncDFF))
+	ff.Loc = geom.Pt(4, 7)
+	if err := d.Connect(ff, "CK", ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ff, "D", nb); err != nil {
+		t.Fatal(err)
+	}
+	fq, _ := d.AddNet("fq")
+	if err := d.Connect(ff, "Q", fq); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLayoutSVG(t *testing.T) {
+	d := layoutFixture(t)
+	var sb strings.Builder
+	svg := &LayoutSVG{Design: d, Outline: geom.R(0, 0, 10, 10), Tiers: 1}
+	if err := svg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 9-track cell green, 12-track blue, macro gray, clock red.
+	for _, c := range []string{"#6aa84f", "#3c78d8", "#555555", "#e06666"} {
+		if !strings.Contains(out, c) {
+			t.Errorf("missing colour %s", c)
+		}
+	}
+	// Tier filtering: a tier-top 3-D view must include only the 9T cell.
+	var sb2 strings.Builder
+	svg2 := &LayoutSVG{Design: d, Outline: geom.R(0, 0, 10, 10), Tiers: 2, Tier: tech.TierTop}
+	if err := svg2.Write(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "#3c78d8") {
+		t.Error("top-tier view leaked bottom-tier cells")
+	}
+	if !strings.Contains(sb2.String(), "#6aa84f") {
+		t.Error("top-tier view lost its cell")
+	}
+}
+
+func TestOverlays(t *testing.T) {
+	d := layoutFixture(t)
+	ck := ClockOverlay(d, 1, tech.TierBottom)
+	if len(ck.Lines) == 0 {
+		t.Error("clock overlay empty")
+	}
+	in, out := MemoryOverlay(d)
+	if len(in.Lines) != 1 || len(out.Lines) != 1 {
+		t.Errorf("memory overlay lines = %d/%d, want 1/1", len(in.Lines), len(out.Lines))
+	}
+	p := sta.Path{}
+	if ov := PathOverlay(p); len(ov.Lines) != 0 {
+		t.Error("empty path should have no lines")
+	}
+	// Overlays render into the SVG.
+	var sb strings.Builder
+	svg := &LayoutSVG{
+		Design: d, Outline: geom.R(0, 0, 10, 10), Tiers: 1,
+		Overlays: []Overlay{ck, in, out},
+	}
+	if err := svg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<line") {
+		t.Error("overlay lines not drawn")
+	}
+}

@@ -1,0 +1,139 @@
+// Package report renders the evaluation's tables and figures: aligned
+// text tables matching the paper's layout, ASCII density heatmaps, and
+// SVG layout plots for the Fig. 3/4 views.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table with a title and column headers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless they are
+// strings or implement fmt.Stringer.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of pre-formatted strings.
+func (t *Table) AddRowf(cells ...string) { t.rows = append(t.rows, cells) }
+
+// trimFloat renders floats compactly with adaptive precision.
+func trimFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := width[i] - len(c)
+			if i == 0 {
+				// First column left-aligned.
+				sb.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, wd := range width {
+		total += wd + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// Fig1 renders the five technology/design configurations of the paper's
+// Fig. 1 as ASCII stack diagrams.
+func Fig1() string {
+	return `Fig. 1 — Five configurations of 2-D and 3-D with 9- and 12-track cells
+
+ (a) 2D-12T          (b) 2D-9T           (c) M3D-9T
+ +--------------+    +--------------+    +-----------+
+ | 12T @ 0.90 V |    |  9T @ 0.81 V |    | 9T top    |
+ +--------------+    +--------------+    +-----------+
+                                         | 9T bottom |
+                                         +-----------+
+
+ (d) M3D-12T         (e) Hetero-M3D (9+12T)
+ +------------+      +---------------------------+
+ | 12T top    |      |  9T @ 0.81 V (low power)  |  ← slow/cheap die
+ +------------+      +---------------------------+
+ | 12T bottom |      | 12T @ 0.90 V (fast)       |  ← timing-critical die
+ +------------+      +---------------------------+
+ MIV-dense sequential integration; no level shifters
+ (V_DDH − V_DDL = 0.09 V < 0.3 × V_DDH).
+`
+}

@@ -1,0 +1,111 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// CongestionMap holds per-bin routing demand vs supply for one direction
+// pair. Demand comes from the actual Steiner segments of every signal
+// net; supply from the stack's track capacity.
+type CongestionMap struct {
+	Grid *geom.Grid
+	// DemandH/DemandV are routed wire length per bin (µm) by direction.
+	DemandH, DemandV *geom.Histogram
+	// SupplyH and SupplyV are the per-bin routable wirelength capacity.
+	SupplyH, SupplyV float64
+}
+
+// Congestion routes every signal net and accumulates segment length into
+// direction-separated bins. Overflowing bins are where a real router would
+// detour — the evaluation uses the overflow fraction as its routability
+// signal (LDPC's wire-dominance shows up here).
+func (r *Router) Congestion(d *netlist.Design, outline geom.Rect, nx, ny int) (*CongestionMap, error) {
+	grid, err := geom.NewGrid(outline, nx, ny)
+	if err != nil {
+		return nil, fmt.Errorf("route: congestion grid: %w", err)
+	}
+	cm := &CongestionMap{
+		Grid:    grid,
+		DemandH: geom.NewHistogram(grid),
+		DemandV: geom.NewHistogram(grid),
+	}
+	bw, bh := grid.BinSize()
+	// Tracks per bin × bin span = routable µm per bin.
+	cm.SupplyH = r.Stack.RoutingCapacityPerUm(true) * bh * bw
+	cm.SupplyV = r.Stack.RoutingCapacityPerUm(false) * bw * bh
+
+	for _, n := range d.Nets {
+		if n.IsClock {
+			continue
+		}
+		tree := r.NetTree(n, true)
+		for _, s := range tree.Segments {
+			addSegment(cm, s)
+		}
+	}
+	return cm, nil
+}
+
+// addSegment smears a segment's length across the bins it traverses.
+func addSegment(cm *CongestionMap, s Segment) {
+	h := cm.DemandV
+	if s.Horizontal() {
+		h = cm.DemandH
+	}
+	length := s.Length()
+	if length == 0 {
+		return
+	}
+	// Walk the segment bin by bin.
+	steps := 1 + int(length/minDim(cm.Grid))
+	if steps > 64 {
+		steps = 64
+	}
+	per := length / float64(steps)
+	for i := 0; i < steps; i++ {
+		f := (float64(i) + 0.5) / float64(steps)
+		p := geom.Pt(s.A.X+(s.B.X-s.A.X)*f, s.A.Y+(s.B.Y-s.A.Y)*f)
+		h.AddPoint(p, per)
+	}
+}
+
+func minDim(g *geom.Grid) float64 {
+	w, h := g.BinSize()
+	if w < h {
+		return w
+	}
+	return h
+}
+
+// OverflowFraction returns the fraction of bins whose demand exceeds
+// supply in either direction.
+func (cm *CongestionMap) OverflowFraction() float64 {
+	over := 0
+	for i := range cm.DemandH.Vals {
+		if cm.DemandH.Vals[i] > cm.SupplyH || cm.DemandV.Vals[i] > cm.SupplyV {
+			over++
+		}
+	}
+	return float64(over) / float64(cm.Grid.Bins())
+}
+
+// MaxUtilization returns the worst bin demand/supply ratio.
+func (cm *CongestionMap) MaxUtilization() float64 {
+	worst := 0.0
+	for i := range cm.DemandH.Vals {
+		if cm.SupplyH > 0 {
+			if u := cm.DemandH.Vals[i] / cm.SupplyH; u > worst {
+				worst = u
+			}
+		}
+		if cm.SupplyV > 0 {
+			if u := cm.DemandV.Vals[i] / cm.SupplyV; u > worst {
+				worst = u
+			}
+		}
+	}
+	return worst
+}

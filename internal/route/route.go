@@ -1,0 +1,190 @@
+package route
+
+import (
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Router estimates wiring over a given BEOL stack and MIV technology.
+type Router struct {
+	Stack tech.Stack
+	MIV   tech.MIV
+	// MIVClusterRadius groups minority-tier pins of a cross-tier net: one
+	// MIV serves all pins within this radius (µm).
+	MIVClusterRadius float64
+	// WLMPerSinkFF, when positive, switches Extract to a pre-placement
+	// wire-load model: every sink contributes this much wire capacitance
+	// (and the matching resistance) regardless of geometry. Synthesis-
+	// stage sizing uses it before any placement exists.
+	WLMPerSinkFF float64
+}
+
+// New returns a Router over the standard signal stack and default MIV.
+func New() *Router {
+	return &Router{
+		Stack:            tech.NewSignalStack(),
+		MIV:              tech.DefaultMIV(),
+		MIVClusterRadius: 10,
+	}
+}
+
+// NetTree routes a net's pins (driver first) into a Steiner estimate.
+func (r *Router) NetTree(n *netlist.Net, keepSegments bool) Tree {
+	return RSMT(n.PinLocs(), keepSegments)
+}
+
+// NetWirelength returns the Steiner wirelength of one net in µm.
+func (r *Router) NetWirelength(n *netlist.Net) float64 {
+	return r.NetTree(n, false).Length
+}
+
+// Wirelength sums Steiner wirelength over the design. Clock nets are
+// reported separately: before CTS they are a single star that would
+// dwarf the signal estimate, and after CTS the clock tree owns them.
+func (r *Router) Wirelength(d *netlist.Design) (signal, clock float64) {
+	for _, n := range d.Nets {
+		wl := r.NetWirelength(n)
+		if n.IsClock {
+			clock += wl
+		} else {
+			signal += wl
+		}
+	}
+	return signal, clock
+}
+
+// CountMIVs estimates the monolithic inter-tier vias a 3-D net needs: the
+// signal originates on the driver's tier and descends (or ascends) once
+// near each spatial cluster of pins on the opposite tier — nearby pins
+// share a via, far-apart clusters each get their own. Returns 0 for
+// single-tier nets.
+func (r *Router) CountMIVs(n *netlist.Net) int {
+	var pins [2][]geom.Point
+	driverTier := tech.TierBottom
+	if n.Driver.Valid() {
+		driverTier = n.Driver.Inst.Tier
+		pins[driverTier] = append(pins[driverTier], n.Driver.Loc())
+	}
+	for _, s := range n.Sinks {
+		pins[s.Inst.Tier] = append(pins[s.Inst.Tier], s.Loc())
+	}
+	if len(pins[0]) == 0 || len(pins[1]) == 0 {
+		return 0
+	}
+	return clusterCount(pins[driverTier.Other()], r.MIVClusterRadius)
+}
+
+// clusterCount greedily groups points within radius of a cluster seed.
+func clusterCount(pts []geom.Point, radius float64) int {
+	taken := make([]bool, len(pts))
+	clusters := 0
+	for i := range pts {
+		if taken[i] {
+			continue
+		}
+		clusters++
+		taken[i] = true
+		for j := i + 1; j < len(pts); j++ {
+			if !taken[j] && pts[i].ManhattanDist(pts[j]) <= radius {
+				taken[j] = true
+			}
+		}
+	}
+	return clusters
+}
+
+// TotalMIVs sums the MIV estimate over all nets (clock included — the 3-D
+// clock tree crosses tiers too).
+func (r *Router) TotalMIVs(d *netlist.Design) int {
+	total := 0
+	for _, n := range d.Nets {
+		total += r.CountMIVs(n)
+	}
+	return total
+}
+
+// NetRC is the lumped extraction of one net for timing and power.
+type NetRC struct {
+	// WireLen is the Steiner length in µm.
+	WireLen float64
+	// WireCap is the total wire capacitance in fF (including MIV caps).
+	WireCap float64
+	// SinkR[i] is the wire resistance from driver to sink i in kΩ
+	// (tree-path resistance, for the Elmore term).
+	SinkR []float64
+	// SinkCapShare[i] is the wire capacitance charged through SinkR[i]
+	// (half the path's distributed cap, Elmore style).
+	SinkCapShare []float64
+	// MIVs is the inter-tier via count on the net.
+	MIVs int
+}
+
+// Extract computes the lumped RC view of a net over the router's stack.
+// Wire R/C use the stack averages (signal routing spreads across layers);
+// each MIV adds its R in series (approximated onto every sink path of a
+// crossing net) and its C to the total. With WLMPerSinkFF set the
+// geometric estimate is replaced by the wire-load model.
+func (r *Router) Extract(n *netlist.Net) *NetRC {
+	if r.WLMPerSinkFF > 0 {
+		return r.extractWLM(n)
+	}
+	return r.extractGeometric(n)
+}
+
+// extractWLM is the pre-placement wire-load model: per-sink fixed wire
+// cap, matching resistance via the stack's average RC, no MIVs.
+func (r *Router) extractWLM(n *netlist.Net) *NetRC {
+	avgR, avgC := r.Stack.AvgR(), r.Stack.AvgC()
+	perLen := r.WLMPerSinkFF / avgC // µm of wire per sink
+	sinks := len(n.Sinks) + len(n.SinkPorts)
+	rc := &NetRC{
+		WireLen: perLen * float64(sinks),
+		WireCap: r.WLMPerSinkFF * float64(sinks),
+	}
+	for i := 0; i < sinks; i++ {
+		rc.SinkR = append(rc.SinkR, perLen*avgR)
+		rc.SinkCapShare = append(rc.SinkCapShare, r.WLMPerSinkFF/2)
+	}
+	return rc
+}
+
+func (r *Router) extractGeometric(n *netlist.Net) *NetRC {
+	tree := r.NetTree(n, false)
+	avgR, avgC := r.Stack.AvgR(), r.Stack.AvgC()
+	rc := &NetRC{
+		WireLen: tree.Length,
+		WireCap: tree.Length * avgC,
+		MIVs:    r.CountMIVs(n),
+	}
+	rc.WireCap += float64(rc.MIVs) * r.MIV.C
+
+	// Per-sink path resistance from the tree, in pin order. RSMT dedups
+	// coincident pins, so map by location.
+	pathByLoc := make(map[geom.Point]float64)
+	locs := dedup(n.PinLocs())
+	for i, l := range locs[1:] {
+		pathByLoc[l] = tree.SinkPathLen[i]
+	}
+	crossing := rc.MIVs > 0
+	appendSink := func(loc geom.Point, otherTier bool) {
+		pl := pathByLoc[loc]
+		res := pl * avgR
+		if crossing && otherTier {
+			res += r.MIV.R
+		}
+		rc.SinkR = append(rc.SinkR, res)
+		rc.SinkCapShare = append(rc.SinkCapShare, pl*avgC/2)
+	}
+	driverTier := tech.TierBottom
+	if n.Driver.Valid() {
+		driverTier = n.Driver.Inst.Tier
+	}
+	for _, s := range n.Sinks {
+		appendSink(s.Loc(), s.Inst.Tier != driverTier)
+	}
+	for _, p := range n.SinkPorts {
+		appendSink(p.Loc, false)
+	}
+	return rc
+}

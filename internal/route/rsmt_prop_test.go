@@ -1,0 +1,157 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// Deeper RSMT properties beyond the basic bound checks in route_test.go.
+
+// Property: the Steiner estimate never exceeds the plain L-routed MST
+// (overlap merging can only remove length), and both stay within the
+// star upper bound.
+func TestRSMTNeverWorseThanStarOrMST(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*200, rng.Float64()*200)
+		}
+		tr := RSMT(pts, false)
+
+		// Plain Prim MST length.
+		mst := primLength(pts)
+		if tr.Length > mst+1e-6 {
+			return false
+		}
+		// And the MST itself is at most the star.
+		star := 0.0
+		for _, p := range pts[1:] {
+			star += pts[0].ManhattanDist(p)
+		}
+		return mst <= star+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func primLength(pts []geom.Point) float64 {
+	n := len(pts)
+	in := make([]bool, n)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	total := 0.0
+	for k := 0; k < n; k++ {
+		best, bd := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !in[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		in[best] = true
+		total += bd
+		for i := 0; i < n; i++ {
+			if !in[i] {
+				if d := pts[best].ManhattanDist(pts[i]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Property: translation invariance — shifting every pin shifts the tree
+// but not its length.
+func TestRSMTTranslationInvariant(t *testing.T) {
+	f := func(seed int64, dx, dy int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		pts := make([]geom.Point, n)
+		moved := make([]geom.Point, n)
+		off := geom.Pt(float64(dx), float64(dy))
+		for i := range pts {
+			pts[i] = geom.Pt(float64(rng.Intn(100)), float64(rng.Intn(100)))
+			moved[i] = pts[i].Add(off)
+		}
+		a := RSMT(pts, false).Length
+		b := RSMT(moved, false).Length
+		return math.Abs(a-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sink path lengths are at least the Manhattan distance from
+// the root (tree paths cannot beat the direct route) and the tree length
+// is at least the longest path.
+func TestRSMTPathLengthBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		pts := make([]geom.Point, n)
+		seen := map[geom.Point]bool{}
+		for i := range pts {
+			for {
+				p := geom.Pt(float64(rng.Intn(64)), float64(rng.Intn(64)))
+				if !seen[p] {
+					seen[p] = true
+					pts[i] = p
+					break
+				}
+			}
+		}
+		tr := RSMT(pts, false)
+		if len(tr.SinkPathLen) != n-1 {
+			return false
+		}
+		for i, pl := range tr.SinkPathLen {
+			direct := pts[0].ManhattanDist(pts[i+1])
+			if pl < direct-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a pin on an existing tree segment's endpoint set never
+// decreases the length by more than zero (monotone under pin insertion is
+// NOT generally true for Steiner trees, but length must stay ≥ the
+// 2-pin distance between the two farthest points).
+func TestRSMTDiameterLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		tr := RSMT(pts, false)
+		diam := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := pts[i].ManhattanDist(pts[j]); d > diam {
+					diam = d
+				}
+			}
+		}
+		return tr.Length >= diam-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package spice
+
+import (
+	"fmt"
+
+	"repro/internal/tech"
+)
+
+// CaseResult is one column of Table II or III.
+type CaseResult struct {
+	Name   string
+	Tier0  string // driver-side library ("fast"/"slow")
+	Tier1  string
+	M      Measurement
+	Phase2 bool // second case pair (slow-driver cases III/IV)
+}
+
+// DeltaPct returns the percent change of each metric between two cases,
+// in the table's Δ% convention.
+func DeltaPct(base, alt Measurement) Measurement {
+	d := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return (b - a) / a * 100
+	}
+	return Measurement{
+		RiseSlew:  d(base.RiseSlew, alt.RiseSlew),
+		FallSlew:  d(base.FallSlew, alt.FallSlew),
+		RiseDelay: d(base.RiseDelay, alt.RiseDelay),
+		FallDelay: d(base.FallDelay, alt.FallDelay),
+		Leakage:   d(base.Leakage, alt.Leakage),
+		TotalPow:  d(base.TotalPow, alt.TotalPow),
+	}
+}
+
+const fanout = 4
+
+// DriverOutputExperiment reproduces Table II (Fig. 2a): the DUT driver
+// sits on Tier-0 and its four load inverters on Tier-1; heterogeneity
+// changes the load gate capacitance the driver sees.
+//
+//	Case I:  fast driver, fast loads     Case II:  fast driver, slow loads
+//	Case III: slow driver, slow loads    Case IV:  slow driver, fast loads
+func DriverOutputExperiment(fast, slow tech.Variant, opt SimOptions) ([]CaseResult, error) {
+	pf, ps := ParamsFor(fast), ParamsFor(slow)
+	cases := []struct {
+		name        string
+		driver      InverterParams
+		load        InverterParams
+		t0, t1      string
+		secondPhase bool
+	}{
+		{"Case-I", pf, pf, "fast", "fast", false},
+		{"Case-II", pf, ps, "fast", "slow", false},
+		{"Case-III", ps, ps, "slow", "slow", true},
+		{"Case-IV", ps, pf, "slow", "fast", true},
+	}
+	out := make([]CaseResult, 0, len(cases))
+	for _, c := range cases {
+		m, err := SimulateFO4(c.driver, fanout*c.load.CGate, c.driver.VDD, opt)
+		if err != nil {
+			return nil, fmt.Errorf("spice: %s: %w", c.name, err)
+		}
+		out = append(out, CaseResult{Name: c.name, Tier0: c.t0, Tier1: c.t1, M: m, Phase2: c.secondPhase})
+	}
+	return out, nil
+}
+
+// DriverInputExperiment reproduces Table III (Fig. 2b): driver and loads
+// share a tier, but the driver's gate is driven from the other tier, so
+// its input swings to the other library's VDD.
+//
+//	Left pair:  fast cell, input from fast (I) vs slow (II) tier.
+//	Right pair: slow cell, input from slow (I) vs fast (II) tier.
+func DriverInputExperiment(fast, slow tech.Variant, opt SimOptions) ([]CaseResult, error) {
+	pf, ps := ParamsFor(fast), ParamsFor(slow)
+	cases := []struct {
+		name        string
+		dut         InverterParams
+		vinHigh     float64
+		t0, t1      string
+		secondPhase bool
+	}{
+		{"Case-I", pf, pf.VDD, "fast", "fast", false},
+		{"Case-II", pf, ps.VDD, "slow", "fast", false},
+		{"Case-I", ps, ps.VDD, "slow", "slow", true},
+		{"Case-II", ps, pf.VDD, "fast", "slow", true},
+	}
+	out := make([]CaseResult, 0, len(cases))
+	for _, c := range cases {
+		// Input high above the cell's own VDD clamps at VDD (protection
+		// diodes); the interesting effect is VDD-overdrive on timing and
+		// the sub-VDD case's leakage.
+		vin := c.vinHigh
+		m, err := SimulateFO4(c.dut, fanout*c.dut.CGate, vin, opt)
+		if err != nil {
+			return nil, fmt.Errorf("spice: input experiment %s: %w", c.name, err)
+		}
+		out = append(out, CaseResult{Name: c.name, Tier0: c.t0, Tier1: c.t1, M: m, Phase2: c.secondPhase})
+	}
+	return out, nil
+}
+
+// VoltageCompatible mirrors the paper's level-shifter-free criterion at
+// the device level: the input high from the other tier must exceed the
+// switching thresholds with margin (V_DDH − V_DDL < 0.3 × V_DDH,
+// Sec. II-B).
+func VoltageCompatible(a, b tech.Variant) bool {
+	return tech.HeteroCompatible(a, b)
+}

@@ -1,0 +1,181 @@
+package spice
+
+import (
+	"fmt"
+)
+
+// SimOptions controls the transient simulation.
+type SimOptions struct {
+	// Dt is the integration step in ns.
+	Dt float64
+	// InputSlew is the 0→100 % ramp time of the stimulus in ns.
+	InputSlew float64
+	// HalfPeriod is the time between input edges in ns (must allow full
+	// settling).
+	HalfPeriod float64
+}
+
+// DefaultSimOptions returns settings adequate for 28 nm FO-4 stages.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{Dt: 5e-5, InputSlew: 0.016, HalfPeriod: 0.5}
+}
+
+// Measurement is the FO-4 characterization result. Times in ns, power in
+// µW, matching Tables II/III (the paper prints times in picoseconds; the
+// table renderer converts).
+type Measurement struct {
+	RiseSlew  float64 // output 10→90 % rise time
+	FallSlew  float64 // output 90→10 % fall time
+	RiseDelay float64 // input 50 % fall → output 50 % rise
+	FallDelay float64 // input 50 % rise → output 50 % fall
+	Leakage   float64 // static power, µW
+	TotalPow  float64 // average switching + static power, µW
+}
+
+// SimulateFO4 drives one inverter (the DUT) loaded by four load-inverter
+// gate capacitances plus its own drain capacitance, with an input ramp
+// swinging 0 → vinHigh. The load cells' gate caps come from loadGateCap
+// (4× one load inverter input). Returns the measured output transitions
+// and power.
+//
+// Heterogeneity knobs:
+//   - different load library → loadGateCap changes (Fig. 2a, Table II);
+//   - different input-driver library → vinHigh ≠ DUT VDD (Fig. 2b,
+//     Table III).
+func SimulateFO4(dut InverterParams, loadGateCap, vinHigh float64, opt SimOptions) (Measurement, error) {
+	if err := dut.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	if vinHigh <= dut.VtN {
+		return Measurement{}, fmt.Errorf("spice: input high %v below NMOS threshold %v — signal cannot register", vinHigh, dut.VtN)
+	}
+	if opt.Dt <= 0 || opt.HalfPeriod <= 10*opt.InputSlew {
+		return Measurement{}, fmt.Errorf("spice: invalid sim options %+v", opt)
+	}
+
+	cOut := dut.CDrain + loadGateCap
+
+	// Input waveform: low until t0, ramp up over InputSlew, high until
+	// t0+HalfPeriod, ramp down, low until end. Two edges = one full
+	// output fall + rise.
+	t0 := 0.05
+	tEdge2 := t0 + opt.HalfPeriod
+	tEnd := tEdge2 + opt.HalfPeriod
+	vin := func(t float64) float64 {
+		switch {
+		case t < t0:
+			return 0
+		case t < t0+opt.InputSlew:
+			return vinHigh * (t - t0) / opt.InputSlew
+		case t < tEdge2:
+			return vinHigh
+		case t < tEdge2+opt.InputSlew:
+			return vinHigh * (1 - (t-tEdge2)/opt.InputSlew)
+		default:
+			return 0
+		}
+	}
+
+	// Start at the static high state (input low → output high-ish).
+	vout, _ := dut.staticOperatingPoint(0)
+	var tr trace
+	energy := 0.0 // supply energy, fJ (µA × V × ns)
+	for t := 0.0; t < tEnd; t += opt.Dt {
+		vi := vin(t)
+		// Trapezoidal-ish: two half steps (Heun's method).
+		i1 := dut.outputCurrent(vi, vout)
+		vPred := vout + i1/cOut*opt.Dt
+		vPred = clampV(vPred, dut.VDD)
+		i2 := dut.outputCurrent(vin(t+opt.Dt), vPred)
+		vout = clampV(vout+(i1+i2)/2/cOut*opt.Dt, dut.VDD)
+		iSupply := dut.pmosCurrent(vi, vout)
+		energy += iSupply * dut.VDD * opt.Dt // µA × V × ns = µW·ns
+		tr.record(t, vi, vout)
+	}
+
+	m := Measurement{Leakage: dut.StaticLeakagePower(vinHigh)}
+	var err error
+	if m.FallDelay, m.FallSlew, err = tr.fallingEdge(t0+opt.InputSlew/2, dut.VDD); err != nil {
+		return m, err
+	}
+	if m.RiseDelay, m.RiseSlew, err = tr.risingEdge(tEdge2+opt.InputSlew/2, dut.VDD); err != nil {
+		return m, err
+	}
+	// Total power: average supply power over the full period plus static
+	// leakage (µW·ns / ns = µW).
+	m.TotalPow = energy/tEnd + m.Leakage
+	return m, nil
+}
+
+func clampV(v, vdd float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	// Allow a hair above VDD for numeric safety; currents pull it back.
+	if v > vdd*1.05 {
+		return vdd * 1.05
+	}
+	return v
+}
+
+// trace stores sampled waveforms for post-processing.
+type trace struct {
+	t, vin, vout []float64
+}
+
+func (tr *trace) record(t, vi, vo float64) {
+	tr.t = append(tr.t, t)
+	tr.vin = append(tr.vin, vi)
+	tr.vout = append(tr.vout, vo)
+}
+
+// crossAfter finds the first time vout crosses level (in the given
+// direction) after tStart, with linear interpolation.
+func (tr *trace) crossAfter(tStart, level float64, rising bool) (float64, error) {
+	for i := 1; i < len(tr.t); i++ {
+		if tr.t[i] < tStart {
+			continue
+		}
+		a, b := tr.vout[i-1], tr.vout[i]
+		if rising && a < level && b >= level || !rising && a > level && b <= level {
+			f := (level - a) / (b - a)
+			return tr.t[i-1] + f*(tr.t[i]-tr.t[i-1]), nil
+		}
+	}
+	return 0, fmt.Errorf("spice: output never crossed %v after %v", level, tStart)
+}
+
+// fallingEdge measures the output falling transition launched by the
+// input edge at tIn50 (input 50 % crossing).
+func (tr *trace) fallingEdge(tIn50, vdd float64) (delay, slew float64, err error) {
+	t50, err := tr.crossAfter(tIn50, 0.5*vdd, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	t90, err := tr.crossAfter(tIn50, 0.9*vdd, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	t10, err := tr.crossAfter(t90, 0.1*vdd, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t50 - tIn50, t10 - t90, nil
+}
+
+// risingEdge measures the output rising transition launched at tIn50.
+func (tr *trace) risingEdge(tIn50, vdd float64) (delay, slew float64, err error) {
+	t50, err := tr.crossAfter(tIn50, 0.5*vdd, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	t10, err := tr.crossAfter(tIn50, 0.1*vdd, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	t90, err := tr.crossAfter(t10, 0.9*vdd, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t50 - tIn50, t90 - t10, nil
+}

@@ -1,0 +1,125 @@
+// Package sta implements graph-based static timing analysis over a placed
+// and extracted design: NLDM delay/slew lookup, Elmore wire delays, slew
+// propagation, setup checks against a clock with per-register latency,
+// WNS/TNS, per-cell worst slack (the criticality metric feeding the
+// timing-based partitioner), and K-worst critical path extraction.
+//
+// Heterogeneous 3-D designs get the paper's boundary-cell derates
+// (Tables II/III) applied to any cell whose input or output nets cross
+// tiers.
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/route"
+)
+
+// node indices: one timing node per instance (its output pin). Ports and
+// register D-pins are handled as graph sources/endpoints rather than
+// separate nodes.
+
+// graph is the levelized combinational view of a design.
+type graph struct {
+	d *netlist.Design
+	// order lists combinational instances in topological order.
+	order []*netlist.Instance
+	// fanin[id] lists the driving instances of instance id's inputs
+	// (excluding clock pins and port-driven inputs).
+	faninCount []int
+}
+
+// buildGraph levelizes the combinational portion of the design. Sequential
+// cells and macros are timing sources (their outputs launch) and sinks
+// (their D inputs capture); combinational loops are an error.
+func buildGraph(d *netlist.Design) (*graph, error) {
+	g := &graph{d: d, faninCount: make([]int, len(d.Instances))}
+
+	isSource := func(inst *netlist.Instance) bool {
+		f := inst.Master.Function
+		return f.IsSequential() || f.IsMacro()
+	}
+
+	// Count combinational fanins per instance.
+	for _, inst := range d.Instances {
+		if isSource(inst) {
+			continue // sources enter the order immediately
+		}
+		for i, p := range inst.Master.Pins {
+			if p.Dir != cell.DirIn {
+				continue
+			}
+			n := d.NetAt(inst, i)
+			if n == nil || !n.Driver.Valid() {
+				continue // port-driven or floating
+			}
+			if !isSource(n.Driver.Inst) {
+				g.faninCount[inst.ID]++
+			}
+		}
+	}
+
+	// Kahn's algorithm: sources first, then zero-fanin combinational.
+	remaining := make([]int, len(d.Instances))
+	copy(remaining, g.faninCount)
+	queue := make([]*netlist.Instance, 0, len(d.Instances))
+	for _, inst := range d.Instances {
+		if isSource(inst) || remaining[inst.ID] == 0 {
+			queue = append(queue, inst)
+		}
+	}
+	g.order = make([]*netlist.Instance, 0, len(d.Instances))
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		g.order = append(g.order, inst)
+		out := d.OutputNet(inst)
+		if out == nil {
+			continue
+		}
+		for _, s := range out.Sinks {
+			sk := s.Inst
+			if isSource(sk) || s.Spec().Dir == cell.DirClk {
+				continue
+			}
+			remaining[sk.ID]--
+			if remaining[sk.ID] == 0 {
+				queue = append(queue, sk)
+			}
+		}
+	}
+	if len(g.order) != len(d.Instances) {
+		return nil, fmt.Errorf("sta: combinational cycle detected (%d of %d instances levelized)",
+			len(g.order), len(d.Instances))
+	}
+	return g, nil
+}
+
+// TopoOrder returns the design's instances levelized source-first:
+// sequential cells and macros lead, then combinational cells in
+// dependency order. Power analysis reuses this for activity propagation.
+func TopoOrder(d *netlist.Design) ([]*netlist.Instance, error) {
+	g, err := buildGraph(d)
+	if err != nil {
+		return nil, err
+	}
+	return g.order, nil
+}
+
+// extraction caches per-net RC data for one analysis run.
+type extraction struct {
+	rc []*route.NetRC // by net ID
+}
+
+func extractAll(d *netlist.Design, r *route.Router) *extraction {
+	ex := &extraction{rc: make([]*route.NetRC, len(d.Nets))}
+	for _, n := range d.Nets {
+		if n.IsClock {
+			continue // clock timing comes from the CTS latency model
+		}
+		ex.rc[n.ID] = r.Extract(n)
+	}
+	return ex
+}

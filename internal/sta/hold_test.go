@@ -1,0 +1,172 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// shiftRegister builds ff0.Q → ff1.D back to back with no logic — the
+// classic hold-risk structure.
+func shiftRegister(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := netlist.New("shift")
+	clk, _ := d.AddNet("clk")
+	clk.IsClock = true
+	if _, err := d.AddPort("clk", cell.DirClk, clk); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := d.AddNet("in")
+	if _, err := d.AddPort("in", cell.DirIn, in); err != nil {
+		t.Fatal(err)
+	}
+	dff := lib12.Smallest(cell.FuncDFF)
+	ff0, _ := d.AddInstance("ff0", dff)
+	ff1, _ := d.AddInstance("ff1", dff)
+	ff0.Loc = geom.Pt(0, 0)
+	ff1.Loc = geom.Pt(1, 0)
+	q0, _ := d.AddNet("q0")
+	q1, _ := d.AddNet("q1")
+	for _, c := range []struct {
+		i   *netlist.Instance
+		pin string
+		n   *netlist.Net
+	}{
+		{ff0, "D", in}, {ff0, "CK", clk}, {ff0, "Q", q0},
+		{ff1, "D", q0}, {ff1, "CK", clk}, {ff1, "Q", q1},
+	} {
+		if err := d.Connect(c.i, c.pin, c.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.AddPort("out", cell.DirOut, q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestHoldMetWithBalancedClock(t *testing.T) {
+	d := shiftRegister(t)
+	res, err := Analyze(d, DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clk→Q delay comfortably exceeds the 2 ps hold requirement.
+	if res.HoldWNS <= 0 {
+		t.Errorf("hold should be met on a zero-skew shift register: %v", res.HoldWNS)
+	}
+	if res.FailingHoldEndpoints != 0 || res.HoldTNS != 0 {
+		t.Errorf("unexpected hold failures: %d / %v", res.FailingHoldEndpoints, res.HoldTNS)
+	}
+}
+
+func TestHoldViolationUnderSkew(t *testing.T) {
+	d := shiftRegister(t)
+	cfg := DefaultConfig(1.0)
+	// Capture clock arrives much later than launch: classic hold hazard.
+	cfg.Latency = func(i *netlist.Instance) float64 {
+		if i.Name == "ff1" {
+			return 0.2
+		}
+		return 0
+	}
+	res, err := Analyze(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HoldWNS >= 0 {
+		t.Errorf("0.2 ns capture skew over a direct Q→D hop must violate hold, got %v", res.HoldWNS)
+	}
+	if res.FailingHoldEndpoints == 0 {
+		t.Error("no failing hold endpoints recorded")
+	}
+	if res.HoldTNS >= 0 {
+		t.Error("hold TNS should be negative")
+	}
+	// Setup benefits from the same skew.
+	if res.WNS <= 0 {
+		t.Errorf("setup should be comfortably met, WNS = %v", res.WNS)
+	}
+}
+
+func TestHoldMinPathSelectsShortBranch(t *testing.T) {
+	// ff0 → (direct) ff1 and ff0 → 6 inverters → ff2: the direct branch
+	// sets ff1's hold slack, the long branch gives ff2 much more margin.
+	d := shiftRegister(t)
+	clk := d.Net("clk")
+	cur := d.Net("q0")
+	for i := 0; i < 6; i++ {
+		inv, _ := d.AddInstance("i"+itoa(i), lib12.Smallest(cell.FuncInv))
+		if err := d.Connect(inv, "A", cur); err != nil {
+			t.Fatal(err)
+		}
+		nn, _ := d.AddNet("nn" + itoa(i))
+		if err := d.Connect(inv, "Y", nn); err != nil {
+			t.Fatal(err)
+		}
+		cur = nn
+	}
+	ff2, _ := d.AddInstance("ff2", lib12.Smallest(cell.FuncDFF))
+	if err := d.Connect(ff2, "D", cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ff2, "CK", clk); err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := d.AddNet("q2")
+	if err := d.Connect(ff2, "Q", q2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out2", cell.DirOut, q2); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Analyze(d, DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst hold still comes from the direct hop, not the six-inverter
+	// branch (which would have ≥6 stage delays of margin): the
+	// design-wide HoldWNS stays within a couple of picoseconds of the
+	// bare shift register's (the extra q0 load slows clk→Q slightly).
+	base, err := Analyze(shiftRegister(t), DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HoldWNS > base.HoldWNS+0.005 {
+		t.Errorf("worst hold should track the direct hop: %v vs %v", res.HoldWNS, base.HoldWNS)
+	}
+}
+
+func TestHoldUnconstrainedDesign(t *testing.T) {
+	// Pure combinational design: no registered endpoints → hold trivially
+	// clean.
+	d := netlist.New("comb")
+	in, _ := d.AddNet("in")
+	if _, err := d.AddPort("in", cell.DirIn, in); err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := d.AddInstance("u", lib12.Smallest(cell.FuncInv))
+	if err := d.Connect(inv, "A", in); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := d.AddNet("o")
+	if err := d.Connect(inv, "Y", o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out", cell.DirOut, o); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(d, DefaultConfig(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailingHoldEndpoints != 0 {
+		t.Error("combinational design cannot fail hold")
+	}
+}

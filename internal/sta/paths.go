@@ -1,0 +1,164 @@
+package sta
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// PathStage is one cell on an extracted timing path.
+type PathStage struct {
+	Inst *netlist.Instance
+	// CellDelay is the stage's cell delay in ns.
+	CellDelay float64
+	// WireDelay is the delay of the wire into this stage in ns.
+	WireDelay float64
+}
+
+// Path is one extracted worst path, launch to capture.
+type Path struct {
+	// Stages run launch-first; the last stage is the endpoint's driver,
+	// with Endpoint naming the capturing element.
+	Stages []PathStage
+	// Endpoint is the capturing register/macro (nil for output ports).
+	Endpoint *netlist.Instance
+	// Slack is the endpoint setup slack in ns.
+	Slack float64
+}
+
+// CellDelaySum returns the total cell delay along the path.
+func (p *Path) CellDelaySum() float64 {
+	t := 0.0
+	for _, s := range p.Stages {
+		t += s.CellDelay
+	}
+	return t
+}
+
+// WireDelaySum returns the total wire delay along the path.
+func (p *Path) WireDelaySum() float64 {
+	t := 0.0
+	for _, s := range p.Stages {
+		t += s.WireDelay
+	}
+	return t
+}
+
+// Delay returns the total path delay (cells + wires).
+func (p *Path) Delay() float64 { return p.CellDelaySum() + p.WireDelaySum() }
+
+// CellsOnTier counts path stages on the given tier.
+func (p *Path) CellsOnTier(t tech.Tier) int {
+	n := 0
+	for _, s := range p.Stages {
+		if s.Inst.Tier == t {
+			n++
+		}
+	}
+	return n
+}
+
+// CellDelayOnTier sums cell delay of stages on the given tier.
+func (p *Path) CellDelayOnTier(t tech.Tier) float64 {
+	d := 0.0
+	for _, s := range p.Stages {
+		if s.Inst.Tier == t {
+			d += s.CellDelay
+		}
+	}
+	return d
+}
+
+// TierCrossings counts tier changes between consecutive stages — the MIV
+// count of the path's route.
+func (p *Path) TierCrossings() int {
+	n := 0
+	for i := 1; i < len(p.Stages); i++ {
+		if p.Stages[i].Inst.Tier != p.Stages[i-1].Inst.Tier {
+			n++
+		}
+	}
+	return n
+}
+
+// Wirelength sums the Manhattan stage-to-stage distance along the path —
+// the critical-path wirelength row of Table VIII.
+func (p *Path) Wirelength() float64 {
+	wl := 0.0
+	for i := 1; i < len(p.Stages); i++ {
+		wl += p.Stages[i].Inst.Loc.ManhattanDist(p.Stages[i-1].Inst.Loc)
+	}
+	return wl
+}
+
+// WirelengthOnTier attributes each stage-to-stage hop to the tier of its
+// receiving stage.
+func (p *Path) WirelengthOnTier(t tech.Tier) float64 {
+	wl := 0.0
+	for i := 1; i < len(p.Stages); i++ {
+		if p.Stages[i].Inst.Tier == t {
+			wl += p.Stages[i].Inst.Loc.ManhattanDist(p.Stages[i-1].Inst.Loc)
+		}
+	}
+	return wl
+}
+
+// CriticalPaths extracts up to k worst paths by endpoint slack, tracing
+// each endpoint's worst-arrival chain back to its launch point. One path
+// per endpoint (the standard "max_paths k, nworst 1" report).
+func (res *Result) CriticalPaths(k int) []Path {
+	eps := append([]endpoint{}, res.endSlack...)
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].slack != eps[j].slack {
+			return eps[i].slack < eps[j].slack
+		}
+		// Deterministic tie-break.
+		ii, ij := endpointID(eps[i]), endpointID(eps[j])
+		return ii < ij
+	})
+	if k > len(eps) {
+		k = len(eps)
+	}
+	out := make([]Path, 0, k)
+	for _, e := range eps[:k] {
+		p := Path{Endpoint: e.inst, Slack: e.slack}
+		// Walk the worst-arrival predecessor chain from the endpoint's
+		// driver back to a launch point.
+		var rev []PathStage
+		id := e.from
+		for id >= 0 {
+			inst := res.d.Instances[id]
+			rev = append(rev, PathStage{
+				Inst:      inst,
+				CellDelay: res.delay[id],
+				WireDelay: res.inWire[id],
+			})
+			f := inst.Master.Function
+			if f.IsSequential() || f.IsMacro() {
+				// The launch stage has no incoming data wire; its inWire
+				// slot belongs to the D-pin edge of the *previous* cycle.
+				rev[len(rev)-1].WireDelay = 0
+				break
+			}
+			id = res.pred[id]
+			if len(rev) > len(res.d.Instances) {
+				break // defensive: corrupt pred chain
+			}
+		}
+		// Reverse to launch-first order.
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		p.Stages = rev
+		out = append(out, p)
+	}
+	return out
+}
+
+func endpointID(e endpoint) int {
+	if e.inst != nil {
+		return e.inst.ID
+	}
+	return 1 << 30
+}

@@ -1,0 +1,390 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/tech"
+)
+
+// Config parameterizes one timing analysis.
+type Config struct {
+	// Period is the clock period in ns.
+	Period float64
+	// Router supplies the RC extraction; nil uses route.New().
+	Router *route.Router
+	// InputSlew is the transition time assumed at primary inputs and
+	// register clock pins, in ns.
+	InputSlew float64
+	// Latency returns the clock-tree arrival time at a sequential cell's
+	// clock pin; nil means an ideal (zero-latency, zero-skew) clock.
+	Latency func(*netlist.Instance) float64
+	// Hetero enables the boundary-cell derates for cross-tier nets.
+	Hetero bool
+	// Derates is the boundary derate model (DefaultDerates if zero and
+	// Hetero is set).
+	Derates tech.DerateModel
+	// FastTrack identifies the fast (higher-VDD) library of the pair.
+	FastTrack tech.Track
+}
+
+// DefaultConfig returns a Config for an ideal clock at the given period.
+func DefaultConfig(period float64) Config {
+	return Config{
+		Period:    period,
+		InputSlew: 0.02,
+		FastTrack: tech.Track12,
+	}
+}
+
+// Result carries the outcome of one analysis. Slices are indexed by
+// instance ID.
+type Result struct {
+	// WNS is the worst (minimum) endpoint slack in ns — positive when
+	// timing is met. TNS sums the negative endpoint slacks (0 when met).
+	WNS, TNS float64
+	// HoldWNS and HoldTNS are the min-path (hold) counterparts: the
+	// earliest D-pin arrival against capture latency plus the library
+	// hold requirement.
+	HoldWNS, HoldTNS float64
+	// Endpoints and FailingEndpoints count setup-check points.
+	Endpoints, FailingEndpoints int
+	// FailingHoldEndpoints counts hold violations.
+	FailingHoldEndpoints int
+
+	cfg     Config
+	d       *netlist.Design
+	arrOut  []float64 // arrival at each instance's output pin
+	reqOut  []float64 // required time at each instance's output pin
+	delay   []float64 // cell (stage) delay per instance
+	slewOut []float64 // output slew per instance
+	inWire  []float64 // wire delay of the worst incoming edge
+	pred    []int32   // worst-arrival predecessor instance ID (-1 = source/port)
+
+	// endpoint slacks for path tracing: instance endpoints (DFF D, macro
+	// A) and output ports.
+	endSlack []endpoint
+}
+
+type endpoint struct {
+	inst  *netlist.Instance // nil for output ports
+	port  *netlist.Port
+	from  int32 // driving instance ID (-1 if port-driven net)
+	slack float64
+	// hold is the hold-check slack (registered endpoints only); output
+	// ports carry +Inf.
+	hold float64
+}
+
+// Analyze runs full STA on the design.
+func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("sta: period %v must be positive", cfg.Period)
+	}
+	if cfg.Router == nil {
+		cfg.Router = route.New()
+	}
+	if cfg.InputSlew <= 0 {
+		cfg.InputSlew = 0.02
+	}
+	if cfg.Hetero && cfg.Derates == (tech.DerateModel{}) {
+		cfg.Derates = tech.DefaultDerates()
+	}
+	if cfg.FastTrack == 0 {
+		cfg.FastTrack = tech.Track12
+	}
+	g, err := buildGraph(d)
+	if err != nil {
+		return nil, err
+	}
+	ex := extractAll(d, cfg.Router)
+
+	n := len(d.Instances)
+	res := &Result{
+		cfg:    cfg,
+		d:      d,
+		arrOut: make([]float64, n),
+		reqOut: make([]float64, n),
+		delay:  make([]float64, n),
+		inWire: make([]float64, n),
+		pred:   make([]int32, n),
+	}
+	arrIn := make([]float64, n) // worst arrival at any input pin
+	arrMinIn := make([]float64, n)
+	arrMinOut := make([]float64, n)
+	slewIn := make([]float64, n) // worst input slew
+	res.slewOut = make([]float64, n)
+	slewOut := res.slewOut
+	for i := range arrIn {
+		arrIn[i] = 0
+		arrMinIn[i] = math.Inf(1)
+		slewIn[i] = cfg.InputSlew
+		res.pred[i] = -1
+		res.reqOut[i] = math.Inf(1)
+	}
+	// Instances with a port-driven or floating signal input can switch as
+	// early as t=0 on the min path.
+	for _, inst := range d.Instances {
+		for i, pin := range inst.Master.Pins {
+			if pin.Dir != cell.DirIn {
+				continue
+			}
+			nn := d.NetAt(inst, i)
+			if nn == nil || nn.DriverPort != nil {
+				arrMinIn[inst.ID] = 0
+				break
+			}
+		}
+	}
+
+	lat := cfg.Latency
+	if lat == nil {
+		lat = func(*netlist.Instance) float64 { return 0 }
+	}
+
+	// ---------- Forward pass: arrivals and slews ----------
+	for _, inst := range g.order {
+		f := inst.Master.Function
+		out := d.OutputNet(inst)
+
+		var load float64
+		var rc *route.NetRC
+		if out != nil {
+			rc = ex.rc[out.ID]
+			if rc != nil {
+				load = rc.WireCap + out.TotalPinCap()
+			} else {
+				load = out.TotalPinCap()
+			}
+		}
+
+		var arr, arrMin, slw float64
+		switch {
+		case f.IsSequential() || f.IsMacro():
+			// Launch: clock latency + CLK→Q (or access) delay.
+			d0 := inst.Master.Delay.Lookup(cfg.InputSlew, load)
+			s0 := inst.Master.OutSlew.Lookup(cfg.InputSlew, load)
+			d0, s0 = res.applyDerates(inst, out, d, d0, s0)
+			arr = lat(inst) + d0
+			arrMin = arr
+			slw = s0
+			res.delay[inst.ID] = d0
+		default:
+			d0 := inst.Master.Delay.Lookup(slewIn[inst.ID], load)
+			s0 := inst.Master.OutSlew.Lookup(slewIn[inst.ID], load)
+			d0, s0 = res.applyDerates(inst, out, d, d0, s0)
+			arr = arrIn[inst.ID] + d0
+			am := arrMinIn[inst.ID]
+			if math.IsInf(am, 1) {
+				am = 0
+			}
+			arrMin = am + d0
+			slw = s0
+			res.delay[inst.ID] = d0
+		}
+		res.arrOut[inst.ID] = arr
+		arrMinOut[inst.ID] = arrMin
+		slewOut[inst.ID] = slw
+
+		// Push to sinks.
+		if out == nil || rc == nil {
+			continue
+		}
+		for i, s := range out.Sinks {
+			if s.Spec().Dir == cell.DirClk {
+				continue
+			}
+			wd := tech.RCps(rc.SinkR[i], rc.SinkCapShare[i]+s.Spec().Cap)
+			a := arr + wd
+			sk := s.Inst.ID
+			if a > arrIn[sk] {
+				arrIn[sk] = a
+				res.pred[sk] = int32(inst.ID)
+				res.inWire[sk] = wd
+			}
+			if am := arrMin + wd; am < arrMinIn[sk] {
+				arrMinIn[sk] = am
+			}
+			if sw := slw + wd; sw > slewIn[sk] {
+				slewIn[sk] = sw
+			}
+		}
+	}
+
+	// ---------- Endpoint checks and backward required pass ----------
+	// Process instances in reverse topological order, accumulating
+	// required times through each net.
+	for i := len(g.order) - 1; i >= 0; i-- {
+		inst := g.order[i]
+		out := d.OutputNet(inst)
+		if out == nil {
+			continue
+		}
+		rc := ex.rc[out.ID]
+		if rc == nil {
+			continue
+		}
+		req := math.Inf(1)
+		si := 0
+		for _, s := range out.Sinks {
+			if s.Spec().Dir == cell.DirClk {
+				si++
+				continue
+			}
+			wd := tech.RCps(rc.SinkR[si], rc.SinkCapShare[si]+s.Spec().Cap)
+			si++
+			sk := s.Inst
+			var cand float64
+			switch {
+			case sk.Master.Function.IsSequential() || sk.Master.Function.IsMacro():
+				// Setup endpoint at the D/A pin, plus the hold check on
+				// the earliest arrival.
+				endReq := cfg.Period + lat(sk) - sk.Master.Setup
+				arrD := res.arrOut[inst.ID] + wd
+				slack := endReq - arrD
+				holdSlack := arrMinOut[inst.ID] + wd - lat(sk) - sk.Master.Hold
+				res.endSlack = append(res.endSlack, endpoint{inst: sk, from: int32(inst.ID), slack: slack, hold: holdSlack})
+				cand = endReq - wd
+			default:
+				cand = res.reqOut[sk.ID] - res.delay[sk.ID] - wd
+			}
+			if cand < req {
+				req = cand
+			}
+		}
+		for pi, p := range out.SinkPorts {
+			// Extract appends ports after every instance sink.
+			ri := len(out.Sinks) + pi
+			wd := tech.RCps(rc.SinkR[ri], rc.SinkCapShare[ri]+p.Cap)
+			arrP := res.arrOut[inst.ID] + wd
+			slack := cfg.Period - arrP
+			res.endSlack = append(res.endSlack, endpoint{port: p, from: int32(inst.ID), slack: slack, hold: math.Inf(1)})
+			if cand := cfg.Period - wd; cand < req {
+				req = cand
+			}
+		}
+		if req < res.reqOut[inst.ID] {
+			res.reqOut[inst.ID] = req
+		}
+	}
+
+	// ---------- Summaries ----------
+	res.WNS = math.Inf(1)
+	res.HoldWNS = math.Inf(1)
+	for _, e := range res.endSlack {
+		res.Endpoints++
+		if e.slack < res.WNS {
+			res.WNS = e.slack
+		}
+		if e.slack < 0 {
+			res.FailingEndpoints++
+			res.TNS += e.slack
+		}
+		if e.hold < res.HoldWNS {
+			res.HoldWNS = e.hold
+		}
+		if e.hold < 0 {
+			res.FailingHoldEndpoints++
+			res.HoldTNS += e.hold
+		}
+	}
+	if res.Endpoints == 0 {
+		res.WNS = 0 // unconstrained design
+	}
+	if math.IsInf(res.HoldWNS, 1) {
+		res.HoldWNS = 0 // no registered endpoints
+	}
+	return res, nil
+}
+
+// applyDerates multiplies the boundary-cell derates into a stage's delay
+// and slew when hetero analysis is on (Sec. II-B): an output boundary when
+// the cell's output net crosses tiers, an input boundary when any input
+// net's driver sits on the other tier.
+func (res *Result) applyDerates(inst *netlist.Instance, out *netlist.Net, d *netlist.Design, delay, slew float64) (float64, float64) {
+	cfg := &res.cfg
+	if !cfg.Hetero {
+		return delay, slew
+	}
+	fast := inst.Master.Track == cfg.FastTrack
+	der := tech.Unity()
+	if out != nil && out.CrossesTiers() {
+		der = der.Compose(cfg.Derates.ForOutputBoundary(fast))
+	}
+	for _, in := range d.InputNets(inst) {
+		if in.IsClock {
+			continue
+		}
+		if in.Driver.Valid() && in.Driver.Inst.Tier != inst.Tier {
+			der = der.Compose(cfg.Derates.ForInputBoundary(fast))
+			break
+		}
+	}
+	return delay * der.Delay, slew * der.Slew
+}
+
+// CellSlack returns the worst slack among all paths through the instance
+// — the cell-based criticality measure the timing-driven partitioner uses
+// ("we visit the cells individually and find the worst slack among the
+// paths going through the cell", Sec. III-A1).
+func (res *Result) CellSlack(inst *netlist.Instance) float64 {
+	s := res.reqOut[inst.ID] - res.arrOut[inst.ID]
+	// Endpoint cells: include their own capture check.
+	for _, e := range res.endSlack {
+		if e.inst == inst && e.slack < s {
+			s = e.slack
+		}
+	}
+	if math.IsInf(s, 1) {
+		// No constrained fanout (e.g. dangling output): unconstrained.
+		return math.Inf(1)
+	}
+	return s
+}
+
+// SlackMap materializes CellSlack for every instance, resolving endpoint
+// checks in one pass (CellSlack's per-endpoint scan is fine for single
+// queries; flows use this bulk version).
+func (res *Result) SlackMap() []float64 {
+	out := make([]float64, len(res.d.Instances))
+	for i := range out {
+		out[i] = res.reqOut[i] - res.arrOut[i]
+	}
+	for _, e := range res.endSlack {
+		if e.inst != nil && e.slack < out[e.inst.ID] {
+			out[e.inst.ID] = e.slack
+		}
+	}
+	return out
+}
+
+// EffectiveDelay returns clock period − worst slack, the paper's PDP
+// denominator metric (negative slack inflates it past the period).
+func (res *Result) EffectiveDelay() float64 { return res.cfg.Period - res.WNS }
+
+// ArrivalOut returns the output-pin arrival time of an instance.
+func (res *Result) ArrivalOut(inst *netlist.Instance) float64 { return res.arrOut[inst.ID] }
+
+// StageDelay returns the instance's computed cell delay.
+func (res *Result) StageDelay(inst *netlist.Instance) float64 { return res.delay[inst.ID] }
+
+// OutputSlew returns the instance's computed output transition time —
+// the quantity max-transition DRC fixing acts on.
+func (res *Result) OutputSlew(inst *netlist.Instance) float64 { return res.slewOut[inst.ID] }
+
+// WorstEndpoints returns the k endpoints with smallest slack.
+func (res *Result) WorstEndpoints(k int) []float64 {
+	sl := make([]float64, len(res.endSlack))
+	for i, e := range res.endSlack {
+		sl[i] = e.slack
+	}
+	sort.Float64s(sl)
+	if k > len(sl) {
+		k = len(sl)
+	}
+	return sl[:k]
+}

@@ -1,0 +1,207 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// randomDAG builds a random register-bounded combinational DAG: layers of
+// gates with connections only to earlier layers, launch/capture FFs at
+// the edges.
+func randomDAG(t testing.TB, seed int64) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := netlist.New("dag")
+	clk, _ := d.AddNet("clk")
+	clk.IsClock = true
+	if _, err := d.AddPort("clk", cell.DirClk, clk); err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch registers.
+	nLaunch := 2 + rng.Intn(4)
+	var nets []*netlist.Net
+	for i := 0; i < nLaunch; i++ {
+		in, _ := d.AddNet("pi" + itoa(i))
+		if _, err := d.AddPort("pi"+itoa(i), cell.DirIn, in); err != nil {
+			t.Fatal(err)
+		}
+		ff, _ := d.AddInstance("lff"+itoa(i), lib12.Smallest(cell.FuncDFF))
+		ff.Loc = geom.Pt(0, float64(i)*3)
+		if err := d.Connect(ff, "D", in); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(ff, "CK", clk); err != nil {
+			t.Fatal(err)
+		}
+		q, _ := d.AddNet("lq" + itoa(i))
+		if err := d.Connect(ff, "Q", q); err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, q)
+	}
+
+	// Gate layers.
+	gates := []cell.Function{cell.FuncInv, cell.FuncNand2, cell.FuncXor2, cell.FuncAoi21}
+	nGates := 5 + rng.Intn(30)
+	for g := 0; g < nGates; g++ {
+		fn := gates[rng.Intn(len(gates))]
+		m := lib12.Smallest(fn)
+		inst, _ := d.AddInstance("g"+itoa(g), m)
+		inst.Loc = geom.Pt(float64(g%7)*4+4, float64(g/7)*3)
+		for _, p := range m.Pins {
+			if p.Dir != cell.DirIn {
+				continue
+			}
+			if err := d.Connect(inst, p.Name, nets[rng.Intn(len(nets))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o, _ := d.AddNet("go" + itoa(g))
+		if err := d.Connect(inst, m.OutputPin(), o); err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, o)
+	}
+
+	// Capture register on the last net.
+	ff, _ := d.AddInstance("cff", lib12.Smallest(cell.FuncDFF))
+	ff.Loc = geom.Pt(40, 0)
+	if err := d.Connect(ff, "D", nets[len(nets)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ff, "CK", clk); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := d.AddNet("cq")
+	if err := d.Connect(ff, "Q", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out", cell.DirOut, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Property: on random DAGs, analysis succeeds; every cell's arrival is at
+// least its stage delay; WNS equals the minimum endpoint slack; and the
+// worst extracted path's slack equals WNS.
+func TestAnalyzeRandomDAGInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(t, seed)
+		res, err := Analyze(d, DefaultConfig(0.7))
+		if err != nil {
+			return false
+		}
+		for _, inst := range d.Instances {
+			if res.ArrivalOut(inst) < res.StageDelay(inst)-1e-9 {
+				return false
+			}
+			if res.StageDelay(inst) <= 0 {
+				return false
+			}
+			if res.OutputSlew(inst) <= 0 {
+				return false
+			}
+		}
+		paths := res.CriticalPaths(1)
+		if len(paths) == 0 {
+			return false
+		}
+		if paths[0].Slack != res.WNS {
+			return false
+		}
+		// Worst endpoints list agrees with WNS.
+		w := res.WorstEndpoints(1)
+		return len(w) == 1 && w[0] == res.WNS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a longer clock period never reduces slack (monotonicity of
+// setup checks in the period).
+func TestAnalyzePeriodMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(t, seed)
+		r1, err := Analyze(d, DefaultConfig(0.5))
+		if err != nil {
+			return false
+		}
+		r2, err := Analyze(d, DefaultConfig(1.0))
+		if err != nil {
+			return false
+		}
+		// Period 2 ns vs 1 ns: every endpoint gains exactly the period
+		// difference, so WNS must rise by it.
+		return r2.WNS+1e-9 >= r1.WNS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: upsizing any single combinational cell never makes the
+// design's WNS dramatically worse (the bounded-impact sanity of sizing:
+// small input-cap increase vs drive improvement). We assert a loose bound
+// rather than strict monotonicity, which sizing does not guarantee.
+func TestAnalyzeUpsizeBoundedImpact(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(t, seed)
+		res, err := Analyze(d, DefaultConfig(0.7))
+		if err != nil {
+			return false
+		}
+		// Upsize the first upsizable gate.
+		for _, inst := range d.Instances {
+			if inst.Master.Function.IsSequential() {
+				continue
+			}
+			up := lib12.NextDriveUp(inst.Master)
+			if up == nil {
+				continue
+			}
+			if err := d.ReplaceMaster(inst, up); err != nil {
+				return false
+			}
+			break
+		}
+		res2, err := Analyze(d, DefaultConfig(0.7))
+		if err != nil {
+			return false
+		}
+		return res2.WNS > res.WNS-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hold and setup slacks are consistent — an endpoint cannot
+// fail hold on a min path longer than the period (that would mean the
+// min path exceeds the max path).
+func TestHoldSetupConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(t, seed)
+		res, err := Analyze(d, DefaultConfig(0.7))
+		if err != nil {
+			return false
+		}
+		// min-path arrival ≤ max-path arrival implies:
+		// holdSlack + hold = arrMin ≤ arrMax = period + lat − setup − slack
+		// With ideal clock (lat 0), holdSlack ≤ period − slack − setup + hold.
+		period := 1 / 0.7
+		return res.HoldWNS <= period-res.WNS+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

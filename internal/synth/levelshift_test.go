@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// crossTierDesign: drivers on the bottom, a mix of same- and cross-tier
+// sinks.
+func crossTierDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := netlist.New("xt")
+	in, _ := d.AddNet("in")
+	if _, err := d.AddPort("in", cell.DirIn, in); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		drv, _ := d.AddInstance(fmt.Sprintf("drv%d", i), lib12.Smallest(cell.FuncInv))
+		if err := d.Connect(drv, "A", in); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := d.AddNet(fmt.Sprintf("n%d", i))
+		if err := d.Connect(drv, "Y", n); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			s, _ := d.AddInstance(fmt.Sprintf("s%d_%d", i, j), lib9.Smallest(cell.FuncInv))
+			// Sink 0 stays on the driver tier; others cross.
+			if j > 0 {
+				s.Tier = tech.TierTop
+			}
+			if err := d.Connect(s, "A", n); err != nil {
+				t.Fatal(err)
+			}
+			o, _ := d.AddNet(fmt.Sprintf("o%d_%d", i, j))
+			if err := d.Connect(s, "Y", o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func libOfTier(t tech.Tier) *cell.Library {
+	if t == tech.TierTop {
+		return lib9
+	}
+	return lib12
+}
+
+func TestInsertLevelShifters(t *testing.T) {
+	d := crossTierDesign(t)
+	before := len(d.Instances)
+	n, err := InsertLevelShifters(d, libOfTier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // one shifter per crossing net
+		t.Errorf("inserted %d shifters, want 4", n)
+	}
+	if len(d.Instances) != before+4 {
+		t.Errorf("instance count %d, want %d", len(d.Instances), before+4)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every shifter sits on the driver tier and drives only cross-tier
+	// sinks.
+	shifters := 0
+	for _, inst := range d.Instances {
+		if inst.Master.Function != cell.FuncLevelSh {
+			continue
+		}
+		shifters++
+		if inst.Tier != tech.TierBottom {
+			t.Errorf("shifter %s on %v, want driver tier", inst.Name, inst.Tier)
+		}
+		out := d.OutputNet(inst)
+		for _, s := range out.Sinks {
+			if s.Inst.Tier != tech.TierTop {
+				t.Errorf("shifter %s drives same-tier sink %s", inst.Name, s.Inst.Name)
+			}
+		}
+	}
+	if shifters != 4 {
+		t.Errorf("found %d shifters", shifters)
+	}
+	// Same-tier sinks stay directly on the original nets.
+	n0 := d.Net("n0")
+	foundDirect := false
+	for _, s := range n0.Sinks {
+		if s.Inst.Name == "s0_0" {
+			foundDirect = true
+		}
+	}
+	if !foundDirect {
+		t.Error("same-tier sink was moved behind the shifter")
+	}
+	// Idempotent on a now shifter-isolated design: the shifter output
+	// nets cross but their drivers are the shifters themselves... the
+	// crossing remains (shifter on bottom driving top sinks), so a second
+	// pass would shift again — callers run it once. Just confirm the
+	// count is deterministic.
+	d2 := crossTierDesign(t)
+	n2, err := InsertLevelShifters(d2, libOfTier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Errorf("non-deterministic insertion: %d vs %d", n2, n)
+	}
+}
+
+func TestInsertLevelShiftersNoCrossings(t *testing.T) {
+	d := bigFanoutDesign(t, 6) // single-tier fixture from synth_test.go
+	n, err := InsertLevelShifters(d, libOfTier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("inserted %d shifters on a single-tier design", n)
+	}
+}

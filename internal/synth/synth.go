@@ -1,0 +1,274 @@
+// Package synth provides the synthesis-lite transformations the flows run
+// on a generated netlist: electrical sizing (drive selection against
+// output load), fanout buffering, and library retargeting. Timing-driven
+// repair lives in the flow engine (internal/core) because it needs STA in
+// the loop; this package handles the electrical-rule part that commercial
+// synthesis would have done before handoff.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Options tunes the synthesis transformations.
+type Options struct {
+	// MaxFanout is the sink-count ceiling per net before buffering splits
+	// it. Clock nets are exempt (CTS owns them).
+	MaxFanout int
+	// WireCapPerSink estimates pre-placement wire capacitance per sink in
+	// fF, standing in for unknown net topology during sizing.
+	WireCapPerSink float64
+	// MaxPasses bounds the sizing fix-point iteration.
+	MaxPasses int
+}
+
+// DefaultOptions returns the flow defaults.
+func DefaultOptions() Options {
+	return Options{MaxFanout: 24, WireCapPerSink: 0.8, MaxPasses: 6}
+}
+
+// SizeForLoad walks every combinational and sequential cell and bumps its
+// drive strength until the estimated output load fits within the master's
+// MaxLoad. Because upsizing a cell raises the input capacitance seen by
+// its fanin, the pass iterates to a fix point (bounded by MaxPasses).
+// Returns the number of instances resized.
+func SizeForLoad(d *netlist.Design, lib *cell.Library, opt Options) (int, error) {
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 1
+	}
+	resized := 0
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		changed := 0
+		for _, inst := range d.Instances {
+			if inst.Master.Function.IsMacro() {
+				continue
+			}
+			out := d.OutputNet(inst)
+			if out == nil {
+				continue
+			}
+			load := out.TotalPinCap() + float64(len(out.Sinks))*opt.WireCapPerSink
+			for load > inst.Master.MaxLoad {
+				up := lib.NextDriveUp(inst.Master)
+				if up == nil {
+					break
+				}
+				if err := d.ReplaceMaster(inst, up); err != nil {
+					return resized, fmt.Errorf("synth: sizing %s: %w", inst.Name, err)
+				}
+				changed++
+			}
+		}
+		resized += changed
+		if changed == 0 {
+			break
+		}
+	}
+	return resized, nil
+}
+
+// BufferFanout splits every signal net with more than opt.MaxFanout sinks
+// by inserting buffers, each taking over a contiguous chunk of sinks.
+// When the design is placed, sinks are chunked by spatial order (x-major)
+// so buffer subtrees stay local; unplaced designs chunk in pin order.
+// The pass recurses until no net exceeds the limit. Returns the number of
+// buffers added.
+func BufferFanout(d *netlist.Design, lib *cell.Library, opt Options) (int, error) {
+	if opt.MaxFanout < 2 {
+		return 0, fmt.Errorf("synth: MaxFanout must be ≥ 2, got %d", opt.MaxFanout)
+	}
+	buf := lib.Strongest(cell.FuncBuf)
+	if buf == nil {
+		return 0, fmt.Errorf("synth: library has no buffers")
+	}
+	added := 0
+	// Iterate because inserted buffer nets may themselves need splitting
+	// (they won't, by construction, but the driver net gains buffer-input
+	// sinks and may still exceed the limit for huge fanouts).
+	for rounds := 0; rounds < 64; rounds++ {
+		var work []*netlist.Net
+		for _, n := range d.Nets {
+			if n.IsClock || !n.HasDriver() {
+				continue
+			}
+			if len(n.Sinks) > opt.MaxFanout {
+				work = append(work, n)
+			}
+		}
+		if len(work) == 0 {
+			return added, nil
+		}
+		for _, n := range work {
+			if err := splitNet(d, n, buf, opt.MaxFanout, &added); err != nil {
+				return added, err
+			}
+		}
+	}
+	return added, fmt.Errorf("synth: fanout buffering did not converge")
+}
+
+func splitNet(d *netlist.Design, n *netlist.Net, buf *cell.Master, maxFan int, added *int) error {
+	// Order sinks spatially so each buffer serves a local cluster.
+	sinks := append([]netlist.PinRef{}, n.Sinks...)
+	sortByLocation(sinks)
+
+	// Chunk into groups of maxFan; leave up to maxFan groups directly on
+	// the net (the buffers themselves become the net's sinks).
+	for len(sinks) > maxFan {
+		group := sinks[:maxFan]
+		sinks = sinks[maxFan:]
+		name := fmt.Sprintf("fbuf%d_%s", *added, n.Name)
+		if _, _, err := d.InsertBuffer(n, group, buf, name); err != nil {
+			return fmt.Errorf("synth: buffering net %s: %w", n.Name, err)
+		}
+		*added++
+	}
+	return nil
+}
+
+// sortByLocation orders pin refs x-major then y (insertion sort is fine:
+// groups are small and mostly ordered already for generated designs).
+func sortByLocation(refs []netlist.PinRef) {
+	less := func(a, b netlist.PinRef) bool {
+		la, lb := a.Loc(), b.Loc()
+		if la.X != lb.X {
+			return la.X < lb.X
+		}
+		if la.Y != lb.Y {
+			return la.Y < lb.Y
+		}
+		return a.Inst.ID < b.Inst.ID
+	}
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && less(refs[j], refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
+// Retarget remaps every instance matched by pred onto the equivalent
+// master (same function and drive) from lib — the primitive behind the
+// heterogeneous flow's 12-track → 9-track top-tier conversion. A nil pred
+// retargets every non-macro instance. Returns the number remapped.
+func Retarget(d *netlist.Design, lib *cell.Library, pred func(*netlist.Instance) bool) (int, error) {
+	n := 0
+	for _, inst := range d.Instances {
+		if inst.Master.Function.IsMacro() {
+			continue
+		}
+		if pred != nil && !pred(inst) {
+			continue
+		}
+		if inst.Master.Track == lib.Variant.Track {
+			continue
+		}
+		eq, err := lib.Equivalent(inst.Master)
+		if err != nil {
+			return n, fmt.Errorf("synth: retarget %s: %w", inst.Name, err)
+		}
+		if err := d.ReplaceMaster(inst, eq); err != nil {
+			return n, fmt.Errorf("synth: retarget %s: %w", inst.Name, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// InsertLevelShifters places a voltage level shifter on every signal net
+// that crosses tiers: the cross-tier sinks move behind a FuncLevelSh
+// instance on the driver's tier. This is the alternative the paper
+// REJECTS for monolithic heterogeneous designs (Sec. III-B): with ≈15 %
+// of nets crossing tiers, the added cells degrade timing and power across
+// a large number of paths — the ablation benchmark quantifies exactly
+// that. libOf selects the shifter's library by tier. Returns the number
+// of shifters inserted.
+func InsertLevelShifters(d *netlist.Design, libOf func(t tech.Tier) *cell.Library) (int, error) {
+	// Snapshot the net list first: insertion adds nets.
+	nets := append([]*netlist.Net{}, d.Nets...)
+	inserted := 0
+	for _, n := range nets {
+		if n.IsClock || !n.Driver.Valid() {
+			continue
+		}
+		drvTier := n.Driver.Inst.Tier
+		var cross []netlist.PinRef
+		for _, s := range n.Sinks {
+			if s.Inst.Tier != drvTier {
+				cross = append(cross, s)
+			}
+		}
+		if len(cross) == 0 {
+			continue
+		}
+		lib := libOf(drvTier)
+		ls := lib.Smallest(cell.FuncLevelSh)
+		if ls == nil {
+			return inserted, fmt.Errorf("synth: %v library has no level shifter", lib.Variant.Track)
+		}
+		name := fmt.Sprintf("ls%d_%s", inserted, n.Name)
+		inst, _, err := d.InsertBuffer(n, cross, ls, name)
+		if err != nil {
+			return inserted, fmt.Errorf("synth: level shifter on %s: %w", n.Name, err)
+		}
+		inst.Tier = drvTier
+		inserted++
+	}
+	return inserted, nil
+}
+
+// Prepare runs the standard pre-placement synthesis sequence — fanout
+// buffering then load-based sizing — matching what the pseudo-3-D stage
+// expects from its input netlist.
+func Prepare(d *netlist.Design, lib *cell.Library, opt Options) error {
+	if _, err := BufferFanout(d, lib, opt); err != nil {
+		return err
+	}
+	if _, err := SizeForLoad(d, lib, opt); err != nil {
+		return err
+	}
+	return d.Validate()
+}
+
+// SpreadPorts distributes the design's ports evenly around the perimeter
+// of the given die outline — the I/O placement step of floorplanning.
+func SpreadPorts(d *netlist.Design, outline geom.Rect) {
+	n := len(d.Ports)
+	if n == 0 {
+		return
+	}
+	per := 2 * (outline.W() + outline.H())
+	step := per / float64(n)
+	pos := step / 2
+	for _, p := range d.Ports {
+		p.Loc = perimeterPoint(outline, pos)
+		pos += step
+	}
+}
+
+// perimeterPoint maps a distance along the outline perimeter (clockwise
+// from the lower-left corner) to a boundary point.
+func perimeterPoint(r geom.Rect, dist float64) geom.Point {
+	w, h := r.W(), r.H()
+	per := 2 * (w + h)
+	for dist < 0 {
+		dist += per
+	}
+	for dist >= per {
+		dist -= per
+	}
+	switch {
+	case dist < w:
+		return geom.Pt(r.Lx+dist, r.Ly)
+	case dist < w+h:
+		return geom.Pt(r.Ux, r.Ly+(dist-w))
+	case dist < 2*w+h:
+		return geom.Pt(r.Ux-(dist-w-h), r.Uy)
+	default:
+		return geom.Pt(r.Lx, r.Uy-(dist-2*w-h))
+	}
+}

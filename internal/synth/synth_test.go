@@ -1,0 +1,234 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/designs"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+var (
+	lib12 = cell.NewLibrary(tech.Variant12T())
+	lib9  = cell.NewLibrary(tech.Variant9T())
+)
+
+// bigFanoutDesign builds one driver with n sink inverters.
+func bigFanoutDesign(t *testing.T, n int) *netlist.Design {
+	t.Helper()
+	d := netlist.New("fan")
+	in, _ := d.AddNet("in")
+	if _, err := d.AddPort("in", cell.DirIn, in); err != nil {
+		t.Fatal(err)
+	}
+	drv, _ := d.AddInstance("drv", lib12.Smallest(cell.FuncInv))
+	net, _ := d.AddNet("big")
+	if err := d.Connect(drv, "A", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(drv, "Y", net); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s, _ := d.AddInstance(fmt.Sprintf("s%d", i), lib12.Smallest(cell.FuncInv))
+		s.Loc = geom.Pt(float64(i%10), float64(i/10))
+		if err := d.Connect(s, "A", net); err != nil {
+			t.Fatal(err)
+		}
+		o, _ := d.AddNet(fmt.Sprintf("o%d", i))
+		if err := d.Connect(s, "Y", o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBufferFanoutSplitsBigNets(t *testing.T) {
+	d := bigFanoutDesign(t, 100)
+	opt := DefaultOptions()
+	added, err := BufferFanout(d, lib12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("expected buffers to be added")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.Nets {
+		if !n.IsClock && len(n.Sinks) > opt.MaxFanout {
+			t.Errorf("net %s still has %d sinks", n.Name, len(n.Sinks))
+		}
+	}
+}
+
+func TestBufferFanoutSkipsClockNets(t *testing.T) {
+	d := bigFanoutDesign(t, 80)
+	d.Net("big").IsClock = true
+	added, err := BufferFanout(d, lib12, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("clock net was buffered: %d buffers", added)
+	}
+}
+
+func TestBufferFanoutSmallNetUntouched(t *testing.T) {
+	d := bigFanoutDesign(t, 5)
+	added, err := BufferFanout(d, lib12, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("small net got %d buffers", added)
+	}
+}
+
+func TestBufferFanoutBadOptions(t *testing.T) {
+	d := bigFanoutDesign(t, 5)
+	if _, err := BufferFanout(d, lib12, Options{MaxFanout: 1}); err == nil {
+		t.Error("MaxFanout=1 should fail")
+	}
+}
+
+func TestSizeForLoadUpsizesOverloadedDriver(t *testing.T) {
+	d := bigFanoutDesign(t, 23) // just under the fanout limit
+	opt := DefaultOptions()
+	drv := d.Instance("drv")
+	before := drv.Master.Drive
+	n, err := SizeForLoad(d, lib12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || drv.Master.Drive <= before {
+		t.Errorf("driver not upsized: drive %d → %d", before, drv.Master.Drive)
+	}
+	// Load must now fit (or driver is at max drive).
+	out := d.OutputNet(drv)
+	load := out.TotalPinCap() + float64(len(out.Sinks))*opt.WireCapPerSink
+	if load > drv.Master.MaxLoad && lib12.NextDriveUp(drv.Master) != nil {
+		t.Errorf("driver still overloaded: %v > %v", load, drv.Master.MaxLoad)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeForLoadIdempotent(t *testing.T) {
+	d := bigFanoutDesign(t, 23)
+	opt := DefaultOptions()
+	if _, err := SizeForLoad(d, lib12, opt); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := SizeForLoad(d, lib12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Errorf("second sizing pass changed %d cells", n2)
+	}
+}
+
+func TestRetargetAll(t *testing.T) {
+	d := bigFanoutDesign(t, 10)
+	n, err := Retarget(d, lib9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 { // driver + 10 sinks
+		t.Errorf("retargeted %d, want 11", n)
+	}
+	for _, inst := range d.Instances {
+		if inst.Master.Track != tech.Track9 {
+			t.Errorf("%s still on %v", inst.Name, inst.Master.Track)
+		}
+	}
+	// Re-running is a no-op.
+	n, err = Retarget(d, lib9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("idempotent retarget changed %d", n)
+	}
+}
+
+func TestRetargetWithPredicate(t *testing.T) {
+	d := bigFanoutDesign(t, 10)
+	d.Instance("s3").Tier = tech.TierTop
+	d.Instance("s7").Tier = tech.TierTop
+	n, err := Retarget(d, lib9, func(i *netlist.Instance) bool { return i.Tier == tech.TierTop })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("retargeted %d, want 2", n)
+	}
+	if d.Instance("s3").Master.Track != tech.Track9 {
+		t.Error("s3 not retargeted")
+	}
+	if d.Instance("drv").Master.Track != tech.Track12 {
+		t.Error("drv should stay 12-track")
+	}
+}
+
+func TestPrepareOnGeneratedDesign(t *testing.T) {
+	d, err := designs.Generate(designs.CPU, lib12, designs.Params{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Prepare(d, lib12, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// No signal net may exceed the fanout cap afterwards.
+	for _, n := range d.Nets {
+		if !n.IsClock && len(n.Sinks) > DefaultOptions().MaxFanout {
+			t.Errorf("net %s has fanout %d after Prepare", n.Name, len(n.Sinks))
+		}
+	}
+}
+
+func TestSpreadPorts(t *testing.T) {
+	d := bigFanoutDesign(t, 4)
+	outline := geom.R(0, 0, 100, 50)
+	SpreadPorts(d, outline)
+	for _, p := range d.Ports {
+		onEdge := p.Loc.X == outline.Lx || p.Loc.X == outline.Ux ||
+			p.Loc.Y == outline.Ly || p.Loc.Y == outline.Uy
+		if !onEdge && !outline.ContainsClosed(p.Loc) {
+			t.Errorf("port %s at %v not on outline", p.Name, p.Loc)
+		}
+	}
+}
+
+func TestPerimeterPoint(t *testing.T) {
+	r := geom.R(0, 0, 10, 6)
+	cases := []struct {
+		dist float64
+		want geom.Point
+	}{
+		{0, geom.Pt(0, 0)},
+		{5, geom.Pt(5, 0)},
+		{10, geom.Pt(10, 0)},
+		{13, geom.Pt(10, 3)},
+		{16, geom.Pt(10, 6)},
+		{21, geom.Pt(5, 6)},
+		{26, geom.Pt(0, 6)},
+		{29, geom.Pt(0, 3)},
+		{32, geom.Pt(0, 0)}, // wraps
+		{-3, geom.Pt(0, 3)}, // negative wraps backwards
+	}
+	for _, c := range cases {
+		if got := perimeterPoint(r, c.dist); got != c.want {
+			t.Errorf("perimeterPoint(%v) = %v, want %v", c.dist, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package tech
+
+import "fmt"
+
+// Layer is one BEOL routing layer with its electrical and geometric
+// parameters.
+type Layer struct {
+	Name string
+	// Pitch is the routing track pitch in µm.
+	Pitch float64
+	// ROhmPerUm is wire resistance in kΩ per µm.
+	ROhmPerUm float64
+	// CfFPerUm is wire capacitance in fF per µm.
+	CfFPerUm float64
+	// Horizontal reports the preferred routing direction.
+	Horizontal bool
+}
+
+// Stack is a BEOL metal stack for one die/tier. The paper's setup uses six
+// signal routing layers per tier, identical to the first six signal layers
+// of the 2-D BEOL (Sec. IV-A1).
+type Stack struct {
+	Layers []Layer
+}
+
+// SignalLayers is the number of signal routing layers per tier in both the
+// 2-D and the per-tier 3-D stacks.
+const SignalLayers = 6
+
+// NewSignalStack returns the standard six-layer signal stack of the 28 nm
+// node (M2..M7; M1 is cell-internal). Values follow typical 28 nm wire
+// scaling: lower layers are thin/resistive at tight pitch, upper layers
+// fatter and faster.
+func NewSignalStack() Stack {
+	return Stack{Layers: []Layer{
+		{Name: "M2", Pitch: 0.10, ROhmPerUm: 4.0e-3, CfFPerUm: 0.20, Horizontal: true},
+		{Name: "M3", Pitch: 0.10, ROhmPerUm: 4.0e-3, CfFPerUm: 0.20, Horizontal: false},
+		{Name: "M4", Pitch: 0.14, ROhmPerUm: 2.2e-3, CfFPerUm: 0.21, Horizontal: true},
+		{Name: "M5", Pitch: 0.14, ROhmPerUm: 2.2e-3, CfFPerUm: 0.21, Horizontal: false},
+		{Name: "M6", Pitch: 0.28, ROhmPerUm: 0.9e-3, CfFPerUm: 0.23, Horizontal: true},
+		{Name: "M7", Pitch: 0.28, ROhmPerUm: 0.9e-3, CfFPerUm: 0.23, Horizontal: false},
+	}}
+}
+
+// AvgR returns the average wire resistance per µm across the stack, the
+// figure the lumped extraction uses for average-layer routing.
+func (s Stack) AvgR() float64 {
+	if len(s.Layers) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range s.Layers {
+		sum += l.ROhmPerUm
+	}
+	return sum / float64(len(s.Layers))
+}
+
+// AvgC returns the average wire capacitance per µm across the stack.
+func (s Stack) AvgC() float64 {
+	if len(s.Layers) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range s.Layers {
+		sum += l.CfFPerUm
+	}
+	return sum / float64(len(s.Layers))
+}
+
+// Layer returns the named layer.
+func (s Stack) Layer(name string) (Layer, error) {
+	for _, l := range s.Layers {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Layer{}, fmt.Errorf("tech: no BEOL layer %q", name)
+}
+
+// RoutingCapacityPerUm returns the number of routing tracks per µm of die
+// width summed over layers of one direction; the congestion model divides
+// demand by this supply.
+func (s Stack) RoutingCapacityPerUm(horizontal bool) float64 {
+	cap := 0.0
+	for _, l := range s.Layers {
+		if l.Horizontal == horizontal && l.Pitch > 0 {
+			cap += 1.0 / l.Pitch
+		}
+	}
+	return cap
+}
+
+// MIV is the monolithic inter-tier via model. Sequential 3-D integration
+// gives nano-scale vias that are electrically almost free, which is what
+// enables gate-level partitioning in the first place (Sec. I).
+type MIV struct {
+	// R is the via resistance in kΩ.
+	R float64
+	// C is the via capacitance in fF.
+	C float64
+	// Pitch is the minimum MIV pitch in µm, bounding 3-D connection
+	// density.
+	Pitch float64
+}
+
+// DefaultMIV returns the MIV parameters used throughout the evaluation.
+func DefaultMIV() MIV {
+	return MIV{R: 2.0e-3, C: 0.05, Pitch: 0.2}
+}

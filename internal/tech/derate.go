@@ -1,0 +1,122 @@
+package tech
+
+// Boundary-cell derate model.
+//
+// When a monolithic heterogeneous design splits a timing path across tiers
+// with different supply voltages, two boundary situations arise (paper
+// Fig. 2):
+//
+//   - heterogeneity at the driver OUTPUT: the driver and its load sit on
+//     different tiers, so the driver sees a load characterized for another
+//     voltage/technology (Table II);
+//   - heterogeneity at the driver INPUT: driver and load share a tier but
+//     the driver's gate is driven from the other tier, i.e. at the other
+//     tier's voltage level (Table III).
+//
+// Rather than re-characterizing every cell at every foreign slew/voltage,
+// the flow applies multiplicative derates calibrated from the paper's FO-4
+// SPICE study. Signs matter: fast→slow boundaries speed up the fast driver
+// (smaller load) while slow→fast boundaries slow the slow driver, and a
+// reduced gate voltage on a fast cell explodes its leakage (+250 %) while
+// an elevated gate voltage on a slow cell nearly halves it (−44.9 %).
+
+// BoundaryKind distinguishes the two FO-4 boundary configurations.
+type BoundaryKind int
+
+const (
+	// BoundaryAtOutput: driver on one tier, load on the other (Fig. 2a).
+	BoundaryAtOutput BoundaryKind = iota
+	// BoundaryAtInput: driver's input net crosses tiers (Fig. 2b).
+	BoundaryAtInput
+)
+
+// Derate is a set of multiplicative factors applied to a boundary cell's
+// characterized timing and power. A factor of 1.0 means "unchanged".
+type Derate struct {
+	Slew    float64 // output slew multiplier
+	Delay   float64 // stage delay multiplier
+	Leakage float64 // leakage power multiplier
+	Power   float64 // total (dynamic) power multiplier
+}
+
+// Unity is the no-op derate.
+func Unity() Derate { return Derate{Slew: 1, Delay: 1, Leakage: 1, Power: 1} }
+
+// Compose returns the element-wise product of two derates, for cells that
+// suffer both an input and an output boundary.
+func (d Derate) Compose(e Derate) Derate {
+	return Derate{
+		Slew:    d.Slew * e.Slew,
+		Delay:   d.Delay * e.Delay,
+		Leakage: d.Leakage * e.Leakage,
+		Power:   d.Power * e.Power,
+	}
+}
+
+// DerateModel yields boundary derates for a given driver/neighbour tier
+// speed relation. "Fast" below means the 12-track (higher-VDD) library.
+type DerateModel struct {
+	// OutFastToSlow: fast driver, slow load on the other tier
+	// (Table II, Case I→II: rise/fall delay −13.1/−18.1 %).
+	OutFastToSlow Derate
+	// OutSlowToFast: slow driver, fast load on the other tier
+	// (Table II, Case III→IV: rise/fall delay +6.4/+22.3 %).
+	OutSlowToFast Derate
+	// InSlowGateOnFast: fast driver whose gate is driven at the slow
+	// tier's lower VDD (Table III, left: delay +3.4/+4.1 %, leakage +250 %).
+	InSlowGateOnFast Derate
+	// InFastGateOnSlow: slow driver whose gate is driven at the fast
+	// tier's higher VDD (Table III, right: delay −5.3/−5.1 %, leakage −44.9 %).
+	InFastGateOnSlow Derate
+}
+
+// DefaultDerates returns the model calibrated from Tables II and III.
+// Each factor is the average of the paper's rise/fall deltas.
+func DefaultDerates() DerateModel {
+	return DerateModel{
+		OutFastToSlow: Derate{
+			Slew:    1 - (0.067+0.169)/2, // −6.7 %, −16.9 %
+			Delay:   1 - (0.131+0.181)/2, // −13.1 %, −18.1 %
+			Leakage: 1 - 0.003,
+			Power:   1 - 0.043,
+		},
+		OutSlowToFast: Derate{
+			Slew:    1 + (0.142+0.081)/2, // +14.2 %, +8.1 %
+			Delay:   1 + (0.064+0.223)/2, // +6.4 %, +22.3 %
+			Leakage: 1 - 0.013,
+			Power:   1 + 0.090,
+		},
+		InSlowGateOnFast: Derate{
+			Slew:    1 + (0.081+0.066)/2, // +8.1 %, +6.6 %
+			Delay:   1 + (0.034+0.041)/2, // +3.4 %, +4.1 %
+			Leakage: 1 + 2.50,            // +250 %
+			Power:   1 + 0.092,
+		},
+		InFastGateOnSlow: Derate{
+			Slew:    1 - (0.099+0.081)/2, // −9.9 %, −8.1 %
+			Delay:   1 - (0.053+0.051)/2, // −5.3 %, −5.1 %
+			Leakage: 1 - 0.449,
+			Power:   1 - 0.006,
+		},
+	}
+}
+
+// ForOutputBoundary returns the derate for a driver whose load sits on the
+// other tier. driverFast reports whether the driver's library is the
+// higher-VDD (12-track) one.
+func (m DerateModel) ForOutputBoundary(driverFast bool) Derate {
+	if driverFast {
+		return m.OutFastToSlow
+	}
+	return m.OutSlowToFast
+}
+
+// ForInputBoundary returns the derate for a driver whose input net is
+// driven from the other tier. driverFast reports whether the *driver's*
+// library is the higher-VDD one (its gate then sees a lower voltage).
+func (m DerateModel) ForInputBoundary(driverFast bool) Derate {
+	if driverFast {
+		return m.InSlowGateOnFast
+	}
+	return m.InFastGateOnSlow
+}

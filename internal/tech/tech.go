@@ -1,0 +1,205 @@
+// Package tech describes the process technology used by the physical-design
+// substrates: standard-cell track variants (the paper's 9-track and 12-track
+// libraries of a commercial 28 nm node), the BEOL metal stack, the
+// monolithic inter-tier via (MIV), and the heterogeneous boundary-cell
+// derate model calibrated from the paper's FO-4 SPICE study (Tables II/III).
+//
+// Unit conventions used across the repository:
+//
+//	length      µm
+//	time        ns
+//	capacitance fF
+//	resistance  kΩ   (so R·C = kΩ·fF = ps·10⁻³ ... see note below)
+//	power       µW
+//	energy      pJ
+//	voltage     V
+//
+// With R in kΩ and C in fF, the product R·C is in picoseconds; helpers in
+// this package and in sta convert to ns explicitly so no hidden factors
+// float around the code base.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Track identifies a standard-cell track-height variant. The paper uses
+// multi-track variants of a single 28 nm node as a stand-in for
+// heterogeneous technologies (Sec. II-A).
+type Track int
+
+const (
+	// Track9 is the 9-track library: smallest cell height, slow,
+	// low-power, low-cost, operated at the reduced 0.81 V supply.
+	Track9 Track = 9
+	// Track12 is the 12-track library: tallest cells, fast, power-hungry,
+	// higher die cost, operated at the nominal 0.90 V supply.
+	Track12 Track = 12
+)
+
+// String implements fmt.Stringer.
+func (t Track) String() string { return fmt.Sprintf("%d-track", int(t)) }
+
+// M1Pitch is the metal-1 routing track pitch of the 28 nm node, in µm.
+// Cell height = track count × M1Pitch.
+const M1Pitch = 0.1
+
+// RCps converts an R(kΩ)·C(fF) product to nanoseconds.
+func RCps(rkohm, cff float64) float64 { return rkohm * cff * 1e-3 }
+
+// Variant captures the physical and electrical personality of one
+// track-height library. The constants are calibrated so that the
+// *relative* behaviour between Track9 and Track12 matches what the paper
+// reports: 9-track cells are 25 % shorter, roughly 2.3× slower per stage on
+// critical paths (Table VIII: 19 ps vs 45 ps average stage delay), burn far
+// less leakage (Table II: 0.093 µW vs 0.003 µW for the FO-4), and run at
+// 0.81 V vs 0.90 V (Sec. IV-A1).
+type Variant struct {
+	Track Track
+	// VDD is the supply voltage in volts.
+	VDD float64
+	// CellHeight is the placement row height in µm.
+	CellHeight float64
+	// AreaScale multiplies a cell's nominal footprint. The 9-track cell
+	// is 25 % smaller at equal drive (Sec. IV-A2).
+	AreaScale float64
+	// DriveRes is the switching resistance of a unit-drive (X1) inverter
+	// in kΩ; larger means slower.
+	DriveRes float64
+	// InputCap is the input capacitance of a unit-drive inverter input
+	// pin in fF.
+	InputCap float64
+	// IntrinsicDelay is the parasitic self-delay of a unit inverter in ns.
+	IntrinsicDelay float64
+	// LeakagePower is the leakage of a unit inverter in µW.
+	LeakagePower float64
+	// InternalEnergy is the short-circuit + internal switching energy of
+	// a unit inverter per output transition, in fJ (1e-3 pJ).
+	InternalEnergy float64
+	// WireCostScale scales FEOL die cost attributable to this library;
+	// identical here because the track variants share the node and BEOL
+	// (Sec. II-A), but kept as a knob for true multi-node heterogeneity.
+	WireCostScale float64
+}
+
+// Variant9T returns the 9-track library personality.
+func Variant9T() Variant {
+	return Variant{
+		Track:          Track9,
+		VDD:            0.81,
+		CellHeight:     9 * M1Pitch,
+		AreaScale:      0.75,
+		DriveRes:       2.30, // ≈2.3× the 12T unit drive resistance
+		InputCap:       0.80,
+		IntrinsicDelay: 0.0100, // ≈1.7× the 12T parasitic delay; the 2.3× stage ratio appears under load
+		LeakagePower:   0.0008, // ≈1/30 of the 12T leakage (Table II)
+		InternalEnergy: 0.55,
+		WireCostScale:  1.0,
+	}
+}
+
+// Variant12T returns the 12-track library personality.
+func Variant12T() Variant {
+	return Variant{
+		Track:          Track12,
+		VDD:            0.90,
+		CellHeight:     12 * M1Pitch,
+		AreaScale:      1.0,
+		DriveRes:       1.00,
+		InputCap:       1.10,
+		IntrinsicDelay: 0.0060,
+		LeakagePower:   0.0233,
+		InternalEnergy: 0.95,
+		WireCostScale:  1.0,
+	}
+}
+
+// VariantFor returns the canonical Variant for a track value.
+func VariantFor(t Track) (Variant, error) {
+	switch t {
+	case Track9:
+		return Variant9T(), nil
+	case Track12:
+		return Variant12T(), nil
+	default:
+		return Variant{}, fmt.Errorf("tech: unsupported track variant %d", int(t))
+	}
+}
+
+// MakeVariant synthesizes a track-height variant between the two anchor
+// libraries by interpolation: electrical quantities with multiplicative
+// scaling interpolate geometrically, additive ones linearly. The paper's
+// conclusion calls the 9+12 mix a manual choice and asks for "more
+// exploration" — this is the generator behind the track-mix study
+// (tracks 9–12 supported; 9 and 12 return the anchors exactly).
+func MakeVariant(tracks int) (Variant, error) {
+	if tracks < 9 || tracks > 12 {
+		return Variant{}, fmt.Errorf("tech: track height %d outside the 9–12 family", tracks)
+	}
+	v9, v12 := Variant9T(), Variant12T()
+	switch tracks {
+	case 9:
+		return v9, nil
+	case 12:
+		return v12, nil
+	}
+	f := float64(tracks-9) / 3
+	lin := func(a, b float64) float64 { return a + (b-a)*f }
+	geo := func(a, b float64) float64 { return a * math.Pow(b/a, f) }
+	return Variant{
+		Track:          Track(tracks),
+		VDD:            lin(v9.VDD, v12.VDD),
+		CellHeight:     float64(tracks) * M1Pitch,
+		AreaScale:      float64(tracks) / 12,
+		DriveRes:       geo(v9.DriveRes, v12.DriveRes),
+		InputCap:       lin(v9.InputCap, v12.InputCap),
+		IntrinsicDelay: lin(v9.IntrinsicDelay, v12.IntrinsicDelay),
+		LeakagePower:   geo(v9.LeakagePower, v12.LeakagePower),
+		InternalEnergy: lin(v9.InternalEnergy, v12.InternalEnergy),
+		WireCostScale:  1.0,
+	}, nil
+}
+
+// MaxHeteroVoltageRatio is the paper's safe-heterogeneity bound:
+// V_DDH − V_DDL must stay below 0.3 × V_DDH or signal levels stop
+// registering without level shifters (Sec. II-B).
+const MaxHeteroVoltageRatio = 0.3
+
+// HeteroCompatible reports whether two library variants can be mixed in a
+// level-shifter-free monolithic 3-D design, per the paper's voltage rule.
+func HeteroCompatible(a, b Variant) bool {
+	hi, lo := a.VDD, b.VDD
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return hi-lo < MaxHeteroVoltageRatio*hi
+}
+
+// Tier identifies one die of the 3-D stack.
+type Tier int
+
+const (
+	// TierBottom is the bottom die. In the paper's heterogeneous
+	// arrangement this carries the fast 12-track cells.
+	TierBottom Tier = 0
+	// TierTop is the top die, carrying the slow low-power 9-track cells
+	// in the heterogeneous arrangement.
+	TierTop Tier = 1
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if t == TierBottom {
+		return "bottom"
+	}
+	return "top"
+}
+
+// Other returns the opposite tier.
+func (t Tier) Other() Tier {
+	if t == TierBottom {
+		return TierTop
+	}
+	return TierBottom
+}

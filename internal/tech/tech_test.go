@@ -1,0 +1,196 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVariantRelations(t *testing.T) {
+	v9, v12 := Variant9T(), Variant12T()
+
+	if v9.VDD >= v12.VDD {
+		t.Errorf("9T VDD %v should be below 12T VDD %v", v9.VDD, v12.VDD)
+	}
+	if v9.CellHeight >= v12.CellHeight {
+		t.Errorf("9T height %v should be below 12T height %v", v9.CellHeight, v12.CellHeight)
+	}
+	// The paper states 9-track cells are 25 % smaller (Sec. IV-A2).
+	if math.Abs(v9.AreaScale-0.75) > 1e-9 {
+		t.Errorf("9T AreaScale = %v, want 0.75", v9.AreaScale)
+	}
+	if v9.DriveRes <= v12.DriveRes {
+		t.Errorf("9T must be slower: DriveRes %v vs %v", v9.DriveRes, v12.DriveRes)
+	}
+	if v9.LeakagePower >= v12.LeakagePower {
+		t.Errorf("9T must leak less: %v vs %v", v9.LeakagePower, v12.LeakagePower)
+	}
+	// Leakage ratio should be extreme, matching Table II (~30×).
+	ratio := v12.LeakagePower / v9.LeakagePower
+	if ratio < 10 || ratio > 100 {
+		t.Errorf("12T/9T leakage ratio = %v, want within [10,100]", ratio)
+	}
+	// Cell heights derive from track counts.
+	if math.Abs(v9.CellHeight-0.9) > 1e-9 || math.Abs(v12.CellHeight-1.2) > 1e-9 {
+		t.Errorf("cell heights = %v, %v", v9.CellHeight, v12.CellHeight)
+	}
+}
+
+func TestVariantFor(t *testing.T) {
+	v, err := VariantFor(Track9)
+	if err != nil || v.Track != Track9 {
+		t.Errorf("VariantFor(Track9) = %v, %v", v, err)
+	}
+	v, err = VariantFor(Track12)
+	if err != nil || v.Track != Track12 {
+		t.Errorf("VariantFor(Track12) = %v, %v", v, err)
+	}
+	if _, err := VariantFor(Track(7)); err == nil {
+		t.Error("expected error for unsupported track")
+	}
+}
+
+func TestTrackString(t *testing.T) {
+	if Track9.String() != "9-track" || Track12.String() != "12-track" {
+		t.Errorf("Track strings: %q, %q", Track9, Track12)
+	}
+}
+
+func TestHeteroCompatible(t *testing.T) {
+	v9, v12 := Variant9T(), Variant12T()
+	// 0.90 − 0.81 = 0.09 < 0.3 × 0.90: compatible without level shifters.
+	if !HeteroCompatible(v9, v12) {
+		t.Error("9T/12T should be hetero-compatible")
+	}
+	if !HeteroCompatible(v12, v9) {
+		t.Error("compatibility must be symmetric")
+	}
+	// A hypothetical 0.5 V library against 0.9 V violates the rule.
+	low := v9
+	low.VDD = 0.5
+	if HeteroCompatible(low, v12) {
+		t.Error("0.5V/0.9V should need level shifters")
+	}
+}
+
+func TestTier(t *testing.T) {
+	if TierBottom.Other() != TierTop || TierTop.Other() != TierBottom {
+		t.Error("Tier.Other is broken")
+	}
+	if TierBottom.String() != "bottom" || TierTop.String() != "top" {
+		t.Errorf("Tier strings: %q, %q", TierBottom, TierTop)
+	}
+}
+
+func TestRCps(t *testing.T) {
+	// 1 kΩ × 1 fF = 1 ps = 1e-3 ns.
+	if got := RCps(1, 1); math.Abs(got-1e-3) > 1e-15 {
+		t.Errorf("RCps(1,1) = %v, want 1e-3", got)
+	}
+}
+
+func TestSignalStack(t *testing.T) {
+	s := NewSignalStack()
+	if len(s.Layers) != SignalLayers {
+		t.Fatalf("stack has %d layers, want %d", len(s.Layers), SignalLayers)
+	}
+	if s.AvgR() <= 0 || s.AvgC() <= 0 {
+		t.Errorf("AvgR/AvgC = %v/%v, want positive", s.AvgR(), s.AvgC())
+	}
+	// Lower layers must be more resistive than upper ones.
+	m2, err := s.Layer("M2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m7, err := s.Layer("M7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ROhmPerUm <= m7.ROhmPerUm {
+		t.Errorf("M2 R %v should exceed M7 R %v", m2.ROhmPerUm, m7.ROhmPerUm)
+	}
+	if _, err := s.Layer("M99"); err == nil {
+		t.Error("expected error for unknown layer")
+	}
+	// Directions alternate: three horizontal, three vertical.
+	h := s.RoutingCapacityPerUm(true)
+	v := s.RoutingCapacityPerUm(false)
+	if h <= 0 || v <= 0 {
+		t.Errorf("routing capacity h=%v v=%v", h, v)
+	}
+	if math.Abs(h-v) > 1e-9 {
+		t.Errorf("balanced stack should have equal h/v capacity, got %v vs %v", h, v)
+	}
+}
+
+func TestEmptyStackAverages(t *testing.T) {
+	var s Stack
+	if s.AvgR() != 0 || s.AvgC() != 0 {
+		t.Error("empty stack averages should be 0")
+	}
+}
+
+func TestDefaultMIV(t *testing.T) {
+	m := DefaultMIV()
+	if m.R <= 0 || m.C <= 0 || m.Pitch <= 0 {
+		t.Errorf("MIV parameters must be positive: %+v", m)
+	}
+	// MIVs are nearly free compared to even 10 µm of M2 wire.
+	s := NewSignalStack()
+	if m.C > 10*s.AvgC() {
+		t.Errorf("MIV C %v should be far below 10 µm of wire C %v", m.C, 10*s.AvgC())
+	}
+}
+
+func TestDefaultDeratesSigns(t *testing.T) {
+	m := DefaultDerates()
+
+	// Fast driver with slow load on the other tier gets FASTER (Table II,
+	// Case I→II deltas are negative).
+	if m.OutFastToSlow.Delay >= 1 {
+		t.Errorf("OutFastToSlow.Delay = %v, want < 1", m.OutFastToSlow.Delay)
+	}
+	// Slow driver with fast load gets SLOWER (Case III→IV positive).
+	if m.OutSlowToFast.Delay <= 1 {
+		t.Errorf("OutSlowToFast.Delay = %v, want > 1", m.OutSlowToFast.Delay)
+	}
+	// Lower gate voltage on a fast cell explodes leakage by ~3.5×.
+	if m.InSlowGateOnFast.Leakage < 3 || m.InSlowGateOnFast.Leakage > 4 {
+		t.Errorf("InSlowGateOnFast.Leakage = %v, want ≈3.5", m.InSlowGateOnFast.Leakage)
+	}
+	// Higher gate voltage on a slow cell nearly halves leakage.
+	if m.InFastGateOnSlow.Leakage >= 0.6 {
+		t.Errorf("InFastGateOnSlow.Leakage = %v, want ≈0.55", m.InFastGateOnSlow.Leakage)
+	}
+	// Input-boundary delay deltas are small and of opposite sign, which is
+	// why path-level error cancels (Sec. II-B).
+	if m.InSlowGateOnFast.Delay <= 1 || m.InFastGateOnSlow.Delay >= 1 {
+		t.Errorf("input-boundary delay derates have wrong signs: %v, %v",
+			m.InSlowGateOnFast.Delay, m.InFastGateOnSlow.Delay)
+	}
+}
+
+func TestDerateSelectorsAndCompose(t *testing.T) {
+	m := DefaultDerates()
+	if m.ForOutputBoundary(true) != m.OutFastToSlow {
+		t.Error("ForOutputBoundary(fast) mismatch")
+	}
+	if m.ForOutputBoundary(false) != m.OutSlowToFast {
+		t.Error("ForOutputBoundary(slow) mismatch")
+	}
+	if m.ForInputBoundary(true) != m.InSlowGateOnFast {
+		t.Error("ForInputBoundary(fast) mismatch")
+	}
+	if m.ForInputBoundary(false) != m.InFastGateOnSlow {
+		t.Error("ForInputBoundary(slow) mismatch")
+	}
+
+	u := Unity()
+	d := Derate{Slew: 1.1, Delay: 1.2, Leakage: 2, Power: 0.9}
+	if got := d.Compose(u); got != d {
+		t.Errorf("Compose with unity = %v, want %v", got, d)
+	}
+	got := d.Compose(d)
+	if math.Abs(got.Delay-1.44) > 1e-9 || math.Abs(got.Leakage-4) > 1e-9 {
+		t.Errorf("Compose = %+v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMakeVariantAnchors(t *testing.T) {
+	v9, err := MakeVariant(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v9 != Variant9T() {
+		t.Errorf("MakeVariant(9) = %+v, want the 9T anchor", v9)
+	}
+	v12, err := MakeVariant(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v12 != Variant12T() {
+		t.Errorf("MakeVariant(12) = %+v, want the 12T anchor", v12)
+	}
+}
+
+func TestMakeVariantMonotone(t *testing.T) {
+	var prev Variant
+	for tr := 9; tr <= 12; tr++ {
+		v, err := MakeVariant(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr > 9 {
+			if v.VDD <= prev.VDD {
+				t.Errorf("VDD not increasing at %d tracks", tr)
+			}
+			if v.DriveRes >= prev.DriveRes {
+				t.Errorf("DriveRes not decreasing at %d tracks", tr)
+			}
+			if v.LeakagePower <= prev.LeakagePower {
+				t.Errorf("leakage not increasing at %d tracks", tr)
+			}
+			if v.CellHeight <= prev.CellHeight {
+				t.Errorf("height not increasing at %d tracks", tr)
+			}
+		}
+		if math.Abs(v.CellHeight-float64(tr)*M1Pitch) > 1e-12 {
+			t.Errorf("%d tracks: height %v", tr, v.CellHeight)
+		}
+		// Every family member is level-shifter free against the 12T die.
+		if !HeteroCompatible(v, Variant12T()) {
+			t.Errorf("%d tracks not hetero-compatible", tr)
+		}
+		prev = v
+	}
+}
+
+func TestMakeVariantBounds(t *testing.T) {
+	if _, err := MakeVariant(8); err == nil {
+		t.Error("8 tracks should fail")
+	}
+	if _, err := MakeVariant(13); err == nil {
+		t.Error("13 tracks should fail")
+	}
+}
