@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,19 +28,19 @@ func BenchmarkLevelShifterAblation(b *testing.B) {
 	}
 	fopt := core.DefaultFmaxOptions()
 	fopt.Iterations = 4
-	fmax, err := core.FindFmax(src, core.Config2D12T, fopt)
+	fmax, err := core.FindFmax(context.Background(), src, core.Config2D12T, fopt)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var out string
 	for i := 0; i < b.N; i++ {
-		plain, err := core.Run(src, core.ConfigHetero, core.DefaultOptions(fmax))
+		plain, err := core.Run(context.Background(), src, core.ConfigHetero, core.DefaultOptions(fmax))
 		if err != nil {
 			b.Fatal(err)
 		}
 		opt := core.DefaultOptions(fmax)
 		opt.ForceLevelShifters = true
-		shifted, err := core.Run(src, core.ConfigHetero, opt)
+		shifted, err := core.Run(context.Background(), src, core.ConfigHetero, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func BenchmarkTrackMix(b *testing.B) {
 	}
 	fopt := core.DefaultFmaxOptions()
 	fopt.Iterations = 4
-	fmax, err := core.FindFmax(src, core.Config2D12T, fopt)
+	fmax, err := core.FindFmax(context.Background(), src, core.Config2D12T, fopt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func BenchmarkTrackMix(b *testing.B) {
 			}
 			opt := core.DefaultOptions(fmax)
 			opt.TopVariant = &v
-			r, err := core.Run(src, core.ConfigHetero, opt)
+			r, err := core.Run(context.Background(), src, core.ConfigHetero, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -106,11 +107,11 @@ func BenchmarkPDN(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r, err := core.Run(src, core.ConfigHetero, core.DefaultOptions(0.5))
+	r, err := core.Run(context.Background(), src, core.ConfigHetero, core.DefaultOptions(0.5))
 	if err != nil {
 		b.Fatal(err)
 	}
-	r2d, err := core.Run(src, core.Config2D12T, core.DefaultOptions(0.5))
+	r2d, err := core.Run(context.Background(), src, core.Config2D12T, core.DefaultOptions(0.5))
 	if err != nil {
 		b.Fatal(err)
 	}

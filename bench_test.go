@@ -15,6 +15,7 @@
 package repro_test
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,10 +45,8 @@ func suite(b *testing.B) *eval.Suite {
 	suiteOnce.Do(func() {
 		opt := eval.DefaultSuiteOptions(*benchScale)
 		opt.Seed = *benchSeed
-		opt.Progress = func(f string, a ...interface{}) {
-			fmt.Fprintf(os.Stderr, "  "+f+"\n", a...)
-		}
-		suiteVal, suiteErr = eval.RunSuite(opt)
+		opt.Events = &eval.LogSink{W: os.Stderr}
+		suiteVal, suiteErr = eval.RunSuite(context.Background(), opt)
 	})
 	if suiteErr != nil {
 		b.Fatal(suiteErr)
@@ -209,7 +208,7 @@ func BenchmarkSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := eval.DefaultSuiteOptions(0.02)
 		opt.Designs = []designs.Name{designs.AES}
-		if _, err := eval.RunSuite(opt); err != nil {
+		if _, err := eval.RunSuite(context.Background(), opt); err != nil {
 			b.Fatal(err)
 		}
 	}

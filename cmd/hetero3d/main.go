@@ -1,21 +1,32 @@
-// Command hetero3d implements one of the paper's benchmark designs in a
-// chosen configuration (2D-9T, 2D-12T, M3D-9T, M3D-12T, Hetero-M3D) and
-// prints its PPAC record, optionally with the Table VIII-style deep dive
-// and layout SVGs.
+// Command hetero3d implements one of the paper's benchmark designs in one
+// or more chosen configurations (2D-9T, 2D-12T, M3D-9T, M3D-12T,
+// Hetero-M3D) and prints the PPAC record(s), optionally with the
+// Table VIII-style deep dive, per-stage timing, and layout SVGs.
 //
 // Usage:
 //
-//	hetero3d -design cpu -config Hetero-M3D -scale 0.1 [-clock 1.2] [-deep] [-svg dir] [-verilog out.v]
+//	hetero3d -design cpu -config Hetero-M3D -scale 0.1 [-clock 1.2]
+//	         [-deep] [-svg dir] [-verilog out.v] [-stage-report]
+//	         [-workers 0] [-timeout 0]
+//
+// -config also accepts a comma-separated list or "all"; multiple
+// configurations run concurrently on a worker pool bounded by -workers.
+// The deep dive, SVG, and Verilog outputs apply when exactly one
+// configuration is requested.
 //
 // When -clock is omitted the tool first sweeps the design's 2D-12T f_max
 // and uses it as the target, exactly like the paper's methodology.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -28,24 +39,47 @@ import (
 
 func main() {
 	var (
-		design = flag.String("design", "cpu", "design: netcard, aes, ldpc, cpu")
-		config = flag.String("config", string(core.ConfigHetero), "configuration: 2D-9T, 2D-12T, M3D-9T, M3D-12T, Hetero-M3D")
-		scale  = flag.Float64("scale", 0.1, "design scale (1.0 = paper-size netlists)")
-		clock  = flag.Float64("clock", 0, "target clock in GHz (0 = sweep 2D-12T f_max first)")
-		seed   = flag.Int64("seed", 1, "generation/partitioning seed")
-		deep   = flag.Bool("deep", false, "print the Table VIII-style deep dive")
-		svgDir = flag.String("svg", "", "write per-tier layout SVGs to this directory")
-		vlog   = flag.String("verilog", "", "write the implemented netlist (with physical attributes) to this file")
+		design   = flag.String("design", "cpu", "design: netcard, aes, ldpc, cpu")
+		config   = flag.String("config", string(core.ConfigHetero), "configuration(s): comma-separated subset of 2D-9T, 2D-12T, M3D-9T, M3D-12T, Hetero-M3D, or \"all\"")
+		scale    = flag.Float64("scale", 0.1, "design scale (1.0 = paper-size netlists)")
+		clock    = flag.Float64("clock", 0, "target clock in GHz (0 = sweep 2D-12T f_max first)")
+		seed     = flag.Int64("seed", 1, "generation/partitioning seed")
+		deep     = flag.Bool("deep", false, "print the Table VIII-style deep dive (single config)")
+		svgDir   = flag.String("svg", "", "write per-tier layout SVGs to this directory (single config)")
+		vlog     = flag.String("verilog", "", "write the implemented netlist (with physical attributes) to this file (single config)")
+		workers  = flag.Int("workers", 0, "concurrent flow jobs for multi-config runs (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long, e.g. 2m (0 = no limit)")
+		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table of each flow")
 	)
 	flag.Parse()
 
-	if err := run(*design, *config, *scale, *clock, *seed, *deep, *svgDir, *vlog); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *svgDir, *vlog); err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}
 }
 
-func run(design, config string, scale, clock float64, seed int64, deep bool, svgDir, vlog string) error {
+func parseConfigs(s string) []core.ConfigName {
+	if strings.TrimSpace(s) == "all" {
+		return append([]core.ConfigName{}, core.AllConfigs...)
+	}
+	var out []core.ConfigName
+	for _, c := range strings.Split(s, ",") {
+		out = append(out, core.ConfigName(strings.TrimSpace(c)))
+	}
+	return out
+}
+
+func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep bool, svgDir, vlog string) error {
+	cfgs := parseConfigs(config)
+
 	lib12 := cell.NewLibrary(tech.Variant12T())
 	src, err := designs.Generate(designs.Name(design), lib12, designs.Params{Scale: scale, Seed: seed})
 	if err != nil {
@@ -58,21 +92,56 @@ func run(design, config string, scale, clock float64, seed int64, deep bool, svg
 		fmt.Println("sweeping 2D-12T f_max...")
 		fopt := core.DefaultFmaxOptions()
 		fopt.Flow.Seed = seed
-		clock, err = core.FindFmax(src, core.Config2D12T, fopt)
+		clock, err = core.FindFmax(ctx, src, core.Config2D12T, fopt)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("f_max(2D-12T) = %.3f GHz\n", clock)
 	}
 
-	opt := core.DefaultOptions(clock)
-	opt.Seed = seed
-	r, err := core.Run(src, core.ConfigName(config), opt)
-	if err != nil {
-		return err
+	// Implement every requested configuration, fanning out on a worker
+	// pool when more than one is asked for. Flows are deterministic, so
+	// the printed results do not depend on the worker count.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	p := r.PPAC
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opt := core.DefaultOptions(clock)
+			opt.Seed = seed
+			results[i], errs[i] = core.Run(ctx, src, cfg, opt)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfgs[i], err)
+		}
+	}
 
+	for i, cfg := range cfgs {
+		if err := printResult(design, string(cfg), clock, results[i], stageRep); err != nil {
+			return err
+		}
+	}
+
+	if len(cfgs) != 1 {
+		return nil
+	}
+	return singleConfigExtras(design, string(cfgs[0]), results[0], deep, svgDir, vlog)
+}
+
+func printResult(design, config string, clock float64, r *core.Result, stageRep bool) error {
+	p := r.PPAC
 	t := report.NewTable(fmt.Sprintf("PPAC — %s in %s @ %.3f GHz", design, config, clock), "Metric", "Value")
 	t.AddRowf("Si area", fmt.Sprintf("%.4f mm²", p.SiAreaMM2))
 	t.AddRowf("Footprint", fmt.Sprintf("%.4f mm² (%.0f µm wide)", p.FootprintMM2, p.ChipWidthUM))
@@ -92,6 +161,20 @@ func run(design, config string, scale, clock float64, seed int64, deep bool, svg
 		return err
 	}
 
+	if stageRep {
+		rows := make([]report.StageRow, 0, len(r.Stages))
+		for _, m := range r.Stages {
+			rows = append(rows, report.StageRow{Stage: m.Name, Runs: 1, Total: m.Wall, Max: m.Wall, Cells: m.Cells})
+		}
+		st := report.StageTimingTable(fmt.Sprintf("Pipeline stages — %s in %s", design, config), rows)
+		if err := st.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func singleConfigExtras(design, config string, r *core.Result, deep bool, svgDir, vlog string) error {
 	if deep {
 		dd, err := core.DeepAnalyze(r)
 		if err != nil {

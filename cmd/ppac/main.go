@@ -1,13 +1,17 @@
 // Command ppac runs the paper's full evaluation — every design in every
 // configuration at its 2D-12T f_max — and prints Tables I, VI, VII, and
-// VIII plus the figure summaries.
+// VIII plus the figure summaries. The per-design f_max searches and the
+// 5×4 configuration sweep execute on a bounded worker pool; results are
+// identical at any worker count.
 //
 // Usage:
 //
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
+//	     [-workers 0] [-timeout 0] [-stage-report] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +24,28 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.25, "design scale (1.0 = paper-size netlists)")
-		seed    = flag.Int64("seed", 1, "generation/partitioning seed")
-		designL = flag.String("designs", "", "comma-separated subset of netcard,aes,ldpc,cpu (default all)")
-		svgDir  = flag.String("svg", "", "write Fig. 3/4 SVGs to this directory")
+		scale    = flag.Float64("scale", 0.25, "design scale (1.0 = paper-size netlists)")
+		seed     = flag.Int64("seed", 1, "generation/partitioning seed")
+		designL  = flag.String("designs", "", "comma-separated subset of netcard,aes,ldpc,cpu (default all)")
+		svgDir   = flag.String("svg", "", "write Fig. 3/4 SVGs to this directory")
+		workers  = flag.Int("workers", 0, "concurrent flow jobs (0 = GOMAXPROCS, 1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole evaluation after this long, e.g. 5m (0 = no limit)")
+		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table after the evaluation")
+		verbose  = flag.Bool("v", false, "log every pipeline stage as it completes")
 	)
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opt := eval.DefaultSuiteOptions(*scale)
 	opt.Seed = *seed
-	opt.Progress = func(f string, a ...interface{}) { fmt.Printf(f+"\n", a...) }
+	opt.Workers = *workers
+	opt.Events = &eval.LogSink{W: os.Stdout, Stages: *verbose}
 	if *designL != "" {
 		opt.Designs = nil
 		for _, n := range strings.Split(*designL, ",") {
@@ -37,7 +53,7 @@ func main() {
 		}
 	}
 
-	s, err := eval.RunSuite(opt)
+	s, err := eval.RunSuite(ctx, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppac:", err)
 		os.Exit(1)
@@ -74,5 +90,9 @@ func main() {
 		} else {
 			fmt.Println(f4)
 		}
+	}
+
+	if *stageRep {
+		fmt.Println(s.StageReport())
 	}
 }

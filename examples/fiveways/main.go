@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -28,7 +29,7 @@ func main() {
 	}
 	fmt.Printf("aes: %d cells\n", src.ComputeStats().Cells)
 
-	fmax, err := core.FindFmax(src, core.Config2D12T, core.DefaultFmaxOptions())
+	fmax, err := core.FindFmax(context.Background(), src, core.Config2D12T, core.DefaultFmaxOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 		"Config", "Si mm²", "WL m", "MIVs", "P mW", "WNS ns", "met", "PDP pJ", "Cost µC'", "PPC")
 	var het, best2d *core.PPAC
 	for _, cfg := range core.AllConfigs {
-		r, err := core.Run(src, cfg, core.DefaultOptions(fmax))
+		r, err := core.Run(context.Background(), src, cfg, core.DefaultOptions(fmax))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := core.Run(src, core.ConfigHetero, core.DefaultOptions(1.0))
+	r, err := core.Run(context.Background(), src, core.ConfigHetero, core.DefaultOptions(1.0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 
 	// 2. Find the design's 2D-12T maximum frequency — the paper's
 	//    iso-performance target for every implementation.
-	fmax, err := core.FindFmax(src, core.Config2D12T, core.DefaultFmaxOptions())
+	fmax, err := core.FindFmax(context.Background(), src, core.Config2D12T, core.DefaultFmaxOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 
 	// 3. Run the heterogeneous flow: timing-based partitioning, 9-track
 	//    retargeting of the top die, 3-D clock tree, repartitioning ECO.
-	r, err := core.Run(src, core.ConfigHetero, core.DefaultOptions(fmax))
+	r, err := core.Run(context.Background(), src, core.ConfigHetero, core.DefaultOptions(fmax))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,11 +14,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cell"
 	"repro/internal/cost"
 	"repro/internal/cts"
+	"repro/internal/flow"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/power"
@@ -81,6 +83,9 @@ type Options struct {
 	// tier-crossing net of the heterogeneous design — the style the paper
 	// rejects in Sec. III-B; the ablation benchmark measures why.
 	ForceLevelShifters bool
+	// Events receives structured stage events from the pipeline (nil =
+	// none). Must be safe for concurrent use when flows run in parallel.
+	Events flow.Sink
 }
 
 // DefaultOptions returns the evaluation defaults at the given target
@@ -163,6 +168,9 @@ type Result struct {
 	Power  *power.Breakdown
 	// Outline is the die rectangle (shared by both tiers in 3-D).
 	Outline geom.Rect
+	// Stages records every executed pipeline stage's wall time and cell
+	// count, in execution order (the -stage-report tables read these).
+	Stages []flow.StageMetric
 }
 
 // libFor returns the library pair of a configuration.
@@ -186,23 +194,32 @@ func libFor(cfg ConfigName) ([2]*cell.Library, error) {
 	}
 }
 
-// Run implements the design in the named configuration. src must be a
-// 12-track-mapped netlist (the generators' output); each flow clones and
-// re-maps it as its technology requires, leaving src untouched.
-func Run(src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
+// Run implements the design in the named configuration as a cancellable
+// stage pipeline. src must be a 12-track-mapped netlist (the generators'
+// output); each flow clones and re-maps it as its technology requires,
+// leaving src untouched.
+//
+// ctx cancels or deadlines the run: the pipeline checks it before every
+// stage and the repair loops poll it between rounds, so a cancelled run
+// returns a *flow.Error (wrapping context.Canceled or DeadlineExceeded)
+// that attributes the abort to the exact design, config, and stage. A nil
+// ctx means no cancellation.
+func Run(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
 	if opt.ClockGHz <= 0 {
 		return nil, fmt.Errorf("core: clock %v GHz must be positive", opt.ClockGHz)
 	}
 	if opt.TargetUtil <= 0 || opt.TargetUtil > 1 {
 		return nil, fmt.Errorf("core: utilization %v out of (0,1]", opt.TargetUtil)
 	}
+	fc := flow.NewContext(ctx, src.Name, string(cfg), opt.Seed)
+	fc.Sink = opt.Events
 	switch cfg {
 	case Config2D9T, Config2D12T:
-		return run2D(src, cfg, opt)
+		return run2D(fc, src, cfg, opt)
 	case ConfigM3D9T, ConfigM3D12T:
-		return runM3D(src, cfg, opt)
+		return runM3D(fc, src, cfg, opt)
 	case ConfigHetero:
-		return runHetero(src, opt)
+		return runHetero(fc, src, opt)
 	default:
 		return nil, fmt.Errorf("core: unknown config %q", cfg)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -35,7 +36,7 @@ func runCfg(t *testing.T, src *netlist.Design, cfg ConfigName, clockGHz float64)
 	if r, ok := runCache[key]; ok {
 		return r
 	}
-	r, err := Run(src, cfg, DefaultOptions(clockGHz))
+	r, err := Run(context.Background(), src, cfg, DefaultOptions(clockGHz))
 	if err != nil {
 		t.Fatalf("Run(%s): %v", cfg, err)
 	}
@@ -197,7 +198,7 @@ func TestHeteroClockTopHeavy(t *testing.T) {
 func TestAblationSwitches(t *testing.T) {
 	src := genSrc(t, designs.CPU, 0.03)
 	full := DefaultOptions(testClock)
-	r1, err := Run(src, ConfigHetero, full)
+	r1, err := Run(context.Background(), src, ConfigHetero, full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestAblationSwitches(t *testing.T) {
 	plain.EnableTimingPartition = false
 	plain.Enable3DCTS = false
 	plain.EnableRepartition = false
-	r2, err := Run(src, ConfigHetero, plain)
+	r2, err := Run(context.Background(), src, ConfigHetero, plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,15 +219,15 @@ func TestAblationSwitches(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	src := genSrc(t, designs.AES, 0.05)
-	if _, err := Run(src, ConfigHetero, DefaultOptions(0)); err == nil {
+	if _, err := Run(context.Background(), src, ConfigHetero, DefaultOptions(0)); err == nil {
 		t.Error("zero clock should fail")
 	}
 	bad := DefaultOptions(1)
 	bad.TargetUtil = 0
-	if _, err := Run(src, ConfigHetero, bad); err == nil {
+	if _, err := Run(context.Background(), src, ConfigHetero, bad); err == nil {
 		t.Error("zero util should fail")
 	}
-	if _, err := Run(src, ConfigName("nope"), DefaultOptions(1)); err == nil {
+	if _, err := Run(context.Background(), src, ConfigName("nope"), DefaultOptions(1)); err == nil {
 		t.Error("unknown config should fail")
 	}
 }
@@ -235,7 +236,7 @@ func TestFindFmax(t *testing.T) {
 	src := genSrc(t, designs.AES, 0.04)
 	opt := DefaultFmaxOptions()
 	opt.Iterations = 4
-	f, err := FindFmax(src, Config2D12T, opt)
+	f, err := FindFmax(context.Background(), src, Config2D12T, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,14 +244,14 @@ func TestFindFmax(t *testing.T) {
 		t.Fatalf("fmax %v outside bracket", f)
 	}
 	// The found frequency must actually be achievable.
-	r, err := Run(src, Config2D12T, DefaultOptions(f))
+	r, err := Run(context.Background(), src, Config2D12T, DefaultOptions(f))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.PPAC.WNS < -opt.SlackFrac/f {
 		t.Errorf("fmax %v not met: WNS %v", f, r.PPAC.WNS)
 	}
-	if _, err := FindFmax(src, Config2D12T, FmaxOptions{LoGHz: 5, HiGHz: 1}); err == nil {
+	if _, err := FindFmax(context.Background(), src, Config2D12T, FmaxOptions{LoGHz: 5, HiGHz: 1}); err == nil {
 		t.Error("bad bracket should fail")
 	}
 }

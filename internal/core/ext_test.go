@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cell"
@@ -15,7 +16,7 @@ func TestHeteroTopVariantOverride(t *testing.T) {
 	}
 	opt := DefaultOptions(testClock)
 	opt.TopVariant = &v11
-	r, err := Run(src, ConfigHetero, opt)
+	r, err := Run(context.Background(), src, ConfigHetero, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestHeteroTopVariantOverride(t *testing.T) {
 		t.Fatal("no top-tier cells")
 	}
 	// An 11-track top die shrinks less than a 9-track one.
-	r9, err := Run(src, ConfigHetero, DefaultOptions(testClock))
+	r9, err := Run(context.Background(), src, ConfigHetero, DefaultOptions(testClock))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,13 +54,13 @@ func TestHeteroTopVariantOverride(t *testing.T) {
 
 func TestHeteroForceLevelShifters(t *testing.T) {
 	src := genSrc(t, "cpu", 0.03)
-	base, err := Run(src, ConfigHetero, DefaultOptions(testClock))
+	base, err := Run(context.Background(), src, ConfigHetero, DefaultOptions(testClock))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := DefaultOptions(testClock)
 	opt.ForceLevelShifters = true
-	shifted, err := Run(src, ConfigHetero, opt)
+	shifted, err := Run(context.Background(), src, ConfigHetero, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

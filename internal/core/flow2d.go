@@ -2,64 +2,28 @@ package core
 
 import (
 	"repro/internal/cts"
+	"repro/internal/flow"
 	"repro/internal/netlist"
-	"repro/internal/place"
-	"repro/internal/route"
-	"repro/internal/synth"
 )
 
 // run2D implements the design as a conventional single-die chip in the
-// configuration's library — the paper's 2-D baselines.
-func run2D(src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
+// configuration's library — the paper's 2-D baselines — as a pipeline of
+// map → synth → place → legalize → cts → timing-repair → power-recovery
+// → signoff.
+func run2D(fc *flow.Context, src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
 	libs, err := libFor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	lib := libs[0]
-	d, err := cloneMapped(src, lib, src.Name)
-	if err != nil {
-		return nil, err
-	}
-	if err := synth.Prepare(d, lib, synth.DefaultOptions()); err != nil {
-		return nil, err
-	}
-	if err := preSizeForClock(d, libs, 1/opt.ClockGHz, 3); err != nil {
-		return nil, err
-	}
-
-	fp, err := placeWithCongestionRetry(d, opt, 1, 1)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := place.LegalizeTiers(d, fp.Core, rowHeights(libs), 1); err != nil {
-		return nil, err
-	}
-
-	ct, err := cts.Build(d, cts.DefaultOptions(cts.Mode2D, libs))
-	if err != nil {
-		return nil, err
-	}
-
-	router := route.New()
-	env := &timingEnv{
-		d:       d,
-		libs:    libs,
-		router:  router,
-		period:  1 / opt.ClockGHz,
-		latency: ct.LatencyFunc(),
-	}
-	st, err := repairTiming(env, fp, opt.RepairRounds)
-	if err != nil {
-		return nil, err
-	}
-	if st, err = recoverPower(env, fp, st); err != nil {
-		return nil, err
-	}
-
-	ppac, pw, err := collect(d, cfg, opt, fp, ct, st, router, "2D flow", 0)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{PPAC: ppac, Design: d, Libs: libs, Clock: ct, Router: router,
-		Timing: st, Power: pw, Outline: fp.Outline}, nil
+	s := &flowState{cfg: cfg, opt: opt, src: src, libs: libs, tiers: 1, areaScale: 1, notes: "2D flow"}
+	return s.execute(fc, []flow.Stage{
+		{Name: StageMap, Run: s.stageMap},
+		{Name: StageSynth, Run: s.stageSynth},
+		{Name: StagePlace, Run: s.stagePlace},
+		{Name: StageLegalize, Run: s.stageLegalize},
+		{Name: StageCTS, Run: s.stageCTS(cts.Mode2D)},
+		{Name: StageRepair, Run: s.stageRepair},
+		{Name: StagePower, Run: s.stagePower},
+		{Name: StageSignoff, Run: s.stageSignoff},
+	})
 }

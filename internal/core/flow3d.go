@@ -4,81 +4,43 @@ import (
 	"fmt"
 
 	"repro/internal/cts"
+	"repro/internal/flow"
 	"repro/internal/netlist"
-	"repro/internal/partition"
-	"repro/internal/place"
-	"repro/internal/route"
-	"repro/internal/synth"
 )
 
 // runM3D implements the design as a homogeneous monolithic 3-D chip: the
 // Pin-3D-style flow — pseudo-3-D implementation over the halved
 // footprint, placement-driven bin-based FM tier partitioning, per-tier
-// legalization, 3-D clock tree, and post-partition timing repair.
-func runM3D(src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
+// legalization, 3-D clock tree, and post-partition timing repair — as a
+// pipeline of map → synth → macro-tiers → place → partition → legalize →
+// cts → timing-repair → power-recovery → signoff.
+func runM3D(fc *flow.Context, src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
 	libs, err := libFor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	d, err := cloneMapped(src, libs[0], src.Name)
-	if err != nil {
-		return nil, err
-	}
-	if err := synth.Prepare(d, libs[0], synth.DefaultOptions()); err != nil {
-		return nil, err
-	}
-	if err := preSizeForClock(d, libs, 1/opt.ClockGHz, 3); err != nil {
-		return nil, err
-	}
-
-	// Macro tiers first so the floorplan stacks each die's macros into
-	// its own column.
-	preassign := assignMacroTiers(d)
-
-	// Pseudo-3-D stage: the whole netlist placed as one 2-D design over
-	// the 3-D footprint (cells of both future tiers overlap freely).
-	fp, err := placeWithCongestionRetry(d, opt, 2, 1)
-	if err != nil {
-		return nil, err
-	}
-
-	topt := partition.DefaultTierOptions()
-	topt.FM.Seed = opt.Seed
-	tres, err := partition.TierPartition(d, fp.Core, preassign, topt)
-	if err != nil {
-		return nil, err
-	}
-
-	if _, err := place.LegalizeTiers(d, fp.Core, rowHeights(libs), 2); err != nil {
-		return nil, err
-	}
-
-	ct, err := cts.Build(d, cts.DefaultOptions(cts.Mode3D, libs))
-	if err != nil {
-		return nil, err
-	}
-
-	router := route.New()
-	env := &timingEnv{
-		d:       d,
-		libs:    libs,
-		router:  router,
-		period:  1 / opt.ClockGHz,
-		latency: ct.LatencyFunc(),
-	}
-	st, err := repairTiming(env, fp, opt.RepairRounds)
-	if err != nil {
-		return nil, err
-	}
-	if st, err = recoverPower(env, fp, st); err != nil {
-		return nil, err
-	}
-
-	notes := fmt.Sprintf("M3D flow, cut=%d", tres.Cut)
-	ppac, pw, err := collect(d, cfg, opt, fp, ct, st, router, notes, tres.Cut)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{PPAC: ppac, Design: d, Libs: libs, Clock: ct, Router: router,
-		Timing: st, Power: pw, Outline: fp.Outline}, nil
+	s := &flowState{cfg: cfg, opt: opt, src: src, libs: libs, tiers: 2, areaScale: 1}
+	return s.execute(fc, []flow.Stage{
+		{Name: StageMap, Run: s.stageMap},
+		{Name: StageSynth, Run: s.stageSynth},
+		// Macro tiers first so the floorplan stacks each die's macros
+		// into its own column.
+		{Name: StageMacros, Run: s.stageMacros},
+		// Pseudo-3-D stage: the whole netlist placed as one 2-D design
+		// over the 3-D footprint (cells of both future tiers overlap
+		// freely).
+		{Name: StagePlace, Run: s.stagePlace},
+		{Name: StagePartition, Run: func(fc *flow.Context) error {
+			if err := s.stagePartition(fc); err != nil {
+				return err
+			}
+			s.notes = fmt.Sprintf("M3D flow, cut=%d", s.tres.Cut)
+			return nil
+		}},
+		{Name: StageLegalize, Run: s.stageLegalize},
+		{Name: StageCTS, Run: s.stageCTS(cts.Mode3D)},
+		{Name: StageRepair, Run: s.stageRepair},
+		{Name: StagePower, Run: s.stagePower},
+		{Name: StageSignoff, Run: s.stageSignoff},
+	})
 }

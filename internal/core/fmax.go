@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,8 +36,10 @@ func DefaultFmaxOptions() FmaxOptions {
 // FindFmax binary-searches the maximum achievable frequency of the design
 // in the given configuration. The paper sweeps the fast 12-track 2-D
 // implementation this way and uses the result as the iso-performance
-// target for every other configuration.
-func FindFmax(src *netlist.Design, cfg ConfigName, opt FmaxOptions) (float64, error) {
+// target for every other configuration. Each probe is a full flow run
+// under ctx, so cancelling ctx aborts the search with a stage-attributed
+// *flow.Error.
+func FindFmax(ctx context.Context, src *netlist.Design, cfg ConfigName, opt FmaxOptions) (float64, error) {
 	if opt.LoGHz <= 0 || opt.HiGHz <= opt.LoGHz {
 		return 0, fmt.Errorf("core: bad fmax bracket [%v, %v]", opt.LoGHz, opt.HiGHz)
 	}
@@ -46,7 +49,7 @@ func FindFmax(src *netlist.Design, cfg ConfigName, opt FmaxOptions) (float64, er
 	probe := func(f float64) (met bool, effD float64, err error) {
 		o := opt.Flow
 		o.ClockGHz = f
-		r, err := Run(src, cfg, o)
+		r, err := Run(ctx, src, cfg, o)
 		if err != nil {
 			return false, 0, err
 		}

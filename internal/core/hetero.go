@@ -5,16 +5,19 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/cts"
+	"repro/internal/flow"
 	"repro/internal/netlist"
 	"repro/internal/partition"
 	"repro/internal/place"
-	"repro/internal/route"
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/tech"
 )
 
-// runHetero is the paper's contribution: the Hetero-Pin-3D flow.
+// runHetero is the paper's contribution: the Hetero-Pin-3D flow, composed
+// as the pipeline map → synth → macro-tiers → place → timing-partition →
+// partition → retarget → level-shifters → legalize → cts → timing-repair
+// → eco → final-repair → power-recovery → signoff.
 //
 //  1. Pseudo-3-D stage in the single 12-track technology.
 //  2. Cell-based timing criticality → timing-based partitioning pins the
@@ -26,7 +29,11 @@ import (
 //  6. 3-D clock tree via the COVER-cell approach (top-die biased).
 //  7. Timing repair with per-tier libraries and boundary-cell derates.
 //  8. Repartitioning ECO (Algorithm 1) to timing closure.
-func runHetero(src *netlist.Design, opt Options) (*Result, error) {
+//
+// The conditional stages (timing-partition, level-shifters, eco) stay in
+// the pipeline when their ablation switch disables them and no-op, so
+// every hetero run reports the same stage list.
+func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, error) {
 	libs, err := libFor(ConfigHetero)
 	if err != nil {
 		return nil, err
@@ -39,172 +46,172 @@ func runHetero(src *netlist.Design, opt Options) (*Result, error) {
 	// the cells keep their 12-track size, half scale by AreaScale.
 	shrink := 0.5 + 0.5*lib9.Variant.AreaScale
 
-	// --- Pseudo-3-D stage: single technology (12-track).
-	d, err := cloneMapped(src, lib12, src.Name)
-	if err != nil {
-		return nil, err
-	}
-	if err := synth.Prepare(d, lib12, synth.DefaultOptions()); err != nil {
-		return nil, err
-	}
-	if err := preSizeForClock(d, libs, 1/opt.ClockGHz, 3); err != nil {
-		return nil, err
-	}
+	s := &flowState{cfg: ConfigHetero, opt: opt, src: src, libs: libs, tiers: 2, areaScale: shrink}
 
-	preassign := assignMacroTiers(d)
-	notesExtra := ""
-
-	fp, err := placeWithCongestionRetry(d, opt, 2, shrink)
-	if err != nil {
-		return nil, err
-	}
-
-	router := route.New()
-	period := 1 / opt.ClockGHz
-
-	// --- Timing-based partitioning (Sec. III-A1): rank cells by the
-	// worst slack of any path through them on the pseudo-3-D design and
-	// pin the most critical area fraction to the fast die.
-	if opt.EnableTimingPartition {
-		cfg := sta.DefaultConfig(period)
-		cfg.Router = router
-		st0, err := sta.Analyze(d, cfg)
-		if err != nil {
-			return nil, err
-		}
-		slack := st0.SlackMap()
-		crit := partition.PreassignCritical(d.Instances,
-			func(i *netlist.Instance) float64 { return slack[i.ID] },
-			opt.TimingAreaFrac, tech.TierBottom)
-		for inst, t := range crit {
-			preassign[inst] = t
-		}
-	}
-
-	// --- Bin-based FM on the remainder. The bottom die is targeted
-	// slightly light (47 % of pre-shrink area): after the top tier
-	// shrinks to 9-track cells the dies utilize comparably, and the
-	// repartitioning ECO keeps working headroom on the fast die.
-	topt := partition.DefaultTierOptions()
-	topt.FM.Seed = opt.Seed
-	topt.FM.TargetFrac = 0.47
-	topt.FM.Tolerance = 0.03
-	tres, err := partition.TierPartition(d, fp.Core, preassign, topt)
-	if err != nil {
-		return nil, err
-	}
-
-	// --- Retarget the top die to the low-power 9-track library.
-	if _, err := synth.Retarget(d, lib9, func(i *netlist.Instance) bool {
-		return i.Tier == tech.TierTop
-	}); err != nil {
-		return nil, err
-	}
-
-	// --- Level-shifter ablation (Sec. III-B): the paper's rejected
-	// alternative inserts a shifter on every tier-crossing net.
-	if opt.ForceLevelShifters {
-		n, err := synth.InsertLevelShifters(d, func(t tech.Tier) *cell.Library {
-			if t == tech.TierTop {
-				return lib9
-			}
-			return lib12
-		})
-		if err != nil {
-			return nil, err
-		}
-		notesExtra = fmt.Sprintf(", %d level shifters", n)
-	}
-
-	if _, err := place.LegalizeTiers(d, fp.Core, rowHeights(libs), 2); err != nil {
-		return nil, err
-	}
-
-	// --- 3-D clock tree: COVER-cell methodology, heterogeneous mode.
 	ctsMode := cts.ModeHetero3D
 	if !opt.Enable3DCTS {
 		// Ablation (Table V): without the 3-D clock stage the tree is
 		// built as if single-die; top-tier sinks pay cross-tier wiring.
 		ctsMode = cts.Mode2D
 	}
-	ct, err := cts.Build(d, cts.DefaultOptions(ctsMode, libs))
-	if err != nil {
-		return nil, err
-	}
 
-	// Sign-off timing uses the per-tier libraries and the extracted
-	// (tier-true) pin loads directly, so the boundary-cell behaviour of
-	// Tables II/III is modeled natively. The derate path (sta.Config.
-	// Hetero) exists to emulate a single-technology tool's boundary
-	// inaccuracy — which the paper argues cancels along paths and leaves
-	// unmodeled in its flow — so it stays off here. Power analysis keeps
-	// the heterogeneous derates: the sub-VDD-gate leakage blow-up is a
-	// physical effect, not a modeling artifact (Sec. II-B).
-	env := &timingEnv{
-		d:       d,
-		libs:    libs,
-		router:  router,
-		period:  period,
-		latency: ct.LatencyFunc(),
-	}
-	// A light first repair pass only, on a tight area budget: filling the
-	// fast die with upsized cells before the ECO would consume the
-	// repartitioner's headroom.
-	st, err := repairTimingBudget(env, fp, 1, 0.82)
-	if err != nil {
-		return nil, err
-	}
+	return s.execute(fc, []flow.Stage{
+		// --- Pseudo-3-D stage: single technology (12-track).
+		{Name: StageMap, Run: s.stageMap},
+		{Name: StageSynth, Run: s.stageSynth},
+		{Name: StageMacros, Run: s.stageMacros},
+		{Name: StagePlace, Run: s.stagePlace},
 
-	// --- Repartitioning ECO (Algorithm 1).
-	notes := fmt.Sprintf("hetero flow, cut=%d, preassigned=%d%s", tres.Cut, tres.Preassigned, notesExtra)
-	if opt.EnableRepartition {
-		oracle := &staOracle{env: env, res: st}
-		eopt := partition.DefaultECOOptions()
-		eopt.FastTier = tech.TierBottom
-		// Wide-and-shallow designs fail across thousands of endpoints;
-		// examine enough paths per iteration to reach them.
-		eopt.NP = 400
-		// Bound the moves by the fast die's placeable area so the bottom
-		// tier stays legalizable.
-		eopt.FastCapacity = fp.Core.Area() * 0.90
-		eopt.OnMove = func(inst *netlist.Instance, to tech.Tier) error {
-			lib := lib9
-			if to == tech.TierBottom {
-				lib = lib12
+		// --- Timing-based partitioning (Sec. III-A1): rank cells by the
+		// worst slack of any path through them on the pseudo-3-D design
+		// and pin the most critical area fraction to the fast die.
+		{Name: StageTimingPartition, Run: func(fc *flow.Context) error {
+			if !opt.EnableTimingPartition {
+				return nil
 			}
-			eq, err := lib.Equivalent(inst.Master)
+			cfg := sta.DefaultConfig(1 / opt.ClockGHz)
+			cfg.Router = s.router
+			st0, err := sta.Analyze(s.d, cfg)
 			if err != nil {
 				return err
 			}
-			return d.ReplaceMaster(inst, eq)
-		}
-		rep, err := partition.RepartitionECO(d, oracle, eopt)
-		if err != nil {
-			return nil, err
-		}
-		// Moves change cell sizes and tiers: re-legalize and re-time.
-		if _, err := place.LegalizeTiers(d, fp.Core, rowHeights(libs), 2); err != nil {
-			return nil, err
-		}
-		if st, err = env.analyze(); err != nil {
-			return nil, err
-		}
-		notes += fmt.Sprintf(", eco: %d moved, %d undone in %d iters", rep.Moved, rep.Undone, rep.Iterations)
-	}
-	// Full post-ECO timing repair, then power recovery.
-	if st, err = repairTiming(env, fp, opt.RepairRounds); err != nil {
-		return nil, err
-	}
-	if st, err = recoverPower(env, fp, st); err != nil {
-		return nil, err
-	}
+			slack := st0.SlackMap()
+			crit := partition.PreassignCritical(s.d.Instances,
+				func(i *netlist.Instance) float64 { return slack[i.ID] },
+				opt.TimingAreaFrac, tech.TierBottom)
+			for inst, t := range crit {
+				s.preassign[inst] = t
+			}
+			return nil
+		}},
 
-	ppac, pw, err := collect(d, ConfigHetero, opt, fp, ct, st, router, notes, tres.Cut)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{PPAC: ppac, Design: d, Libs: libs, Clock: ct, Router: router,
-		Timing: st, Power: pw, Outline: fp.Outline}, nil
+		// --- Bin-based FM on the remainder. The bottom die is targeted
+		// slightly light (47 % of pre-shrink area): after the top tier
+		// shrinks to 9-track cells the dies utilize comparably, and the
+		// repartitioning ECO keeps working headroom on the fast die.
+		{Name: StagePartition, Run: func(fc *flow.Context) error {
+			topt := partition.DefaultTierOptions()
+			topt.FM.Seed = opt.Seed
+			topt.FM.TargetFrac = 0.47
+			topt.FM.Tolerance = 0.03
+			tres, err := partition.TierPartition(s.d, s.fp.Core, s.preassign, topt)
+			if err != nil {
+				return err
+			}
+			s.tres = tres
+			return nil
+		}},
+
+		// --- Retarget the top die to the low-power 9-track library.
+		{Name: StageRetarget, Run: func(fc *flow.Context) error {
+			_, err := synth.Retarget(s.d, lib9, func(i *netlist.Instance) bool {
+				return i.Tier == tech.TierTop
+			})
+			return err
+		}},
+
+		// --- Level-shifter ablation (Sec. III-B): the paper's rejected
+		// alternative inserts a shifter on every tier-crossing net.
+		{Name: StageShifters, Run: func(fc *flow.Context) error {
+			if !opt.ForceLevelShifters {
+				return nil
+			}
+			n, err := synth.InsertLevelShifters(s.d, func(t tech.Tier) *cell.Library {
+				if t == tech.TierTop {
+					return lib9
+				}
+				return lib12
+			})
+			if err != nil {
+				return err
+			}
+			s.notesExtra = fmt.Sprintf(", %d level shifters", n)
+			return nil
+		}},
+
+		{Name: StageLegalize, Run: s.stageLegalize},
+
+		// --- 3-D clock tree: COVER-cell methodology, heterogeneous mode.
+		{Name: StageCTS, Run: s.stageCTS(ctsMode)},
+
+		// Sign-off timing uses the per-tier libraries and the extracted
+		// (tier-true) pin loads directly, so the boundary-cell behaviour
+		// of Tables II/III is modeled natively. The derate path
+		// (sta.Config.Hetero) exists to emulate a single-technology
+		// tool's boundary inaccuracy — which the paper argues cancels
+		// along paths and leaves unmodeled in its flow — so it stays off
+		// here. Power analysis keeps the heterogeneous derates: the
+		// sub-VDD-gate leakage blow-up is a physical effect, not a
+		// modeling artifact (Sec. II-B).
+		//
+		// A light first repair pass only, on a tight area budget:
+		// filling the fast die with upsized cells before the ECO would
+		// consume the repartitioner's headroom.
+		{Name: StageRepair, Run: func(fc *flow.Context) error {
+			s.bindTimingEnv(fc)
+			st, err := repairTimingBudget(s.env, s.fp, 1, 0.82)
+			if err != nil {
+				return err
+			}
+			s.st = st
+			return nil
+		}},
+
+		// --- Repartitioning ECO (Algorithm 1).
+		{Name: StageECO, Run: func(fc *flow.Context) error {
+			s.notes = fmt.Sprintf("hetero flow, cut=%d, preassigned=%d%s",
+				s.tres.Cut, s.tres.Preassigned, s.notesExtra)
+			if !opt.EnableRepartition {
+				return nil
+			}
+			oracle := &staOracle{env: s.env, res: s.st}
+			eopt := partition.DefaultECOOptions()
+			eopt.FastTier = tech.TierBottom
+			// Wide-and-shallow designs fail across thousands of
+			// endpoints; examine enough paths per iteration to reach
+			// them.
+			eopt.NP = 400
+			// Bound the moves by the fast die's placeable area so the
+			// bottom tier stays legalizable.
+			eopt.FastCapacity = s.fp.Core.Area() * 0.90
+			eopt.OnMove = func(inst *netlist.Instance, to tech.Tier) error {
+				lib := lib9
+				if to == tech.TierBottom {
+					lib = lib12
+				}
+				eq, err := lib.Equivalent(inst.Master)
+				if err != nil {
+					return err
+				}
+				return s.d.ReplaceMaster(inst, eq)
+			}
+			rep, err := partition.RepartitionECO(s.d, oracle, eopt)
+			if err != nil {
+				return err
+			}
+			// Moves change cell sizes and tiers: re-legalize and re-time.
+			if _, err := place.LegalizeTiers(s.d, s.fp.Core, rowHeights(libs), 2); err != nil {
+				return err
+			}
+			if s.st, err = s.env.analyze(); err != nil {
+				return err
+			}
+			s.notes += fmt.Sprintf(", eco: %d moved, %d undone in %d iters", rep.Moved, rep.Undone, rep.Iterations)
+			return nil
+		}},
+
+		// Full post-ECO timing repair, then power recovery.
+		{Name: StageFinalRepair, Run: func(fc *flow.Context) error {
+			st, err := repairTiming(s.env, s.fp, opt.RepairRounds)
+			if err != nil {
+				return err
+			}
+			s.st = st
+			return nil
+		}},
+		{Name: StagePower, Run: s.stagePower},
+		{Name: StageSignoff, Run: s.stageSignoff},
+	})
 }
 
 // staOracle adapts the STA engine to the repartitioning loop's

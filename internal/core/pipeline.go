@@ -1,0 +1,221 @@
+package core
+
+import (
+	"repro/internal/cell"
+	"repro/internal/cts"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/tech"
+)
+
+// Stage names of the flow pipelines, in execution order. Every flow is a
+// subset of these; the per-stage metrics and events use these names.
+const (
+	// StageMap clones the source netlist onto the flow's base library.
+	StageMap = "map"
+	// StageSynth is the pre-placement sizing pass at the target clock.
+	StageSynth = "synth"
+	// StageMacros balances hard macros across the two dies (3-D only).
+	StageMacros = "macro-tiers"
+	// StagePlace floorplans and globally places the design, with
+	// congestion-driven utilization retries (the route-feasibility
+	// check).
+	StagePlace = "place"
+	// StageTimingPartition pins the most timing-critical cell area to
+	// the fast die (Hetero-Pin-3D, Sec. III-A1).
+	StageTimingPartition = "timing-partition"
+	// StagePartition is the bin-based FM min-cut tier partitioning.
+	StagePartition = "partition"
+	// StageRetarget remaps the top die onto the low-power library.
+	StageRetarget = "retarget"
+	// StageShifters inserts per-crossing level shifters (ablation only).
+	StageShifters = "level-shifters"
+	// StageLegalize snaps cells onto their tier's row grid.
+	StageLegalize = "legalize"
+	// StageCTS builds the clock tree.
+	StageCTS = "cts"
+	// StageRepair is the post-placement timing-driven sizing loop
+	// (STA + repair rounds).
+	StageRepair = "timing-repair"
+	// StageECO is the repartitioning ECO loop (Algorithm 1).
+	StageECO = "eco"
+	// StageFinalRepair is the full post-ECO repair pass (hetero only).
+	StageFinalRepair = "final-repair"
+	// StagePower downsizes comfortably-passing cells to recover power.
+	StagePower = "power-recovery"
+	// StageSignoff runs final power analysis and assembles the PPAC
+	// record.
+	StageSignoff = "signoff"
+)
+
+// flowState is the mutable state a flow pipeline threads through its
+// stages. The stage functions below are shared by the 2-D, M3D, and
+// Hetero-Pin-3D pipelines; each flow file composes the list it needs.
+type flowState struct {
+	cfg ConfigName
+	opt Options
+	src *netlist.Design
+
+	// tiers and areaScale parameterize the floorplan (1 tier for 2-D;
+	// the hetero flow carries its retarget shrink in areaScale).
+	tiers     int
+	areaScale float64
+
+	libs      [2]*cell.Library
+	d         *netlist.Design
+	fp        *place.Floorplan
+	ct        *cts.Result
+	router    *route.Router
+	env       *timingEnv
+	st        *sta.Result
+	pw        *power.Breakdown
+	ppac      *PPAC
+	preassign map[*netlist.Instance]tech.Tier
+	tres      *partition.TierResult
+
+	notes      string
+	notesExtra string
+}
+
+// execute runs the composed pipeline and assembles the Result.
+func (s *flowState) execute(fc *flow.Context, stages []flow.Stage) (*Result, error) {
+	fc.Cells = func() int {
+		if s.d == nil {
+			return 0
+		}
+		return len(s.d.Instances)
+	}
+	if err := flow.Run(fc, stages); err != nil {
+		return nil, err
+	}
+	return &Result{
+		PPAC:    s.ppac,
+		Design:  s.d,
+		Libs:    s.libs,
+		Clock:   s.ct,
+		Router:  s.router,
+		Timing:  s.st,
+		Power:   s.pw,
+		Outline: s.fp.Outline,
+		Stages:  fc.Metrics(),
+	}, nil
+}
+
+// stageMap clones the source onto the base (bottom) library and prepares
+// it for implementation.
+func (s *flowState) stageMap(fc *flow.Context) error {
+	d, err := cloneMapped(s.src, s.libs[0], s.src.Name)
+	if err != nil {
+		return err
+	}
+	s.d = d
+	return synth.Prepare(s.d, s.libs[0], synth.DefaultOptions())
+}
+
+// stageSynth runs the pre-placement sizing pass at the target clock.
+func (s *flowState) stageSynth(fc *flow.Context) error {
+	return preSizeForClock(fc, s.d, s.libs, 1/s.opt.ClockGHz, 3)
+}
+
+// stageMacros balances hard macros across the dies.
+func (s *flowState) stageMacros(fc *flow.Context) error {
+	s.preassign = assignMacroTiers(s.d)
+	return nil
+}
+
+// stagePlace floorplans and globally places with congestion retries, then
+// creates the flow's router (shared by every later timing analysis).
+func (s *flowState) stagePlace(fc *flow.Context) error {
+	fp, err := placeWithCongestionRetry(s.d, s.opt, s.tiers, s.areaScale)
+	if err != nil {
+		return err
+	}
+	s.fp = fp
+	s.router = route.New()
+	return nil
+}
+
+// stagePartition runs the bin-based FM tier partitioner with the
+// homogeneous-M3D balance targets.
+func (s *flowState) stagePartition(fc *flow.Context) error {
+	topt := partition.DefaultTierOptions()
+	topt.FM.Seed = s.opt.Seed
+	tres, err := partition.TierPartition(s.d, s.fp.Core, s.preassign, topt)
+	if err != nil {
+		return err
+	}
+	s.tres = tres
+	return nil
+}
+
+// stageLegalize snaps every cell onto its tier's row grid.
+func (s *flowState) stageLegalize(fc *flow.Context) error {
+	_, err := place.LegalizeTiers(s.d, s.fp.Core, rowHeights(s.libs), s.tiers)
+	return err
+}
+
+// stageCTS builds the clock tree in the given mode.
+func (s *flowState) stageCTS(mode cts.Mode) func(*flow.Context) error {
+	return func(fc *flow.Context) error {
+		ct, err := cts.Build(s.d, cts.DefaultOptions(mode, s.libs))
+		if err != nil {
+			return err
+		}
+		s.ct = ct
+		return nil
+	}
+}
+
+// bindTimingEnv assembles the timing environment used by the repair and
+// recovery stages (requires the router and clock tree).
+func (s *flowState) bindTimingEnv(fc *flow.Context) {
+	s.env = &timingEnv{
+		fc:      fc,
+		d:       s.d,
+		libs:    s.libs,
+		router:  s.router,
+		period:  1 / s.opt.ClockGHz,
+		latency: s.ct.LatencyFunc(),
+	}
+}
+
+// stageRepair is the standard post-CTS timing repair loop.
+func (s *flowState) stageRepair(fc *flow.Context) error {
+	s.bindTimingEnv(fc)
+	st, err := repairTiming(s.env, s.fp, s.opt.RepairRounds)
+	if err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
+
+// stagePower trades surplus slack for power.
+func (s *flowState) stagePower(fc *flow.Context) error {
+	st, err := recoverPower(s.env, s.fp, s.st)
+	if err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
+
+// stageSignoff runs final power analysis and assembles the PPAC record.
+func (s *flowState) stageSignoff(fc *flow.Context) error {
+	cut := 0
+	if s.tres != nil {
+		cut = s.tres.Cut
+	}
+	ppac, pw, err := collect(s.d, s.cfg, s.opt, s.fp, s.ct, s.st, s.router, s.notes, cut)
+	if err != nil {
+		return err
+	}
+	s.ppac, s.pw = ppac, pw
+	return nil
+}

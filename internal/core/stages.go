@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/cts"
+	"repro/internal/flow"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/power"
@@ -125,6 +126,10 @@ func overflowAtHalfDemand(cm *route.CongestionMap) float64 {
 // timingEnv bundles everything needed to (re-)analyze a design's timing
 // during optimization.
 type timingEnv struct {
+	// fc is the run's pipeline context; the repair loops poll it so a
+	// cancelled run aborts between optimization rounds, not only at
+	// stage boundaries. nil = no cancellation.
+	fc      *flow.Context
 	d       *netlist.Design
 	libs    [2]*cell.Library
 	router  *route.Router
@@ -157,18 +162,21 @@ func (e *timingEnv) libOf(inst *netlist.Instance) *cell.Library {
 // chasing an unreachable target grows the die — the 9-track
 // "over-correction in the synthesis stage" the paper reports
 // (Sec. IV-B2).
-func preSizeForClock(d *netlist.Design, libs [2]*cell.Library, period float64, rounds int) error {
+func preSizeForClock(fc *flow.Context, d *netlist.Design, libs [2]*cell.Library, period float64, rounds int) error {
 	// Pre-placement timing needs a wire-load model: 2.5 fF of estimated
 	// wire per sink stands in for the not-yet-placed interconnect, so
 	// the sizes baked into the floorplan survive real extraction.
 	wlmRouter := route.New()
 	wlmRouter.WLMPerSinkFF = 2.5
-	e := &timingEnv{d: d, libs: libs, router: wlmRouter, period: period}
+	e := &timingEnv{fc: fc, d: d, libs: libs, router: wlmRouter, period: period}
 	// Synthesis aims for margin, not bare closure: cells within 3 % of
 	// the period get upsized too, which is what makes a slow library
 	// chasing a fast target balloon in area.
 	margin := 0.03 * period
 	for r := 0; r < rounds; r++ {
+		if err := fc.Canceled(); err != nil {
+			return err
+		}
 		res, err := e.analyze()
 		if err != nil {
 			return err
@@ -235,6 +243,9 @@ func repairTimingBudget(e *timingEnv, fp *place.Floorplan, rounds int, capFrac f
 		budget[t] = fp.Core.W() * rows * h * capFrac
 	}
 	for r := 0; r < rounds; r++ {
+		if err := e.fc.Canceled(); err != nil {
+			return nil, err
+		}
 		// Current movable area per tier.
 		var used [2]float64
 		for _, inst := range e.d.Instances {

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/flow"
+)
+
+// countingSink tallies every event category; all methods are called from
+// worker goroutines, so the counters are atomic.
+type countingSink struct {
+	stageStarts atomic.Int32
+	stageDones  atomic.Int32
+	fmax        atomic.Int32
+	configs     atomic.Int32
+}
+
+func (c *countingSink) StageStart(design, config, stage string) { c.stageStarts.Add(1) }
+func (c *countingSink) StageDone(design, config, stage string, m flow.StageMetric, err error) {
+	c.stageDones.Add(1)
+}
+func (c *countingSink) FmaxDone(design string, cells int, fmaxGHz float64) { c.fmax.Add(1) }
+func (c *countingSink) ConfigDone(design string, config core.ConfigName, p *core.PPAC) {
+	c.configs.Add(1)
+}
+
+// stripPPAC returns a PPAC value safe for direct comparison: everything
+// but the clock-tree pointer (a deep instance graph whose identity differs
+// between runs even when the tree itself is identical).
+func stripPPAC(p *core.PPAC) core.PPAC {
+	c := *p
+	c.Clock = nil
+	return c
+}
+
+// The tentpole determinism guarantee: a suite run on one worker and a
+// suite run on eight workers produce byte-identical PPAC records and f_max
+// values.
+func TestRunSuiteDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Suite {
+		t.Helper()
+		opt := DefaultSuiteOptions(0.02)
+		opt.FmaxIterations = 3
+		opt.Designs = []designs.Name{designs.AES, designs.CPU}
+		opt.Workers = workers
+		s, err := RunSuite(context.Background(), opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	for _, dn := range serial.DesignsInOrder() {
+		if sf, pf := serial.Fmax[dn], parallel.Fmax[dn]; sf != pf {
+			t.Errorf("%s: fmax %v (serial) != %v (8 workers)", dn, sf, pf)
+		}
+		for cfg, sr := range serial.Results[dn] {
+			pr, ok := parallel.Results[dn][cfg]
+			if !ok {
+				t.Errorf("%s/%s: missing from parallel run", dn, cfg)
+				continue
+			}
+			if sp, pp := stripPPAC(sr.PPAC), stripPPAC(pr.PPAC); sp != pp {
+				t.Errorf("%s/%s: PPAC diverges across worker counts:\nserial:   %+v\nparallel: %+v", dn, cfg, sp, pp)
+			}
+		}
+	}
+}
+
+// A pre-cancelled context must abort the whole suite promptly, return a
+// cancellation error, and leave no worker goroutines behind.
+func TestRunSuiteCancelled(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	opt := DefaultSuiteOptions(0.02)
+	opt.Designs = []designs.Name{designs.AES}
+	start := time.Now()
+	s, err := RunSuite(ctx, opt)
+	if s != nil || err == nil {
+		t.Fatalf("cancelled suite returned (%v, %v)", s, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled suite took %v, want prompt return", d)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Errorf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A deadline expiring mid-suite must surface DeadlineExceeded, not a
+// partial result.
+func TestRunSuiteDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+
+	opt := DefaultSuiteOptions(0.05)
+	opt.FmaxIterations = 3
+	s, err := RunSuite(ctx, opt)
+	if err == nil {
+		t.Skip("suite finished inside 20ms; machine too fast for this deadline")
+	}
+	if s != nil {
+		t.Errorf("timed-out suite returned a partial result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v wraps neither DeadlineExceeded nor Canceled", err)
+	}
+}
+
+// The LogSink must receive one FmaxDone per design and one ConfigDone per
+// (design, config) cell, and the suite must populate Results identically.
+func TestRunSuiteEvents(t *testing.T) {
+	sink := &countingSink{}
+	opt := DefaultSuiteOptions(0.02)
+	opt.FmaxIterations = 2
+	opt.Designs = []designs.Name{designs.AES}
+	opt.Events = sink
+	if _, err := RunSuite(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.fmax.Load(); got != 1 {
+		t.Errorf("FmaxDone called %d times, want 1", got)
+	}
+	if got := sink.configs.Load(); got != int32(len(core.AllConfigs)) {
+		t.Errorf("ConfigDone called %d times, want %d", got, len(core.AllConfigs))
+	}
+	if sink.stageStarts.Load() == 0 || sink.stageDones.Load() != sink.stageStarts.Load() {
+		t.Errorf("stage events unbalanced: %d starts, %d dones",
+			sink.stageStarts.Load(), sink.stageDones.Load())
+	}
+}

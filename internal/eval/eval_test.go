@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ func testSuite(t *testing.T) *Suite {
 	suiteOnce.Do(func() {
 		opt := DefaultSuiteOptions(0.05)
 		opt.FmaxIterations = 3
-		suiteVal, suiteErr = RunSuite(opt)
+		suiteVal, suiteErr = RunSuite(context.Background(), opt)
 	})
 	if suiteErr != nil {
 		t.Fatal(suiteErr)
@@ -53,7 +54,7 @@ func TestRunSuiteComplete(t *testing.T) {
 }
 
 func TestRunSuiteErrors(t *testing.T) {
-	if _, err := RunSuite(SuiteOptions{Scale: 0}); err == nil {
+	if _, err := RunSuite(context.Background(), SuiteOptions{Scale: 0}); err == nil {
 		t.Error("zero scale should fail")
 	}
 }

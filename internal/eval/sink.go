@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/report"
+)
+
+// LogSink is an EventSink that renders the suite's structured events as
+// human-readable progress lines on W — the CLI replacement for the old
+// printf-style Progress callback. The zero value with only W set prints
+// one line per f_max search and per finished configuration; Stages
+// additionally prints one line per pipeline stage. Safe for concurrent
+// use.
+type LogSink struct {
+	W io.Writer
+	// Stages turns on per-stage lines (verbose).
+	Stages bool
+
+	mu sync.Mutex
+}
+
+func (l *LogSink) printf(format string, args ...interface{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.W, format+"\n", args...)
+}
+
+// StageStart implements flow.Sink (silent; starts are implied by dones).
+func (l *LogSink) StageStart(design, config, stage string) {}
+
+// StageDone implements flow.Sink.
+func (l *LogSink) StageDone(design, config, stage string, m flow.StageMetric, err error) {
+	if !l.Stages {
+		return
+	}
+	status := ""
+	if err != nil {
+		status = fmt.Sprintf("  ERROR: %v", err)
+	}
+	l.printf("[%s] %-10s %-16s %8.1fms  %6d cells%s",
+		design, config, stage, float64(m.Wall.Microseconds())/1000, m.Cells, status)
+}
+
+// FmaxDone implements EventSink.
+func (l *LogSink) FmaxDone(design string, cells int, fmaxGHz float64) {
+	l.printf("[%s] %d cells; f_max(2D-12T) = %.3f GHz", design, cells, fmaxGHz)
+}
+
+// ConfigDone implements EventSink.
+func (l *LogSink) ConfigDone(design string, config core.ConfigName, p *core.PPAC) {
+	l.printf("[%s] %-10s WNS=%+.3f P=%.1fmW Si=%.4fmm² PPC=%.3f",
+		design, config, p.WNS, p.PowerMW, p.SiAreaMM2, p.PPC)
+}
+
+// StageReport aggregates the per-stage wall-time metrics of every flow in
+// the suite into the -stage-report table: one row per pipeline stage with
+// run count, total/mean/max wall time, ordered by total time spent — the
+// "which stage burns the time" view.
+func (s *Suite) StageReport() *report.Table {
+	cfgs := s.Opt.Configs
+	if len(cfgs) == 0 {
+		cfgs = core.AllConfigs
+	}
+	var order []string
+	rows := make(map[string]*report.StageRow)
+	for _, dn := range s.DesignsInOrder() {
+		for _, cfg := range cfgs {
+			r, ok := s.Results[dn][cfg]
+			if !ok {
+				continue
+			}
+			for _, m := range r.Stages {
+				row, ok := rows[m.Name]
+				if !ok {
+					row = &report.StageRow{Stage: m.Name}
+					rows[m.Name] = row
+					order = append(order, m.Name)
+				}
+				row.Runs++
+				row.Total += m.Wall
+				if m.Wall > row.Max {
+					row.Max = m.Wall
+				}
+			}
+		}
+	}
+	out := make([]report.StageRow, 0, len(order))
+	for _, name := range order {
+		out = append(out, *rows[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return report.StageTimingTable("Per-stage wall time across the suite's flows", out)
+}

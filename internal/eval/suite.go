@@ -4,17 +4,40 @@
 // (I–VIII) and figure (1, 3, 4) of the paper from the measured results.
 // Both cmd/ppac and the repository's benchmark harness drive this
 // package.
+//
+// RunSuite is a parallel orchestrator: the per-design f_max searches run
+// concurrently, then each design's configurations fan out as independent
+// worker-pool jobs (bounded by SuiteOptions.Workers). Every flow is
+// deterministic given its seed, so the results are identical at any
+// worker count.
 package eval
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/designs"
+	"repro/internal/flow"
 	"repro/internal/tech"
 )
+
+// EventSink observes suite progress as structured events. It extends the
+// pipeline-level flow.Sink (StageStart/StageDone from inside every flow
+// run) with suite-level completions. Implementations must be safe for
+// concurrent use: with Workers > 1 many flows report interleaved.
+type EventSink interface {
+	flow.Sink
+	// FmaxDone reports a design's completed 2D-12T f_max search.
+	FmaxDone(design string, cells int, fmaxGHz float64)
+	// ConfigDone reports one finished implementation with its PPAC
+	// record.
+	ConfigDone(design string, config core.ConfigName, p *core.PPAC)
+}
 
 // SuiteOptions configures an evaluation run.
 type SuiteOptions struct {
@@ -29,8 +52,15 @@ type SuiteOptions struct {
 	Configs []core.ConfigName
 	// FmaxIterations bounds the per-design frequency search.
 	FmaxIterations int
-	// Quiet suppresses progress logging to stdout.
-	Progress func(format string, args ...interface{})
+	// Workers bounds the number of concurrently executing flow jobs —
+	// f_max searches and per-config implementations share the pool.
+	// 0 means GOMAXPROCS; 1 runs the suite fully serially. Results are
+	// identical at any worker count.
+	Workers int
+	// Events receives structured progress events (nil = silent),
+	// replacing the printf-style Progress callback of earlier versions.
+	// LogSink adapts the events back to log lines for CLI use.
+	Events EventSink
 }
 
 // DefaultSuiteOptions returns paper-order defaults at the given scale.
@@ -54,10 +84,16 @@ type Suite struct {
 	Results map[designs.Name]map[core.ConfigName]*core.Result
 }
 
-// RunSuite executes the evaluation.
-func RunSuite(opt SuiteOptions) (*Suite, error) {
+// RunSuite executes the evaluation under ctx. Cancelling ctx (or hitting
+// its deadline) aborts every in-flight flow promptly; the returned error
+// is then the first failure, a stage-attributed *flow.Error for flows
+// cancelled mid-run, or the bare context error if nothing had started.
+func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 	if opt.Scale <= 0 {
 		return nil, fmt.Errorf("eval: scale must be positive")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if len(opt.Designs) == 0 {
 		opt.Designs = append([]designs.Name{}, designs.All...)
@@ -65,9 +101,9 @@ func RunSuite(opt SuiteOptions) (*Suite, error) {
 	if len(opt.Configs) == 0 {
 		opt.Configs = append([]core.ConfigName{}, core.AllConfigs...)
 	}
-	logf := opt.Progress
-	if logf == nil {
-		logf = func(string, ...interface{}) {}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
@@ -77,36 +113,106 @@ func RunSuite(opt SuiteOptions) (*Suite, error) {
 		Results: make(map[designs.Name]map[core.ConfigName]*core.Result),
 	}
 	for _, name := range opt.Designs {
-		src, err := designs.Generate(name, lib12, designs.Params{Scale: opt.Scale, Seed: opt.Seed})
-		if err != nil {
-			return nil, fmt.Errorf("eval: generate %s: %w", name, err)
-		}
-		logf("[%s] %d cells; sweeping 2D-12T f_max...", name, src.ComputeStats().Cells)
+		s.Results[name] = make(map[core.ConfigName]*core.Result, len(opt.Configs))
+	}
 
-		fopt := core.DefaultFmaxOptions()
-		if opt.FmaxIterations > 0 {
-			fopt.Iterations = opt.FmaxIterations
+	// The pool: a semaphore bounds concurrently executing jobs; the
+	// first failure cancels every other job via jctx.
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, workers)
+	acquire := func() bool {
+		select {
+		case sem <- struct{}{}:
+			return true
+		case <-jctx.Done():
+			return false
 		}
-		fopt.Flow.Seed = opt.Seed
-		fmax, err := core.FindFmax(src, core.Config2D12T, fopt)
-		if err != nil {
-			return nil, fmt.Errorf("eval: fmax %s: %w", name, err)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
 		}
-		s.Fmax[name] = fmax
-		logf("[%s] f_max = %.3f GHz", name, fmax)
+		mu.Unlock()
+	}
 
-		s.Results[name] = make(map[core.ConfigName]*core.Result)
-		for _, cfg := range opt.Configs {
-			o := core.DefaultOptions(fmax)
-			o.Seed = opt.Seed
-			r, err := core.Run(src, cfg, o)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s/%s: %w", name, cfg, err)
+	for _, name := range opt.Designs {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Generation and the f_max search occupy one worker slot;
+			// the search itself is sequential (each probe's effective
+			// delay steers the next).
+			if !acquire() {
+				return
 			}
-			s.Results[name][cfg] = r
-			logf("[%s] %-10s WNS=%+.3f P=%.1fmW Si=%.4fmm² PPC=%.3f",
-				name, cfg, r.PPAC.WNS, r.PPAC.PowerMW, r.PPAC.SiAreaMM2, r.PPAC.PPC)
-		}
+			src, err := designs.Generate(name, lib12, designs.Params{Scale: opt.Scale, Seed: opt.Seed})
+			if err != nil {
+				<-sem
+				fail(fmt.Errorf("eval: generate %s: %w", name, err))
+				return
+			}
+			fopt := core.DefaultFmaxOptions()
+			if opt.FmaxIterations > 0 {
+				fopt.Iterations = opt.FmaxIterations
+			}
+			fopt.Flow.Seed = opt.Seed
+			fopt.Flow.Events = opt.Events
+			fmax, err := core.FindFmax(jctx, src, core.Config2D12T, fopt)
+			<-sem
+			if err != nil {
+				fail(fmt.Errorf("eval: fmax %s: %w", name, err))
+				return
+			}
+			mu.Lock()
+			s.Fmax[name] = fmax
+			mu.Unlock()
+			if opt.Events != nil {
+				opt.Events.FmaxDone(string(name), src.ComputeStats().Cells, fmax)
+			}
+
+			// The design's configurations fan out as independent jobs.
+			for _, cfg := range opt.Configs {
+				cfg := cfg
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if !acquire() {
+						return
+					}
+					defer func() { <-sem }()
+					o := core.DefaultOptions(fmax)
+					o.Seed = opt.Seed
+					o.Events = opt.Events
+					r, err := core.Run(jctx, src, cfg, o)
+					if err != nil {
+						fail(fmt.Errorf("eval: %w", err))
+						return
+					}
+					mu.Lock()
+					s.Results[name][cfg] = r
+					mu.Unlock()
+					if opt.Events != nil {
+						opt.Events.ConfigDone(string(name), cfg, r.PPAC)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -119,22 +225,18 @@ func (s *Suite) Hetero(n designs.Name) *core.Result {
 // DesignsInOrder returns the evaluated designs in the paper's column
 // order (netcard, aes, ldpc, cpu), restricted to those actually run.
 func (s *Suite) DesignsInOrder() []designs.Name {
+	seen := make(map[designs.Name]bool, len(s.Results))
 	var out []designs.Name
 	for _, n := range designs.All {
 		if _, ok := s.Results[n]; ok {
 			out = append(out, n)
+			seen[n] = true
 		}
 	}
 	// Any extras (shouldn't happen) appended deterministically.
 	var rest []designs.Name
 	for n := range s.Results {
-		found := false
-		for _, o := range out {
-			if o == n {
-				found = true
-			}
-		}
-		if !found {
+		if !seen[n] {
 			rest = append(rest, n)
 		}
 	}

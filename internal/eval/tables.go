@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -157,7 +158,8 @@ func TableV(scale float64, seed int64) (*report.Table, error) {
 	}
 	fopt := core.DefaultFmaxOptions()
 	fopt.Iterations = 5
-	fmax, err := core.FindFmax(src, core.Config2D12T, fopt)
+	ctx := context.Background()
+	fmax, err := core.FindFmax(ctx, src, core.Config2D12T, fopt)
 	if err != nil {
 		return nil, err
 	}
@@ -165,11 +167,11 @@ func TableV(scale float64, seed int64) (*report.Table, error) {
 	plain.EnableTimingPartition = false
 	plain.Enable3DCTS = false
 	plain.EnableRepartition = false
-	rp, err := core.Run(src, core.ConfigHetero, plain)
+	rp, err := core.Run(ctx, src, core.ConfigHetero, plain)
 	if err != nil {
 		return nil, err
 	}
-	rh, err := core.Run(src, core.ConfigHetero, core.DefaultOptions(fmax))
+	rh, err := core.Run(ctx, src, core.ConfigHetero, core.DefaultOptions(fmax))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,144 @@
+// Package flow is the stage-pipeline substrate the core flow engine
+// executes on. A flow (2-D, M3D, Hetero-Pin-3D) is expressed as an
+// ordered list of named Stages run over a shared Context that carries
+// cancellation (context.Context), the run's seeded RNG, per-stage
+// wall-time/cell-count metrics, and an optional structured event sink.
+//
+// The pipeline runner checks for cancellation before every stage and
+// attributes any failure — including cancellation — to the exact design,
+// configuration, and stage it occurred in via the structured Error type,
+// so a parallel evaluation can report "cpu/Hetero-M3D failed in the eco
+// stage" instead of an anonymous error.
+package flow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stage is one named step of a flow pipeline. Run mutates the flow's
+// state (closed over by the function) and returns an error to abort the
+// pipeline.
+type Stage struct {
+	Name string
+	Run  func(*Context) error
+}
+
+// StageMetric records one executed stage: its wall time and the design's
+// cell count when the stage finished (0 when unknown).
+type StageMetric struct {
+	Name  string
+	Wall  time.Duration
+	Cells int
+}
+
+// Sink receives structured pipeline events. Implementations must be safe
+// for concurrent use: when flows run in parallel (eval's worker pool) a
+// single sink observes every run's stages interleaved.
+type Sink interface {
+	// StageStart fires immediately before a stage runs.
+	StageStart(design, config, stage string)
+	// StageDone fires after a stage returns, with its metric and error
+	// (nil on success).
+	StageDone(design, config, stage string, m StageMetric, err error)
+}
+
+// Context is the shared state a pipeline threads through its stages.
+type Context struct {
+	// Ctx carries the run's cancellation and deadline; the pipeline
+	// runner checks it before every stage, and long-running stages poll
+	// it via Canceled between optimization rounds.
+	Ctx context.Context
+	// RNG is the run's seeded random source. Stages draw any randomness
+	// they need from it so a run is reproducible from its seed alone.
+	RNG *rand.Rand
+	// Design and Config label the run in events and errors.
+	Design, Config string
+	// Sink receives stage events (nil = none).
+	Sink Sink
+	// Cells reports the design's current cell count for metrics
+	// (nil = cell counts recorded as 0).
+	Cells func() int
+
+	metrics []StageMetric
+}
+
+// NewContext builds a pipeline context for one design/config run with an
+// RNG seeded from seed. A nil ctx means no cancellation.
+func NewContext(ctx context.Context, design, config string, seed int64) *Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Context{
+		Ctx:    ctx,
+		RNG:    rand.New(rand.NewSource(seed)),
+		Design: design,
+		Config: config,
+	}
+}
+
+// Canceled returns the underlying context's error (context.Canceled or
+// context.DeadlineExceeded) once the run is cancelled, nil otherwise.
+// Long stages call it between optimization rounds to abort promptly.
+func (c *Context) Canceled() error {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// Metrics returns the per-stage records of every stage executed so far,
+// in execution order.
+func (c *Context) Metrics() []StageMetric { return c.metrics }
+
+// Error is a structured flow failure: which design, configuration, and
+// stage failed, and why. It wraps the underlying cause, so
+// errors.Is(err, context.Canceled) and friends see through it.
+type Error struct {
+	Design string
+	Config string
+	Stage  string
+	Err    error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("flow %s/%s: stage %s: %v", e.Design, e.Config, e.Stage, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Run executes the stages in order over the context. Before each stage it
+// checks for cancellation; a cancelled context or a failing stage aborts
+// the pipeline with a *Error attributing the design, config, and stage.
+// Each executed stage's wall time and cell count are appended to the
+// context's metrics, and the sink (if any) observes every start/finish.
+func Run(c *Context, stages []Stage) error {
+	for _, st := range stages {
+		if err := c.Canceled(); err != nil {
+			return &Error{Design: c.Design, Config: c.Config, Stage: st.Name, Err: err}
+		}
+		if c.Sink != nil {
+			c.Sink.StageStart(c.Design, c.Config, st.Name)
+		}
+		start := time.Now()
+		err := st.Run(c)
+		m := StageMetric{Name: st.Name, Wall: time.Since(start)}
+		if c.Cells != nil {
+			m.Cells = c.Cells()
+		}
+		c.metrics = append(c.metrics, m)
+		if c.Sink != nil {
+			c.Sink.StageDone(c.Design, c.Config, st.Name, m, err)
+		}
+		if err != nil {
+			if fe, ok := err.(*Error); ok {
+				// A nested pipeline already attributed the failure.
+				return fe
+			}
+			return &Error{Design: c.Design, Config: c.Config, Stage: st.Name, Err: err}
+		}
+	}
+	return nil
+}

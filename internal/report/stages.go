@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+// StageRow is one aggregated pipeline-stage timing line of the
+// -stage-report table. For a single flow run, Runs is 1 and Total is the
+// stage's wall time; suite-level reports aggregate across every flow.
+type StageRow struct {
+	Stage string
+	Runs  int
+	Total time.Duration
+	Max   time.Duration
+	// Cells is the design's cell count when the stage finished
+	// (rendered only when nonzero — aggregated rows omit it).
+	Cells int
+}
+
+// StageTimingTable renders per-stage wall-time rows as an aligned table
+// with a share-of-total column.
+func StageTimingTable(title string, rows []StageRow) *Table {
+	t := NewTable(title, "Stage", "Runs", "Total", "Mean", "Max", "Share", "Cells")
+	var total time.Duration
+	for _, r := range rows {
+		total += r.Total
+	}
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
+	for _, r := range rows {
+		mean := time.Duration(0)
+		if r.Runs > 0 {
+			mean = r.Total / time.Duration(r.Runs)
+		}
+		share := "-"
+		if total > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(r.Total)/float64(total))
+		}
+		cells := "-"
+		if r.Cells > 0 {
+			cells = fmt.Sprint(r.Cells)
+		}
+		t.AddRowf(r.Stage, fmt.Sprint(r.Runs), ms(r.Total), ms(mean), ms(r.Max), share, cells)
+	}
+	t.AddRowf("total", "", ms(total), "", "", "", "")
+	return t
+}

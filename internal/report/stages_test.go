@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageTimingTable(t *testing.T) {
+	rows := []StageRow{
+		{Stage: "place", Runs: 4, Total: 600 * time.Millisecond, Max: 250 * time.Millisecond},
+		{Stage: "cts", Runs: 4, Total: 200 * time.Millisecond, Max: 80 * time.Millisecond, Cells: 1234},
+	}
+	out := StageTimingTable("Per-stage wall time", rows).String()
+
+	for _, want := range []string{
+		"Per-stage wall time",
+		"Stage", "Runs", "Total", "Mean", "Max", "Share", "Cells",
+		"place", "600.0ms", "150.0ms", "250.0ms", "75.0%",
+		"cts", "200.0ms", "50.0ms", "80.0ms", "25.0%", "1234",
+		"total", "800.0ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The zero-cell aggregate row renders "-" in the Cells column.
+	placeLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "place") {
+			placeLine = line
+		}
+	}
+	if !strings.Contains(placeLine, "-") {
+		t.Errorf("aggregated row should render '-' for cells:\n%s", placeLine)
+	}
+}
+
+func TestStageTimingTableEmpty(t *testing.T) {
+	out := StageTimingTable("empty", nil).String()
+	if !strings.Contains(out, "total") || !strings.Contains(out, "0.0ms") {
+		t.Errorf("empty table should still render a zero total:\n%s", out)
+	}
+}
