@@ -7,7 +7,7 @@
 //
 //	hetero3d -design cpu -config Hetero-M3D -scale 0.1 [-clock 1.2]
 //	         [-deep] [-svg dir] [-verilog out.v] [-stage-report]
-//	         [-workers 0] [-timeout 0]
+//	         [-timer-stats] [-workers 0] [-timeout 0]
 //
 // -config also accepts a comma-separated list or "all"; multiple
 // configurations run concurrently on a worker pool bounded by -workers.
@@ -50,6 +50,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent flow jobs for multi-config runs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long, e.g. 2m (0 = no limit)")
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table of each flow")
+		timerSt  = flag.Bool("timer-stats", false, "print each flow's timing-engine update and RC-cache statistics table")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *svgDir, *vlog); err != nil {
+	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *timerSt, *svgDir, *vlog); err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}
@@ -77,7 +78,7 @@ func parseConfigs(s string) []core.ConfigName {
 	return out
 }
 
-func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep bool, svgDir, vlog string) error {
+func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep, timerSt bool, svgDir, vlog string) error {
 	cfgs := parseConfigs(config)
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
@@ -129,7 +130,7 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 	}
 
 	for i, cfg := range cfgs {
-		if err := printResult(design, string(cfg), clock, results[i], stageRep); err != nil {
+		if err := printResult(design, string(cfg), clock, results[i], stageRep, timerSt); err != nil {
 			return err
 		}
 	}
@@ -140,7 +141,7 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 	return singleConfigExtras(design, string(cfgs[0]), results[0], deep, svgDir, vlog)
 }
 
-func printResult(design, config string, clock float64, r *core.Result, stageRep bool) error {
+func printResult(design, config string, clock float64, r *core.Result, stageRep, timerSt bool) error {
 	p := r.PPAC
 	t := report.NewTable(fmt.Sprintf("PPAC — %s in %s @ %.3f GHz", design, config, clock), "Metric", "Value")
 	t.AddRowf("Si area", fmt.Sprintf("%.4f mm²", p.SiAreaMM2))
@@ -168,6 +169,27 @@ func printResult(design, config string, clock float64, r *core.Result, stageRep 
 		}
 		st := report.StageTimingTable(fmt.Sprintf("Pipeline stages — %s in %s", design, config), rows)
 		if err := st.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if timerSt {
+		rows := make([]report.EngineStatsRow, 0, len(r.Stages))
+		for _, m := range r.Stages {
+			if len(m.Stats) == 0 {
+				continue
+			}
+			rows = append(rows, report.EngineStatsRow{
+				Stage:       m.Name,
+				Full:        m.Stats["sta_full"],
+				Incremental: m.Stats["sta_incr"],
+				Nodes:       m.Stats["sta_nodes"],
+				RCHits:      m.Stats["rc_hits"],
+				RCMisses:    m.Stats["rc_misses"],
+			})
+		}
+		et := report.EngineStatsTable(fmt.Sprintf("Timing engine — %s in %s", design, config), rows)
+		if err := et.Render(os.Stdout); err != nil {
 			return err
 		}
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
-//	     [-workers 0] [-timeout 0] [-stage-report] [-v]
+//	     [-workers 0] [-timeout 0] [-stage-report] [-timer-stats] [-v]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent flow jobs (0 = GOMAXPROCS, 1 = serial)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole evaluation after this long, e.g. 5m (0 = no limit)")
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table after the evaluation")
+		timerSt  = flag.Bool("timer-stats", false, "print the timing-engine update and RC-cache statistics table")
 		verbose  = flag.Bool("v", false, "log every pipeline stage as it completes")
 	)
 	flag.Parse()
@@ -94,5 +95,8 @@ func main() {
 
 	if *stageRep {
 		fmt.Println(s.StageReport())
+	}
+	if *timerSt {
+		fmt.Println(s.EngineReport())
 	}
 }

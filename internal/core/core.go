@@ -83,6 +83,11 @@ type Options struct {
 	// tier-crossing net of the heterogeneous design — the style the paper
 	// rejects in Sec. III-B; the ablation benchmark measures why.
 	ForceLevelShifters bool
+	// ForceFullSTA disables the incremental timing engine: every analysis
+	// inside the repair and recovery loops recomputes from scratch. The
+	// results are identical either way (the engine guarantees it); this is
+	// the kill switch for comparing engine statistics and wall time.
+	ForceFullSTA bool
 	// Events receives structured stage events from the pipeline (nil =
 	// none). Must be safe for concurrent use when flows run in parallel.
 	Events flow.Sink

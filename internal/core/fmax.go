@@ -69,13 +69,7 @@ func FindFmax(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Fmax
 		if met && f > best {
 			best = f
 		}
-		next := 1 / effD
-		if next < opt.LoGHz {
-			next = opt.LoGHz
-		}
-		if next > opt.HiGHz {
-			next = opt.HiGHz
-		}
+		next := clampProbe(effD, opt.LoGHz, opt.HiGHz)
 		// Converged: the prediction matches the probe.
 		if math.Abs(next-f)/f < 0.02 {
 			if met {
@@ -91,4 +85,23 @@ func FindFmax(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Fmax
 		return best, nil
 	}
 	return opt.LoGHz, nil
+}
+
+// clampProbe turns a probe's effective delay into the next frequency to
+// try, clamped to the search bracket. A non-positive effective delay
+// (WNS at or beyond the full period — an over-constrained probe) has no
+// meaningful reciprocal; the search jumps to the top of the bracket,
+// which such a result claims is reachable.
+func clampProbe(effD, lo, hi float64) float64 {
+	if effD <= 0 {
+		return hi
+	}
+	next := 1 / effD
+	if next < lo {
+		return lo
+	}
+	if next > hi {
+		return hi
+	}
+	return next
 }

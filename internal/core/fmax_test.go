@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClampProbe pins the fmax search's probe predictor: the reciprocal
+// of the effective delay, clamped to the bracket, with non-positive
+// delays (an over-constrained probe whose WNS consumed the whole
+// period) jumping to the top of the bracket instead of producing a
+// negative or infinite frequency.
+func TestClampProbe(t *testing.T) {
+	const lo, hi = 0.2, 6.0
+	cases := []struct {
+		name string
+		effD float64
+		want float64
+	}{
+		{"interior", 0.5, 2.0},
+		{"clamp-low", 10.0, lo},
+		{"clamp-high", 0.01, hi},
+		{"zero-delay", 0, hi},
+		{"negative-delay", -0.3, hi},
+		{"tiny-negative", -1e-18, hi},
+	}
+	for _, c := range cases {
+		got := clampProbe(c.effD, lo, hi)
+		if got != c.want {
+			t.Errorf("%s: clampProbe(%v) = %v, want %v", c.name, c.effD, got, c.want)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+			t.Errorf("%s: clampProbe(%v) = %v is not a usable frequency", c.name, c.effD, got)
+		}
+	}
+}

@@ -69,9 +69,7 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 			if !opt.EnableTimingPartition {
 				return nil
 			}
-			cfg := sta.DefaultConfig(1 / opt.ClockGHz)
-			cfg.Router = s.router
-			st0, err := sta.Analyze(s.d, cfg)
+			st0, err := sta.Analyze(s.d, staConfig(1/opt.ClockGHz, s.router, nil, false))
 			if err != nil {
 				return err
 			}

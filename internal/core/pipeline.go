@@ -72,6 +72,7 @@ type flowState struct {
 	fp        *place.Floorplan
 	ct        *cts.Result
 	router    *route.Router
+	cache     *route.Cache
 	env       *timingEnv
 	st        *sta.Result
 	pw        *power.Breakdown
@@ -120,7 +121,7 @@ func (s *flowState) stageMap(fc *flow.Context) error {
 
 // stageSynth runs the pre-placement sizing pass at the target clock.
 func (s *flowState) stageSynth(fc *flow.Context) error {
-	return preSizeForClock(fc, s.d, s.libs, 1/s.opt.ClockGHz, 3)
+	return preSizeForClock(fc, s.d, s.libs, 1/s.opt.ClockGHz, 3, s.opt.ForceFullSTA)
 }
 
 // stageMacros balances hard macros across the dies.
@@ -173,15 +174,22 @@ func (s *flowState) stageCTS(mode cts.Mode) func(*flow.Context) error {
 }
 
 // bindTimingEnv assembles the timing environment used by the repair and
-// recovery stages (requires the router and clock tree).
+// recovery stages (requires the router and clock tree): one persistent
+// timing session over one shared extraction cache, serving every
+// analysis from here to sign-off.
 func (s *flowState) bindTimingEnv(fc *flow.Context) {
+	if s.cache == nil {
+		s.cache = route.NewCache(s.router, s.d)
+	}
 	s.env = &timingEnv{
-		fc:      fc,
-		d:       s.d,
-		libs:    s.libs,
-		router:  s.router,
-		period:  1 / s.opt.ClockGHz,
-		latency: s.ct.LatencyFunc(),
+		fc:        fc,
+		d:         s.d,
+		libs:      s.libs,
+		ex:        s.cache,
+		cache:     s.cache,
+		period:    1 / s.opt.ClockGHz,
+		latency:   s.ct.LatencyFunc(),
+		forceFull: s.opt.ForceFullSTA,
 	}
 }
 
@@ -206,16 +214,25 @@ func (s *flowState) stagePower(fc *flow.Context) error {
 	return nil
 }
 
-// stageSignoff runs final power analysis and assembles the PPAC record.
+// stageSignoff runs final power analysis and assembles the PPAC record,
+// then retires the flow's timing session.
 func (s *flowState) stageSignoff(fc *flow.Context) error {
 	cut := 0
 	if s.tres != nil {
 		cut = s.tres.Cut
 	}
-	ppac, pw, err := collect(s.d, s.cfg, s.opt, s.fp, s.ct, s.st, s.router, s.notes, cut)
+	var ex route.Extractor
+	if s.cache != nil {
+		ex = s.cache
+	}
+	ppac, pw, err := collect(s.d, s.cfg, s.opt, s.fp, s.ct, s.st, s.router, ex, s.notes, cut)
 	if err != nil {
 		return err
 	}
 	s.ppac, s.pw = ppac, pw
+	if s.env != nil {
+		s.env.reportStats()
+		s.env.close()
+	}
 	return nil
 }

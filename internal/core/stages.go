@@ -123,27 +123,92 @@ func overflowAtHalfDemand(cm *route.CongestionMap) float64 {
 	return float64(over) / float64(cm.Grid.Bins())
 }
 
+// staConfig is the single constructor for every flow timing analysis:
+// sign-off defaults at the given period, extraction through ex, the
+// clock model, and the boundary-derate switch. Both the optimization
+// environments and the pre-partition criticality analysis build their
+// configuration here so the two can never drift apart.
+func staConfig(period float64, ex route.Extractor, latency func(*netlist.Instance) float64, hetero bool) sta.Config {
+	cfg := sta.DefaultConfig(period)
+	cfg.Router = ex
+	cfg.Latency = latency
+	cfg.Hetero = hetero
+	return cfg
+}
+
 // timingEnv bundles everything needed to (re-)analyze a design's timing
-// during optimization.
+// during optimization. It owns one persistent sta.Timer per flow: every
+// analyze call is an incremental update of the same session, sharing one
+// revision-keyed extraction cache with the power analysis.
 type timingEnv struct {
 	// fc is the run's pipeline context; the repair loops poll it so a
 	// cancelled run aborts between optimization rounds, not only at
-	// stage boundaries. nil = no cancellation.
+	// stage boundaries, and the timer reports its engine counters into
+	// the current stage's metric. nil = no cancellation, no stats.
 	fc      *flow.Context
 	d       *netlist.Design
 	libs    [2]*cell.Library
-	router  *route.Router
+	ex      route.Extractor
+	cache   *route.Cache // ex when extraction is cached, nil otherwise
 	period  float64
 	latency func(*netlist.Instance) float64
 	hetero  bool
+	// forceFull pins the timer to full recomputes (the -timer-stats
+	// kill switch for incremental updates).
+	forceFull bool
+
+	timer *sta.Timer
+	// lastTS/lastCS snapshot the cumulative engine counters at the last
+	// analyze, so each call attributes only its delta to the stage that
+	// ran it.
+	lastTS sta.TimerStats
+	lastCS route.CacheStats
 }
 
 func (e *timingEnv) analyze() (*sta.Result, error) {
-	cfg := sta.DefaultConfig(e.period)
-	cfg.Router = e.router
-	cfg.Latency = e.latency
-	cfg.Hetero = e.hetero
-	return sta.Analyze(e.d, cfg)
+	if e.timer == nil {
+		cfg := staConfig(e.period, e.ex, e.latency, e.hetero)
+		cfg.ForceFull = e.forceFull
+		t, err := sta.NewTimer(e.d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.timer = t
+	}
+	res, err := e.timer.Update()
+	if err != nil {
+		return nil, err
+	}
+	e.reportStats()
+	return res, nil
+}
+
+// reportStats attributes the engine work since the last analyze to the
+// currently running stage.
+func (e *timingEnv) reportStats() {
+	if e.fc == nil || e.timer == nil {
+		return
+	}
+	ts := e.timer.Stats()
+	e.fc.AddStat("sta_full", ts.FullUpdates-e.lastTS.FullUpdates)
+	e.fc.AddStat("sta_incr", ts.IncrementalUpdates-e.lastTS.IncrementalUpdates)
+	e.fc.AddStat("sta_nodes", ts.NodesReevaluated-e.lastTS.NodesReevaluated)
+	e.lastTS = ts
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		e.fc.AddStat("rc_hits", cs.Hits-e.lastCS.Hits)
+		e.fc.AddStat("rc_misses", cs.Misses-e.lastCS.Misses)
+		e.lastCS = cs
+	}
+}
+
+// close detaches the persistent timer from the design's journal. The
+// retained results stay readable.
+func (e *timingEnv) close() {
+	if e.timer != nil {
+		e.timer.Close()
+		e.timer = nil
+	}
 }
 
 // libOf returns the library an instance sizes within (by its tier for
@@ -162,13 +227,15 @@ func (e *timingEnv) libOf(inst *netlist.Instance) *cell.Library {
 // chasing an unreachable target grows the die — the 9-track
 // "over-correction in the synthesis stage" the paper reports
 // (Sec. IV-B2).
-func preSizeForClock(fc *flow.Context, d *netlist.Design, libs [2]*cell.Library, period float64, rounds int) error {
+func preSizeForClock(fc *flow.Context, d *netlist.Design, libs [2]*cell.Library, period float64, rounds int, forceFull bool) error {
 	// Pre-placement timing needs a wire-load model: 2.5 fF of estimated
 	// wire per sink stands in for the not-yet-placed interconnect, so
 	// the sizes baked into the floorplan survive real extraction.
 	wlmRouter := route.New()
 	wlmRouter.WLMPerSinkFF = 2.5
-	e := &timingEnv{fc: fc, d: d, libs: libs, router: wlmRouter, period: period}
+	cache := route.NewCache(wlmRouter, d)
+	e := &timingEnv{fc: fc, d: d, libs: libs, ex: cache, cache: cache, period: period, forceFull: forceFull}
+	defer e.close()
 	// Synthesis aims for margin, not bare closure: cells within 3 % of
 	// the period get upsized too, which is what makes a slow library
 	// chasing a fast target balloon in area.
@@ -388,11 +455,17 @@ func recoverPower(e *timingEnv, fp *place.Floorplan, res *sta.Result) (*sta.Resu
 }
 
 // collect assembles the PPAC record from the finished implementation.
+// ex is the extraction the power analysis reads wire loads through —
+// the flow's shared cache, so sign-off power reuses the timing engine's
+// warm entries.
 func collect(d *netlist.Design, cfg ConfigName, opt Options, fp *place.Floorplan,
-	ct *cts.Result, st *sta.Result, router *route.Router, notes string, cut int) (*PPAC, *power.Breakdown, error) {
+	ct *cts.Result, st *sta.Result, router *route.Router, ex route.Extractor, notes string, cut int) (*PPAC, *power.Breakdown, error) {
 
 	pcfg := power.DefaultConfig(opt.ClockGHz)
-	pcfg.Router = router
+	pcfg.Router = ex
+	if ex == nil {
+		pcfg.Router = router
+	}
 	pcfg.Hetero = cfg == ConfigHetero
 	pw, err := power.Analyze(d, pcfg)
 	if err != nil {

@@ -97,3 +97,45 @@ func (s *Suite) StageReport() *report.Table {
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
 	return report.StageTimingTable("Per-stage wall time across the suite's flows", out)
 }
+
+// EngineReport aggregates the timing-engine and extraction-cache
+// counters every flow's stages reported into the -timer-stats table:
+// one row per pipeline stage that ran at least one analysis, in
+// execution order.
+func (s *Suite) EngineReport() *report.Table {
+	cfgs := s.Opt.Configs
+	if len(cfgs) == 0 {
+		cfgs = core.AllConfigs
+	}
+	var order []string
+	rows := make(map[string]*report.EngineStatsRow)
+	for _, dn := range s.DesignsInOrder() {
+		for _, cfg := range cfgs {
+			r, ok := s.Results[dn][cfg]
+			if !ok {
+				continue
+			}
+			for _, m := range r.Stages {
+				if len(m.Stats) == 0 {
+					continue
+				}
+				row, ok := rows[m.Name]
+				if !ok {
+					row = &report.EngineStatsRow{Stage: m.Name}
+					rows[m.Name] = row
+					order = append(order, m.Name)
+				}
+				row.Full += m.Stats["sta_full"]
+				row.Incremental += m.Stats["sta_incr"]
+				row.Nodes += m.Stats["sta_nodes"]
+				row.RCHits += m.Stats["rc_hits"]
+				row.RCMisses += m.Stats["rc_misses"]
+			}
+		}
+	}
+	out := make([]report.EngineStatsRow, 0, len(order))
+	for _, name := range order {
+		out = append(out, *rows[name])
+	}
+	return report.EngineStatsTable("Timing-engine updates and RC-cache traffic by stage", out)
+}

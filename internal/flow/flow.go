@@ -26,12 +26,14 @@ type Stage struct {
 	Run  func(*Context) error
 }
 
-// StageMetric records one executed stage: its wall time and the design's
-// cell count when the stage finished (0 when unknown).
+// StageMetric records one executed stage: its wall time, the design's
+// cell count when the stage finished (0 when unknown), and any engine
+// counters the stage reported through AddStat (nil when none).
 type StageMetric struct {
 	Name  string
 	Wall  time.Duration
 	Cells int
+	Stats map[string]int64
 }
 
 // Sink receives structured pipeline events. Implementations must be safe
@@ -63,6 +65,21 @@ type Context struct {
 	Cells func() int
 
 	metrics []StageMetric
+	stats   map[string]int64
+}
+
+// AddStat accumulates an engine counter into the currently running
+// stage's metric (the runner attaches the totals to the StageMetric when
+// the stage finishes). Safe on a nil context — engines report stats
+// unconditionally and standalone analyses have nowhere to put them.
+func (c *Context) AddStat(key string, v int64) {
+	if c == nil || v == 0 {
+		return
+	}
+	if c.stats == nil {
+		c.stats = make(map[string]int64)
+	}
+	c.stats[key] += v
 }
 
 // NewContext builds a pipeline context for one design/config run with an
@@ -123,8 +140,10 @@ func Run(c *Context, stages []Stage) error {
 			c.Sink.StageStart(c.Design, c.Config, st.Name)
 		}
 		start := time.Now()
+		c.stats = nil
 		err := st.Run(c)
-		m := StageMetric{Name: st.Name, Wall: time.Since(start)}
+		m := StageMetric{Name: st.Name, Wall: time.Since(start), Stats: c.stats}
+		c.stats = nil
 		if c.Cells != nil {
 			m.Cells = c.Cells()
 		}

@@ -13,6 +13,11 @@ import (
 // ReplaceMaster swaps an instance's master for another with the same pin
 // interface (same pin names and directions). Used for gate sizing and for
 // the 12-track → 9-track retargeting of the top tier.
+//
+// The journal records this as a master change on the instance only: the
+// swap alters delay tables and pin caps but not wire geometry, so the
+// connected nets' extraction revisions stay put and cached RC survives
+// the whole sizing loop.
 func (d *Design) ReplaceMaster(inst *Instance, m *cell.Master) error {
 	if len(m.Pins) != len(inst.Master.Pins) {
 		return fmt.Errorf("netlist: master %s has %d pins, %s has %d",
@@ -25,6 +30,8 @@ func (d *Design) ReplaceMaster(inst *Instance, m *cell.Master) error {
 		}
 	}
 	inst.Master = m
+	d.bumpInst(inst)
+	d.notify(Change{Kind: ChangeMaster, Inst: inst})
 	return nil
 }
 
@@ -69,6 +76,11 @@ func (d *Design) InsertBuffer(n *Net, sinks []PinRef, buf *cell.Master, name str
 		return nil, nil, fmt.Errorf("netlist: %d of %d sinks not on net %q", len(sinks)-found, len(sinks), n.Name)
 	}
 	n.Sinks = kept
+	// The sink moves above bypass Connect, so journal them here: both
+	// nets' pin memberships changed.
+	d.bumpNet(n)
+	d.bumpNet(newNet)
+	d.bumpTopo()
 
 	// Wire the buffer: A ← n, Y → newNet.
 	if err := d.Connect(inst, "A", n); err != nil {
@@ -107,6 +119,8 @@ func (d *Design) Disconnect(ref PinRef) error {
 		}
 	}
 	ref.Inst.nets[ref.Pin] = nil
+	d.bumpNet(n)
+	d.bumpTopo()
 	return nil
 }
 

@@ -1,0 +1,152 @@
+package netlist
+
+// Change journaling: every structural or physical mutation of a Design
+// bumps fine-grained revision counters and notifies registered observers,
+// so downstream caches (RC extraction, the incremental timing engine) know
+// exactly what was dirtied instead of re-deriving the whole design.
+//
+// Three revision domains cover the invalidation needs of the flow:
+//
+//   - NetRev(n): bumped whenever the net's extracted RC could change —
+//     its pin membership changes, or a connected instance moves (Loc) or
+//     switches dies (Tier).
+//   - InstRev(inst): bumped on any change to the instance itself (master
+//     swap, move, tier change).
+//   - TopoRev(): bumped on any change to the design's connectivity
+//     (instances/nets/ports added, pins connected or disconnected). A
+//     retained timing graph must re-levelize when this moves.
+//
+// Direct writes to the exported Instance fields (Loc, Tier) remain legal
+// while no observer is attached — generators and the pre-timing placement
+// stages use them freely. Once a persistent consumer (sta.Timer,
+// route.Cache) is watching the design, mutations must go through the
+// journaled APIs: ReplaceMaster, InsertBuffer, Connect, Disconnect,
+// Instance.SetLoc, and Instance.SetTier.
+
+// ChangeKind classifies one journaled mutation.
+type ChangeKind uint8
+
+const (
+	// ChangeMaster is a gate resize/retarget (ReplaceMaster): the
+	// instance's delay tables and pin caps changed, geometry did not.
+	ChangeMaster ChangeKind = iota
+	// ChangeLoc is a placement move (Instance.SetLoc): wire geometry of
+	// every connected net changed.
+	ChangeLoc
+	// ChangeTier is a die reassignment (Instance.SetTier): MIV counts and
+	// boundary derates of every connected net changed.
+	ChangeTier
+	// ChangeStructure is a connectivity edit (instance/net/port added,
+	// pin connected or disconnected, buffer inserted). Retained timing
+	// graphs must rebuild.
+	ChangeStructure
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeMaster:
+		return "master"
+	case ChangeLoc:
+		return "loc"
+	case ChangeTier:
+		return "tier"
+	case ChangeStructure:
+		return "structure"
+	default:
+		return "unknown"
+	}
+}
+
+// Change describes one journaled mutation. Inst is the affected instance
+// for master/loc/tier changes and may be nil for structural edits.
+type Change struct {
+	Kind ChangeKind
+	Inst *Instance
+}
+
+// Observer receives change notifications from a Design. Notifications are
+// synchronous and arrive on the mutating goroutine; observers must not
+// mutate the design from inside the callback.
+type Observer interface {
+	DesignChanged(Change)
+}
+
+// journal is the per-design revision and observer state.
+type journal struct {
+	topoRev   uint64
+	netRev    []uint64 // by net ID
+	instRev   []uint64 // by instance ID
+	observers []Observer
+}
+
+// Observe registers an observer for all subsequent journaled mutations.
+func (d *Design) Observe(o Observer) {
+	d.jn.observers = append(d.jn.observers, o)
+}
+
+// Unobserve removes a previously registered observer.
+func (d *Design) Unobserve(o Observer) {
+	for i, cur := range d.jn.observers {
+		if cur == o {
+			d.jn.observers = append(d.jn.observers[:i], d.jn.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// TopoRev returns the design's connectivity revision: it moves whenever
+// the instance/net/port sets or any pin binding change.
+func (d *Design) TopoRev() uint64 { return d.jn.topoRev }
+
+// NetRev returns the net's extraction revision: it moves whenever the
+// net's pin membership or any connected instance's Loc/Tier changes, so a
+// cached RC extraction is valid exactly while NetRev is unchanged.
+func (d *Design) NetRev(n *Net) uint64 {
+	if n.ID >= len(d.jn.netRev) {
+		return 0
+	}
+	return d.jn.netRev[n.ID]
+}
+
+// InstRev returns the instance's revision: it moves on master swaps,
+// moves, and tier changes.
+func (d *Design) InstRev(inst *Instance) uint64 {
+	if inst.ID >= len(d.jn.instRev) {
+		return 0
+	}
+	return d.jn.instRev[inst.ID]
+}
+
+func (d *Design) notify(c Change) {
+	for _, o := range d.jn.observers {
+		o.DesignChanged(c)
+	}
+}
+
+// bumpTopo records a connectivity edit.
+func (d *Design) bumpTopo() {
+	d.jn.topoRev++
+	d.notify(Change{Kind: ChangeStructure})
+}
+
+func (d *Design) bumpNet(n *Net) {
+	if n.ID < len(d.jn.netRev) {
+		d.jn.netRev[n.ID]++
+	}
+}
+
+func (d *Design) bumpInst(inst *Instance) {
+	if inst.ID < len(d.jn.instRev) {
+		d.jn.instRev[inst.ID]++
+	}
+}
+
+// bumpNetsOf bumps every net connected to the instance — the invalidation
+// footprint of a move or tier change.
+func (d *Design) bumpNetsOf(inst *Instance) {
+	for _, n := range inst.nets {
+		if n != nil {
+			d.bumpNet(n)
+		}
+	}
+}

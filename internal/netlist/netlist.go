@@ -19,13 +19,49 @@ type Instance struct {
 	Name   string
 	Master *cell.Master
 	// Tier is the die the instance sits on; always TierBottom for 2-D.
+	// Mutate through SetTier once the design has observers (see
+	// journal.go); direct writes are fine before that.
 	Tier tech.Tier
-	// Loc is the cell center in µm.
+	// Loc is the cell center in µm. Mutate through SetLoc once the design
+	// has observers; direct writes are fine before that.
 	Loc geom.Point
 	// Fixed marks pre-placed objects (macros) the placer must not move.
 	Fixed bool
 	// nets[i] is the net bound to Master.Pins[i], nil when unconnected.
 	nets []*Net
+	// design points back at the owning Design for the journaled mutators.
+	design *Design
+}
+
+// SetLoc moves the instance, journaling the change: every connected net's
+// extraction revision is bumped and observers are notified. A no-op when
+// the location is bit-identical, so re-legalizing an unchanged region
+// leaves caches warm.
+func (inst *Instance) SetLoc(p geom.Point) {
+	if inst.Loc == p {
+		return
+	}
+	inst.Loc = p
+	if d := inst.design; d != nil {
+		d.bumpInst(inst)
+		d.bumpNetsOf(inst)
+		d.notify(Change{Kind: ChangeLoc, Inst: inst})
+	}
+}
+
+// SetTier reassigns the instance's die, journaling the change (connected
+// nets gain or lose tier crossings, so their extraction revisions bump).
+// A no-op when the tier is unchanged.
+func (inst *Instance) SetTier(t tech.Tier) {
+	if inst.Tier == t {
+		return
+	}
+	inst.Tier = t
+	if d := inst.design; d != nil {
+		d.bumpInst(inst)
+		d.bumpNetsOf(inst)
+		d.notify(Change{Kind: ChangeTier, Inst: inst})
+	}
 }
 
 // PinRef identifies one pin of one instance.
@@ -153,6 +189,10 @@ type Design struct {
 	instByName map[string]*Instance
 	netByName  map[string]*Net
 	portByName map[string]*Port
+
+	// jn tracks revisions and observers for the change journal
+	// (journal.go).
+	jn journal
 }
 
 // New creates an empty design.
@@ -175,9 +215,12 @@ func (d *Design) AddInstance(name string, m *cell.Master) (*Instance, error) {
 		Name:   name,
 		Master: m,
 		nets:   make([]*Net, len(m.Pins)),
+		design: d,
 	}
 	d.Instances = append(d.Instances, inst)
 	d.instByName[name] = inst
+	d.jn.instRev = append(d.jn.instRev, 0)
+	d.bumpTopo()
 	return inst, nil
 }
 
@@ -189,6 +232,8 @@ func (d *Design) AddNet(name string) (*Net, error) {
 	n := &Net{ID: len(d.Nets), Name: name}
 	d.Nets = append(d.Nets, n)
 	d.netByName[name] = n
+	d.jn.netRev = append(d.jn.netRev, 0)
+	d.bumpTopo()
 	return n, nil
 }
 
@@ -211,6 +256,8 @@ func (d *Design) AddPort(name string, dir cell.Dir, n *Net) (*Port, error) {
 	}
 	d.Ports = append(d.Ports, p)
 	d.portByName[name] = p
+	d.bumpNet(n)
+	d.bumpTopo()
 	return p, nil
 }
 
@@ -239,6 +286,8 @@ func (d *Design) Connect(inst *Instance, pinName string, n *Net) error {
 		n.Sinks = append(n.Sinks, ref)
 	}
 	inst.nets[idx] = n
+	d.bumpNet(n)
+	d.bumpTopo()
 	return nil
 }
 

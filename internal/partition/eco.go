@@ -137,7 +137,7 @@ func RepartitionECO(d *netlist.Design, oracle TimingOracle, opt ECOOptions) (*EC
 		opt.MaxIters = 1
 	}
 	move := func(inst *netlist.Instance, to tech.Tier) error {
-		inst.Tier = to
+		inst.SetTier(to)
 		if opt.OnMove != nil {
 			return opt.OnMove(inst, to)
 		}

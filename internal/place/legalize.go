@@ -141,7 +141,9 @@ func Legalize(cells []*netlist.Instance, region geom.Rect, rowHeight float64) (*
 			if disp > 3*rowHeight+w {
 				rep.OverflowArea += c.Master.Area()
 			}
-			c.Loc = newLoc
+			// Journaled move: a no-op for cells that were already legal, so
+			// re-legalizing an unchanged region leaves RC caches warm.
+			c.SetLoc(newLoc)
 		}
 	}
 	rep.AvgDisp = sumDisp / float64(len(cells))

@@ -24,8 +24,9 @@ type Config struct {
 	// InputActivity is the toggle rate (transitions per cycle) assumed at
 	// primary inputs.
 	InputActivity float64
-	// Router supplies wire-cap extraction; nil uses route.New().
-	Router *route.Router
+	// Router supplies wire-cap extraction; nil uses route.New(). A
+	// route.Cache here shares extraction with the timing engine.
+	Router route.Extractor
 	// Hetero enables boundary-cell power derates.
 	Hetero bool
 	// Derates is the boundary model (DefaultDerates when zero and Hetero

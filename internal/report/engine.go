@@ -1,0 +1,40 @@
+package report
+
+import "fmt"
+
+// EngineStatsRow is one aggregated line of the -timer-stats table: the
+// timing-engine and extraction-cache counters a pipeline stage reported,
+// summed across every flow of a run or suite.
+type EngineStatsRow struct {
+	Stage string
+	// Full and Incremental count timing updates by kind; Nodes totals the
+	// per-instance forward recomputations they performed.
+	Full, Incremental, Nodes int64
+	// RCHits and RCMisses are the extraction cache's counters.
+	RCHits, RCMisses int64
+}
+
+// EngineStatsTable renders engine-counter rows as an aligned table with
+// a derived cache-hit-rate column and a totals line.
+func EngineStatsTable(title string, rows []EngineStatsRow) *Table {
+	t := NewTable(title, "Stage", "Full", "Incr", "Nodes re-eval", "RC hits", "RC misses", "RC hit rate")
+	rate := func(h, m int64) string {
+		if h+m == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(h)/float64(h+m))
+	}
+	var tot EngineStatsRow
+	for _, r := range rows {
+		tot.Full += r.Full
+		tot.Incremental += r.Incremental
+		tot.Nodes += r.Nodes
+		tot.RCHits += r.RCHits
+		tot.RCMisses += r.RCMisses
+		t.AddRowf(r.Stage, fmt.Sprint(r.Full), fmt.Sprint(r.Incremental), fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.RCHits), fmt.Sprint(r.RCMisses), rate(r.RCHits, r.RCMisses))
+	}
+	t.AddRowf("total", fmt.Sprint(tot.Full), fmt.Sprint(tot.Incremental), fmt.Sprint(tot.Nodes),
+		fmt.Sprint(tot.RCHits), fmt.Sprint(tot.RCMisses), rate(tot.RCHits, tot.RCMisses))
+	return t
+}

@@ -1,0 +1,89 @@
+package route
+
+import "repro/internal/netlist"
+
+// Extractor is the RC-extraction interface timing and power analysis
+// consume: Router implements it directly, and Cache wraps any Extractor
+// with revision-keyed memoization.
+type Extractor interface {
+	// Extract returns the lumped RC view of a net. Callers must treat the
+	// result as immutable — a caching implementation hands the same
+	// pointer to every caller.
+	Extract(n *netlist.Net) *NetRC
+}
+
+// CacheStats counts cache effectiveness for the engine-observability
+// report.
+type CacheStats struct {
+	Hits, Misses int64
+}
+
+// HitRate returns the fraction of lookups served from cache (0 when the
+// cache was never queried).
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache memoizes per-net extraction keyed on the design's change journal:
+// an entry is valid exactly while netlist.Design.NetRev is unchanged, which
+// the journal guarantees moves whenever the net's pin membership or any
+// connected instance's location or tier changes. Gate resizes do not move
+// net revisions, so the whole timing-repair sizing loop runs on warm
+// entries.
+//
+// A Cache belongs to one flow and is not safe for concurrent use — the
+// evaluation suite's parallelism is across flows, each with its own cache.
+type Cache struct {
+	inner Extractor
+	d     *netlist.Design
+	// entries is indexed by net ID and grows lazily as nets are added.
+	entries []cacheEntry
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	rc    *NetRC
+	rev   uint64
+	valid bool
+}
+
+// NewCache wraps an extractor (usually a *Router) with revision-keyed
+// memoization over d's nets.
+func NewCache(inner Extractor, d *netlist.Design) *Cache {
+	return &Cache{inner: inner, d: d}
+}
+
+// Extract implements Extractor: a journal-validated hit returns the stored
+// RC, anything else re-extracts and stores.
+func (c *Cache) Extract(n *netlist.Net) *NetRC {
+	if n.ID >= len(c.entries) {
+		grown := make([]cacheEntry, len(c.d.Nets))
+		copy(grown, c.entries)
+		c.entries = grown
+	}
+	e := &c.entries[n.ID]
+	rev := c.d.NetRev(n)
+	if e.valid && e.rev == rev {
+		c.stats.Hits++
+		return e.rc
+	}
+	c.stats.Misses++
+	e.rc = c.inner.Extract(n)
+	e.rev = rev
+	e.valid = true
+	return e.rc
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Invalidate drops every entry; the next lookups re-extract. Useful after
+// mutations that bypassed the journal.
+func (c *Cache) Invalidate() {
+	for i := range c.entries {
+		c.entries[i].valid = false
+	}
+}

@@ -113,7 +113,7 @@ type extraction struct {
 	rc []*route.NetRC // by net ID
 }
 
-func extractAll(d *netlist.Design, r *route.Router) *extraction {
+func extractAll(d *netlist.Design, r route.Extractor) *extraction {
 	ex := &extraction{rc: make([]*route.NetRC, len(d.Nets))}
 	for _, n := range d.Nets {
 		if n.IsClock {

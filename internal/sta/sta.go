@@ -1,11 +1,9 @@
 package sta
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
-	"repro/internal/cell"
 	"repro/internal/netlist"
 	"repro/internal/route"
 	"repro/internal/tech"
@@ -15,8 +13,9 @@ import (
 type Config struct {
 	// Period is the clock period in ns.
 	Period float64
-	// Router supplies the RC extraction; nil uses route.New().
-	Router *route.Router
+	// Router supplies the RC extraction; nil uses route.New(). Wrap it in
+	// a route.Cache to share extraction across repeated analyses.
+	Router route.Extractor
 	// InputSlew is the transition time assumed at primary inputs and
 	// register clock pins, in ns.
 	InputSlew float64
@@ -30,6 +29,9 @@ type Config struct {
 	Derates tech.DerateModel
 	// FastTrack identifies the fast (higher-VDD) library of the pair.
 	FastTrack tech.Track
+	// ForceFull disables incremental updates on a Timer: every Update
+	// recomputes from scratch. One-shot Analyze is always full.
+	ForceFull bool
 }
 
 // DefaultConfig returns a Config for an ideal clock at the given period.
@@ -80,225 +82,15 @@ type endpoint struct {
 	hold float64
 }
 
-// Analyze runs full STA on the design.
+// Analyze runs full STA on the design: a one-shot Timer session —
+// construct, update once, detach.
 func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
-	if cfg.Period <= 0 {
-		return nil, fmt.Errorf("sta: period %v must be positive", cfg.Period)
-	}
-	if cfg.Router == nil {
-		cfg.Router = route.New()
-	}
-	if cfg.InputSlew <= 0 {
-		cfg.InputSlew = 0.02
-	}
-	if cfg.Hetero && cfg.Derates == (tech.DerateModel{}) {
-		cfg.Derates = tech.DefaultDerates()
-	}
-	if cfg.FastTrack == 0 {
-		cfg.FastTrack = tech.Track12
-	}
-	g, err := buildGraph(d)
+	t, err := NewTimer(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ex := extractAll(d, cfg.Router)
-
-	n := len(d.Instances)
-	res := &Result{
-		cfg:    cfg,
-		d:      d,
-		arrOut: make([]float64, n),
-		reqOut: make([]float64, n),
-		delay:  make([]float64, n),
-		inWire: make([]float64, n),
-		pred:   make([]int32, n),
-	}
-	arrIn := make([]float64, n) // worst arrival at any input pin
-	arrMinIn := make([]float64, n)
-	arrMinOut := make([]float64, n)
-	slewIn := make([]float64, n) // worst input slew
-	res.slewOut = make([]float64, n)
-	slewOut := res.slewOut
-	for i := range arrIn {
-		arrIn[i] = 0
-		arrMinIn[i] = math.Inf(1)
-		slewIn[i] = cfg.InputSlew
-		res.pred[i] = -1
-		res.reqOut[i] = math.Inf(1)
-	}
-	// Instances with a port-driven or floating signal input can switch as
-	// early as t=0 on the min path.
-	for _, inst := range d.Instances {
-		for i, pin := range inst.Master.Pins {
-			if pin.Dir != cell.DirIn {
-				continue
-			}
-			nn := d.NetAt(inst, i)
-			if nn == nil || nn.DriverPort != nil {
-				arrMinIn[inst.ID] = 0
-				break
-			}
-		}
-	}
-
-	lat := cfg.Latency
-	if lat == nil {
-		lat = func(*netlist.Instance) float64 { return 0 }
-	}
-
-	// ---------- Forward pass: arrivals and slews ----------
-	for _, inst := range g.order {
-		f := inst.Master.Function
-		out := d.OutputNet(inst)
-
-		var load float64
-		var rc *route.NetRC
-		if out != nil {
-			rc = ex.rc[out.ID]
-			if rc != nil {
-				load = rc.WireCap + out.TotalPinCap()
-			} else {
-				load = out.TotalPinCap()
-			}
-		}
-
-		var arr, arrMin, slw float64
-		switch {
-		case f.IsSequential() || f.IsMacro():
-			// Launch: clock latency + CLK→Q (or access) delay.
-			d0 := inst.Master.Delay.Lookup(cfg.InputSlew, load)
-			s0 := inst.Master.OutSlew.Lookup(cfg.InputSlew, load)
-			d0, s0 = res.applyDerates(inst, out, d, d0, s0)
-			arr = lat(inst) + d0
-			arrMin = arr
-			slw = s0
-			res.delay[inst.ID] = d0
-		default:
-			d0 := inst.Master.Delay.Lookup(slewIn[inst.ID], load)
-			s0 := inst.Master.OutSlew.Lookup(slewIn[inst.ID], load)
-			d0, s0 = res.applyDerates(inst, out, d, d0, s0)
-			arr = arrIn[inst.ID] + d0
-			am := arrMinIn[inst.ID]
-			if math.IsInf(am, 1) {
-				am = 0
-			}
-			arrMin = am + d0
-			slw = s0
-			res.delay[inst.ID] = d0
-		}
-		res.arrOut[inst.ID] = arr
-		arrMinOut[inst.ID] = arrMin
-		slewOut[inst.ID] = slw
-
-		// Push to sinks.
-		if out == nil || rc == nil {
-			continue
-		}
-		for i, s := range out.Sinks {
-			if s.Spec().Dir == cell.DirClk {
-				continue
-			}
-			wd := tech.RCps(rc.SinkR[i], rc.SinkCapShare[i]+s.Spec().Cap)
-			a := arr + wd
-			sk := s.Inst.ID
-			if a > arrIn[sk] {
-				arrIn[sk] = a
-				res.pred[sk] = int32(inst.ID)
-				res.inWire[sk] = wd
-			}
-			if am := arrMin + wd; am < arrMinIn[sk] {
-				arrMinIn[sk] = am
-			}
-			if sw := slw + wd; sw > slewIn[sk] {
-				slewIn[sk] = sw
-			}
-		}
-	}
-
-	// ---------- Endpoint checks and backward required pass ----------
-	// Process instances in reverse topological order, accumulating
-	// required times through each net.
-	for i := len(g.order) - 1; i >= 0; i-- {
-		inst := g.order[i]
-		out := d.OutputNet(inst)
-		if out == nil {
-			continue
-		}
-		rc := ex.rc[out.ID]
-		if rc == nil {
-			continue
-		}
-		req := math.Inf(1)
-		si := 0
-		for _, s := range out.Sinks {
-			if s.Spec().Dir == cell.DirClk {
-				si++
-				continue
-			}
-			wd := tech.RCps(rc.SinkR[si], rc.SinkCapShare[si]+s.Spec().Cap)
-			si++
-			sk := s.Inst
-			var cand float64
-			switch {
-			case sk.Master.Function.IsSequential() || sk.Master.Function.IsMacro():
-				// Setup endpoint at the D/A pin, plus the hold check on
-				// the earliest arrival.
-				endReq := cfg.Period + lat(sk) - sk.Master.Setup
-				arrD := res.arrOut[inst.ID] + wd
-				slack := endReq - arrD
-				holdSlack := arrMinOut[inst.ID] + wd - lat(sk) - sk.Master.Hold
-				res.endSlack = append(res.endSlack, endpoint{inst: sk, from: int32(inst.ID), slack: slack, hold: holdSlack})
-				cand = endReq - wd
-			default:
-				cand = res.reqOut[sk.ID] - res.delay[sk.ID] - wd
-			}
-			if cand < req {
-				req = cand
-			}
-		}
-		for pi, p := range out.SinkPorts {
-			// Extract appends ports after every instance sink.
-			ri := len(out.Sinks) + pi
-			wd := tech.RCps(rc.SinkR[ri], rc.SinkCapShare[ri]+p.Cap)
-			arrP := res.arrOut[inst.ID] + wd
-			slack := cfg.Period - arrP
-			res.endSlack = append(res.endSlack, endpoint{port: p, from: int32(inst.ID), slack: slack, hold: math.Inf(1)})
-			if cand := cfg.Period - wd; cand < req {
-				req = cand
-			}
-		}
-		if req < res.reqOut[inst.ID] {
-			res.reqOut[inst.ID] = req
-		}
-	}
-
-	// ---------- Summaries ----------
-	res.WNS = math.Inf(1)
-	res.HoldWNS = math.Inf(1)
-	for _, e := range res.endSlack {
-		res.Endpoints++
-		if e.slack < res.WNS {
-			res.WNS = e.slack
-		}
-		if e.slack < 0 {
-			res.FailingEndpoints++
-			res.TNS += e.slack
-		}
-		if e.hold < res.HoldWNS {
-			res.HoldWNS = e.hold
-		}
-		if e.hold < 0 {
-			res.FailingHoldEndpoints++
-			res.HoldTNS += e.hold
-		}
-	}
-	if res.Endpoints == 0 {
-		res.WNS = 0 // unconstrained design
-	}
-	if math.IsInf(res.HoldWNS, 1) {
-		res.HoldWNS = 0 // no registered endpoints
-	}
-	return res, nil
+	defer t.Close()
+	return t.Update()
 }
 
 // applyDerates multiplies the boundary-cell derates into a stage's delay

@@ -1,0 +1,342 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/designs"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/tech"
+)
+
+// requireEqualResults asserts got (a Timer's retained result) matches want
+// (a fresh full analysis) bit for bit: summaries, every per-instance
+// array, the endpoint table, the slack map, and the worst paths.
+func requireEqualResults(t *testing.T, tag string, d *netlist.Design, got, want *Result) {
+	t.Helper()
+	fail := func(format string, args ...interface{}) {
+		t.Helper()
+		t.Fatalf("%s: "+format, append([]interface{}{tag}, args...)...)
+	}
+	if got.WNS != want.WNS || got.TNS != want.TNS {
+		fail("WNS/TNS = %v/%v, want %v/%v", got.WNS, got.TNS, want.WNS, want.TNS)
+	}
+	if got.HoldWNS != want.HoldWNS || got.HoldTNS != want.HoldTNS {
+		fail("hold WNS/TNS = %v/%v, want %v/%v", got.HoldWNS, got.HoldTNS, want.HoldWNS, want.HoldTNS)
+	}
+	if got.Endpoints != want.Endpoints || got.FailingEndpoints != want.FailingEndpoints ||
+		got.FailingHoldEndpoints != want.FailingHoldEndpoints {
+		fail("endpoint counts = %d/%d/%d, want %d/%d/%d",
+			got.Endpoints, got.FailingEndpoints, got.FailingHoldEndpoints,
+			want.Endpoints, want.FailingEndpoints, want.FailingHoldEndpoints)
+	}
+	for _, inst := range d.Instances {
+		id := inst.ID
+		if got.arrOut[id] != want.arrOut[id] {
+			fail("arrOut[%s] = %v, want %v", inst.Name, got.arrOut[id], want.arrOut[id])
+		}
+		if got.reqOut[id] != want.reqOut[id] {
+			fail("reqOut[%s] = %v, want %v", inst.Name, got.reqOut[id], want.reqOut[id])
+		}
+		if got.delay[id] != want.delay[id] {
+			fail("delay[%s] = %v, want %v", inst.Name, got.delay[id], want.delay[id])
+		}
+		if got.slewOut[id] != want.slewOut[id] {
+			fail("slewOut[%s] = %v, want %v", inst.Name, got.slewOut[id], want.slewOut[id])
+		}
+		if got.inWire[id] != want.inWire[id] {
+			fail("inWire[%s] = %v, want %v", inst.Name, got.inWire[id], want.inWire[id])
+		}
+		if got.pred[id] != want.pred[id] {
+			fail("pred[%s] = %d, want %d", inst.Name, got.pred[id], want.pred[id])
+		}
+	}
+	if len(got.endSlack) != len(want.endSlack) {
+		fail("endpoint table length %d, want %d", len(got.endSlack), len(want.endSlack))
+	}
+	for i := range got.endSlack {
+		g, w := got.endSlack[i], want.endSlack[i]
+		if g != w {
+			fail("endSlack[%d] = %+v, want %+v", i, g, w)
+		}
+	}
+	gm, wm := got.SlackMap(), want.SlackMap()
+	for i := range gm {
+		if gm[i] != wm[i] {
+			fail("SlackMap[%d] = %v, want %v", i, gm[i], wm[i])
+		}
+	}
+	gp, wp := got.CriticalPaths(3), want.CriticalPaths(3)
+	if len(gp) != len(wp) {
+		fail("CriticalPaths count %d, want %d", len(gp), len(wp))
+	}
+	for i := range gp {
+		if gp[i].Slack != wp[i].Slack || gp[i].Endpoint != wp[i].Endpoint {
+			fail("path %d head = (%v,%v), want (%v,%v)", i, gp[i].Slack, gp[i].Endpoint, wp[i].Slack, wp[i].Endpoint)
+		}
+		if len(gp[i].Stages) != len(wp[i].Stages) {
+			fail("path %d has %d stages, want %d", i, len(gp[i].Stages), len(wp[i].Stages))
+		}
+		for j := range gp[i].Stages {
+			gs, ws := gp[i].Stages[j], wp[i].Stages[j]
+			if gs.Inst != ws.Inst || gs.CellDelay != ws.CellDelay || gs.WireDelay != ws.WireDelay {
+				fail("path %d stage %d = %+v, want %+v", i, j, gs, ws)
+			}
+		}
+	}
+}
+
+// mutate applies one random journaled edit to the design. bufN names
+// inserted buffers uniquely across calls.
+func mutate(t *testing.T, d *netlist.Design, rng *rand.Rand, bufN *int) {
+	t.Helper()
+	switch rng.Intn(5) {
+	case 0: // upsize a combinational cell
+		for tries := 0; tries < 10; tries++ {
+			inst := d.Instances[rng.Intn(len(d.Instances))]
+			if inst.Master.Function.IsSequential() || inst.Master.Function.IsMacro() {
+				continue
+			}
+			if up := lib12.NextDriveUp(inst.Master); up != nil {
+				if err := d.ReplaceMaster(inst, up); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+	case 1: // downsize back to the weakest drive
+		inst := d.Instances[rng.Intn(len(d.Instances))]
+		if m := lib12.Smallest(inst.Master.Function); m != nil && m != inst.Master {
+			if err := d.ReplaceMaster(inst, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case 2: // placement move
+		inst := d.Instances[rng.Intn(len(d.Instances))]
+		inst.SetLoc(geom.Pt(rng.Float64()*60, rng.Float64()*40))
+	case 3: // tier flip
+		inst := d.Instances[rng.Intn(len(d.Instances))]
+		inst.SetTier(inst.Tier.Other())
+	case 4: // buffer insertion: structural, forces the exact fallback
+		for tries := 0; tries < 10; tries++ {
+			n := d.Nets[rng.Intn(len(d.Nets))]
+			if n.IsClock || len(n.Sinks) == 0 {
+				continue
+			}
+			moved := append([]netlist.PinRef{}, n.Sinks[:(len(n.Sinks)+1)/2]...)
+			*bufN++
+			if _, _, err := d.InsertBuffer(n, moved, lib12.Smallest(cell.FuncBuf), "tb"+itoa(*bufN)); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+}
+
+// runEquivalence drives a Timer (with a journal-keyed RC cache) through a
+// mutation sequence, checking after every edit that its retained result is
+// bit-identical to a fresh full Analyze using an uncached router — so a
+// stale cache entry or a missed invalidation shows up as a mismatch.
+func runEquivalence(t *testing.T, tag string, d *netlist.Design, cfg Config, mk func() route.Extractor, rng *rand.Rand, steps int) {
+	t.Helper()
+	tcfg := cfg
+	tcfg.Router = route.NewCache(mk(), d)
+	tm, err := NewTimer(d, tcfg)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	defer tm.Close()
+
+	fcfg := cfg
+	fcfg.Router = mk()
+
+	bufN := 0
+	for step := 0; step <= steps; step++ {
+		if step > 0 {
+			mutate(t, d, rng, &bufN)
+		}
+		got, err := tm.Update()
+		if err != nil {
+			t.Fatalf("%s step %d: timer: %v", tag, step, err)
+		}
+		want, err := Analyze(d, fcfg)
+		if err != nil {
+			t.Fatalf("%s step %d: fresh: %v", tag, step, err)
+		}
+		requireEqualResults(t, tag+"/step"+itoa(step), d, got, want)
+	}
+}
+
+// TestTimerEquivalenceRandomDAGs fuzzes the incremental engine across many
+// random topologies, with geometric extraction, ideal and non-ideal use of
+// tiers, and the hetero derate path.
+func TestTimerEquivalenceRandomDAGs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		d := randomDAG(t, seed)
+		rng := rand.New(rand.NewSource(seed * 7))
+		// Scatter tiers before the session starts so cross-tier derates and
+		// MIV resistances are live from the first update.
+		for _, inst := range d.Instances {
+			if rng.Intn(3) == 0 {
+				inst.Tier = tech.TierTop
+			}
+		}
+		cfg := DefaultConfig(0.7)
+		if seed%2 == 1 {
+			cfg.Hetero = true
+		}
+		runEquivalence(t, "dag"+itoa(int(seed)), d, cfg, func() route.Extractor { return route.New() }, rng, 10)
+	}
+}
+
+// TestTimerEquivalenceWLM covers the wireload-model extraction used by the
+// pre-placement sizing loop.
+func TestTimerEquivalenceWLM(t *testing.T) {
+	for seed := int64(20); seed < 26; seed++ {
+		d := randomDAG(t, seed)
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() route.Extractor {
+			r := route.New()
+			r.WLMPerSinkFF = 2.5
+			return r
+		}
+		runEquivalence(t, "wlm"+itoa(int(seed)), d, DefaultConfig(0.9), mk, rng, 8)
+	}
+}
+
+// TestTimerEquivalenceGeneratedDesigns runs the property on AES and LDPC
+// scaled benchmarks — large enough that single-cell edits stay far below
+// the full-recompute threshold, so the incremental frontier path is what
+// gets exercised.
+func TestTimerEquivalenceGeneratedDesigns(t *testing.T) {
+	for _, name := range []designs.Name{designs.AES, designs.LDPC} {
+		d, err := designs.Generate(name, lib12, designs.Params{Scale: 0.04, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for _, inst := range d.Instances {
+			inst.Loc = geom.Pt(rng.Float64()*80, rng.Float64()*80)
+		}
+		runEquivalence(t, string(name), d, DefaultConfig(0.8), func() route.Extractor { return route.New() }, rng, 12)
+	}
+}
+
+// TestTimerStats pins down which update kinds the engine chooses: full on
+// the first pass and after structural edits, incremental for local moves,
+// and full always under ForceFull.
+func TestTimerStats(t *testing.T) {
+	d := randomDAG(t, 42)
+	tm, err := NewTimer(d, DefaultConfig(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Close()
+
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tm.Stats(); s.FullUpdates != 1 || s.IncrementalUpdates != 0 {
+		t.Fatalf("first update stats = %+v, want one full", s)
+	}
+	nodes := tm.Stats().NodesReevaluated
+	if nodes != int64(len(d.Instances)) {
+		t.Errorf("full update re-evaluated %d nodes, want %d", nodes, len(d.Instances))
+	}
+
+	// One placement move: incremental, touching fewer nodes than a full
+	// pass would.
+	var comb *netlist.Instance
+	for _, inst := range d.Instances {
+		if !inst.Master.Function.IsSequential() {
+			comb = inst
+			break
+		}
+	}
+	comb.SetLoc(geom.Pt(3, 3))
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tm.Stats(); s.IncrementalUpdates != 1 {
+		t.Fatalf("after move stats = %+v, want one incremental", s)
+	}
+
+	// A buffer insertion is structural: exact fallback to full.
+	n := d.OutputNet(comb)
+	if _, _, err := d.InsertBuffer(n, append([]netlist.PinRef{}, n.Sinks...), lib12.Smallest(cell.FuncBuf), "sb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tm.Stats(); s.FullUpdates != 2 {
+		t.Fatalf("after insert stats = %+v, want a second full", s)
+	}
+
+	// ForceFull pins every update to the full path.
+	cfg := DefaultConfig(0.7)
+	cfg.ForceFull = true
+	tf, err := NewTimer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if _, err := tf.Update(); err != nil {
+		t.Fatal(err)
+	}
+	comb.SetLoc(geom.Pt(4, 4))
+	if _, err := tf.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tf.Stats(); s.FullUpdates != 2 || s.IncrementalUpdates != 0 {
+		t.Fatalf("ForceFull stats = %+v, want two fulls", s)
+	}
+}
+
+// TestTimerSharedCacheWithPower checks the intended wiring: one cache
+// serving both the timing session and power analysis, staying warm across
+// a resize and re-extracting after a move.
+func TestTimerSharedCacheWithPower(t *testing.T) {
+	d := randomDAG(t, 7)
+	cache := route.NewCache(route.New(), d)
+	cfg := DefaultConfig(0.7)
+	cfg.Router = cache
+	tm, err := NewTimer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Close()
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+	m0 := cache.Stats().Misses
+
+	var comb *netlist.Instance
+	for _, inst := range d.Instances {
+		if !inst.Master.Function.IsSequential() {
+			comb = inst
+			break
+		}
+	}
+	if up := lib12.NextDriveUp(comb.Master); up != nil {
+		if err := d.ReplaceMaster(comb, up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Misses; got != m0 {
+		t.Errorf("resize caused %d extra extractions", got-m0)
+	}
+	comb.SetLoc(geom.Pt(9, 9))
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Misses; got == m0 {
+		t.Errorf("move did not re-extract")
+	}
+}
