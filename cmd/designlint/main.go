@@ -1,0 +1,163 @@
+// Command designlint runs the design-integrity checker (internal/check)
+// standalone — the repository's ERC/DRC lint tool.
+//
+// Modes (exactly one):
+//
+//	designlint -rules
+//	    Print the rule catalog (IDs, severities, classes, rationale).
+//
+//	designlint -verilog netlist.v
+//	    Parse a structural Verilog netlist (the WriteVerilog subset) and
+//	    run the electrical rules (ERC) over it.
+//
+//	designlint -design cpu [-config Hetero-M3D] [-scale 0.1] [-seed 1]
+//	           [-clock 1.0] [-check full]
+//	    Generate the paper design, implement it, and lint every
+//	    instrumented stage boundary in report-only mode, printing each
+//	    boundary's findings instead of aborting the flow on the first.
+//
+// Exit codes: 0 = clean (no Error-severity findings), 1 = Error-severity
+// findings or flow failure, 2 = usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/tech"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, for tests.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("designlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rules  = fs.Bool("rules", false, "print the rule catalog and exit")
+		vlog   = fs.String("verilog", "", "lint this structural Verilog netlist (ERC rules)")
+		design = fs.String("design", "", "implement this paper design (netcard, aes, ldpc, cpu) and lint its stage boundaries")
+		config = fs.String("config", string(core.ConfigHetero), "configuration for -design mode")
+		scale  = fs.Float64("scale", 0.1, "design scale for -design mode")
+		seed   = fs.Int64("seed", 1, "generation/partitioning seed for -design mode")
+		clock  = fs.Float64("clock", 1.0, "target clock in GHz for -design mode")
+		mode   = fs.String("check", "full", "boundary coverage for -design mode: fast or full")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	switch {
+	case *rules:
+		printRules(stdout)
+		return 0
+	case *vlog != "":
+		return lintVerilog(*vlog, stdout, stderr)
+	case *design != "":
+		return lintFlow(*design, *config, *scale, *clock, *seed, *mode, stdout, stderr)
+	}
+	fmt.Fprintln(stderr, "designlint: one of -rules, -verilog, or -design is required")
+	fs.Usage()
+	return 2
+}
+
+func printRules(w io.Writer) {
+	t := report.NewTable("Design-integrity rule catalog (DESIGN.md §6.4)",
+		"Rule", "Class", "Severity", "Title")
+	for _, r := range check.Rules() {
+		t.AddRowf(r.ID, r.Class.String(), r.Severity.String(), r.Title)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	for _, r := range check.Rules() {
+		fmt.Fprintf(w, "%s — %s\n    %s\n", r.ID, r.Title, r.Doc)
+	}
+}
+
+// lintVerilog parses a netlist in the WriteVerilog interchange subset,
+// resolving masters against the built-in 12- and 9-track libraries (the
+// "_9T" suffix selects the 9-track one), and runs the ERC rules.
+func lintVerilog(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "designlint:", err)
+		return 2
+	}
+	defer f.Close()
+
+	lib12 := cell.NewLibrary(tech.Variant12T())
+	lib9 := cell.NewLibrary(tech.Variant9T())
+	d, err := netlist.ReadVerilog(f, func(name string) (*cell.Master, error) {
+		if strings.HasSuffix(name, "_9T") {
+			return lib9.Master(name)
+		}
+		return lib12.Master(name)
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "designlint:", err)
+		return 2
+	}
+
+	rep := check.Run(check.Input{Design: d, Libs: [2]*cell.Library{lib12, lib9}}, check.ClassERC)
+	return printReports(stdout, path, []*check.Report{rep})
+}
+
+// lintFlow implements the design with boundary checks in report-only mode
+// and prints every boundary's findings.
+func lintFlow(design, config string, scale, clock float64, seed int64, mode string, stdout, stderr io.Writer) int {
+	cm, err := core.ParseCheckMode(mode)
+	if err != nil || cm == core.CheckOff {
+		fmt.Fprintf(stderr, "designlint: -check must be fast or full (got %q)\n", mode)
+		return 2
+	}
+	lib12 := cell.NewLibrary(tech.Variant12T())
+	src, err := designs.Generate(designs.Name(design), lib12, designs.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(stderr, "designlint:", err)
+		return 2
+	}
+	opt := core.DefaultOptions(clock)
+	opt.Seed = seed
+	opt.Check = cm
+	opt.CheckReportOnly = true
+	r, err := core.Run(context.Background(), src, core.ConfigName(config), opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "designlint:", err)
+		return 1
+	}
+	return printReports(stdout, fmt.Sprintf("%s/%s", design, config), r.Checks)
+}
+
+// printReports renders the summary table plus every retained finding and
+// returns the process exit code.
+func printReports(w io.Writer, label string, reps []*check.Report) int {
+	report.CheckTable(fmt.Sprintf("Design-integrity checks — %s", label), reps).Render(w)
+	errs := 0
+	for _, rep := range reps {
+		errs += rep.Count(check.Error)
+		for _, v := range rep.Violations {
+			if rep.Stage != "" {
+				fmt.Fprintf(w, "%s: %s\n", rep.Stage, v)
+			} else {
+				fmt.Fprintln(w, v)
+			}
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(w, "designlint: %d error-severity finding(s)\n", errs)
+		return 1
+	}
+	return 0
+}

@@ -7,7 +7,7 @@
 //
 //	hetero3d -design cpu -config Hetero-M3D -scale 0.1 [-clock 1.2]
 //	         [-deep] [-svg dir] [-verilog out.v] [-stage-report]
-//	         [-timer-stats] [-workers 0] [-timeout 0]
+//	         [-timer-stats] [-check off|fast|full] [-workers 0] [-timeout 0]
 //
 // -config also accepts a comma-separated list or "all"; multiple
 // configurations run concurrently on a worker pool bounded by -workers.
@@ -31,6 +31,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/designs"
+	"repro/internal/flow"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/report"
@@ -51,8 +52,15 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long, e.g. 2m (0 = no limit)")
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table of each flow")
 		timerSt  = flag.Bool("timer-stats", false, "print each flow's timing-engine update and RC-cache statistics table")
+		checkM   = flag.String("check", "off", "design-integrity checks at stage boundaries: off, fast (signoff only), or full; error findings fail the run")
 	)
 	flag.Parse()
+
+	checkMode, err := core.ParseCheckMode(*checkM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetero3d:", err)
+		os.Exit(2)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -61,7 +69,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *timerSt, *svgDir, *vlog); err != nil {
+	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *timerSt, checkMode, *svgDir, *vlog); err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}
@@ -78,7 +86,7 @@ func parseConfigs(s string) []core.ConfigName {
 	return out
 }
 
-func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep, timerSt bool, svgDir, vlog string) error {
+func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, svgDir, vlog string) error {
 	cfgs := parseConfigs(config)
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
@@ -119,6 +127,7 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 			defer func() { <-sem }()
 			opt := core.DefaultOptions(clock)
 			opt.Seed = seed
+			opt.Check = checkMode
 			results[i], errs[i] = core.Run(ctx, src, cfg, opt)
 		}()
 	}
@@ -132,6 +141,12 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 	for i, cfg := range cfgs {
 		if err := printResult(design, string(cfg), clock, results[i], stageRep, timerSt); err != nil {
 			return err
+		}
+		if checkMode != core.CheckOff {
+			ct := report.CheckTable(fmt.Sprintf("Design-integrity checks — %s in %s", design, cfg), results[i].Checks)
+			if err := ct.Render(os.Stdout); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -181,11 +196,11 @@ func printResult(design, config string, clock float64, r *core.Result, stageRep,
 			}
 			rows = append(rows, report.EngineStatsRow{
 				Stage:       m.Name,
-				Full:        m.Stats["sta_full"],
-				Incremental: m.Stats["sta_incr"],
-				Nodes:       m.Stats["sta_nodes"],
-				RCHits:      m.Stats["rc_hits"],
-				RCMisses:    m.Stats["rc_misses"],
+				Full:        m.Stats[flow.StatSTAFull],
+				Incremental: m.Stats[flow.StatSTAIncr],
+				Nodes:       m.Stats[flow.StatSTANodes],
+				RCHits:      m.Stats[flow.StatRCHits],
+				RCMisses:    m.Stats[flow.StatRCMisses],
 			})
 		}
 		et := report.EngineStatsTable(fmt.Sprintf("Timing engine — %s in %s", design, config), rows)

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
-//	     [-workers 0] [-timeout 0] [-stage-report] [-timer-stats] [-v]
+//	     [-workers 0] [-timeout 0] [-stage-report] [-timer-stats]
+//	     [-check off|fast|full] [-v]
+//
+// -check runs the design-integrity checker (internal/check) at stage
+// boundaries of every implementation; Error-severity findings fail the
+// run, and a per-boundary summary table prints after the paper tables.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/eval"
 	"repro/internal/report"
@@ -32,9 +38,16 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the whole evaluation after this long, e.g. 5m (0 = no limit)")
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table after the evaluation")
 		timerSt  = flag.Bool("timer-stats", false, "print the timing-engine update and RC-cache statistics table")
+		checkM   = flag.String("check", "off", "design-integrity checks at stage boundaries: off, fast (signoff only), or full; error findings fail the run")
 		verbose  = flag.Bool("v", false, "log every pipeline stage as it completes")
 	)
 	flag.Parse()
+
+	checkMode, err := core.ParseCheckMode(*checkM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppac:", err)
+		os.Exit(2)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -46,6 +59,7 @@ func main() {
 	opt := eval.DefaultSuiteOptions(*scale)
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.Check = checkMode
 	opt.Events = &eval.LogSink{W: os.Stdout, Stages: *verbose}
 	if *designL != "" {
 		opt.Designs = nil
@@ -98,5 +112,8 @@ func main() {
 	}
 	if *timerSt {
 		fmt.Println(s.EngineReport())
+	}
+	if checkMode != core.CheckOff {
+		fmt.Println(s.CheckReport())
 	}
 }

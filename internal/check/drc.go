@@ -1,0 +1,175 @@
+package check
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// DRC rules: the placement legality checks a commercial engine
+// (check_place / verify_drc) runs after legalization. They mirror the
+// legalizer's own geometry — row y = Core.Ly + (row+0.5)·rowHeight per
+// tier — so a clean legalization passes bit-exactly. All DRC rules need a
+// floorplan; without one they record zero objects checked.
+//
+// Macros are excluded: the floorplanner parks them in a dedicated block
+// column outside the standard-cell core (and may reshape them to fit),
+// so row/overlap/core-bounds semantics do not apply to them. DRC-003
+// still sanity-checks their centers against the macro block column.
+
+const geomEps = 1e-6
+
+// movableCells returns the standard cells the placement rules govern.
+func movableCells(d *netlist.Design) []*netlist.Instance {
+	var out []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Fixed || inst.Master == nil || inst.Master.Function.IsMacro() {
+			continue
+		}
+		out = append(out, inst)
+	}
+	return out
+}
+
+// tierOf clamps an instance's tier to a valid row-height index (TDR-001
+// owns out-of-range findings).
+func tierOf(inst *netlist.Instance) tech.Tier {
+	if inst.Tier == tech.TierTop {
+		return tech.TierTop
+	}
+	return tech.TierBottom
+}
+
+func drcOverlap(c *checker) {
+	if !c.in.HaveFloorplan {
+		return
+	}
+	cells := movableCells(c.in.Design)
+	c.checked(len(cells))
+	type rowKey struct {
+		tier tech.Tier
+		y    int64
+	}
+	rows := make(map[rowKey][]*netlist.Instance)
+	for _, inst := range cells {
+		k := rowKey{tierOf(inst), int64(math.Round(inst.Loc.Y * 1e6))}
+		rows[k] = append(rows[k], inst)
+	}
+	keys := make([]rowKey, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tier != keys[j].tier {
+			return keys[i].tier < keys[j].tier
+		}
+		return keys[i].y < keys[j].y
+	})
+	for _, k := range keys {
+		row := rows[k]
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].Loc.X != row[j].Loc.X {
+				return row[i].Loc.X < row[j].Loc.X
+			}
+			return row[i].ID < row[j].ID
+		})
+		for i := 1; i < len(row); i++ {
+			a, b := row[i-1], row[i]
+			if a.Loc.X+a.Master.Width/2 > b.Loc.X-b.Master.Width/2+geomEps {
+				c.fail(a.Name, "overlaps %s in row y=%.3f on %s tier", b.Name, a.Loc.Y, k.tier)
+			}
+		}
+	}
+}
+
+func drcOffRow(c *checker) {
+	if !c.in.HaveFloorplan {
+		return
+	}
+	core := c.in.Core
+	for _, inst := range movableCells(c.in.Design) {
+		t := tierOf(inst)
+		h := c.in.RowHeights[t]
+		if h <= 0 {
+			h = c.in.RowHeights[0]
+		}
+		if h <= 0 {
+			continue
+		}
+		c.checked(1)
+		nRows := int(core.H() / h)
+		k := math.Round((inst.Loc.Y-core.Ly)/h - 0.5)
+		if k < 0 || (nRows > 0 && k > float64(nRows-1)) {
+			c.fail(inst.Name, "y=%.4f outside the %d-row grid of the %s tier", inst.Loc.Y, nRows, t)
+			continue
+		}
+		want := core.Ly + (k+0.5)*h
+		if math.Abs(inst.Loc.Y-want) > geomEps {
+			c.fail(inst.Name, "y=%.6f off the %s-tier row grid (nearest row center %.6f)", inst.Loc.Y, t, want)
+		}
+	}
+}
+
+func drcBounds(c *checker) {
+	if !c.in.HaveFloorplan {
+		return
+	}
+	d := c.in.Design
+	core, outline := c.in.Core, c.in.Outline
+	for _, inst := range d.Instances {
+		if inst.Master == nil {
+			continue
+		}
+		c.checked(1)
+		if inst.Fixed || inst.Master.Function.IsMacro() {
+			// The floorplanner stacks macros in a left-edge block column
+			// and treats their aspect as flexible — area, not extent, is
+			// what the cost model reads — so the geometric invariant is
+			// "in the column, clear of the standard-cell core": center x
+			// inside [outline left, core left] when a column exists
+			// (inside the outline width otherwise), and y above the die
+			// bottom. The column may legitimately outgrow the nominal die
+			// height.
+			hi := outline.Ux
+			if core.Lx > outline.Lx+geomEps {
+				hi = core.Lx
+			}
+			if inst.Loc.X < outline.Lx-geomEps || inst.Loc.X > hi+geomEps ||
+				inst.Loc.Y < outline.Ly-geomEps {
+				c.fail(inst.Name, "macro center %v outside the macro block column [%.3f,%.3f) of outline %v",
+					inst.Loc, outline.Lx, hi, outline)
+			}
+			continue
+		}
+		half := inst.Master.Width / 2
+		if inst.Loc.X-half < core.Lx-geomEps || inst.Loc.X+half > core.Ux+geomEps ||
+			inst.Loc.Y < core.Ly-geomEps || inst.Loc.Y > core.Uy+geomEps {
+			c.fail(inst.Name, "cell at %v (width %.3f) outside core %v", inst.Loc, inst.Master.Width, core)
+		}
+	}
+}
+
+func drcUtilization(c *checker) {
+	if !c.in.HaveFloorplan || c.in.Tiers < 1 {
+		return
+	}
+	coreArea := c.in.Core.Area()
+	if coreArea <= 0 {
+		c.checked(1)
+		c.fail("design", "core region %v has no area", c.in.Core)
+		return
+	}
+	var area [2]float64
+	for _, inst := range movableCells(c.in.Design) {
+		area[tierOf(inst)] += inst.Master.Area()
+	}
+	for t := 0; t < c.in.Tiers; t++ {
+		c.checked(1)
+		util := area[t] / coreArea
+		if util > 1+1e-9 {
+			c.fail(tech.Tier(t).String(), "utilization %.1f%% exceeds core capacity", util*100)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package check
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// ENG rules: coherence of the engines layered on the netlist. PR 2's
+// incremental timer is bit-exact only while the change journal covers
+// every object and the retained timing graph levelizes consistently with
+// the netlist; these rules assert both, plus revision monotonicity across
+// stage boundaries (Session).
+
+func engJournal(c *checker) {
+	d := c.in.Design
+	c.checked(len(d.Instances) + len(d.Nets))
+	insts, nets := d.JournalCoverage()
+	if insts != len(d.Instances) {
+		c.fail("design", "journal covers %d of %d instances", insts, len(d.Instances))
+	}
+	if nets != len(d.Nets) {
+		c.fail("design", "journal covers %d of %d nets", nets, len(d.Nets))
+	}
+	for i, inst := range d.Instances {
+		if inst.ID != i {
+			c.fail(inst.Name, "instance ID %d does not match its index %d", inst.ID, i)
+			break // one cascade is one finding
+		}
+	}
+	for i, n := range d.Nets {
+		if n.ID != i {
+			c.fail(n.Name, "net ID %d does not match its index %d", n.ID, i)
+			break
+		}
+	}
+}
+
+// engLevelization cross-checks the STA engine's levelization against an
+// independent replay of its contract. The engine's order is not a strict
+// topological sort: its levelizer counts only combinational-to-
+// combinational arcs as fanin but releases sinks on every pop, so a cell
+// also fed by a register can surface before one of its combinational
+// drivers — the "late arcs" the incremental timer's sweeps explicitly
+// tolerate. What IS the bit-exactness contract is that the order (1)
+// exists exactly when the replay levelizes completely, (2) covers every
+// instance exactly once with index-aligned IDs, and (3) matches the
+// replay element for element — any divergence means the engine and the
+// netlist disagree about the design's structure.
+func engLevelization(c *checker) {
+	d := c.in.Design
+	c.checked(len(d.Instances))
+	for i, inst := range d.Instances {
+		if inst.Master == nil {
+			c.fail("design", "levelization skipped: instance %s has no master", inst.Name)
+			return
+		}
+		if inst.ID != i {
+			// ENG-001 owns the finding; an ID-incoherent design cannot be
+			// levelized (the engine indexes its arrays by instance ID).
+			return
+		}
+	}
+	want, complete := replayLevelization(d)
+	order, err := sta.TopoOrder(d)
+	if err != nil {
+		if complete {
+			c.fail("design", "engine reports a combinational cycle the levelization replay does not: %v", err)
+		} else {
+			c.fail("design", "timing graph not levelizable: %v", err)
+		}
+		return
+	}
+	if !complete {
+		c.fail("design", "engine levelized a design the replay finds cyclic (%d of %d instances)",
+			len(want), len(d.Instances))
+		return
+	}
+	if len(order) != len(d.Instances) {
+		c.fail("design", "levelization covers %d of %d instances", len(order), len(d.Instances))
+		return
+	}
+	seen := make([]bool, len(d.Instances))
+	for i, inst := range order {
+		if inst.ID < 0 || inst.ID >= len(seen) || seen[inst.ID] {
+			c.fail(inst.Name, "instance appears twice (or with a foreign ID) in the topological order")
+			return
+		}
+		seen[inst.ID] = true
+		if inst != want[i] {
+			c.fail(inst.Name, "levelization diverges from the replay at position %d (%s vs %s)",
+				i, inst.Name, want[i].Name)
+			return
+		}
+	}
+}
+
+// replayLevelization independently re-runs the timing engine's published
+// levelization contract (sta.TopoOrder): sources are sequential cells and
+// macros, fanin counts combinational DirIn arcs from non-source drivers,
+// and every pop — source or not — releases its non-source, non-clock
+// sinks in FIFO order. complete is false when a combinational cycle
+// leaves instances unlevelized.
+func replayLevelization(d *netlist.Design) (order []*netlist.Instance, complete bool) {
+	n := len(d.Instances)
+	isSource := func(inst *netlist.Instance) bool {
+		f := inst.Master.Function
+		return f.IsSequential() || f.IsMacro()
+	}
+	remaining := make([]int, n)
+	for _, inst := range d.Instances {
+		if inst.ID >= n || isSource(inst) {
+			continue
+		}
+		for i, p := range inst.Master.Pins {
+			if p.Dir != cell.DirIn {
+				continue
+			}
+			nn := d.NetAt(inst, i)
+			if nn == nil || !nn.Driver.Valid() || nn.Driver.Inst.Master == nil {
+				continue
+			}
+			if !isSource(nn.Driver.Inst) {
+				remaining[inst.ID]++
+			}
+		}
+	}
+	queue := make([]*netlist.Instance, 0, n)
+	for _, inst := range d.Instances {
+		if inst.ID < n && (isSource(inst) || remaining[inst.ID] == 0) {
+			queue = append(queue, inst)
+		}
+	}
+	order = make([]*netlist.Instance, 0, n)
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		order = append(order, inst)
+		out := d.OutputNet(inst)
+		if out == nil {
+			continue
+		}
+		for _, s := range out.Sinks {
+			if !s.Valid() || s.Inst.ID >= n || isSource(s.Inst) || s.Spec().Dir == cell.DirClk {
+				continue
+			}
+			remaining[s.Inst.ID]--
+			if remaining[s.Inst.ID] == 0 {
+				queue = append(queue, s.Inst)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// engMonotonic fires only inside a Session (stage-boundary runs): the
+// journal's revisions and the design's object counts must never move
+// backwards between boundaries — a decrease means some engine holds a
+// stale view of the design.
+func engMonotonic(c *checker) {
+	s := c.in.session
+	if s == nil || !s.seen {
+		return
+	}
+	d := c.in.Design
+	c.checked(3)
+	if rev := d.TopoRev(); rev < s.prevTopo {
+		c.fail("design", "topology revision moved backwards: %d after %d (stage %s)", rev, s.prevTopo, s.prevStage)
+	}
+	if n := len(d.Instances); n < s.prevInsts {
+		c.fail("design", "instance count shrank: %d after %d (stage %s)", n, s.prevInsts, s.prevStage)
+	}
+	if n := len(d.Nets); n < s.prevNets {
+		c.fail("design", "net count shrank: %d after %d (stage %s)", n, s.prevNets, s.prevStage)
+	}
+}
+
+// Session runs the checker at successive stage boundaries of one flow,
+// carrying the revision state the monotonicity rule compares against.
+// The zero value is ready to use; Session is not safe for concurrent use
+// (one flow = one session).
+type Session struct {
+	seen      bool
+	prevStage string
+	prevTopo  uint64
+	prevInsts int
+	prevNets  int
+
+	reports []*Report
+}
+
+// Run checks one stage boundary: the selected classes run over the input
+// plus the session's monotonicity context, and the session state advances
+// to the new boundary.
+func (s *Session) Run(stage string, in Input, classes Class) *Report {
+	in.session = s
+	rep := Run(in, classes)
+	rep.Stage = stage
+	if d := in.Design; d != nil {
+		s.prevStage = stage
+		s.prevTopo = d.TopoRev()
+		s.prevInsts = len(d.Instances)
+		s.prevNets = len(d.Nets)
+		s.seen = true
+	}
+	s.reports = append(s.reports, rep)
+	return rep
+}
+
+// Reports returns every boundary report of the session, in run order.
+func (s *Session) Reports() []*Report { return s.reports }

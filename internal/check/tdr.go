@@ -1,0 +1,72 @@
+package check
+
+import (
+	"repro/internal/route"
+	"repro/internal/tech"
+)
+
+// TDR rules: the 3-D-specific consistency checks. The paper's Tables
+// VI–VII report MIV counts straight from the router's accounting; these
+// rules pin that accounting to the netlist's actual cut state so a stale
+// count can never reach a table.
+
+func tdrTierRange(c *checker) {
+	if c.in.Tiers < 1 {
+		return
+	}
+	d := c.in.Design
+	c.checked(len(d.Instances))
+	for _, inst := range d.Instances {
+		switch {
+		case c.in.Tiers == 1 && inst.Tier != tech.TierBottom:
+			c.fail(inst.Name, "tier %v in a single-die implementation", inst.Tier)
+		case inst.Tier != tech.TierBottom && inst.Tier != tech.TierTop:
+			c.fail(inst.Name, "tier %d outside the two-die stack", int(inst.Tier))
+		}
+	}
+}
+
+func tdrMIVAccounting(c *checker) {
+	if c.in.Tiers != 2 {
+		return
+	}
+	d := c.in.Design
+	r := c.in.Router
+	if r == nil {
+		r = route.New()
+	}
+	c.checked(len(d.Nets))
+	total := 0
+	for _, n := range d.Nets {
+		mivs := r.CountMIVs(n)
+		total += mivs
+		if crosses := n.CrossesTiers(); crosses != (mivs > 0) {
+			c.fail(n.Name, "MIV count %d inconsistent with tier crossing %v", mivs, crosses)
+		}
+	}
+	if c.in.ReportedMIVs != nil {
+		c.checked(1)
+		if *c.in.ReportedMIVs != total {
+			c.fail("design", "PPAC reports %d MIVs but the netlist needs %d", *c.in.ReportedMIVs, total)
+		}
+	}
+}
+
+func tdrTierLibs(c *checker) {
+	if !c.in.TierLibs || c.in.Tiers != 2 || c.in.Libs[0] == nil || c.in.Libs[1] == nil {
+		return
+	}
+	d := c.in.Design
+	for _, inst := range d.Instances {
+		if inst.Master == nil || inst.Master.Function.IsMacro() {
+			continue
+		}
+		c.checked(1)
+		t := tierOf(inst)
+		want := c.in.Libs[t].Variant.Track
+		if inst.Master.Track != want {
+			c.fail(inst.Name, "master %s is %v but the %s tier is %v",
+				inst.Master.Name, inst.Master.Track, t, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/cell"
+	"repro/internal/check"
 	"repro/internal/cost"
 	"repro/internal/cts"
 	"repro/internal/flow"
@@ -91,6 +92,12 @@ type Options struct {
 	// Events receives structured stage events from the pipeline (nil =
 	// none). Must be safe for concurrent use when flows run in parallel.
 	Events flow.Sink
+	// Check enables design-integrity checking at stage boundaries
+	// (default CheckOff). Error-severity findings fail the stage unless
+	// CheckReportOnly is set, in which case the flow proceeds and every
+	// boundary report lands in Result.Checks (cmd/designlint's mode).
+	Check           CheckMode
+	CheckReportOnly bool
 }
 
 // DefaultOptions returns the evaluation defaults at the given target
@@ -176,6 +183,9 @@ type Result struct {
 	// Stages records every executed pipeline stage's wall time and cell
 	// count, in execution order (the -stage-report tables read these).
 	Stages []flow.StageMetric
+	// Checks holds the design-integrity reports of every checked stage
+	// boundary, in run order (nil when Options.Check is off).
+	Checks []*check.Report
 }
 
 // libFor returns the library pair of a configuration.
@@ -215,6 +225,9 @@ func Run(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Options) 
 	}
 	if opt.TargetUtil <= 0 || opt.TargetUtil > 1 {
 		return nil, fmt.Errorf("core: utilization %v out of (0,1]", opt.TargetUtil)
+	}
+	if _, err := ParseCheckMode(string(opt.Check)); err != nil {
+		return nil, err
 	}
 	fc := flow.NewContext(ctx, src.Name, string(cfg), opt.Seed)
 	fc.Sink = opt.Events

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cell"
+	"repro/internal/check"
 	"repro/internal/cts"
 	"repro/internal/flow"
 	"repro/internal/netlist"
@@ -82,6 +83,10 @@ type flowState struct {
 
 	notes      string
 	notesExtra string
+
+	// checks is the design-integrity session spanning the flow's
+	// instrumented stage boundaries (nil when Options.Check is off).
+	checks *check.Session
 }
 
 // execute runs the composed pipeline and assembles the Result.
@@ -92,10 +97,14 @@ func (s *flowState) execute(fc *flow.Context, stages []flow.Stage) (*Result, err
 		}
 		return len(s.d.Instances)
 	}
+	if s.opt.Check != CheckOff && s.opt.Check != "" {
+		s.checks = &check.Session{}
+		fc.Check = s.checkBoundary
+	}
 	if err := flow.Run(fc, stages); err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		PPAC:    s.ppac,
 		Design:  s.d,
 		Libs:    s.libs,
@@ -105,7 +114,11 @@ func (s *flowState) execute(fc *flow.Context, stages []flow.Stage) (*Result, err
 		Power:   s.pw,
 		Outline: s.fp.Outline,
 		Stages:  fc.Metrics(),
-	}, nil
+	}
+	if s.checks != nil {
+		res.Checks = s.checks.Reports()
+	}
+	return res, nil
 }
 
 // stageMap clones the source onto the base (bottom) library and prepares

@@ -51,7 +51,7 @@ func assignMacroTiers(d *netlist.Design) map[*netlist.Instance]tech.Tier {
 		if area[1] < area[0] {
 			t = tech.TierTop
 		}
-		m.Tier = t
+		m.SetTier(t)
 		area[t] += m.Master.Area()
 		out[m] = t
 	}
@@ -190,14 +190,14 @@ func (e *timingEnv) reportStats() {
 		return
 	}
 	ts := e.timer.Stats()
-	e.fc.AddStat("sta_full", ts.FullUpdates-e.lastTS.FullUpdates)
-	e.fc.AddStat("sta_incr", ts.IncrementalUpdates-e.lastTS.IncrementalUpdates)
-	e.fc.AddStat("sta_nodes", ts.NodesReevaluated-e.lastTS.NodesReevaluated)
+	e.fc.AddStat(flow.StatSTAFull, ts.FullUpdates-e.lastTS.FullUpdates)
+	e.fc.AddStat(flow.StatSTAIncr, ts.IncrementalUpdates-e.lastTS.IncrementalUpdates)
+	e.fc.AddStat(flow.StatSTANodes, ts.NodesReevaluated-e.lastTS.NodesReevaluated)
 	e.lastTS = ts
 	if e.cache != nil {
 		cs := e.cache.Stats()
-		e.fc.AddStat("rc_hits", cs.Hits-e.lastCS.Hits)
-		e.fc.AddStat("rc_misses", cs.Misses-e.lastCS.Misses)
+		e.fc.AddStat(flow.StatRCHits, cs.Hits-e.lastCS.Hits)
+		e.fc.AddStat(flow.StatRCMisses, cs.Misses-e.lastCS.Misses)
 		e.lastCS = cs
 	}
 }
@@ -407,7 +407,7 @@ func splitLoad(e *timingEnv, inst *netlist.Instance) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("core: splitLoad %s: %w", inst.Name, err)
 	}
-	nb.Tier = inst.Tier
+	nb.SetTier(inst.Tier)
 	return true, nil
 }
 

@@ -233,8 +233,8 @@ func (b *builder) newBuffer(sinks []netlist.PinRef, children []*node, level int)
 		return nil, err
 	}
 	b.nBuf++
-	inst.Loc = loc
-	inst.Tier = tier
+	inst.SetLoc(loc)
+	inst.SetTier(tier)
 
 	out, err := b.d.AddNet(inst.Name + "_net")
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/report"
@@ -125,11 +126,11 @@ func (s *Suite) EngineReport() *report.Table {
 					rows[m.Name] = row
 					order = append(order, m.Name)
 				}
-				row.Full += m.Stats["sta_full"]
-				row.Incremental += m.Stats["sta_incr"]
-				row.Nodes += m.Stats["sta_nodes"]
-				row.RCHits += m.Stats["rc_hits"]
-				row.RCMisses += m.Stats["rc_misses"]
+				row.Full += m.Stats[flow.StatSTAFull]
+				row.Incremental += m.Stats[flow.StatSTAIncr]
+				row.Nodes += m.Stats[flow.StatSTANodes]
+				row.RCHits += m.Stats[flow.StatRCHits]
+				row.RCMisses += m.Stats[flow.StatRCMisses]
 			}
 		}
 	}
@@ -138,4 +139,29 @@ func (s *Suite) EngineReport() *report.Table {
 		out = append(out, *rows[name])
 	}
 	return report.EngineStatsTable("Timing-engine updates and RC-cache traffic by stage", out)
+}
+
+// CheckReport collects every flow's stage-boundary check reports into the
+// -check table, with each boundary labeled design/config/stage. Empty
+// (only a totals line) when the suite ran with checks off.
+func (s *Suite) CheckReport() *report.Table {
+	cfgs := s.Opt.Configs
+	if len(cfgs) == 0 {
+		cfgs = core.AllConfigs
+	}
+	var reps []*check.Report
+	for _, dn := range s.DesignsInOrder() {
+		for _, cfg := range cfgs {
+			r, ok := s.Results[dn][cfg]
+			if !ok {
+				continue
+			}
+			for _, rep := range r.Checks {
+				labeled := *rep
+				labeled.Stage = fmt.Sprintf("%s/%s/%s", dn, cfg, rep.Stage)
+				reps = append(reps, &labeled)
+			}
+		}
+	}
+	return report.CheckTable("Design-integrity checks by stage boundary", reps)
 }

@@ -61,6 +61,11 @@ type SuiteOptions struct {
 	// replacing the printf-style Progress callback of earlier versions.
 	// LogSink adapts the events back to log lines for CLI use.
 	Events EventSink
+	// Check runs the design-integrity checker at stage boundaries of
+	// every configuration implementation (not the f_max probes, which
+	// exist only to steer the frequency search). Error-severity findings
+	// fail the owning flow and therefore the suite. Empty means off.
+	Check core.CheckMode
 }
 
 // DefaultSuiteOptions returns paper-order defaults at the given scale.
@@ -192,6 +197,7 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 					o := core.DefaultOptions(fmax)
 					o.Seed = opt.Seed
 					o.Events = opt.Events
+					o.Check = opt.Check
 					r, err := core.Run(jctx, src, cfg, o)
 					if err != nil {
 						fail(fmt.Errorf("eval: %w", err))

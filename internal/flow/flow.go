@@ -63,6 +63,14 @@ type Context struct {
 	// Cells reports the design's current cell count for metrics
 	// (nil = cell counts recorded as 0).
 	Cells func() int
+	// Check, when non-nil, runs after every successful stage, before the
+	// stage's metric is finalized — so any stats it reports through
+	// AddStat (violation counts, objects checked) land in that stage's
+	// StageMetric. A returned error fails the stage exactly as if the
+	// stage itself had failed. The core flows install the design-integrity
+	// checker (internal/check) here; report-only callers keep the error
+	// nil and read the session's reports afterwards.
+	Check func(c *Context, stage string) error
 
 	metrics []StageMetric
 	stats   map[string]int64
@@ -142,6 +150,9 @@ func Run(c *Context, stages []Stage) error {
 		start := time.Now()
 		c.stats = nil
 		err := st.Run(c)
+		if err == nil && c.Check != nil {
+			err = c.Check(c, st.Name)
+		}
 		m := StageMetric{Name: st.Name, Wall: time.Since(start), Stats: c.stats}
 		c.stats = nil
 		if c.Cells != nil {

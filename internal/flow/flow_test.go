@@ -143,3 +143,174 @@ func TestCanceledNilSafe(t *testing.T) {
 		t.Error("nil context should report no cancellation")
 	}
 }
+
+func TestAddStatAggregation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(*Context)
+		want map[string]int64
+	}{
+		{
+			name: "no stats leaves nil map",
+			run:  func(*Context) {},
+			want: nil,
+		},
+		{
+			name: "zero values are dropped",
+			run:  func(c *Context) { c.AddStat(StatSTAFull, 0) },
+			want: nil,
+		},
+		{
+			name: "repeated keys accumulate",
+			run: func(c *Context) {
+				c.AddStat(StatRCHits, 3)
+				c.AddStat(StatRCHits, 4)
+				c.AddStat(StatRCMisses, 1)
+			},
+			want: map[string]int64{StatRCHits: 7, StatRCMisses: 1},
+		},
+		{
+			name: "negative deltas accumulate too",
+			run: func(c *Context) {
+				c.AddStat(StatSTANodes, 10)
+				c.AddStat(StatSTANodes, -4)
+			},
+			want: map[string]int64{StatSTANodes: 6},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewContext(context.Background(), "d", "c", 1)
+			err := Run(c, []Stage{{Name: "s", Run: func(fc *Context) error {
+				tc.run(fc)
+				return nil
+			}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := c.Metrics()
+			if len(ms) != 1 {
+				t.Fatalf("got %d metrics", len(ms))
+			}
+			got := ms[0].Stats
+			if len(got) != len(tc.want) {
+				t.Fatalf("stats = %v, want %v", got, tc.want)
+			}
+			for k, v := range tc.want {
+				if got[k] != v {
+					t.Errorf("stats[%s] = %d, want %d", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestAddStatDoesNotLeakAcrossStages(t *testing.T) {
+	c := NewContext(context.Background(), "d", "c", 1)
+	err := Run(c, []Stage{
+		{Name: "a", Run: func(fc *Context) error { fc.AddStat(StatSTAFull, 1); return nil }},
+		{Name: "b", Run: func(fc *Context) error { fc.AddStat(StatSTAIncr, 2); return nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := c.Metrics()
+	if ms[0].Stats[StatSTAFull] != 1 || ms[0].Stats[StatSTAIncr] != 0 {
+		t.Errorf("stage a stats = %v", ms[0].Stats)
+	}
+	if ms[1].Stats[StatSTAIncr] != 2 || ms[1].Stats[StatSTAFull] != 0 {
+		t.Errorf("stage b stats = %v", ms[1].Stats)
+	}
+}
+
+func TestAddStatNilContextSafe(t *testing.T) {
+	var c *Context
+	c.AddStat(StatSTAFull, 1) // must not panic
+}
+
+// TestCheckHook covers the stage-boundary check hook: it must run after
+// every successful stage, see the stage's name, and have its AddStat
+// calls folded into that same stage's metric (the checker reports
+// violation counts this way).
+func TestCheckHook(t *testing.T) {
+	c := NewContext(context.Background(), "cpu", "2D-12T", 1)
+	var checked []string
+	c.Check = func(fc *Context, stage string) error {
+		checked = append(checked, stage)
+		fc.AddStat(StatCheckViolations, 1)
+		return nil
+	}
+	err := Run(c, []Stage{
+		{Name: "map", Run: func(fc *Context) error { fc.AddStat(StatSTAFull, 1); return nil }},
+		{Name: "place", Run: func(*Context) error { return nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checked) != 2 || checked[0] != "map" || checked[1] != "place" {
+		t.Fatalf("check hook saw stages %v", checked)
+	}
+	ms := c.Metrics()
+	// The hook's stats land in the stage it checked, alongside the
+	// stage's own stats.
+	if ms[0].Stats[StatSTAFull] != 1 || ms[0].Stats[StatCheckViolations] != 1 {
+		t.Errorf("map stats = %v", ms[0].Stats)
+	}
+	if ms[1].Stats[StatCheckViolations] != 1 {
+		t.Errorf("place stats = %v", ms[1].Stats)
+	}
+}
+
+func TestCheckHookErrorFailsStage(t *testing.T) {
+	c := NewContext(context.Background(), "aes", "Hetero-M3D", 1)
+	sink := &recordSink{}
+	c.Sink = sink
+	boom := errors.New("ERC-002 violated")
+	c.Check = func(fc *Context, stage string) error {
+		if stage == "legalize" {
+			return boom
+		}
+		return nil
+	}
+	ran := false
+	err := Run(c, []Stage{
+		{Name: "map", Run: func(*Context) error { return nil }},
+		{Name: "legalize", Run: func(*Context) error { return nil }},
+		{Name: "cts", Run: func(*Context) error { ran = true; return nil }},
+	})
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("err %T not a *flow.Error: %v", err, err)
+	}
+	if fe.Design != "aes" || fe.Config != "Hetero-M3D" || fe.Stage != "legalize" {
+		t.Errorf("attribution = %+v", fe)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("error does not unwrap to the check failure")
+	}
+	if ran {
+		t.Error("pipeline continued past a failing check")
+	}
+	// The stage itself succeeded, so its metric and done event exist —
+	// marked failed by the check.
+	if got := len(c.Metrics()); got != 2 {
+		t.Errorf("%d metrics after check failure", got)
+	}
+	if last := sink.events[len(sink.events)-1]; last != "done aes/Hetero-M3D/legalize err cells=0" {
+		t.Errorf("last sink event = %q", last)
+	}
+}
+
+func TestCheckHookSkippedOnStageError(t *testing.T) {
+	c := NewContext(context.Background(), "d", "c", 1)
+	called := false
+	c.Check = func(*Context, string) error { called = true; return nil }
+	boom := errors.New("boom")
+	err := Run(c, []Stage{{Name: "map", Run: func(*Context) error { return boom }}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if called {
+		t.Error("check hook ran after a failing stage")
+	}
+}

@@ -1,0 +1,24 @@
+package flow
+
+// The stat-key registry: every key passed to Context.AddStat must be one
+// of these constants. Keys travel from the engines through StageMetric
+// maps into three independent readers (cmd/hetero3d's engine report,
+// eval's aggregated engine table, the check report) — a typo'd string
+// would silently read as zero, so the statkeys analyzer
+// (tools/analyzers) rejects AddStat calls whose key is not a constant
+// declared here.
+const (
+	// Incremental timing engine counters (internal/core's timingEnv).
+	StatSTAFull  = "sta_full"  // full timing-graph rebuilds
+	StatSTAIncr  = "sta_incr"  // incremental timer updates
+	StatSTANodes = "sta_nodes" // timing nodes re-evaluated
+	StatRCHits   = "rc_hits"   // RC extraction cache hits
+	StatRCMisses = "rc_misses" // RC extraction cache misses
+
+	// Design-integrity checker counters (internal/check via the Check
+	// hook).
+	StatCheckRules      = "check_rules"      // rules executed at the boundary
+	StatCheckObjects    = "check_objects"    // objects examined
+	StatCheckViolations = "check_violations" // findings at any severity
+	StatCheckErrors     = "check_errors"     // findings at Error severity
+)

@@ -98,6 +98,19 @@ func (d *Design) Unobserve(o Observer) {
 // the instance/net/port sets or any pin binding change.
 func (d *Design) TopoRev() uint64 { return d.jn.topoRev }
 
+// Observers returns the number of registered observers. The construction
+// bulk-init mutators (InitLoc/InitTier) use it to decide whether full
+// notification is required; the design-integrity checker reads it too.
+func (d *Design) Observers() int { return len(d.jn.observers) }
+
+// JournalCoverage returns the lengths of the per-instance and per-net
+// revision arrays. A coherent journal covers every instance and net
+// (AddInstance/AddNet grow the arrays in lockstep); the design-integrity
+// checker's ENG rules assert exactly that.
+func (d *Design) JournalCoverage() (insts, nets int) {
+	return len(d.jn.instRev), len(d.jn.netRev)
+}
+
 // NetRev returns the net's extraction revision: it moves whenever the
 // net's pin membership or any connected instance's Loc/Tier changes, so a
 // cached RC extraction is valid exactly while NetRev is unchanged.

@@ -49,6 +49,48 @@ func (inst *Instance) SetLoc(p geom.Point) {
 	}
 }
 
+// InitLoc places the instance during construction — the documented
+// pre-journal bulk-init API for generators, the global placer, and the
+// floorplanner, whose hot loops rewrite millions of locations before any
+// persistent consumer (sta.Timer, a live route.Cache) exists. It bumps
+// the revision counters so pull-based caches stay coherent but skips
+// observer notification; if an observer is attached it delegates to
+// SetLoc, so the call is always safe.
+func (inst *Instance) InitLoc(p geom.Point) {
+	d := inst.design
+	if d != nil && len(d.jn.observers) > 0 {
+		inst.SetLoc(p)
+		return
+	}
+	if inst.Loc == p {
+		return
+	}
+	inst.Loc = p
+	if d != nil {
+		d.bumpInst(inst)
+		d.bumpNetsOf(inst)
+	}
+}
+
+// InitTier assigns the instance's die during construction — the tier
+// counterpart of InitLoc, with the same bump-but-don't-notify semantics
+// and the same delegation to SetTier once an observer is attached.
+func (inst *Instance) InitTier(t tech.Tier) {
+	d := inst.design
+	if d != nil && len(d.jn.observers) > 0 {
+		inst.SetTier(t)
+		return
+	}
+	if inst.Tier == t {
+		return
+	}
+	inst.Tier = t
+	if d != nil {
+		d.bumpInst(inst)
+		d.bumpNetsOf(inst)
+	}
+}
+
 // SetTier reassigns the instance's die, journaling the change (connected
 // nets gain or lose tier crossings, so their extraction revisions bump).
 // A no-op when the tier is unchanged.
@@ -77,9 +119,10 @@ func (p PinRef) Spec() cell.PinSpec { return p.Inst.Master.Pins[p.Pin] }
 // Loc returns the pin location; pins are modeled at the cell center.
 func (p PinRef) Loc() geom.Point { return p.Inst.Loc }
 
-// Valid reports whether the reference points at a real pin.
+// Valid reports whether the reference points at a real pin of a real
+// master (a master-less instance has no pins to reference).
 func (p PinRef) Valid() bool {
-	return p.Inst != nil && p.Pin >= 0 && p.Pin < len(p.Inst.Master.Pins)
+	return p.Inst != nil && p.Inst.Master != nil && p.Pin >= 0 && p.Pin < len(p.Inst.Master.Pins)
 }
 
 // Port is a top-level design terminal.
@@ -323,7 +366,7 @@ func (d *Design) Port(name string) *Port { return d.portByName[name] }
 func (d *Design) OutputNet(inst *Instance) *Net {
 	for i, p := range inst.Master.Pins {
 		if p.Dir == cell.DirOut {
-			return inst.nets[i]
+			return d.NetAt(inst, i)
 		}
 	}
 	return nil
@@ -333,8 +376,10 @@ func (d *Design) OutputNet(inst *Instance) *Net {
 func (d *Design) InputNets(inst *Instance) []*Net {
 	var out []*Net
 	for i, p := range inst.Master.Pins {
-		if p.Dir != cell.DirOut && inst.nets[i] != nil {
-			out = append(out, inst.nets[i])
+		if p.Dir != cell.DirOut {
+			if n := d.NetAt(inst, i); n != nil {
+				out = append(out, n)
+			}
 		}
 	}
 	return out

@@ -128,7 +128,7 @@ func TierPartition(d *netlist.Design, outline geom.Rect, preassign map[*netlist.
 		MovableCells: len(cells),
 	}
 	for i, c := range cells {
-		c.Tier = tech.Tier(sol.Side[i])
+		c.SetTier(tech.Tier(sol.Side[i]))
 		if c.Tier == tech.TierTop {
 			res.AreaTop += areas[i]
 		} else {
@@ -157,11 +157,11 @@ func assignMacros(d *netlist.Design, preassign map[*netlist.Instance]tech.Tier, 
 	})
 	for _, m := range macros {
 		if t, ok := preassign[m]; ok {
-			m.Tier = t
+			m.SetTier(t)
 		} else if res.AreaBottom <= res.AreaTop {
-			m.Tier = tech.TierBottom
+			m.SetTier(tech.TierBottom)
 		} else {
-			m.Tier = tech.TierTop
+			m.SetTier(tech.TierTop)
 		}
 		if m.Tier == tech.TierTop {
 			res.AreaTop += m.Master.Area()

@@ -48,7 +48,7 @@ func Global(d *netlist.Design, region geom.Rect, opt GlobalOptions) error {
 			continue
 		}
 		movable = append(movable, inst)
-		inst.Loc = region.Center() // initial estimate for terminal propagation
+		inst.InitLoc(region.Center()) // initial estimate for terminal propagation
 	}
 	if len(movable) == 0 {
 		return nil
@@ -76,10 +76,10 @@ func Global(d *netlist.Design, region geom.Rect, opt GlobalOptions) error {
 		// Update location estimates to the new subregion centers so
 		// later cuts see propagated terminals.
 		for _, c := range left {
-			c.Loc = lr.Center()
+			c.InitLoc(lr.Center())
 		}
 		for _, c := range right {
-			c.Loc = rr.Center()
+			c.InitLoc(rr.Center())
 		}
 		queue = append(queue, job{lr, left}, job{rr, right})
 	}
@@ -278,6 +278,6 @@ func spreadLeaf(region geom.Rect, cells []*netlist.Instance) {
 	for i, c := range sorted {
 		cx := region.Lx + (float64(i%cols)+0.5)*dx
 		cy := region.Ly + (float64(i/cols)+0.5)*dy
-		c.Loc = geom.Pt(cx, cy)
+		c.InitLoc(geom.Pt(cx, cy))
 	}
 }

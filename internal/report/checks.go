@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// CheckTable renders a run's stage-boundary check reports as one aligned
+// table: a row per boundary summarizing objects examined and findings,
+// expanded with one row per violated rule, and a totals line. Boundaries
+// with no findings render as a single "clean" row, so the table doubles
+// as proof of which invariants were actually asserted.
+func CheckTable(title string, reps []*check.Report) *Table {
+	t := NewTable(title, "Stage", "Rule", "Severity", "Checked", "Violations")
+	var totChecked, totViol int
+	for _, rep := range reps {
+		stage := rep.Stage
+		if stage == "" {
+			stage = "(standalone)"
+		}
+		totChecked += rep.Checked()
+		totViol += rep.Count(check.Info)
+		if rep.Count(check.Info) == 0 {
+			t.AddRowf(stage, fmt.Sprintf("%d rules", len(rep.Stats)), "clean",
+				fmt.Sprint(rep.Checked()), "0")
+			continue
+		}
+		for _, s := range rep.Stats {
+			if s.Violations == 0 {
+				continue
+			}
+			t.AddRowf(stage, fmt.Sprintf("%s %s", s.ID, s.Title), s.Severity.String(),
+				fmt.Sprint(s.Checked), fmt.Sprint(s.Violations))
+		}
+	}
+	t.AddRowf("total", "", "", fmt.Sprint(totChecked), fmt.Sprint(totViol))
+	return t
+}

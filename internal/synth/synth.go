@@ -215,7 +215,7 @@ func InsertLevelShifters(d *netlist.Design, libOf func(t tech.Tier) *cell.Librar
 		if err != nil {
 			return inserted, fmt.Errorf("synth: level shifter on %s: %w", n.Name, err)
 		}
-		inst.Tier = drvTier
+		inst.SetTier(drvTier)
 		inserted++
 	}
 	return inserted, nil

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// vetConfig is the JSON configuration cmd/go hands a -vettool for each
+// package unit (the same schema x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary. It speaks the cmd/go vet
+// protocol (-V=full fingerprinting, -flags discovery, one JSON .cfg per
+// package unit) and doubles as a standalone driver: invoked with package
+// patterns instead of a .cfg it re-executes itself through
+// `go vet -vettool`, so `analyzers ./...` works directly.
+func Main(analyzers ...*Analyzer) {
+	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	args := os.Args[1:]
+
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		// cmd/go fingerprints the tool for its build cache; a devel
+		// version must carry a buildID= field, so hash the executable —
+		// any rebuild (edited analyzers included) changes the key.
+		id := "unknown"
+		if self, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(self); err == nil {
+				sum := sha256.Sum256(data)
+				id = fmt.Sprintf("%x", sum[:12])
+			}
+		}
+		fmt.Printf("%s version devel buildID=%s\n", progname, id)
+		return
+	case len(args) == 1 && args[0] == "-flags":
+		// We expose no analyzer flags.
+		fmt.Println("[]")
+		return
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		diags, err := unitcheck(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if diags > 0 {
+			os.Exit(2)
+		}
+		return
+	case len(args) == 0 || strings.HasPrefix(args[0], "-"):
+		fmt.Fprintf(os.Stderr, `usage:
+  %[1]s package...              # standalone: runs go vet -vettool=%[1]s
+  go vet -vettool=$(command -v %[1]s) package...
+
+analyzers:
+`, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		os.Exit(2)
+	}
+
+	// Standalone mode: delegate the package loading to the go toolchain.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+}
+
+// unitcheck analyzes one package unit and returns the diagnostic count.
+func unitcheck(cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// cmd/go expects the facts file to exist even though these passes
+	// export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{Importer: imp}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := NewInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return len(diags), nil
+}
+
+// RunAnalyzers executes the passes over one type-checked package and
+// returns the findings sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Message = fmt.Sprintf("%s: %s", a.Name, d.Message)
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

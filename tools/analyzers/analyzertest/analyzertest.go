@@ -1,0 +1,180 @@
+// Package analyzertest is an offline miniature of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// directory as one package, type-checks it against the repository's
+// compiled packages (export data obtained once via `go list -export`),
+// runs an analyzer, and diffs the findings against `// want "regexp"`
+// comments in the fixtures.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string // import path -> export data file
+	exportErr  error
+)
+
+// exports builds the import-path → export-data map for the whole
+// repository plus its (std) dependencies, compiling once through the
+// build cache.
+func exports(t *testing.T) map[string]string {
+	t.Helper()
+	exportOnce.Do(func() {
+		root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+		if err != nil {
+			exportErr = fmt.Errorf("go list -m: %v", err)
+			return
+		}
+		cmd := exec.Command("go", "list", "-export", "-deps",
+			"-f", "{{if .Export}}{{.ImportPath}}\t{{.Export}}{{end}}", "./...")
+		cmd.Dir = strings.TrimSpace(string(root))
+		out, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				err = fmt.Errorf("%v: %s", err, ee.Stderr)
+			}
+			exportErr = fmt.Errorf("go list -export: %v", err)
+			return
+		}
+		exportMap = make(map[string]string)
+		for _, line := range strings.Split(string(out), "\n") {
+			if path, file, ok := strings.Cut(strings.TrimSpace(line), "\t"); ok {
+				exportMap[path] = file
+			}
+		}
+	})
+	if exportErr != nil {
+		t.Fatal(exportErr)
+	}
+	return exportMap
+}
+
+// expectation is one `// want "regexp"` marker.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir as a single package with import path pkgPath (the path
+// matters: passes special-case internal/netlist, internal/core, ...),
+// runs the analyzer, and asserts the findings equal the fixtures'
+// `// want` expectations.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	exp := exports(t)
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exp[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{Importer: imp}).Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := match(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("unexpected finding at %s: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts the `// want "regexp"` markers of one file.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			quoted := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+			if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {
+				t.Fatalf("%s: malformed want comment %q", fset.Position(c.Pos()), c.Text)
+			}
+			re, err := regexp.Compile(quoted[1 : len(quoted)-1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern: %v", fset.Position(c.Pos()), err)
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// match consumes the first unmatched expectation covering the finding.
+func match(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

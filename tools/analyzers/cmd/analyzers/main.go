@@ -1,0 +1,30 @@
+// Command analyzers is the repository's custom vettool bundling the
+// journal/Timer-contract passes: journalmutate, staleanalyze, statkeys.
+//
+// Usage:
+//
+//	go build -o /tmp/analyzers repro/tools/analyzers/cmd/analyzers
+//	go vet -vettool=/tmp/analyzers ./...
+//
+// or, equivalently, standalone (it re-executes itself via go vet):
+//
+//	/tmp/analyzers ./...
+//
+// Exit status: 0 clean, 2 findings, 1 operational failure — so the CI
+// analyzers job can gate on it directly.
+package main
+
+import (
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/journalmutate"
+	"repro/tools/analyzers/staleanalyze"
+	"repro/tools/analyzers/statkeys"
+)
+
+func main() {
+	analysis.Main(
+		journalmutate.Analyzer,
+		staleanalyze.Analyzer,
+		statkeys.Analyzer,
+	)
+}

@@ -1,0 +1,18 @@
+package journalmutate_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/journalmutate"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "fixture", journalmutate.Analyzer)
+}
+
+// TestNetlistExempt runs the pass over the real journal package, which is
+// full of direct Loc/Tier writes that must all be exempt.
+func TestNetlistExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/netlist", "repro/internal/netlist", journalmutate.Analyzer)
+}

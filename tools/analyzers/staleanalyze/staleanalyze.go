@@ -1,0 +1,108 @@
+// Package staleanalyze flags raw sta.Analyze calls where the shared
+// incremental Timer must be used instead. A fresh Analyze builds a new
+// timing graph from scratch: inside a repair/ECO loop that both wastes
+// the incremental engine and — worse — reads the design without the
+// journal-driven invalidation the loop's edits rely on. The pass flags
+// every sta.Analyze call inside a for/range statement anywhere, and every
+// call in internal/core (the repair loops' home) regardless of loop
+// context. A deliberate exception carries a trailing
+// `//staleanalyze:ignore <reason>` comment on the call's line.
+package staleanalyze
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+const (
+	staPath  = "repro/internal/sta"
+	corePath = "repro/internal/core"
+)
+
+// Analyzer is the pass instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "staleanalyze",
+	Doc: "flag raw sta.Analyze calls that should use the shared incremental Timer\n\n" +
+		"sta.Analyze inside loops (anywhere) or internal/core (anywhere at all)\n" +
+		"rebuilds timing state the journal-coupled Timer already maintains;\n" +
+		"annotate deliberate uses with //staleanalyze:ignore <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgPath := pass.Pkg.Path()
+	if pkgPath == staPath {
+		return nil // the engine's own implementation and helpers
+	}
+	for _, f := range pass.Files {
+		ignored := ignoreLines(pass, f)
+		loopDepth := 0
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ForStmt:
+				visitLoop(&loopDepth, stmt.Body, walk, stmt.Init, stmt.Cond, stmt.Post)
+				return false
+			case *ast.RangeStmt:
+				visitLoop(&loopDepth, stmt.Body, walk, stmt.Key, stmt.Value, stmt.X)
+				return false
+			case *ast.CallExpr:
+				obj := analysis.FuncObject(pass.TypesInfo, stmt)
+				if obj == nil || obj.Name() != "Analyze" || obj.Pkg() == nil || obj.Pkg().Path() != staPath {
+					return true
+				}
+				line := pass.Fset.Position(stmt.Pos()).Line
+				if ignored[line] || pass.InTestFile(stmt.Pos()) {
+					return true
+				}
+				switch {
+				case loopDepth > 0:
+					pass.Reportf(stmt.Pos(),
+						"raw sta.Analyze inside a loop re-levelizes from scratch each iteration; use the stage Timer's Update (or //staleanalyze:ignore <reason>)")
+				case pkgPath == corePath:
+					pass.Reportf(stmt.Pos(),
+						"internal/core must time through the shared incremental Timer, not raw sta.Analyze (or //staleanalyze:ignore <reason>)")
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// visitLoop walks a loop's header parts at the current depth and its body
+// one level deeper. A call in a func literal inside the loop still counts
+// as in-loop: the closure is overwhelmingly likely to run per iteration,
+// and the ignore directive handles the exception.
+func visitLoop(depth *int, body *ast.BlockStmt, walk func(ast.Node) bool, header ...ast.Node) {
+	for _, h := range header {
+		if h != nil {
+			ast.Inspect(h, walk)
+		}
+	}
+	*depth++
+	ast.Inspect(body, walk)
+	*depth--
+}
+
+// ignoreLines collects the lines carrying a staleanalyze:ignore directive
+// with a non-empty reason.
+func ignoreLines(pass *analysis.Pass, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "staleanalyze:ignore") {
+				continue
+			}
+			if strings.TrimSpace(strings.TrimPrefix(text, "staleanalyze:ignore")) == "" {
+				continue // a bare directive documents nothing; keep flagging
+			}
+			lines[pass.Fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}

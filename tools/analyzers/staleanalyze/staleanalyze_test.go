@@ -1,0 +1,22 @@
+package staleanalyze_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/staleanalyze"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "fixture", staleanalyze.Analyzer)
+}
+
+func TestCorePackageRule(t *testing.T) {
+	analyzertest.Run(t, "testdata/corepkg", "repro/internal/core", staleanalyze.Analyzer)
+}
+
+// TestStaExempt runs the pass over the engine's own package, whose
+// internal Analyze uses must all be exempt.
+func TestStaExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/sta", "repro/internal/sta", staleanalyze.Analyzer)
+}

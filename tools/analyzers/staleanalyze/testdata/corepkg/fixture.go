@@ -1,0 +1,13 @@
+// Type-checked under the import path repro/internal/core: here every raw
+// sta.Analyze is flagged, loop or not, unless annotated.
+package fixture
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func seed(d *netlist.Design, cfg sta.Config) {
+	_, _ = sta.Analyze(d, cfg) // want "internal/core must time through the shared incremental Timer"
+	_, _ = sta.Analyze(d, cfg) //staleanalyze:ignore pre-Timer seed analysis
+}

@@ -1,0 +1,35 @@
+// Fixture for the staleanalyze pass (type-checked under a neutral import
+// path, so only the in-loop rule applies here).
+package fixture
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func inLoop(d *netlist.Design, cfg sta.Config) {
+	for i := 0; i < 3; i++ {
+		_, _ = sta.Analyze(d, cfg) // want "raw sta.Analyze inside a loop"
+	}
+	for range d.Instances {
+		if r, err := sta.Analyze(d, cfg); err == nil { // want "raw sta.Analyze inside a loop"
+			_ = r
+		}
+	}
+	for {
+		f := func() { _, _ = sta.Analyze(d, cfg) } // want "raw sta.Analyze inside a loop"
+		f()
+		break
+	}
+}
+
+func annotated(d *netlist.Design, cfg sta.Config) {
+	for i := 0; i < 2; i++ {
+		_, _ = sta.Analyze(d, cfg) //staleanalyze:ignore fixture exercises the directive
+	}
+}
+
+func outsideLoop(d *netlist.Design, cfg sta.Config) {
+	// A one-shot analysis outside any loop is the intended use.
+	_, _ = sta.Analyze(d, cfg)
+}

@@ -1,0 +1,18 @@
+package statkeys_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/statkeys"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "fixture", statkeys.Analyzer)
+}
+
+// TestCoreClean runs the pass over internal/core, whose AddStat calls all
+// use registry constants.
+func TestCoreClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/core", "repro/internal/core", statkeys.Analyzer)
+}

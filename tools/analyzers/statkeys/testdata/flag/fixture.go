@@ -1,0 +1,27 @@
+// Fixture for the statkeys pass.
+package fixture
+
+import "repro/internal/flow"
+
+const localKey = "local_key"
+
+func bad(c *flow.Context) {
+	c.AddStat("raw_key", 1) // want "AddStat key must be a flow.Stat"
+	c.AddStat(localKey, 2)  // want "AddStat key must be a flow.Stat"
+	key := "dynamic"
+	c.AddStat(key, 3) // want "AddStat key must be a flow.Stat"
+}
+
+func good(c *flow.Context) {
+	c.AddStat(flow.StatSTAFull, 1)
+	c.AddStat((flow.StatRCHits), 2)
+}
+
+// addStat shadows the method name on an unrelated type: must not flag.
+type fake struct{}
+
+func (fake) AddStat(key string, v int64) {}
+
+func unrelated(f fake) {
+	f.AddStat("whatever", 1)
+}
