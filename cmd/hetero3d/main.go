@@ -7,12 +7,18 @@
 //
 //	hetero3d -design cpu -config Hetero-M3D -scale 0.1 [-clock 1.2]
 //	         [-deep] [-svg dir] [-verilog out.v] [-stage-report]
-//	         [-timer-stats] [-check off|fast|full] [-workers 0] [-timeout 0]
+//	         [-timer-stats] [-check off|fast|full] [-fault spec]
+//	         [-retries n] [-workers 0] [-timeout 0]
 //
 // -config also accepts a comma-separated list or "all"; multiple
 // configurations run concurrently on a worker pool bounded by -workers.
 // The deep dive, SVG, and Verilog outputs apply when exactly one
 // configuration is requested.
+//
+// -fault arms the deterministic fault-injection harness (internal/fault),
+// e.g. -fault "cpu/Hetero-M3D/eco=corrupt:extraction-cache" or
+// "*/*/cts=panic"; -retries re-attempts flows that fail with transient
+// (retryable) errors under capped exponential backoff.
 //
 // When -clock is omitted the tool first sweeps the design's 2D-12T f_max
 // and uses it as the target, exactly like the paper's methodology.
@@ -31,6 +37,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/designs"
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -53,10 +60,17 @@ func main() {
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table of each flow")
 		timerSt  = flag.Bool("timer-stats", false, "print each flow's timing-engine update and RC-cache statistics table")
 		checkM   = flag.String("check", "off", "design-integrity checks at stage boundaries: off, fast (signoff only), or full; error findings fail the run")
+		faultS   = flag.String("fault", "", "fault-injection spec: design/config/stage[@occ]=class[:modifier],... (classes: panic, error, cancel, timeout, corrupt)")
+		retries  = flag.Int("retries", 1, "attempts per flow for transient failures (1 = no retries)")
 	)
 	flag.Parse()
 
 	checkMode, err := core.ParseCheckMode(*checkM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetero3d:", err)
+		os.Exit(2)
+	}
+	plan, err := fault.ParseSpec(*faultS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(2)
@@ -69,7 +83,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *timerSt, checkMode, *svgDir, *vlog); err != nil {
+	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *timerSt, checkMode, plan, *retries, *svgDir, *vlog); err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}
@@ -86,7 +100,7 @@ func parseConfigs(s string) []core.ConfigName {
 	return out
 }
 
-func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, svgDir, vlog string) error {
+func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, plan *fault.Plan, retries int, svgDir, vlog string) error {
 	cfgs := parseConfigs(config)
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
@@ -114,7 +128,12 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	policy := flow.NoRetry
+	if retries > 1 {
+		policy = flow.DefaultRetryPolicy(retries)
+	}
 	results := make([]*core.Result, len(cfgs))
+	traces := make([]*flow.RetryTrace, len(cfgs))
 	errs := make([]error, len(cfgs))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -128,7 +147,10 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 			opt := core.DefaultOptions(clock)
 			opt.Seed = seed
 			opt.Check = checkMode
-			results[i], errs[i] = core.Run(ctx, src, cfg, opt)
+			if plan != nil {
+				opt.Fault = plan.Hook()
+			}
+			results[i], traces[i], errs[i] = core.RunWithRetry(ctx, src, cfg, opt, policy)
 		}()
 	}
 	wg.Wait()
@@ -142,6 +164,7 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 		if err := printResult(design, string(cfg), clock, results[i], stageRep, timerSt); err != nil {
 			return err
 		}
+		printHealth(string(cfg), results[i], traces[i])
 		if checkMode != core.CheckOff {
 			ct := report.CheckTable(fmt.Sprintf("Design-integrity checks — %s in %s", design, cfg), results[i].Checks)
 			if err := ct.Render(os.Stdout); err != nil {
@@ -201,6 +224,11 @@ func printResult(design, config string, clock float64, r *core.Result, stageRep,
 				Nodes:       m.Stats[flow.StatSTANodes],
 				RCHits:      m.Stats[flow.StatRCHits],
 				RCMisses:    m.Stats[flow.StatRCMisses],
+				Retries:     m.Stats[flow.StatCongestionRetries],
+				Faults:      m.Stats[flow.StatFaultsInjected],
+				Reruns:      m.Stats[flow.StatStageReruns],
+				Degraded:    m.Stats[flow.StatDegradeFullSTA] + m.Stats[flow.StatDegradeUtil],
+				Panics:      m.Stats[flow.StatPanicsRecovered],
 			})
 		}
 		et := report.EngineStatsTable(fmt.Sprintf("Timing engine — %s in %s", design, config), rows)
@@ -209,6 +237,27 @@ func printResult(design, config string, clock float64, r *core.Result, stageRep,
 		}
 	}
 	return nil
+}
+
+// printHealth reports an eventful flow's robustness outcome: injected
+// faults, degraded-mode completion, and retry attempts. Clean flows print
+// nothing (and the CI fault-injection smoke greps for these lines).
+func printHealth(config string, r *core.Result, trace *flow.RetryTrace) {
+	var faults, reruns, panics int64
+	for _, m := range r.Stages {
+		faults += m.Stats[flow.StatFaultsInjected]
+		reruns += m.Stats[flow.StatStageReruns]
+		panics += m.Stats[flow.StatPanicsRecovered]
+	}
+	attempts := 1
+	if trace != nil {
+		attempts = trace.Attempts
+	}
+	if faults == 0 && reruns == 0 && panics == 0 && attempts <= 1 && len(r.Degraded) == 0 {
+		return
+	}
+	fmt.Printf("resilience [%s]: %d fault(s) injected, %d stage re-run(s), %d panic(s) recovered, %d attempt(s), degradations: %d %v\n",
+		config, faults, reruns, panics, attempts, len(r.Degraded), r.Degraded)
 }
 
 func singleConfigExtras(design, config string, r *core.Result, deep bool, svgDir, vlog string) error {

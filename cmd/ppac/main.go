@@ -8,11 +8,20 @@
 //
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
 //	     [-workers 0] [-timeout 0] [-stage-report] [-timer-stats]
-//	     [-check off|fast|full] [-v]
+//	     [-check off|fast|full] [-fault spec] [-checkpoint file]
+//	     [-retries n] [-resilience] [-v]
 //
 // -check runs the design-integrity checker (internal/check) at stage
 // boundaries of every implementation; Error-severity findings fail the
 // run, and a per-boundary summary table prints after the paper tables.
+//
+// -fault arms the deterministic fault-injection harness (internal/fault):
+// a comma-separated list of design/config/stage[@occurrence]=class
+// injections, e.g. "cpu/Hetero-M3D/eco=corrupt:extraction-cache" or
+// "*/*/cts@1=error:retryable". -retries re-attempts flows that fail with
+// transient errors; -checkpoint journals completed flows so an
+// interrupted evaluation resumes without repeating work; -resilience
+// prints the per-flow fault/retry/degradation table.
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/eval"
+	"repro/internal/fault"
+	"repro/internal/flow"
 	"repro/internal/report"
 )
 
@@ -39,11 +50,20 @@ func main() {
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table after the evaluation")
 		timerSt  = flag.Bool("timer-stats", false, "print the timing-engine update and RC-cache statistics table")
 		checkM   = flag.String("check", "off", "design-integrity checks at stage boundaries: off, fast (signoff only), or full; error findings fail the run")
+		faultS   = flag.String("fault", "", "fault-injection spec: design/config/stage[@occ]=class[:modifier],... (classes: panic, error, cancel, timeout, corrupt)")
+		ckptPath = flag.String("checkpoint", "", "journal completed flows to this file and resume from it on rerun")
+		retries  = flag.Int("retries", 1, "attempts per flow for transient failures (1 = no retries)")
+		resil    = flag.Bool("resilience", false, "print the per-flow fault/retry/degradation table after the evaluation")
 		verbose  = flag.Bool("v", false, "log every pipeline stage as it completes")
 	)
 	flag.Parse()
 
 	checkMode, err := core.ParseCheckMode(*checkM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppac:", err)
+		os.Exit(2)
+	}
+	plan, err := fault.ParseSpec(*faultS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppac:", err)
 		os.Exit(2)
@@ -56,11 +76,20 @@ func main() {
 		defer cancel()
 	}
 
+	sink := &eval.LogSink{W: os.Stdout, Stages: *verbose}
+	defer sink.Close()
 	opt := eval.DefaultSuiteOptions(*scale)
 	opt.Seed = *seed
 	opt.Workers = *workers
 	opt.Check = checkMode
-	opt.Events = &eval.LogSink{W: os.Stdout, Stages: *verbose}
+	opt.Events = sink
+	opt.Checkpoint = *ckptPath
+	if *retries > 1 {
+		opt.Retry = flow.DefaultRetryPolicy(*retries)
+	}
+	if plan != nil {
+		opt.Fault = plan.Hook()
+	}
 	if *designL != "" {
 		opt.Designs = nil
 		for _, n := range strings.Split(*designL, ",") {
@@ -112,6 +141,9 @@ func main() {
 	}
 	if *timerSt {
 		fmt.Println(s.EngineReport())
+	}
+	if *resil {
+		fmt.Println(s.ResilienceReport())
 	}
 	if checkMode != core.CheckOff {
 		fmt.Println(s.CheckReport())

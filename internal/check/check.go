@@ -159,8 +159,51 @@ func (r *Report) Checked() int {
 	return n
 }
 
+// RuleFailure is the structured error a failing check report produces:
+// it keeps the rule IDs behind the findings so callers can react to the
+// class of failure — the flow's degradation path treats ENG-class
+// failures (stale engine views) as recoverable by rebuilding the
+// retained engines, where a DRC failure is a genuine flow bug.
+type RuleFailure struct {
+	// Total counts the findings at or above the triggering severity.
+	Total int
+	// Rules lists the distinct violated rule IDs in report order.
+	Rules []string
+	msg   string
+}
+
+func (e *RuleFailure) Error() string { return e.msg }
+
+// Classes returns the distinct rule-ID prefixes ("ERC", "DRC", "TDR",
+// "ENG") behind the failure, in first-occurrence order.
+func (e *RuleFailure) Classes() []string {
+	var out []string
+	for _, id := range e.Rules {
+		cls, _, _ := strings.Cut(id, "-")
+		dup := false
+		for _, c := range out {
+			if c == cls {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, cls)
+		}
+	}
+	return out
+}
+
+// OnlyClass reports whether every violated rule belongs to the given
+// class prefix.
+func (e *RuleFailure) OnlyClass(cls string) bool {
+	c := e.Classes()
+	return len(c) == 1 && c[0] == cls
+}
+
 // Err converts the report into an error listing the first few findings at
-// or above min severity; nil when the report is clean at that level.
+// or above min severity; nil when the report is clean at that level. The
+// returned error is a *RuleFailure carrying the violated rule IDs.
 func (r *Report) Err(min Severity) error {
 	total := r.Count(min)
 	if total == 0 {
@@ -180,7 +223,13 @@ func (r *Report) Err(min Severity) error {
 	if total > len(lines) {
 		msg += fmt.Sprintf("; ... (%d total)", total)
 	}
-	return fmt.Errorf("check: %d violation(s): %s", total, msg)
+	fail := &RuleFailure{Total: total, msg: fmt.Sprintf("check: %d violation(s): %s", total, msg)}
+	for _, s := range r.Stats {
+		if s.Severity >= min && s.Violations > 0 {
+			fail.Rules = append(fail.Rules, s.ID)
+		}
+	}
+	return fail
 }
 
 // Input is everything the checker can examine. Design is required; the

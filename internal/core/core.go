@@ -98,6 +98,15 @@ type Options struct {
 	// boundary report lands in Result.Checks (cmd/designlint's mode).
 	Check           CheckMode
 	CheckReportOnly bool
+	// Fault is the fault-injection hook run before every stage body
+	// (internal/fault's Plan.Hook; nil = no injection). Installing it
+	// auto-enables the extraction audit so injected cache corruption is
+	// caught at the next analysis.
+	Fault func(*flow.Context, string) error
+	// AuditExtraction verifies the RC-extraction cache against fresh
+	// extraction before every timing analysis — O(nets) per analysis, so
+	// it is off by default and forced on while a fault plan is armed.
+	AuditExtraction bool
 }
 
 // DefaultOptions returns the evaluation defaults at the given target
@@ -186,6 +195,19 @@ type Result struct {
 	// Checks holds the design-integrity reports of every checked stage
 	// boundary, in run order (nil when Options.Check is off).
 	Checks []*check.Report
+	// Degraded lists the degraded-mode reasons the flow recorded
+	// (flow.Context.MarkDegraded), in first-occurrence order; nil when
+	// the flow ran clean.
+	Degraded []string
+	// Dive caches the Table VIII deep-dive metrics. DeepAnalyze fills it
+	// on first call; a result restored from an evaluation checkpoint
+	// carries it pre-computed because the live Design/Timing/Power state
+	// it derives from is not persisted.
+	Dive *DeepDive
+	// Restored marks a result rehydrated from an evaluation checkpoint:
+	// the table-facing fields above are present but the live design state
+	// (Design, Timing, Power, Clock, Router) is not.
+	Restored bool
 }
 
 // libFor returns the library pair of a configuration.
@@ -229,8 +251,15 @@ func Run(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Options) 
 	if _, err := ParseCheckMode(string(opt.Check)); err != nil {
 		return nil, err
 	}
-	fc := flow.NewContext(ctx, src.Name, string(cfg), opt.Seed)
+	// The run's context is always cancellable from inside: the fault
+	// harness's cancel class and any future watchdog abort through
+	// fc.CancelRun exactly like an external caller would.
+	runCtx, cancel := context.WithCancel(orBackground(ctx))
+	defer cancel()
+	fc := flow.NewContext(runCtx, src.Name, string(cfg), opt.Seed)
 	fc.Sink = opt.Events
+	fc.CancelRun = cancel
+	fc.Fault = opt.Fault
 	switch cfg {
 	case Config2D9T, Config2D12T:
 		return run2D(fc, src, cfg, opt)
@@ -241,4 +270,31 @@ func Run(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Options) 
 	default:
 		return nil, fmt.Errorf("core: unknown config %q", cfg)
 	}
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// RunWithRetry runs the flow under the given retry policy: a failure
+// whose error chain is marked transient (flow.Retryable) re-attempts the
+// whole flow with a fresh derived seed and capped exponential backoff.
+// The returned trace records every attempt; the error (if any) is the
+// last attempt's, with full design/config/stage attribution.
+func RunWithRetry(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Options, policy flow.RetryPolicy) (*Result, *flow.RetryTrace, error) {
+	var res *Result
+	trace, err := policy.Do(ctx, opt.Seed, func(attempt int, seed int64) error {
+		o := opt
+		o.Seed = seed
+		var rerr error
+		res, rerr = Run(ctx, src, cfg, o)
+		return rerr
+	})
+	if err != nil {
+		return nil, trace, err
+	}
+	return res, trace, nil
 }

@@ -194,9 +194,13 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 			if _, err := place.LegalizeTiers(s.d, s.fp.Core, rowHeights(libs), 2); err != nil {
 				return err
 			}
-			if s.st, err = s.env.analyze(); err != nil {
+			// Keep s.st valid on failure: a multi-assign here would nil it
+			// out, and a degraded re-run of this stage reads it.
+			st, err := s.env.analyze()
+			if err != nil {
 				return err
 			}
+			s.st = st
 			s.notes += fmt.Sprintf(", eco: %d moved, %d undone in %d iters", rep.Moved, rep.Undone, rep.Iterations)
 			return nil
 		}},

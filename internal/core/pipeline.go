@@ -1,9 +1,13 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/cell"
 	"repro/internal/check"
 	"repro/internal/cts"
+	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/netlist"
 	"repro/internal/partition"
@@ -87,6 +91,9 @@ type flowState struct {
 	// checks is the design-integrity session spanning the flow's
 	// instrumented stage boundaries (nil when Options.Check is off).
 	checks *check.Session
+	// audit verifies the extraction cache before every analysis (forced
+	// on while a fault plan is armed).
+	audit bool
 }
 
 // execute runs the composed pipeline and assembles the Result.
@@ -101,24 +108,89 @@ func (s *flowState) execute(fc *flow.Context, stages []flow.Stage) (*Result, err
 		s.checks = &check.Session{}
 		fc.Check = s.checkBoundary
 	}
+	s.audit = s.opt.AuditExtraction || fc.Fault != nil
+	fc.Degrade = s.degrade
+	fc.Corrupt = s.corrupt
 	if err := flow.Run(fc, stages); err != nil {
 		return nil, err
 	}
 	res := &Result{
-		PPAC:    s.ppac,
-		Design:  s.d,
-		Libs:    s.libs,
-		Clock:   s.ct,
-		Router:  s.router,
-		Timing:  s.st,
-		Power:   s.pw,
-		Outline: s.fp.Outline,
-		Stages:  fc.Metrics(),
+		PPAC:     s.ppac,
+		Design:   s.d,
+		Libs:     s.libs,
+		Clock:    s.ct,
+		Router:   s.router,
+		Timing:   s.st,
+		Power:    s.pw,
+		Outline:  s.fp.Outline,
+		Stages:   fc.Metrics(),
+		Degraded: fc.Degradations(),
 	}
 	if s.checks != nil {
 		res.Checks = s.checks.Reports()
 	}
 	return res, nil
+}
+
+// degrade is the flow's graceful-degradation policy (the Degrade hook):
+// failures that mean "a retained engine view can no longer be trusted" —
+// the extraction audit's divergence finding or an ENG-class
+// design-integrity failure — are absorbed by rebuilding every retained
+// view from ground truth and pinning the timing engine to full
+// recomputes, after which the runner re-runs the stage. Anything else
+// (DRC/ERC findings, engine errors, panics) is a genuine flow failure
+// and propagates with attribution.
+func (s *flowState) degrade(fc *flow.Context, stage string, err error) bool {
+	var rf *check.RuleFailure
+	switch {
+	case errors.Is(err, sta.ErrDiverged):
+	case errors.As(err, &rf) && rf.OnlyClass("ENG"):
+	default:
+		return false
+	}
+	if s.d != nil {
+		// Repair the journal first: the revision counters move strictly
+		// past every previously handed-out value, so engine views keyed
+		// on old revisions all read as stale.
+		s.d.Reconcile()
+	}
+	if s.cache != nil {
+		s.cache.Invalidate()
+	}
+	if s.env != nil {
+		s.env.close() // next analyze rebuilds the timer from scratch
+		s.env.forceFull = true
+	}
+	s.opt.ForceFullSTA = true
+	fc.AddStat(flow.StatDegradeFullSTA, 1)
+	fc.MarkDegraded(flow.DegradeFullSTA)
+	return true
+}
+
+// corrupt applies a named corruption to a flow-owned engine structure —
+// the fault harness's ClassCorrupt targets. Only structures that exist
+// at the injection point can be corrupted; arming a cache corruption
+// before the timing environment is bound reports an error (which the
+// harness surfaces as an attributed stage failure).
+func (s *flowState) corrupt(target string) error {
+	switch target {
+	case fault.TargetCache:
+		if s.cache == nil {
+			return fmt.Errorf("core: extraction cache not built yet (arm the fault at a repair or later stage)")
+		}
+		s.cache.Poison(s.opt.Seed)
+		return nil
+	case fault.TargetJournal:
+		if s.d == nil {
+			return fmt.Errorf("core: no design yet (arm the fault after the map stage)")
+		}
+		// Rewind all the way: a partial rewind can land above the last
+		// checked boundary's high-water mark and go undetected.
+		s.d.CorruptTopoRev(^uint64(0))
+		return nil
+	default:
+		return fmt.Errorf("core: unknown corruption target %q", target)
+	}
 }
 
 // stageMap clones the source onto the base (bottom) library and prepares
@@ -146,7 +218,7 @@ func (s *flowState) stageMacros(fc *flow.Context) error {
 // stagePlace floorplans and globally places with congestion retries, then
 // creates the flow's router (shared by every later timing analysis).
 func (s *flowState) stagePlace(fc *flow.Context) error {
-	fp, err := placeWithCongestionRetry(s.d, s.opt, s.tiers, s.areaScale)
+	fp, err := placeWithCongestionRetry(fc, s.d, s.opt, s.tiers, s.areaScale)
 	if err != nil {
 		return err
 	}
@@ -203,6 +275,7 @@ func (s *flowState) bindTimingEnv(fc *flow.Context) {
 		period:    1 / s.opt.ClockGHz,
 		latency:   s.ct.LatencyFunc(),
 		forceFull: s.opt.ForceFullSTA,
+		audit:     s.audit,
 	}
 }
 

@@ -75,11 +75,21 @@ func rowHeights(libs [2]*cell.Library) [2]float64 {
 // and re-placed — "the routing feasibility drives the optimization"
 // (Sec. IV-B2), which is why LDPC's density lands near 64 % while the
 // cell-dominant designs stay at their 70 %+ targets.
-func placeWithCongestionRetry(d *netlist.Design, opt Options, tiers int, areaScale float64) (*place.Floorplan, error) {
+//
+// Every retry is counted under StatCongestionRetries. A design still
+// overflowing after the standard three attempts gets one extra
+// relaxation under the flow's Degraded flag (StatDegradeUtil) — a worse
+// floorplan beats an aborted flow, but the result is marked so the
+// resilience report surfaces it.
+func placeWithCongestionRetry(fc *flow.Context, d *netlist.Design, opt Options, tiers int, areaScale float64) (*place.Floorplan, error) {
 	router := route.New()
 	util := opt.TargetUtil
 	var fp *place.Floorplan
-	for attempt := 0; attempt < 3; attempt++ {
+	const attempts = 3
+	for attempt := 0; attempt <= attempts; attempt++ {
+		if attempt > 0 {
+			fc.AddStat(flow.StatCongestionRetries, 1)
+		}
 		var err error
 		fp, err = place.NewFloorplan(d, place.Options{
 			TargetUtil:  util,
@@ -105,6 +115,11 @@ func placeWithCongestionRetry(d *netlist.Design, opt Options, tiers int, areaSca
 		}
 		if overflow <= 0.10 {
 			return fp, nil
+		}
+		if attempt == attempts-1 {
+			// Standard budget exhausted: take the one degraded attempt.
+			fc.AddStat(flow.StatDegradeUtil, 1)
+			fc.MarkDegraded(flow.DegradeUtil)
 		}
 		util *= 0.82 // relax utilization and retry
 	}
@@ -154,8 +169,12 @@ type timingEnv struct {
 	latency func(*netlist.Instance) float64
 	hetero  bool
 	// forceFull pins the timer to full recomputes (the -timer-stats
-	// kill switch for incremental updates).
+	// kill switch for incremental updates; also set by the degradation
+	// path once a retained view has diverged).
 	forceFull bool
+	// audit verifies the extraction cache against fresh extraction before
+	// every analysis — the detection side of cache-corruption faults.
+	audit bool
 
 	timer *sta.Timer
 	// lastTS/lastCS snapshot the cumulative engine counters at the last
@@ -166,6 +185,14 @@ type timingEnv struct {
 }
 
 func (e *timingEnv) analyze() (*sta.Result, error) {
+	if e.audit && e.cache != nil {
+		// Audit before the timer consumes the cache: divergence is caught
+		// ahead of any sizing decision, so the degraded re-run starts from
+		// an untainted design state.
+		if err := e.cache.Audit(); err != nil {
+			return nil, fmt.Errorf("%w: %w", sta.ErrDiverged, err)
+		}
+	}
 	if e.timer == nil {
 		cfg := staConfig(e.period, e.ex, e.latency, e.hetero)
 		cfg.ForceFull = e.forceFull

@@ -1,0 +1,339 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/flow"
+)
+
+// The evaluation checkpoint is an append-only JSONL journal: a header
+// line binding the file to the suite options that produced it, then one
+// record per completed unit of work (an f_max search or a finished flow).
+// RunSuite appends records as flows finish and, on resume, serves
+// completed work from the journal instead of re-running it.
+//
+// Only what the tables consume is persisted: the PPAC record (with the
+// non-serializable clock-tree pointer dropped), the per-stage metrics,
+// the degraded-mode flags, the stage-boundary check reports, and the
+// precomputed Table VIII deep dive. The floats survive the JSON round
+// trip exactly (encoding/json emits shortest-round-trip float64), which
+// is what makes a resumed suite's Tables I–VIII byte-identical to an
+// uninterrupted run. The live Design/Timing/Power state is not
+// persisted; figure rendering detects restored results and says so
+// instead of failing.
+//
+// A record is one line, written with O_APPEND in a single Write call; a
+// run killed mid-write leaves at most one truncated final line, which
+// loading tolerates (the half-written record's work re-runs).
+
+// ckptVersion is bumped whenever the record schema changes shape
+// incompatibly.
+const ckptVersion = 1
+
+type ckptHeader struct {
+	Kind           string   `json:"kind"`
+	Version        int      `json:"version"`
+	Scale          float64  `json:"scale"`
+	Seed           int64    `json:"seed"`
+	Designs        []string `json:"designs"`
+	Configs        []string `json:"configs"`
+	FmaxIterations int      `json:"fmaxIterations"`
+	Check          string   `json:"check,omitempty"`
+}
+
+type ckptFmax struct {
+	Kind    string  `json:"kind"`
+	Design  string  `json:"design"`
+	Cells   int     `json:"cells"`
+	FmaxGHz float64 `json:"fmaxGHz"`
+}
+
+type ckptFlow struct {
+	Kind     string             `json:"kind"`
+	Design   string             `json:"design"`
+	Config   string             `json:"config"`
+	PPAC     *core.PPAC         `json:"ppac"`
+	Stages   []flow.StageMetric `json:"stages,omitempty"`
+	Degraded []string           `json:"degraded,omitempty"`
+	Dive     *core.DeepDive     `json:"dive,omitempty"`
+	Checks   []*check.Report    `json:"checks,omitempty"`
+}
+
+type flowKey struct {
+	design designs.Name
+	config core.ConfigName
+}
+
+// Checkpoint is an open evaluation journal: the completed work loaded
+// from it plus an append handle for new completions. Safe for concurrent
+// use by the suite's worker pool.
+type Checkpoint struct {
+	path string
+
+	mu    sync.Mutex
+	f     *os.File
+	fmax  map[designs.Name]ckptFmax
+	flows map[flowKey]*ckptFlow
+}
+
+// headerFor derives the journal header binding a checkpoint to the
+// options that produce its results.
+func headerFor(opt SuiteOptions) ckptHeader {
+	h := ckptHeader{
+		Kind:           "header",
+		Version:        ckptVersion,
+		Scale:          opt.Scale,
+		Seed:           opt.Seed,
+		FmaxIterations: opt.FmaxIterations,
+		Check:          string(opt.Check),
+	}
+	for _, d := range opt.Designs {
+		h.Designs = append(h.Designs, string(d))
+	}
+	for _, c := range opt.Configs {
+		h.Configs = append(h.Configs, string(c))
+	}
+	return h
+}
+
+func sameHeader(a, b ckptHeader) bool {
+	if a.Version != b.Version || a.Scale != b.Scale || a.Seed != b.Seed ||
+		a.FmaxIterations != b.FmaxIterations || a.Check != b.Check ||
+		len(a.Designs) != len(b.Designs) || len(a.Configs) != len(b.Configs) {
+		return false
+	}
+	for i := range a.Designs {
+		if a.Designs[i] != b.Designs[i] {
+			return false
+		}
+	}
+	for i := range a.Configs {
+		if a.Configs[i] != b.Configs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenCheckpoint opens (or creates) the journal at path for the given
+// suite options. An existing journal written under different options is
+// refused — resuming it would silently mix incompatible results.
+func OpenCheckpoint(path string, opt SuiteOptions) (*Checkpoint, error) {
+	opt = opt.withDefaults()
+	c := &Checkpoint{
+		path:  path,
+		fmax:  make(map[designs.Name]ckptFmax),
+		flows: make(map[flowKey]*ckptFlow),
+	}
+	want := headerFor(opt)
+
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err) || (err == nil && len(data) == 0):
+		// Fresh journal: write the header first.
+	case err != nil:
+		return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
+	default:
+		if err := c.load(data, want); err != nil {
+			return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
+	}
+	c.f = f
+	if len(data) == 0 {
+		if err := c.append(want); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load parses the journal, validates its header, and indexes the
+// records. A truncated or malformed final line is tolerated (the journal
+// may have been killed mid-append); a malformed line anywhere else is an
+// error.
+func (c *Checkpoint) load(data []byte, want ckptHeader) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	bad := -1 // line number of a malformed record, if any
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if bad >= 0 {
+			return fmt.Errorf("malformed record at line %d (only the final line may be truncated)", bad)
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			bad = line
+			continue
+		}
+		switch kind.Kind {
+		case "header":
+			var h ckptHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				bad = line
+				continue
+			}
+			if sawHeader {
+				return fmt.Errorf("duplicate header at line %d", line)
+			}
+			sawHeader = true
+			if !sameHeader(h, want) {
+				return fmt.Errorf("journal was written under different suite options (scale/seed/designs/configs/check) — delete it or rerun with the original options")
+			}
+		case "fmax":
+			var r ckptFmax
+			if err := json.Unmarshal(raw, &r); err != nil {
+				bad = line
+				continue
+			}
+			c.fmax[designs.Name(r.Design)] = r
+		case "flow":
+			var r ckptFlow
+			if err := json.Unmarshal(raw, &r); err != nil || r.PPAC == nil {
+				bad = line
+				continue
+			}
+			c.flows[flowKey{designs.Name(r.Design), core.ConfigName(r.Config)}] = &r
+		default:
+			bad = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawHeader {
+		return fmt.Errorf("no header record — not an evaluation checkpoint")
+	}
+	return nil
+}
+
+// append marshals one record and writes it as a single line. Callers
+// hold no lock; append takes it.
+func (c *Checkpoint) append(rec any) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("eval: checkpoint %s: %w", c.path, err)
+	}
+	b = append(b, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return fmt.Errorf("eval: checkpoint %s: closed", c.path)
+	}
+	if _, err := c.f.Write(b); err != nil {
+		return fmt.Errorf("eval: checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}
+
+// Fmax returns a design's checkpointed f_max search result, if present.
+func (c *Checkpoint) Fmax(n designs.Name) (fmaxGHz float64, cells int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.fmax[n]
+	return r.FmaxGHz, r.Cells, ok
+}
+
+// PutFmax records a completed f_max search.
+func (c *Checkpoint) PutFmax(n designs.Name, cells int, fmaxGHz float64) error {
+	rec := ckptFmax{Kind: "fmax", Design: string(n), Cells: cells, FmaxGHz: fmaxGHz}
+	if err := c.append(rec); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.fmax[n] = rec
+	c.mu.Unlock()
+	return nil
+}
+
+// Flow rehydrates a checkpointed flow result, if present. The restored
+// result carries everything the tables consume (PPAC, stage metrics,
+// check reports, degraded flags, the precomputed deep dive) but no live
+// design state: Result.Design, Timing, Power, Clock, and Router are nil,
+// and Restored reports true for it.
+func (c *Checkpoint) Flow(design designs.Name, cfg core.ConfigName) (*core.Result, bool) {
+	c.mu.Lock()
+	rec, ok := c.flows[flowKey{design, cfg}]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	p := *rec.PPAC
+	return &core.Result{
+		PPAC:     &p,
+		Stages:   append([]flow.StageMetric{}, rec.Stages...),
+		Degraded: append([]string{}, rec.Degraded...),
+		Dive:     rec.Dive,
+		Checks:   rec.Checks,
+		Restored: true,
+	}, true
+}
+
+// PutFlow records a completed flow. The deep dive is computed here,
+// while the live timing/clock/power state still exists, so a restored
+// result can serve Table VIII without it.
+func (c *Checkpoint) PutFlow(design designs.Name, cfg core.ConfigName, r *core.Result) error {
+	// Best-effort: 2-D and 3-D results alike carry the state DeepAnalyze
+	// needs right after a run; if a caller checkpoints a partial result,
+	// the dive is simply absent and Table VIII will say so on resume.
+	dive, _ := core.DeepAnalyze(r)
+	p := *r.PPAC
+	p.Clock = nil // pointer-rich clock tree is not serializable
+	rec := &ckptFlow{
+		Kind:     "flow",
+		Design:   string(design),
+		Config:   string(cfg),
+		PPAC:     &p,
+		Stages:   r.Stages,
+		Degraded: r.Degraded,
+		Dive:     dive,
+		Checks:   r.Checks,
+	}
+	if err := c.append(rec); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.flows[flowKey{design, cfg}] = rec
+	c.mu.Unlock()
+	return nil
+}
+
+// Completed reports how many f_max searches and flows the journal holds.
+func (c *Checkpoint) Completed() (fmax, flows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fmax), len(c.flows)
+}
+
+// Close closes the append handle; the loaded records stay readable.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

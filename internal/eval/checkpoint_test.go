@@ -1,0 +1,275 @@
+package eval
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/flow"
+)
+
+func ckptOpts() SuiteOptions {
+	opt := DefaultSuiteOptions(0.05)
+	opt.FmaxIterations = 3
+	return opt
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	opt := ckptOpts()
+
+	ck, err := OpenCheckpoint(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFmax(designs.CPU, 1234, 0.4375); err != nil {
+		t.Fatal(err)
+	}
+	r := &core.Result{
+		PPAC: &core.PPAC{Design: "cpu", Config: core.ConfigHetero, FreqGHz: 0.4375,
+			PowerMW: 12.5, WNS: -0.031, WLm: 0.25},
+		Stages:   []flow.StageMetric{{Name: "place", Cells: 1234, Stats: map[string]int64{flow.StatCongestionRetries: 1}}},
+		Degraded: []string{flow.DegradeFullSTA},
+	}
+	if err := ck.PutFlow(designs.CPU, core.ConfigHetero, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	fmax, cells, ok := ck2.Fmax(designs.CPU)
+	if !ok || fmax != 0.4375 || cells != 1234 {
+		t.Errorf("fmax record = %v/%d/%v", fmax, cells, ok)
+	}
+	got, ok := ck2.Flow(designs.CPU, core.ConfigHetero)
+	if !ok {
+		t.Fatal("flow record missing after reopen")
+	}
+	if !got.Restored {
+		t.Error("rehydrated result must be marked Restored")
+	}
+	if got.PPAC.PowerMW != 12.5 || got.PPAC.WNS != -0.031 {
+		t.Errorf("PPAC floats did not round-trip: %+v", got.PPAC)
+	}
+	if len(got.Stages) != 1 || got.Stages[0].Stats[flow.StatCongestionRetries] != 1 {
+		t.Errorf("stage metrics lost: %+v", got.Stages)
+	}
+	if len(got.Degraded) != 1 || got.Degraded[0] != flow.DegradeFullSTA {
+		t.Errorf("degraded flags lost: %v", got.Degraded)
+	}
+	if got.Design != nil || got.Timing != nil {
+		t.Error("restored result must not claim live design state")
+	}
+	if _, ok := ck2.Flow(designs.AES, core.ConfigHetero); ok {
+		t.Error("phantom flow record")
+	}
+}
+
+func TestCheckpointRefusesOptionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	bad := ckptOpts()
+	bad.Seed = 99
+	if _, err := OpenCheckpoint(path, bad); err == nil || !strings.Contains(err.Error(), "different suite options") {
+		t.Errorf("seed mismatch must be refused, got %v", err)
+	}
+	narrower := ckptOpts()
+	narrower.Designs = []designs.Name{designs.CPU}
+	if _, err := OpenCheckpoint(path, narrower); err == nil {
+		t.Error("design-list mismatch must be refused")
+	}
+}
+
+func TestCheckpointToleratesTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFmax(designs.AES, 99, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// A kill mid-append leaves a half-written final record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"flow","design":"cpu","conf`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatalf("truncated final line must be tolerated: %v", err)
+	}
+	defer ck2.Close()
+	if _, _, ok := ck2.Fmax(designs.AES); !ok {
+		t.Error("intact records before the truncation lost")
+	}
+	if _, ok := ck2.Flow(designs.CPU, core.ConfigHetero); ok {
+		t.Error("the half-written record must not be served")
+	}
+}
+
+func TestCheckpointRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	data, _ := os.ReadFile(path)
+	data = append(data, []byte("not json at all\n")...)
+	ck2, _ := OpenCheckpoint(path, ckptOpts())
+	if ck2 != nil {
+		ck2.Close()
+	}
+	if err := os.WriteFile(path, append(data, []byte(`{"kind":"fmax","design":"aes","cells":1,"fmaxGHz":0.5}`+"\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, ckptOpts()); err == nil {
+		t.Error("malformed record followed by more records must be rejected")
+	}
+}
+
+// killSink cancels the suite's context after n config completions — the
+// "kill" half of the kill-and-resume proof.
+type killSink struct {
+	mu     sync.Mutex
+	n      int
+	cancel context.CancelFunc
+}
+
+func (k *killSink) StageStart(design, config, stage string)                             {}
+func (k *killSink) StageDone(design, config, stage string, m flow.StageMetric, e error) {}
+func (k *killSink) FmaxDone(design string, cells int, fmaxGHz float64)                  {}
+func (k *killSink) ConfigDone(design string, config core.ConfigName, p *core.PPAC) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.n--
+	if k.n == 0 {
+		k.cancel()
+	}
+}
+
+// TestKillAndResume is the tentpole acceptance test: a suite interrupted
+// mid-run and resumed from its checkpoint renders Tables I–VIII
+// byte-identical to an uninterrupted run.
+func TestKillAndResume(t *testing.T) {
+	ref := testSuite(t) // the uninterrupted reference (no checkpoint at all)
+	path := filepath.Join(t.TempDir(), "suite.ckpt")
+
+	// Phase 1: run with a checkpoint and kill after three flows finish.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := ckptOpts()
+	opt.Checkpoint = path
+	opt.Events = &killSink{n: 3, cancel: cancel}
+	if _, err := RunSuite(ctx, opt); err == nil {
+		t.Fatal("killed run should report an error")
+	}
+	probe, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flows := probe.Completed()
+	probe.Close()
+	if flows < 3 {
+		t.Fatalf("checkpoint holds %d flows after the kill, want >= 3", flows)
+	}
+
+	// Phase 2: resume with the same options.
+	opt2 := ckptOpts()
+	opt2.Checkpoint = path
+	s, err := RunSuite(context.Background(), opt2)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	restored := 0
+	for _, cfgs := range s.Health {
+		for _, h := range cfgs {
+			if h != nil && h.Restored {
+				restored++
+			}
+		}
+	}
+	if restored < 3 {
+		t.Errorf("resume restored %d flows, want >= 3", restored)
+	}
+
+	// The proof: every suite-derived table is byte-identical.
+	if got, want := s.TableI().String(), ref.TableI().String(); got != want {
+		t.Errorf("Table I diverged after resume:\n--- resumed ---\n%s\n--- reference ---\n%s", got, want)
+	}
+	if got, want := s.TableVI().String(), ref.TableVI().String(); got != want {
+		t.Errorf("Table VI diverged after resume:\n--- resumed ---\n%s\n--- reference ---\n%s", got, want)
+	}
+	if got, want := s.TableVII().String(), ref.TableVII().String(); got != want {
+		t.Errorf("Table VII diverged after resume:\n--- resumed ---\n%s\n--- reference ---\n%s", got, want)
+	}
+	rt, err := s.TableVIII()
+	if err != nil {
+		t.Fatalf("Table VIII on resumed suite: %v", err)
+	}
+	wt, err := ref.TableVIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.String() != wt.String() {
+		t.Errorf("Table VIII diverged after resume:\n--- resumed ---\n%s\n--- reference ---\n%s", rt.String(), wt.String())
+	}
+
+	// Tables II–V are suite-independent; spot-check one renders.
+	if tb := TableIV(); !strings.Contains(tb.String(), "Die cost") {
+		t.Error("Table IV broken on resumed process")
+	}
+
+	// Figures degrade gracefully on restored results instead of failing.
+	if f3, err := s.Fig3(""); err != nil {
+		t.Errorf("Fig3 on resumed suite: %v", err)
+	} else if !strings.Contains(f3, "restored from checkpoint") && !strings.Contains(f3, "tier-1") {
+		t.Errorf("Fig3 output unexpected:\n%s", f3)
+	}
+
+	// A third run with everything checkpointed runs zero flows and still
+	// matches.
+	opt3 := ckptOpts()
+	opt3.Checkpoint = path
+	s3, err := RunSuite(context.Background(), opt3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.TableVII().String(); got != ref.TableVII().String() {
+		t.Error("fully-restored suite diverged")
+	}
+	for _, cfgs := range s3.Health {
+		for _, h := range cfgs {
+			if h == nil || !h.Restored {
+				t.Fatal("fully-checkpointed suite should restore every flow")
+			}
+		}
+	}
+	if s3.ResilienceReport() == nil {
+		t.Error("resilience report missing")
+	}
+}

@@ -24,6 +24,10 @@ func (s *Suite) Fig3(dir string) (string, error) {
 		if !ok {
 			return "", fmt.Errorf("eval: Fig. 3 needs the CPU in %s", cfg)
 		}
+		if r.Restored {
+			out += fmt.Sprintf("\n[%s] restored from checkpoint — no live layout to render (rerun without -checkpoint for figures)\n", cfg)
+			continue
+		}
 		tiers := cfg.Tiers()
 		for ti := 0; ti < tiers; ti++ {
 			hist, err := place.DensityMap(r.Design, r.Outline, tech.Tier(ti), tiers, 48, 24)
@@ -63,6 +67,10 @@ func (s *Suite) Fig4(dir string) (string, error) {
 		r, ok := s.Results[designs.CPU][cfg]
 		if !ok {
 			return "", fmt.Errorf("eval: Fig. 4 needs the CPU in %s", cfg)
+		}
+		if r.Restored {
+			out += fmt.Sprintf("  [%s] restored from checkpoint — no live layout to render (rerun without -checkpoint for figures)\n", cfg)
+			continue
 		}
 		paths := r.Timing.CriticalPaths(1)
 		memIn, memOut := report.MemoryOverlay(r.Design)

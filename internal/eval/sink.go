@@ -23,12 +23,28 @@ type LogSink struct {
 	// Stages turns on per-stage lines (verbose).
 	Stages bool
 
-	mu sync.Mutex
+	mu     sync.Mutex
+	closed bool
+}
+
+// Close detaches the sink from its writer: subsequent events are dropped
+// instead of written. Call it once the suite returns and before tearing
+// down W — a cancelled suite's worker goroutines can still be unwinding
+// and report their final (failed) stage events after RunSuite has
+// returned, and those must not land on a writer whose lifetime ended.
+func (l *LogSink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
 }
 
 func (l *LogSink) printf(format string, args ...interface{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
 	fmt.Fprintf(l.W, format+"\n", args...)
 }
 
@@ -131,6 +147,11 @@ func (s *Suite) EngineReport() *report.Table {
 				row.Nodes += m.Stats[flow.StatSTANodes]
 				row.RCHits += m.Stats[flow.StatRCHits]
 				row.RCMisses += m.Stats[flow.StatRCMisses]
+				row.Retries += m.Stats[flow.StatCongestionRetries]
+				row.Faults += m.Stats[flow.StatFaultsInjected]
+				row.Reruns += m.Stats[flow.StatStageReruns]
+				row.Degraded += m.Stats[flow.StatDegradeFullSTA] + m.Stats[flow.StatDegradeUtil]
+				row.Panics += m.Stats[flow.StatPanicsRecovered]
 			}
 		}
 	}

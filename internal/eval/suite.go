@@ -10,6 +10,13 @@
 // worker-pool jobs (bounded by SuiteOptions.Workers). Every flow is
 // deterministic given its seed, so the results are identical at any
 // worker count.
+//
+// The suite is built to survive a hostile run: worker goroutines are
+// panic-shielded (one crashed flow fails the suite with attribution, it
+// never takes the process down), transient failures re-attempt under
+// SuiteOptions.Retry with fresh derived seeds, and SuiteOptions.Checkpoint
+// journals every completed flow so an interrupted run resumes without
+// repeating finished work — with byte-identical tables.
 package eval
 
 import (
@@ -23,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/flow"
+	"repro/internal/netlist"
 	"repro/internal/tech"
 )
 
@@ -66,6 +74,33 @@ type SuiteOptions struct {
 	// exist only to steer the frequency search). Error-severity findings
 	// fail the owning flow and therefore the suite. Empty means off.
 	Check core.CheckMode
+	// Retry is the per-flow retry policy: a configuration flow failing
+	// with a transient (flow.Retryable) error re-attempts with a fresh
+	// derived seed and capped exponential backoff. The zero value runs
+	// each flow once. The f_max searches are not retried — their probes
+	// only steer the search.
+	Retry flow.RetryPolicy
+	// Checkpoint is the path of the resumable journal ("" = off): every
+	// completed f_max search and flow is appended as it finishes, and a
+	// rerun with the same options serves completed work from the journal,
+	// producing byte-identical tables.
+	Checkpoint string
+	// Fault installs a fault-injection hook (internal/fault's Plan.Hook)
+	// into every configuration flow; nil = no injection. The f_max
+	// probes are exempt, like Check.
+	Fault func(*flow.Context, string) error
+}
+
+// withDefaults fills the defaulted design/config lists (the checkpoint
+// header and the run loop must agree on them).
+func (opt SuiteOptions) withDefaults() SuiteOptions {
+	if len(opt.Designs) == 0 {
+		opt.Designs = append([]designs.Name{}, designs.All...)
+	}
+	if len(opt.Configs) == 0 {
+		opt.Configs = append([]core.ConfigName{}, core.AllConfigs...)
+	}
+	return opt
 }
 
 // DefaultSuiteOptions returns paper-order defaults at the given scale.
@@ -87,6 +122,20 @@ type Suite struct {
 	Fmax map[designs.Name]float64
 	// Results[design][config] is the full flow result.
 	Results map[designs.Name]map[core.ConfigName]*core.Result
+	// Health[design][config] is the flow's robustness outcome (attempts,
+	// injected faults, degradations, checkpoint restore) — the
+	// ResilienceReport's input.
+	Health map[designs.Name]map[core.ConfigName]*FlowHealth
+}
+
+// shield runs fn behind a panic barrier: a panicking job surfaces as a
+// stage-attributed *flow.Error instead of unwinding the worker goroutine
+// — one crashed flow can fail the suite, never the process or its
+// sibling workers. (Stage panics are already recovered inside flow.Run;
+// this catches everything outside the pipeline: generation, result
+// bookkeeping, the flow drivers' own setup.)
+func shield(design, config string, fn func() error) error {
+	return flow.Shield(design, config, "worker", fn)
 }
 
 // RunSuite executes the evaluation under ctx. Cancelling ctx (or hitting
@@ -100,15 +149,20 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(opt.Designs) == 0 {
-		opt.Designs = append([]designs.Name{}, designs.All...)
-	}
-	if len(opt.Configs) == 0 {
-		opt.Configs = append([]core.ConfigName{}, core.AllConfigs...)
-	}
+	opt = opt.withDefaults()
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var ck *Checkpoint
+	if opt.Checkpoint != "" {
+		var err error
+		ck, err = OpenCheckpoint(opt.Checkpoint, opt)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.Close()
 	}
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
@@ -116,9 +170,11 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 		Opt:     opt,
 		Fmax:    make(map[designs.Name]float64),
 		Results: make(map[designs.Name]map[core.ConfigName]*core.Result),
+		Health:  make(map[designs.Name]map[core.ConfigName]*FlowHealth),
 	}
 	for _, name := range opt.Designs {
 		s.Results[name] = make(map[core.ConfigName]*core.Result, len(opt.Configs))
+		s.Health[name] = make(map[core.ConfigName]*FlowHealth, len(opt.Configs))
 	}
 
 	// The pool: a semaphore bounds concurrently executing jobs; the
@@ -153,35 +209,70 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Generation and the f_max search occupy one worker slot;
-			// the search itself is sequential (each probe's effective
-			// delay steers the next).
-			if !acquire() {
-				return
+			var (
+				src   *netlist.Design
+				fmax  float64
+				cells int
+			)
+			haveFmax := false
+			if ck != nil {
+				fmax, cells, haveFmax = ck.Fmax(name)
 			}
-			src, err := designs.Generate(name, lib12, designs.Params{Scale: opt.Scale, Seed: opt.Seed})
-			if err != nil {
+			// Generation is needed unless every piece of this design's
+			// work is already in the journal.
+			needSrc := !haveFmax
+			if ck != nil && !needSrc {
+				for _, cfg := range opt.Configs {
+					if _, ok := ck.Flow(name, cfg); !ok {
+						needSrc = true
+						break
+					}
+				}
+			}
+			if needSrc {
+				// Generation and the f_max search occupy one worker
+				// slot; the search itself is sequential (each probe's
+				// effective delay steers the next).
+				if !acquire() {
+					return
+				}
+				err := shield(string(name), "", func() error {
+					d, err := designs.Generate(name, lib12, designs.Params{Scale: opt.Scale, Seed: opt.Seed})
+					if err != nil {
+						return fmt.Errorf("eval: generate %s: %w", name, err)
+					}
+					src = d
+					if !haveFmax {
+						fopt := core.DefaultFmaxOptions()
+						if opt.FmaxIterations > 0 {
+							fopt.Iterations = opt.FmaxIterations
+						}
+						fopt.Flow.Seed = opt.Seed
+						fopt.Flow.Events = opt.Events
+						fmax, err = core.FindFmax(jctx, d, core.Config2D12T, fopt)
+						if err != nil {
+							return fmt.Errorf("eval: fmax %s: %w", name, err)
+						}
+						cells = d.ComputeStats().Cells
+						if ck != nil {
+							if err := ck.PutFmax(name, cells, fmax); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
 				<-sem
-				fail(fmt.Errorf("eval: generate %s: %w", name, err))
-				return
-			}
-			fopt := core.DefaultFmaxOptions()
-			if opt.FmaxIterations > 0 {
-				fopt.Iterations = opt.FmaxIterations
-			}
-			fopt.Flow.Seed = opt.Seed
-			fopt.Flow.Events = opt.Events
-			fmax, err := core.FindFmax(jctx, src, core.Config2D12T, fopt)
-			<-sem
-			if err != nil {
-				fail(fmt.Errorf("eval: fmax %s: %w", name, err))
-				return
+				if err != nil {
+					fail(err)
+					return
+				}
 			}
 			mu.Lock()
 			s.Fmax[name] = fmax
 			mu.Unlock()
 			if opt.Events != nil {
-				opt.Events.FmaxDone(string(name), src.ComputeStats().Cells, fmax)
+				opt.Events.FmaxDone(string(name), cells, fmax)
 			}
 
 			// The design's configurations fan out as independent jobs.
@@ -190,21 +281,49 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					if ck != nil {
+						if r, ok := ck.Flow(name, cfg); ok {
+							mu.Lock()
+							s.Results[name][cfg] = r
+							s.Health[name][cfg] = newFlowHealth(r, nil, true)
+							mu.Unlock()
+							if opt.Events != nil {
+								opt.Events.ConfigDone(string(name), cfg, r.PPAC)
+							}
+							return
+						}
+					}
 					if !acquire() {
 						return
 					}
 					defer func() { <-sem }()
-					o := core.DefaultOptions(fmax)
-					o.Seed = opt.Seed
-					o.Events = opt.Events
-					o.Check = opt.Check
-					r, err := core.Run(jctx, src, cfg, o)
+					var (
+						r     *core.Result
+						trace *flow.RetryTrace
+					)
+					err := shield(string(name), string(cfg), func() error {
+						o := core.DefaultOptions(fmax)
+						o.Seed = opt.Seed
+						o.Events = opt.Events
+						o.Check = opt.Check
+						o.Fault = opt.Fault
+						var rerr error
+						r, trace, rerr = core.RunWithRetry(jctx, src, cfg, o, opt.Retry)
+						return rerr
+					})
 					if err != nil {
 						fail(fmt.Errorf("eval: %w", err))
 						return
 					}
+					if ck != nil {
+						if err := ck.PutFlow(name, cfg, r); err != nil {
+							fail(err)
+							return
+						}
+					}
 					mu.Lock()
 					s.Results[name][cfg] = r
+					s.Health[name][cfg] = newFlowHealth(r, trace, false)
 					mu.Unlock()
 					if opt.Events != nil {
 						opt.Events.ConfigDone(string(name), cfg, r.PPAC)

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Injection
+		err  bool
+	}{
+		{spec: "", want: nil},
+		{spec: "   ", want: nil},
+		{
+			spec: "*/*/place=panic",
+			want: []Injection{{Stage: "place", Occurrence: 1, Class: ClassPanic}},
+		},
+		{
+			spec: "cpu/Hetero-M3D/timing-repair@2=error:retryable",
+			want: []Injection{{Design: "cpu", Config: "Hetero-M3D", Stage: "timing-repair", Occurrence: 2, Class: ClassError, Retryable: true}},
+		},
+		{
+			spec: "*/*/eco=corrupt:journal, */*/cts=cancel",
+			want: []Injection{
+				{Stage: "eco", Occurrence: 1, Class: ClassCorrupt, Target: TargetJournal},
+				{Stage: "cts", Occurrence: 1, Class: ClassCancel},
+			},
+		},
+		{
+			spec: "*/*/place=corrupt",
+			want: []Injection{{Stage: "place", Occurrence: 1, Class: ClassCorrupt, Target: TargetCache}},
+		},
+		{spec: "*/*/place", err: true},
+		{spec: "*/place=panic", err: true},
+		{spec: "*/*/place=explode", err: true},
+		{spec: "*/*/place@0=panic", err: true},
+		{spec: "*/*/place@x=panic", err: true},
+		{spec: "*/*/place=error:journal", err: true},
+	}
+	for _, tc := range cases {
+		p, err := ParseSpec(tc.spec)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got plan %+v", tc.spec, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.want == nil {
+			if p != nil {
+				t.Errorf("ParseSpec(%q): want nil plan, got %+v", tc.spec, p)
+			}
+			continue
+		}
+		got := p.Pending()
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseSpec(%q): got %d injections, want %d", tc.spec, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseSpec(%q)[%d] = %+v, want %+v", tc.spec, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestOccurrenceCounting(t *testing.T) {
+	p := NewPlan(Injection{Stage: "repair", Occurrence: 3, Class: ClassError})
+	hook := p.Hook()
+	c := flow.NewContext(context.Background(), "cpu", "M3D", 1)
+	for i := 1; i <= 2; i++ {
+		if err := hook(c, "repair"); err != nil {
+			t.Fatalf("visit %d: fired early: %v", i, err)
+		}
+	}
+	if err := hook(c, "place"); err != nil {
+		t.Fatalf("non-matching stage fired: %v", err)
+	}
+	err := hook(c, "repair")
+	if err == nil {
+		t.Fatal("visit 3: injection did not fire")
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Class != ClassError {
+		t.Fatalf("visit 3: got %v, want *Injected error class", err)
+	}
+	if inj.At != "cpu/M3D/repair" {
+		t.Fatalf("At = %q, want cpu/M3D/repair", inj.At)
+	}
+	if err := hook(c, "repair"); err != nil {
+		t.Fatalf("visit 4: fired twice: %v", err)
+	}
+	if f := p.Fired(); len(f) != 1 || f[0].At != "repair" {
+		t.Fatalf("Fired() = %+v, want one firing at repair", f)
+	}
+}
+
+// Occurrence counters must be keyed per (design, config): a wildcard
+// injection armed at occurrence 2 fires on the 2nd visit of each flow,
+// not on the 2nd global visit across parallel flows.
+func TestOccurrencePerFlow(t *testing.T) {
+	p := NewPlan(Injection{Stage: "repair", Occurrence: 2, Class: ClassError})
+	hook := p.Hook()
+	a := flow.NewContext(context.Background(), "aes", "2D", 1)
+	b := flow.NewContext(context.Background(), "cpu", "2D", 1)
+	if err := hook(a, "repair"); err != nil {
+		t.Fatalf("aes visit 1 fired: %v", err)
+	}
+	if err := hook(b, "repair"); err != nil {
+		t.Fatalf("cpu visit 1 fired: %v", err)
+	}
+	if err := hook(a, "repair"); err == nil {
+		t.Fatal("aes visit 2 did not fire")
+	}
+}
+
+func TestPanicClass(t *testing.T) {
+	p := NewPlan(Injection{Stage: "place", Class: ClassPanic, Retryable: true})
+	hook := p.Hook()
+	c := flow.NewContext(context.Background(), "aes", "2D", 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic class did not panic")
+		}
+		inj, ok := r.(*Injected)
+		if !ok || inj.Class != ClassPanic {
+			t.Fatalf("panic value = %#v, want *Injected panic", r)
+		}
+		if !inj.Retryable() {
+			t.Fatal("retryable injection lost the marker")
+		}
+	}()
+	_ = hook(c, "place")
+}
+
+func TestCancelClass(t *testing.T) {
+	p := NewPlan(Injection{Stage: "cts", Class: ClassCancel})
+	hook := p.Hook()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := flow.NewContext(ctx, "aes", "2D", 1)
+	c.CancelRun = cancel
+	if err := hook(c, "cts"); err != nil {
+		t.Fatalf("cancel class with CancelRun returned error: %v", err)
+	}
+	if c.Canceled() == nil {
+		t.Fatal("cancel class did not cancel the run")
+	}
+
+	// Without CancelRun wired it degrades to a canceled-shaped error.
+	p2 := NewPlan(Injection{Stage: "cts", Class: ClassCancel})
+	c2 := flow.NewContext(context.Background(), "aes", "2D", 1)
+	err := p2.Hook()(c2, "cts")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel class without CancelRun: got %v, want context.Canceled shape", err)
+	}
+}
+
+func TestTimeoutClass(t *testing.T) {
+	p := NewPlan(Injection{Stage: "route", Class: ClassTimeout})
+	c := flow.NewContext(context.Background(), "aes", "2D", 1)
+	err := p.Hook()(c, "route")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout class: got %v, want DeadlineExceeded shape", err)
+	}
+	if flow.Retryable(err) {
+		t.Fatal("non-retryable timeout reported retryable")
+	}
+}
+
+func TestCorruptClass(t *testing.T) {
+	p := NewPlan(Injection{Stage: "eco", Class: ClassCorrupt, Target: TargetJournal})
+	c := flow.NewContext(context.Background(), "aes", "2D", 1)
+	var got string
+	c.Corrupt = func(target string) error { got = target; return nil }
+	if err := p.Hook()(c, "eco"); err != nil {
+		t.Fatalf("corrupt class errored: %v", err)
+	}
+	if got != TargetJournal {
+		t.Fatalf("Corrupt called with %q, want %q", got, TargetJournal)
+	}
+
+	// With no Corrupt hook registered the injection surfaces as an error
+	// instead of silently doing nothing.
+	p2 := NewPlan(Injection{Stage: "eco", Class: ClassCorrupt})
+	c2 := flow.NewContext(context.Background(), "aes", "2D", 1)
+	if err := p2.Hook()(c2, "eco"); err == nil {
+		t.Fatal("corrupt class without Corrupt hook returned nil")
+	}
+}
+
+func TestRetryableMarker(t *testing.T) {
+	p := NewPlan(Injection{Stage: "place", Class: ClassError, Retryable: true})
+	c := flow.NewContext(context.Background(), "aes", "2D", 1)
+	err := p.Hook()(c, "place")
+	if !flow.Retryable(err) {
+		t.Fatalf("retryable injection not seen by flow.Retryable: %v", err)
+	}
+	p2 := NewPlan(Injection{Stage: "place", Class: ClassError})
+	c2 := flow.NewContext(context.Background(), "aes", "2D", 1)
+	if flow.Retryable(p2.Hook()(c2, "place")) {
+		t.Fatal("non-retryable injection reported retryable")
+	}
+}
+
+func TestNilPlanHook(t *testing.T) {
+	var p *Plan
+	if p.Hook() != nil {
+		t.Fatal("nil plan must produce a nil hook")
+	}
+}

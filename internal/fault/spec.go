@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the -fault flag grammar into a Plan. A spec is a
+// comma-separated list of injections:
+//
+//	design/config/stage[@occurrence]=class[:modifier[:modifier]]
+//
+// where design, config, and stage accept "*" as a wildcard, occurrence
+// is the 1-based matching-visit index (default 1), class is one of
+// panic|error|cancel|timeout|corrupt, and modifiers are "retryable"
+// (mark the resulting error transient) and, for corrupt, a target
+// ("extraction-cache" or "journal"; default extraction-cache).
+//
+// Examples:
+//
+//	*/*/place=panic
+//	cpu/Hetero-M3D/timing-repair@2=error:retryable
+//	*/*/eco=corrupt:journal
+//
+// An empty spec returns a nil Plan (no faults armed).
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var injections []Injection
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		in, err := parseInjection(item)
+		if err != nil {
+			return nil, fmt.Errorf("fault spec %q: %w", item, err)
+		}
+		injections = append(injections, in)
+	}
+	if len(injections) == 0 {
+		return nil, nil
+	}
+	return NewPlan(injections...), nil
+}
+
+func parseInjection(item string) (Injection, error) {
+	var in Injection
+	site, action, ok := strings.Cut(item, "=")
+	if !ok {
+		return in, fmt.Errorf("missing '=': want design/config/stage[@occurrence]=class")
+	}
+	if occ, rest := "", site; true {
+		if s, o, found := strings.Cut(site, "@"); found {
+			rest, occ = s, o
+		}
+		parts := strings.Split(rest, "/")
+		if len(parts) != 3 {
+			return in, fmt.Errorf("site %q: want design/config/stage", rest)
+		}
+		in.Design, in.Config, in.Stage = norm(parts[0]), norm(parts[1]), norm(parts[2])
+		if occ != "" {
+			n, err := strconv.Atoi(occ)
+			if err != nil || n < 1 {
+				return in, fmt.Errorf("occurrence %q: want a positive integer", occ)
+			}
+			in.Occurrence = n
+		}
+	}
+	mods := strings.Split(action, ":")
+	in.Class = Class(strings.TrimSpace(mods[0]))
+	if !validClass(in.Class) {
+		return in, fmt.Errorf("unknown class %q (want one of %s)", mods[0], classList())
+	}
+	for _, m := range mods[1:] {
+		m = strings.TrimSpace(m)
+		switch {
+		case m == "retryable":
+			in.Retryable = true
+		case in.Class == ClassCorrupt && (m == TargetCache || m == TargetJournal):
+			in.Target = m
+		default:
+			return in, fmt.Errorf("unknown modifier %q", m)
+		}
+	}
+	return in, nil
+}
+
+func norm(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "*" {
+		return ""
+	}
+	return s
+}
+
+func validClass(c Class) bool {
+	for _, k := range Classes {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+func classList() string {
+	names := make([]string, len(Classes))
+	for i, c := range Classes {
+		names[i] = string(c)
+	}
+	return strings.Join(names, "|")
+}

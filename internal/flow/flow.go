@@ -9,12 +9,21 @@
 // configuration, and stage it occurred in via the structured Error type,
 // so a parallel evaluation can report "cpu/Hetero-M3D failed in the eco
 // stage" instead of an anonymous error.
+//
+// The runner is also the flow engine's fault boundary: a panicking stage
+// is recovered into a stage-attributed *Error wrapping a *PanicError
+// (value + stack), optional fault-injection and degradation hooks run at
+// stage boundaries, and a failing stage whose error the Degrade hook can
+// absorb (engine divergence, ENG-class check findings) is re-run instead
+// of aborting the flow.
 package flow
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"time"
 )
 
@@ -71,10 +80,37 @@ type Context struct {
 	// checker (internal/check) here; report-only callers keep the error
 	// nil and read the session's reports afterwards.
 	Check func(c *Context, stage string) error
+	// Fault, when non-nil, runs before every stage body — the
+	// fault-injection hook (internal/fault's Plan.Hook). A returned error
+	// fails the stage; a panic is recovered exactly like a stage panic.
+	// Production runs leave it nil: the hook costs nothing when unset.
+	Fault func(c *Context, stage string) error
+	// Degrade, when non-nil, is consulted when a stage fails with a
+	// non-cancellation error: returning true means the hook absorbed the
+	// fault (e.g. by downgrading the timing engine to full recomputes)
+	// and the stage should re-run. The runner bounds re-runs per stage
+	// and counts them under StatStageReruns.
+	Degrade func(c *Context, stage string, err error) bool
+	// CancelRun aborts the whole run when invoked (nil when the run's
+	// context is not cancellable from inside). core.Run wires it; the
+	// fault harness's cancel class uses it to model an external abort
+	// arriving mid-stage.
+	CancelRun func()
+	// Corrupt, when non-nil, applies a named corruption to a flow-owned
+	// engine structure ("extraction-cache", "journal"). Only the fault
+	// harness calls it; the flow registers targets as the structures come
+	// to exist. An unknown or not-yet-available target returns an error.
+	Corrupt func(target string) error
 
-	metrics []StageMetric
-	stats   map[string]int64
+	metrics  []StageMetric
+	stats    map[string]int64
+	degraded []string
 }
+
+// maxStageReruns bounds how many times the Degrade hook may re-run one
+// stage execution before its error escapes — a backstop against a
+// degradation that cannot actually clear the fault.
+const maxStageReruns = 2
 
 // AddStat accumulates an engine counter into the currently running
 // stage's metric (the runner attaches the totals to the StageMetric when
@@ -88,6 +124,40 @@ func (c *Context) AddStat(key string, v int64) {
 		c.stats = make(map[string]int64)
 	}
 	c.stats[key] += v
+}
+
+// Degraded-mode reason keys recorded via MarkDegraded.
+const (
+	// DegradeFullSTA: a retained engine view diverged from ground truth
+	// and the flow finished on full-STA recomputes.
+	DegradeFullSTA = "full-sta"
+	// DegradeUtil: the congestion retry budget ran out and the floorplan
+	// was relaxed one extra step past the standard policy.
+	DegradeUtil = "utilization"
+)
+
+// MarkDegraded records that the flow completed in a degraded mode (the
+// reason strings are stable keys like "full-sta" or "utilization"). Safe
+// on a nil context. Duplicate reasons collapse to one entry.
+func (c *Context) MarkDegraded(reason string) {
+	if c == nil {
+		return
+	}
+	for _, r := range c.degraded {
+		if r == reason {
+			return
+		}
+	}
+	c.degraded = append(c.degraded, reason)
+}
+
+// Degradations returns the degraded-mode reasons recorded so far, in
+// first-occurrence order (nil when the flow ran clean).
+func (c *Context) Degradations() []string {
+	if c == nil {
+		return nil
+	}
+	return c.degraded
 }
 
 // NewContext builds a pipeline context for one design/config run with an
@@ -134,11 +204,100 @@ func (e *Error) Error() string {
 
 func (e *Error) Unwrap() error { return e.Err }
 
+// PanicError is a recovered stage panic: the panic value plus the stack
+// captured at the recovery point. When the panic value is itself an
+// error (the fault harness panics with its injection record), Unwrap
+// exposes it so errors.Is/As and Retryable see through the recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Unwrap returns the panic value when it is an error, nil otherwise.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// retryableError marks an error as transient for the per-flow retry
+// policy.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string   { return e.err.Error() }
+func (e *retryableError) Unwrap() error   { return e.err }
+func (e *retryableError) Retryable() bool { return true }
+
+// MarkRetryable wraps err so Retryable reports true for it (nil stays
+// nil). Fault classes the injection spec marks ":retryable" and
+// transient engine conditions use it.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// Retryable reports whether any error in err's chain declares itself
+// transient via a `Retryable() bool` method. Cancellation is never
+// retryable: a cancelled run must stay cancelled.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	for err != nil {
+		if r, ok := err.(interface{ Retryable() bool }); ok && r.Retryable() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// execStage runs one stage body — fault hook, stage function, check hook
+// — behind the panic barrier: a panic anywhere inside surfaces as a
+// *PanicError instead of unwinding the caller's goroutine, so one
+// crashed flow can never take down a sibling worker.
+func (c *Context) execStage(st Stage) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe // a nested barrier already captured the stack
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if c.Fault != nil {
+		if err := c.Fault(c, st.Name); err != nil {
+			return err
+		}
+	}
+	if err := st.Run(c); err != nil {
+		return err
+	}
+	if c.Check != nil {
+		return c.Check(c, st.Name)
+	}
+	return nil
+}
+
 // Run executes the stages in order over the context. Before each stage it
 // checks for cancellation; a cancelled context or a failing stage aborts
 // the pipeline with a *Error attributing the design, config, and stage.
 // Each executed stage's wall time and cell count are appended to the
 // context's metrics, and the sink (if any) observes every start/finish.
+//
+// A panicking stage is recovered into a *PanicError and attributed like
+// any other failure. When the Degrade hook is set, a failing stage whose
+// error it absorbs is re-run (at most maxStageReruns times per stage);
+// the re-run's stats accumulate into the same StageMetric together with
+// a StatStageReruns count.
 func Run(c *Context, stages []Stage) error {
 	for _, st := range stages {
 		if err := c.Canceled(); err != nil {
@@ -149,9 +308,19 @@ func Run(c *Context, stages []Stage) error {
 		}
 		start := time.Now()
 		c.stats = nil
-		err := st.Run(c)
-		if err == nil && c.Check != nil {
-			err = c.Check(c, st.Name)
+		err := c.execStage(st)
+		if pe := (*PanicError)(nil); errors.As(err, &pe) {
+			c.AddStat(StatPanicsRecovered, 1)
+		}
+		for rerun := 0; err != nil && c.Degrade != nil && rerun < maxStageReruns; rerun++ {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break // degradation never absorbs an abort
+			}
+			if !c.Degrade(c, st.Name, err) {
+				break
+			}
+			c.AddStat(StatStageReruns, 1)
+			err = c.execStage(st)
 		}
 		m := StageMetric{Name: st.Name, Wall: time.Since(start), Stats: c.stats}
 		c.stats = nil

@@ -1,0 +1,267 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRunPanicRecovered(t *testing.T) {
+	c := NewContext(context.Background(), "cpu", "Hetero-M3D", 1)
+	err := Run(c, []Stage{
+		{Name: "map", Run: func(*Context) error { return nil }},
+		{Name: "place", Run: func(*Context) error { panic("index out of range [12]") }},
+		{Name: "cts", Run: func(*Context) error { t.Fatal("stage after panic ran"); return nil }},
+	})
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *flow.Error, got %T: %v", err, err)
+	}
+	if fe.Design != "cpu" || fe.Config != "Hetero-M3D" || fe.Stage != "place" {
+		t.Errorf("attribution = %s/%s/%s", fe.Design, fe.Config, fe.Stage)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError in chain, got %v", err)
+	}
+	if pe.Value != "index out of range [12]" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	ms := c.Metrics()
+	if len(ms) != 2 {
+		t.Fatalf("got %d metrics, want 2 (map + the panicking place)", len(ms))
+	}
+	if ms[1].Stats[StatPanicsRecovered] != 1 {
+		t.Errorf("place stats = %v, want %s=1", ms[1].Stats, StatPanicsRecovered)
+	}
+}
+
+func TestRunPanicWithErrorValueUnwraps(t *testing.T) {
+	c := NewContext(context.Background(), "aes", "2D-9T", 1)
+	cause := errors.New("injected")
+	err := Run(c, []Stage{{Name: "route", Run: func(*Context) error { panic(cause) }}})
+	if !errors.Is(err, cause) {
+		t.Errorf("errors.Is should see through the recovered panic, got %v", err)
+	}
+}
+
+func TestRunDegradeRerunSucceeds(t *testing.T) {
+	c := NewContext(context.Background(), "cpu", "Hetero-M3D", 1)
+	degradeCalls := 0
+	c.Degrade = func(fc *Context, stage string, err error) bool {
+		degradeCalls++
+		fc.MarkDegraded(DegradeFullSTA)
+		return true
+	}
+	runs := 0
+	err := Run(c, []Stage{{Name: "repair", Run: func(*Context) error {
+		runs++
+		if runs == 1 {
+			return errors.New("engine diverged")
+		}
+		return nil
+	}}})
+	if err != nil {
+		t.Fatalf("degraded re-run should succeed: %v", err)
+	}
+	if runs != 2 || degradeCalls != 1 {
+		t.Errorf("runs=%d degradeCalls=%d, want 2/1", runs, degradeCalls)
+	}
+	ms := c.Metrics()
+	if len(ms) != 1 || ms[0].Stats[StatStageReruns] != 1 {
+		t.Errorf("metrics = %+v, want one repair metric with %s=1", ms, StatStageReruns)
+	}
+	if got := c.Degradations(); len(got) != 1 || got[0] != DegradeFullSTA {
+		t.Errorf("degradations = %v", got)
+	}
+}
+
+func TestRunDegradeRerunBounded(t *testing.T) {
+	c := NewContext(context.Background(), "cpu", "M3D-12T", 1)
+	absorbed := 0
+	c.Degrade = func(*Context, string, error) bool { absorbed++; return true }
+	boom := errors.New("still broken")
+	runs := 0
+	err := Run(c, []Stage{{Name: "repair", Run: func(*Context) error { runs++; return boom }}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("exhausted re-runs must surface the error, got %v", err)
+	}
+	if runs != 1+maxStageReruns || absorbed != maxStageReruns {
+		t.Errorf("runs=%d absorbed=%d, want %d/%d", runs, absorbed, 1+maxStageReruns, maxStageReruns)
+	}
+	if ms := c.Metrics(); ms[0].Stats[StatStageReruns] != maxStageReruns {
+		t.Errorf("stats = %v", ms[0].Stats)
+	}
+}
+
+func TestRunDegradeNeverAbsorbsCancellation(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		c := NewContext(context.Background(), "cpu", "2D-12T", 1)
+		c.Degrade = func(*Context, string, error) bool {
+			t.Errorf("degrade consulted for %v", cause)
+			return true
+		}
+		err := Run(c, []Stage{{Name: "place", Run: func(*Context) error {
+			return fmt.Errorf("aborted: %w", cause)
+		}}})
+		if !errors.Is(err, cause) {
+			t.Errorf("want %v through, got %v", cause, err)
+		}
+	}
+}
+
+func TestRunDegradeDeclines(t *testing.T) {
+	c := NewContext(context.Background(), "ldpc", "2D-9T", 1)
+	c.Degrade = func(*Context, string, error) bool { return false }
+	boom := errors.New("not absorbable")
+	runs := 0
+	err := Run(c, []Stage{{Name: "route", Run: func(*Context) error { runs++; return boom }}})
+	if !errors.Is(err, boom) || runs != 1 {
+		t.Errorf("declined degrade must not re-run: runs=%d err=%v", runs, err)
+	}
+}
+
+func TestMarkDegradedDedupes(t *testing.T) {
+	c := NewContext(context.Background(), "d", "c", 1)
+	c.MarkDegraded(DegradeFullSTA)
+	c.MarkDegraded(DegradeUtil)
+	c.MarkDegraded(DegradeFullSTA)
+	got := c.Degradations()
+	if len(got) != 2 || got[0] != DegradeFullSTA || got[1] != DegradeUtil {
+		t.Errorf("degradations = %v", got)
+	}
+	var nilC *Context
+	nilC.MarkDegraded("x") // must not panic
+	if nilC.Degradations() != nil {
+		t.Error("nil context should report no degradations")
+	}
+}
+
+func TestRetryableChain(t *testing.T) {
+	base := errors.New("congestion budget exhausted")
+	if Retryable(base) {
+		t.Error("plain error must not be retryable")
+	}
+	marked := MarkRetryable(base)
+	if !Retryable(marked) {
+		t.Error("marked error must be retryable")
+	}
+	wrapped := &Error{Design: "cpu", Config: "Hetero-M3D", Stage: "place", Err: marked}
+	if !Retryable(wrapped) {
+		t.Error("Retryable must walk the Unwrap chain")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("marking must stay transparent to errors.Is")
+	}
+	cancelled := MarkRetryable(fmt.Errorf("run: %w", context.Canceled))
+	if Retryable(cancelled) {
+		t.Error("cancellation is never retryable, even marked")
+	}
+	if MarkRetryable(nil) != nil {
+		t.Error("MarkRetryable(nil) must stay nil")
+	}
+}
+
+func TestAttemptSeeds(t *testing.T) {
+	p := DefaultRetryPolicy(4)
+	seen := map[int64]bool{}
+	for i := 0; i < 4; i++ {
+		s := p.AttemptSeed(7, i)
+		if seen[s] {
+			t.Errorf("attempt %d reuses seed %d", i, s)
+		}
+		seen[s] = true
+	}
+	if p.AttemptSeed(7, 0) != 7 {
+		t.Error("attempt 0 must run the original seed")
+	}
+	pinned := RetryPolicy{Attempts: 3, SameSeed: true}
+	if pinned.AttemptSeed(7, 2) != 7 {
+		t.Error("SameSeed must pin every attempt to the base seed")
+	}
+}
+
+func TestRetryPolicyDo(t *testing.T) {
+	p := RetryPolicy{Attempts: 3} // no backoff: deterministic and instant
+	var seeds []int64
+	fails := 2
+	trace, err := p.Do(context.Background(), 11, func(attempt int, seed int64) error {
+		seeds = append(seeds, seed)
+		if attempt < fails {
+			return MarkRetryable(errors.New("transient"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("third attempt should succeed: %v", err)
+	}
+	if trace.Attempts != 3 || len(trace.Failures) != 2 {
+		t.Errorf("trace = %+v", trace)
+	}
+	if seeds[0] != 11 || seeds[1] == 11 || seeds[2] == 11 || seeds[1] == seeds[2] {
+		t.Errorf("seeds = %v, want base then distinct derived", seeds)
+	}
+}
+
+func TestRetryPolicyStopsOnPermanentError(t *testing.T) {
+	p := RetryPolicy{Attempts: 5}
+	boom := errors.New("permanent")
+	calls := 0
+	trace, err := p.Do(context.Background(), 1, func(int, int64) error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 1 || trace.Attempts != 1 {
+		t.Errorf("permanent error must stop retries: calls=%d trace=%+v err=%v", calls, trace, err)
+	}
+}
+
+func TestRetryPolicyExhaustsAttempts(t *testing.T) {
+	p := RetryPolicy{Attempts: 3}
+	boom := MarkRetryable(errors.New("always transient"))
+	calls := 0
+	trace, err := p.Do(context.Background(), 1, func(int, int64) error { calls++; return boom })
+	if err == nil || calls != 3 || trace.Attempts != 3 || len(trace.Failures) != 3 {
+		t.Errorf("exhaustion: calls=%d trace=%+v err=%v", calls, trace, err)
+	}
+}
+
+func TestRetryPolicyBackoffCancellable(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	first := MarkRetryable(errors.New("transient"))
+	done := make(chan struct{})
+	var trace *RetryTrace
+	var err error
+	go func() {
+		defer close(done)
+		trace, err = p.Do(ctx, 1, func(int, int64) error { cancel(); return first })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation during backoff")
+	}
+	if !errors.Is(err, first) || trace.Attempts != 1 {
+		t.Errorf("cancelled backoff should return the attempt's error: trace=%+v err=%v", trace, err)
+	}
+}
+
+func TestBackoffCaps(t *testing.T) {
+	p := RetryPolicy{Attempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+	if d := p.backoff(1); d != 100*time.Millisecond {
+		t.Errorf("backoff(1) = %v", d)
+	}
+	if d := p.backoff(2); d != 200*time.Millisecond {
+		t.Errorf("backoff(2) = %v", d)
+	}
+	if d := p.backoff(5); d != 400*time.Millisecond {
+		t.Errorf("backoff(5) = %v, want the cap", d)
+	}
+	zero := RetryPolicy{}
+	if d := zero.backoff(3); d != 0 {
+		t.Errorf("no BaseDelay must mean no sleep, got %v", d)
+	}
+}

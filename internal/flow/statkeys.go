@@ -21,4 +21,14 @@ const (
 	StatCheckObjects    = "check_objects"    // objects examined
 	StatCheckViolations = "check_violations" // findings at any severity
 	StatCheckErrors     = "check_errors"     // findings at Error severity
+
+	// Robustness counters (the fault harness, the degradation paths, and
+	// the congestion-driven placement retry). The resilience report
+	// (eval.Suite.ResilienceReport) aggregates these across the suite.
+	StatCongestionRetries = "congestion_retries" // place re-runs at relaxed utilization
+	StatFaultsInjected    = "faults_injected"    // faults the harness fired in the stage
+	StatStageReruns       = "stage_reruns"       // degraded-mode stage re-runs
+	StatDegradeFullSTA    = "degrade_full_sta"   // downgrades to full-STA recomputes
+	StatDegradeUtil       = "degrade_util"       // extra utilization relaxations past the retry budget
+	StatPanicsRecovered   = "panics_recovered"   // stage panics recovered into errors
 )

@@ -71,9 +71,13 @@ type Observer interface {
 	DesignChanged(Change)
 }
 
-// journal is the per-design revision and observer state.
+// journal is the per-design revision and observer state. maxTopo is the
+// high-water mark of topoRev — they only differ after a fault-injected
+// rewind (CorruptTopoRev), and Reconcile uses it to move the revision
+// strictly past every value previously handed out.
 type journal struct {
 	topoRev   uint64
+	maxTopo   uint64
 	netRev    []uint64 // by net ID
 	instRev   []uint64 // by instance ID
 	observers []Observer
@@ -139,7 +143,41 @@ func (d *Design) notify(c Change) {
 // bumpTopo records a connectivity edit.
 func (d *Design) bumpTopo() {
 	d.jn.topoRev++
+	if d.jn.topoRev > d.jn.maxTopo {
+		d.jn.maxTopo = d.jn.topoRev
+	}
 	d.notify(Change{Kind: ChangeStructure})
+}
+
+// Reconcile repairs a journal whose revision counters can no longer be
+// trusted (detected by the design-integrity checker's ENG rules, e.g.
+// after fault injection rewinds the topology revision): it moves the
+// topology revision strictly past every value previously handed out,
+// bumps every per-net and per-instance revision, and notifies observers
+// with a structural change — forcing every retained engine view (timing
+// graph, RC cache) to rebuild from ground truth. It never rewinds.
+func (d *Design) Reconcile() {
+	for i := range d.jn.netRev {
+		d.jn.netRev[i]++
+	}
+	for i := range d.jn.instRev {
+		d.jn.instRev[i]++
+	}
+	d.jn.topoRev = d.jn.maxTopo
+	d.bumpTopo()
+}
+
+// CorruptTopoRev rewinds the topology revision by n without notifying
+// observers — deliberately violating the journal's monotonicity
+// invariant. It exists only for fault injection (the harness's journal
+// corruption target): retained engines keep trusting their stale views
+// until an ENG-class check catches the rewind. Returns the new revision.
+func (d *Design) CorruptTopoRev(n uint64) uint64 {
+	if n > d.jn.topoRev {
+		n = d.jn.topoRev
+	}
+	d.jn.topoRev -= n
+	return d.jn.topoRev
 }
 
 func (d *Design) bumpNet(n *Net) {

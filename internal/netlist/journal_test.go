@@ -202,3 +202,37 @@ func TestJournalCloneIndependence(t *testing.T) {
 	}
 	_ = i1
 }
+
+func TestCorruptAndReconcile(t *testing.T) {
+	d, i1, _, mid := journalDesign(t)
+	rec := &recorder{}
+	d.Observe(rec)
+
+	before := d.TopoRev()
+	if got := d.CorruptTopoRev(2); got != before-2 {
+		t.Fatalf("CorruptTopoRev: rev = %d, want %d", got, before-2)
+	}
+	if n := rec.count(ChangeStructure); n != 0 {
+		t.Fatalf("corruption notified observers (%d structural changes) — it must be silent", n)
+	}
+
+	netRev, instRev := d.NetRev(mid), d.InstRev(i1)
+	d.Reconcile()
+	// The repaired revision must be strictly past every value handed out
+	// before the rewind, so any engine view keyed on an old revision reads
+	// as stale.
+	if d.TopoRev() <= before {
+		t.Fatalf("Reconcile left TopoRev at %d, want > %d", d.TopoRev(), before)
+	}
+	if d.NetRev(mid) <= netRev || d.InstRev(i1) <= instRev {
+		t.Fatal("Reconcile did not bump per-net/per-instance revisions")
+	}
+	if n := rec.count(ChangeStructure); n != 1 {
+		t.Fatalf("Reconcile sent %d structural notifications, want 1", n)
+	}
+
+	// Rewinding past zero clamps.
+	if got := d.CorruptTopoRev(1 << 40); got != 0 {
+		t.Fatalf("clamped rewind: rev = %d, want 0", got)
+	}
+}

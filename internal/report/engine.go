@@ -12,12 +12,17 @@ type EngineStatsRow struct {
 	Full, Incremental, Nodes int64
 	// RCHits and RCMisses are the extraction cache's counters.
 	RCHits, RCMisses int64
+	// Robustness counters: congestion-driven placement retries, injected
+	// faults, degraded-mode stage re-runs, degradations (full-STA
+	// downgrades + extra utilization relaxations), and recovered panics.
+	Retries, Faults, Reruns, Degraded, Panics int64
 }
 
 // EngineStatsTable renders engine-counter rows as an aligned table with
 // a derived cache-hit-rate column and a totals line.
 func EngineStatsTable(title string, rows []EngineStatsRow) *Table {
-	t := NewTable(title, "Stage", "Full", "Incr", "Nodes re-eval", "RC hits", "RC misses", "RC hit rate")
+	t := NewTable(title, "Stage", "Full", "Incr", "Nodes re-eval", "RC hits", "RC misses", "RC hit rate",
+		"Retries", "Faults", "Reruns", "Degraded", "Panics")
 	rate := func(h, m int64) string {
 		if h+m == 0 {
 			return "-"
@@ -25,16 +30,26 @@ func EngineStatsTable(title string, rows []EngineStatsRow) *Table {
 		return fmt.Sprintf("%.1f%%", 100*float64(h)/float64(h+m))
 	}
 	var tot EngineStatsRow
+	add := func(r EngineStatsRow) {
+		t.AddRowf(r.Stage, fmt.Sprint(r.Full), fmt.Sprint(r.Incremental), fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.RCHits), fmt.Sprint(r.RCMisses), rate(r.RCHits, r.RCMisses),
+			fmt.Sprint(r.Retries), fmt.Sprint(r.Faults), fmt.Sprint(r.Reruns),
+			fmt.Sprint(r.Degraded), fmt.Sprint(r.Panics))
+	}
 	for _, r := range rows {
 		tot.Full += r.Full
 		tot.Incremental += r.Incremental
 		tot.Nodes += r.Nodes
 		tot.RCHits += r.RCHits
 		tot.RCMisses += r.RCMisses
-		t.AddRowf(r.Stage, fmt.Sprint(r.Full), fmt.Sprint(r.Incremental), fmt.Sprint(r.Nodes),
-			fmt.Sprint(r.RCHits), fmt.Sprint(r.RCMisses), rate(r.RCHits, r.RCMisses))
+		tot.Retries += r.Retries
+		tot.Faults += r.Faults
+		tot.Reruns += r.Reruns
+		tot.Degraded += r.Degraded
+		tot.Panics += r.Panics
+		add(r)
 	}
-	t.AddRowf("total", fmt.Sprint(tot.Full), fmt.Sprint(tot.Incremental), fmt.Sprint(tot.Nodes),
-		fmt.Sprint(tot.RCHits), fmt.Sprint(tot.RCMisses), rate(tot.RCHits, tot.RCMisses))
+	tot.Stage = "total"
+	add(tot)
 	return t
 }

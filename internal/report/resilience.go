@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ResilienceRow is one flow's robustness outcome in the -resilience
+// table: what was injected, what was retried, how the flow degraded, and
+// whether it completed.
+type ResilienceRow struct {
+	Design, Config string
+	// Attempts is how many times the flow ran (1 = clean first try).
+	Attempts int
+	// Faults counts injected faults delivered inside the flow's stages;
+	// Reruns counts degraded-mode stage re-runs; Panics counts recovered
+	// stage panics.
+	Faults, Reruns, Panics int64
+	// Degraded lists the degraded-mode reasons ("full-sta",
+	// "utilization"), empty for a clean flow.
+	Degraded []string
+	// Outcome is "ok", "ok (degraded)", or "failed: <stage>".
+	Outcome string
+}
+
+// ResilienceTable renders per-flow robustness rows plus a summary line.
+// Flows that ran clean on the first attempt with no degradations are
+// summarized, not listed, so the table stays readable at suite scale.
+func ResilienceTable(title string, rows []ResilienceRow) *Table {
+	t := NewTable(title, "Design", "Config", "Attempts", "Faults", "Reruns", "Panics", "Degraded", "Outcome")
+	clean := 0
+	var totFaults, totReruns, totPanics int64
+	degradedFlows := 0
+	for _, r := range rows {
+		totFaults += r.Faults
+		totReruns += r.Reruns
+		totPanics += r.Panics
+		eventful := r.Attempts > 1 || r.Faults > 0 || r.Reruns > 0 || r.Panics > 0 ||
+			len(r.Degraded) > 0 || (r.Outcome != "" && r.Outcome != "ok")
+		if len(r.Degraded) > 0 {
+			degradedFlows++
+		}
+		if !eventful {
+			clean++
+			continue
+		}
+		deg := "-"
+		if len(r.Degraded) > 0 {
+			deg = strings.Join(r.Degraded, ",")
+		}
+		t.AddRowf(r.Design, r.Config, fmt.Sprint(r.Attempts), fmt.Sprint(r.Faults),
+			fmt.Sprint(r.Reruns), fmt.Sprint(r.Panics), deg, r.Outcome)
+	}
+	t.AddRowf("summary", fmt.Sprintf("%d flows", len(rows)), "-", fmt.Sprint(totFaults),
+		fmt.Sprint(totReruns), fmt.Sprint(totPanics), fmt.Sprintf("%d degraded", degradedFlows),
+		fmt.Sprintf("%d clean", clean))
+	return t
+}

@@ -1,6 +1,12 @@
 package route
 
-import "repro/internal/netlist"
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
 
 // Extractor is the RC-extraction interface timing and power analysis
 // consume: Router implements it directly, and Cache wraps any Extractor
@@ -86,4 +92,84 @@ func (c *Cache) Invalidate() {
 	for i := range c.entries {
 		c.entries[i].valid = false
 	}
+}
+
+// ErrCorrupted reports an audit finding: a cached entry whose stored RC no
+// longer matches a fresh extraction at the same journal revision — silent
+// wrong data, the one failure the revision key cannot catch.
+type ErrCorrupted struct {
+	Net string
+}
+
+func (e *ErrCorrupted) Error() string {
+	return fmt.Sprintf("route: extraction cache corrupted: net %s diverges from fresh extraction at its cached revision", e.Net)
+}
+
+// Audit re-extracts every valid, revision-current entry and compares it to
+// the cached RC, returning an *ErrCorrupted for the first divergence. It is
+// the detection side of fault injection's extraction-cache corruption: the
+// revision key guarantees freshness only if the stored values were right
+// when stored. Audit is O(nets) per call, so the timing env enables it only
+// when a fault plan is armed.
+func (c *Cache) Audit() error {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.valid || i >= len(c.d.Nets) {
+			continue
+		}
+		n := c.d.Nets[i]
+		if n == nil || c.d.NetRev(n) != e.rev {
+			continue
+		}
+		fresh := c.inner.Extract(n)
+		if !rcEqual(e.rc, fresh) {
+			return &ErrCorrupted{Net: n.Name}
+		}
+	}
+	return nil
+}
+
+func rcEqual(a, b *NetRC) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.WireLen != b.WireLen || a.WireCap != b.WireCap || a.MIVs != b.MIVs ||
+		len(a.SinkR) != len(b.SinkR) || len(a.SinkCapShare) != len(b.SinkCapShare) {
+		return false
+	}
+	for i := range a.SinkR {
+		if a.SinkR[i] != b.SinkR[i] {
+			return false
+		}
+	}
+	for i := range a.SinkCapShare {
+		if a.SinkCapShare[i] != b.SinkCapShare[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Poison corrupts the cache in place for fault injection: every valid
+// entry is replaced by a perturbed copy that keeps its journal revision,
+// so ordinary revision-keyed lookups keep serving the wrong values. The
+// perturbation is seeded for reproducibility and never exactly zero, so
+// Audit always detects it. Returns how many entries were poisoned.
+func (c *Cache) Poison(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	poisoned := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.valid || e.rc == nil {
+			continue
+		}
+		bad := *e.rc
+		bad.WireCap = bad.WireCap*(1+0.25*rng.Float64()) + 1e-15
+		bad.WireLen = math.Nextafter(bad.WireLen, math.MaxFloat64) + 1e-9
+		bad.SinkR = append([]float64(nil), e.rc.SinkR...)
+		bad.SinkCapShare = append([]float64(nil), e.rc.SinkCapShare...)
+		e.rc = &bad
+		poisoned++
+	}
+	return poisoned
 }

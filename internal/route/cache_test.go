@@ -1,6 +1,7 @@
 package route
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/cell"
@@ -46,21 +47,6 @@ func cacheDesign(t *testing.T) (*netlist.Design, *netlist.Net) {
 	}
 	i1.Loc, i2.Loc, i3.Loc = geom.Pt(0, 0), geom.Pt(20, 0), geom.Pt(0, 15)
 	return d, mid
-}
-
-func rcEqual(a, b *NetRC) bool {
-	if a.WireLen != b.WireLen || a.WireCap != b.WireCap || a.MIVs != b.MIVs {
-		return false
-	}
-	if len(a.SinkR) != len(b.SinkR) || len(a.SinkCapShare) != len(b.SinkCapShare) {
-		return false
-	}
-	for i := range a.SinkR {
-		if a.SinkR[i] != b.SinkR[i] || a.SinkCapShare[i] != b.SinkCapShare[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func TestCacheHitMissInvalidate(t *testing.T) {
@@ -157,5 +143,61 @@ func TestCacheGrowsWithNewNets(t *testing.T) {
 	c.Extract(mid)
 	if c.Stats().Misses != before+1 {
 		t.Errorf("split net served stale RC after InsertBuffer")
+	}
+}
+
+func TestCacheAuditCleanAndPoisoned(t *testing.T) {
+	d, mid := cacheDesign(t)
+	c := NewCache(New(), d)
+	c.Extract(mid)
+
+	if err := c.Audit(); err != nil {
+		t.Fatalf("audit of a clean cache: %v", err)
+	}
+
+	// Poison keeps journal revisions, so ordinary lookups keep hitting the
+	// corrupted entry — only Audit can see the divergence.
+	if n := c.Poison(42); n != 1 {
+		t.Fatalf("Poison corrupted %d entries, want 1", n)
+	}
+	hitsBefore := c.Stats().Hits
+	c.Extract(mid)
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatal("poisoned entry missed: corruption must stay revision-valid")
+	}
+	err := c.Audit()
+	var corrupt *ErrCorrupted
+	if err == nil || !errors.As(err, &corrupt) {
+		t.Fatalf("audit of a poisoned cache: got %v, want *ErrCorrupted", err)
+	}
+	if corrupt.Net != "mid" {
+		t.Errorf("corrupted net = %q, want mid", corrupt.Net)
+	}
+
+	// Invalidate + re-extract is the recovery path: audit must come back
+	// clean afterwards.
+	c.Invalidate()
+	c.Extract(mid)
+	if err := c.Audit(); err != nil {
+		t.Fatalf("audit after recovery: %v", err)
+	}
+}
+
+func TestPoisonDeterministic(t *testing.T) {
+	build := func() *Cache {
+		d, mid := cacheDesign(t)
+		c := NewCache(New(), d)
+		c.Extract(mid)
+		c.Poison(7)
+		return c
+	}
+	a, b := build(), build()
+	for i := range a.entries {
+		if a.entries[i].valid != b.entries[i].valid {
+			t.Fatalf("entry %d validity differs", i)
+		}
+		if a.entries[i].valid && !rcEqual(a.entries[i].rc, b.entries[i].rc) {
+			t.Fatalf("entry %d: same seed produced different poison", i)
+		}
 	}
 }

@@ -10,6 +10,13 @@ import (
 	"repro/internal/tech"
 )
 
+// ErrDiverged reports that the incremental engine's retained view no
+// longer matches ground truth — a corrupted extraction cache, a rewound
+// journal, or any other silent-wrong-data condition an audit caught.
+// The flow's degradation path reacts by invalidating caches, forcing
+// full-STA recomputes, and re-running the stage.
+var ErrDiverged = fmt.Errorf("sta: incremental engine diverged from ground truth")
+
 // TimerStats counts engine work for the observability report.
 type TimerStats struct {
 	// FullUpdates and IncrementalUpdates count Update calls by kind.

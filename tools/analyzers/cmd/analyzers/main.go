@@ -1,5 +1,6 @@
 // Command analyzers is the repository's custom vettool bundling the
-// journal/Timer-contract passes: journalmutate, staleanalyze, statkeys.
+// journal/Timer-contract and robustness passes: journalmutate,
+// staleanalyze, statkeys, recoverbare.
 //
 // Usage:
 //
@@ -17,6 +18,7 @@ package main
 import (
 	"repro/tools/analyzers/analysis"
 	"repro/tools/analyzers/journalmutate"
+	"repro/tools/analyzers/recoverbare"
 	"repro/tools/analyzers/staleanalyze"
 	"repro/tools/analyzers/statkeys"
 )
@@ -26,5 +28,6 @@ func main() {
 		journalmutate.Analyzer,
 		staleanalyze.Analyzer,
 		statkeys.Analyzer,
+		recoverbare.Analyzer,
 	)
 }

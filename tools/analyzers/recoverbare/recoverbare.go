@@ -1,0 +1,62 @@
+// Package recoverbare flags naked recover() calls outside internal/fault
+// and internal/flow. Panic handling is centralized: the stage runner's
+// barrier (flow.Run) and flow.Shield convert panics into attributed
+// *flow.PanicError/*flow.Error values, preserving the stack and the
+// (design, config, stage) coordinates. A recover() anywhere else
+// swallows a crash without attribution — the resilience reports then
+// undercount panics, and the original stack is lost.
+package recoverbare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// allowed are the packages that implement the centralized panic
+// machinery and may therefore call recover() directly.
+var allowed = map[string]bool{
+	"repro/internal/fault": true,
+	"repro/internal/flow":  true,
+}
+
+// Analyzer is the pass instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "recoverbare",
+	Doc: "flag naked recover() outside internal/fault and internal/flow\n\n" +
+		"panic handling is centralized in flow.Run's stage barrier and\n" +
+		"flow.Shield; a recover() elsewhere swallows a crash without\n" +
+		"attribution and loses the stack.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "recover" {
+				return true
+			}
+			// Only the builtin counts; a shadowing declaration is an
+			// ordinary function.
+			if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"naked recover() outside internal/fault and internal/flow; route the panic through flow.Shield (or the stage runner) so it keeps attribution and its stack")
+			return true
+		})
+	}
+	return nil
+}

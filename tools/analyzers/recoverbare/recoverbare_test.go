@@ -1,0 +1,24 @@
+package recoverbare_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/recoverbare"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "fixture", recoverbare.Analyzer)
+}
+
+// TestEvalClean runs the pass over internal/eval, whose worker panic
+// barrier delegates to flow.Shield rather than recovering itself.
+func TestEvalClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/eval", "repro/internal/eval", recoverbare.Analyzer)
+}
+
+// TestFlowExempt: internal/flow owns the panic machinery; its recover()
+// calls are the sanctioned ones.
+func TestFlowExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/flow", "repro/internal/flow", recoverbare.Analyzer)
+}

@@ -1,0 +1,41 @@
+// Fixture for the recoverbare pass.
+package fixture
+
+import "repro/internal/flow"
+
+func bad() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want "naked recover\(\) outside internal/fault and internal/flow"
+			err = nil
+		}
+	}()
+	return nil
+}
+
+func alsoBad() {
+	defer func() {
+		_ = (recover()) // want "naked recover\(\) outside internal/fault and internal/flow"
+	}()
+}
+
+// good routes the panic through the sanctioned barrier: must not flag.
+func good(fn func() error) error {
+	return flow.Shield("cpu", "Hetero-M3D", "worker", fn)
+}
+
+// shadow declares an ordinary function named recover; calls to it are
+// not the builtin and must not flag.
+type shadow struct{}
+
+func (shadow) recover() int { return 0 }
+
+func unrelated(s shadow) int {
+	return s.recover()
+}
+
+// shadowed rebinds the identifier locally; the call resolves to the
+// variable, not the builtin, and must not flag.
+func shadowed() {
+	recover := func() interface{} { return nil }
+	_ = recover()
+}
