@@ -40,6 +40,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/place"
 	"repro/internal/report"
 	"repro/internal/tech"
@@ -56,6 +57,7 @@ func main() {
 		svgDir   = flag.String("svg", "", "write per-tier layout SVGs to this directory (single config)")
 		vlog     = flag.String("verilog", "", "write the implemented netlist (with physical attributes) to this file (single config)")
 		workers  = flag.Int("workers", 0, "concurrent flow jobs for multi-config runs (0 = GOMAXPROCS)")
+		flowWork = flag.Int("flow-workers", 0, "intra-flow parallelism of the place/route/STA/CTS kernels (0 = budget against -workers, 1 = serial); results are identical at any value")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long, e.g. 2m (0 = no limit)")
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table of each flow")
 		timerSt  = flag.Bool("timer-stats", false, "print each flow's timing-engine update and RC-cache statistics table")
@@ -83,7 +85,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *deep, *stageRep, *timerSt, checkMode, plan, *retries, *svgDir, *vlog); err != nil {
+	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *flowWork, *deep, *stageRep, *timerSt, checkMode, plan, *retries, *svgDir, *vlog); err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}
@@ -100,7 +102,7 @@ func parseConfigs(s string) []core.ConfigName {
 	return out
 }
 
-func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, plan *fault.Plan, retries int, svgDir, vlog string) error {
+func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers, flowWorkers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, plan *fault.Plan, retries int, svgDir, vlog string) error {
 	cfgs := parseConfigs(config)
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
@@ -115,6 +117,9 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 		fmt.Println("sweeping 2D-12T f_max...")
 		fopt := core.DefaultFmaxOptions()
 		fopt.Flow.Seed = seed
+		if flowWorkers > 0 {
+			fopt.Flow.FlowWorkers = flowWorkers
+		}
 		clock, err = core.FindFmax(ctx, src, core.Config2D12T, fopt)
 		if err != nil {
 			return err
@@ -127,6 +132,15 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 	// the printed results do not depend on the worker count.
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if flowWorkers <= 0 {
+		// Budget nested parallelism: config fan-out × intra-flow workers
+		// stays within the machine.
+		outer := workers
+		if len(cfgs) < outer {
+			outer = len(cfgs)
+		}
+		flowWorkers = par.Budget(runtime.GOMAXPROCS(0), outer)
 	}
 	policy := flow.NoRetry
 	if retries > 1 {
@@ -147,6 +161,7 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 			opt := core.DefaultOptions(clock)
 			opt.Seed = seed
 			opt.Check = checkMode
+			opt.FlowWorkers = flowWorkers
 			if plan != nil {
 				opt.Fault = plan.Hook()
 			}
@@ -224,6 +239,8 @@ func printResult(design, config string, clock float64, r *core.Result, stageRep,
 				Nodes:       m.Stats[flow.StatSTANodes],
 				RCHits:      m.Stats[flow.StatRCHits],
 				RCMisses:    m.Stats[flow.StatRCMisses],
+				ParBatches:  m.Stats[flow.StatParBatches],
+				ParTasks:    m.Stats[flow.StatParTasks],
 				Retries:     m.Stats[flow.StatCongestionRetries],
 				Faults:      m.Stats[flow.StatFaultsInjected],
 				Reruns:      m.Stats[flow.StatStageReruns],

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
-//	     [-workers 0] [-timeout 0] [-stage-report] [-timer-stats]
+//	     [-workers 0] [-flow-workers 0] [-timeout 0] [-stage-report] [-timer-stats]
 //	     [-check off|fast|full] [-fault spec] [-checkpoint file]
 //	     [-retries n] [-resilience] [-v]
 //
@@ -46,6 +46,7 @@ func main() {
 		designL  = flag.String("designs", "", "comma-separated subset of netcard,aes,ldpc,cpu (default all)")
 		svgDir   = flag.String("svg", "", "write Fig. 3/4 SVGs to this directory")
 		workers  = flag.Int("workers", 0, "concurrent flow jobs (0 = GOMAXPROCS, 1 = serial)")
+		flowWork = flag.Int("flow-workers", 0, "intra-flow parallelism of the place/route/STA/CTS kernels (0 = budget against -workers, 1 = serial); results are identical at any value")
 		timeout  = flag.Duration("timeout", 0, "abort the whole evaluation after this long, e.g. 5m (0 = no limit)")
 		stageRep = flag.Bool("stage-report", false, "print the per-stage wall-time table after the evaluation")
 		timerSt  = flag.Bool("timer-stats", false, "print the timing-engine update and RC-cache statistics table")
@@ -81,6 +82,7 @@ func main() {
 	opt := eval.DefaultSuiteOptions(*scale)
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.FlowWorkers = *flowWork
 	opt.Check = checkMode
 	opt.Events = sink
 	opt.Checkpoint = *ckptPath

@@ -107,6 +107,13 @@ type Options struct {
 	// extraction before every timing analysis — O(nets) per analysis, so
 	// it is off by default and forced on while a fault plan is armed.
 	AuditExtraction bool
+	// FlowWorkers bounds the intra-flow parallelism of the place, route,
+	// STA, and CTS kernels (bisection frontier, per-net extraction
+	// fan-out, per-level timing sweeps, clock-tree partitioning). Every
+	// kernel is byte-identical at any value, so this trades wall time
+	// only. <= 1 runs the kernels serially; the evaluation suite budgets
+	// it against its own flow-level parallelism.
+	FlowWorkers int
 }
 
 // DefaultOptions returns the evaluation defaults at the given target

@@ -71,7 +71,7 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 			}
 			// One-shot pseudo-3-D analysis before any Timer exists; the
 			// slack map seeds the partitioner and is never reused.
-			st0, err := sta.Analyze(s.d, staConfig(1/opt.ClockGHz, s.router, nil, false)) //staleanalyze:ignore pre-Timer seed analysis
+			st0, err := sta.Analyze(s.d, staConfig(1/opt.ClockGHz, s.router, nil, false, opt.FlowWorkers)) //staleanalyze:ignore pre-Timer seed analysis
 
 			if err != nil {
 				return err
@@ -95,6 +95,13 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 			topt.FM.Seed = opt.Seed
 			topt.FM.TargetFrac = 0.47
 			topt.FM.Tolerance = 0.03
+			// The fast die runs tight by design (the floorplan already
+			// banked the top die's 9-track shrink), and the bin-local
+			// refinement lets the bottom share drift above the nominal
+			// window when the timing-pinned cells cluster spatially. Cap
+			// the drift at the bottom die's physical row capacity so
+			// legalization stays feasible with a fragmentation margin.
+			topt.MaxFrac0 = bottomCapacityFrac(s.d, s.fp, s.libs[0])
 			tres, err := partition.TierPartition(s.d, s.fp.Core, s.preassign, topt)
 			if err != nil {
 				return err
@@ -165,6 +172,16 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 			if !opt.EnableRepartition {
 				return nil
 			}
+			// Refresh sign-off timing before the oracle reads it: analyze
+			// audits the extraction cache, so a corrupted cache is caught
+			// here — before any repartitioning move taints the design —
+			// and the degraded re-run replays the stage from the same
+			// untainted state as a clean run.
+			st0, err := s.env.analyze()
+			if err != nil {
+				return err
+			}
+			s.st = st0
 			oracle := &staOracle{env: s.env, res: s.st}
 			eopt := partition.DefaultECOOptions()
 			eopt.FastTier = tech.TierBottom

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/place"
 	"repro/internal/power"
@@ -206,7 +207,7 @@ func (s *flowState) stageMap(fc *flow.Context) error {
 
 // stageSynth runs the pre-placement sizing pass at the target clock.
 func (s *flowState) stageSynth(fc *flow.Context) error {
-	return preSizeForClock(fc, s.d, s.libs, 1/s.opt.ClockGHz, 3, s.opt.ForceFullSTA)
+	return preSizeForClock(fc, s.d, s.libs, 1/s.opt.ClockGHz, 3, s.opt.ForceFullSTA, s.opt.FlowWorkers)
 }
 
 // stageMacros balances hard macros across the dies.
@@ -224,6 +225,8 @@ func (s *flowState) stagePlace(fc *flow.Context) error {
 	}
 	s.fp = fp
 	s.router = route.New()
+	s.router.Workers = s.opt.FlowWorkers
+	s.router.Par = &par.Stats{}
 	return nil
 }
 
@@ -249,10 +252,15 @@ func (s *flowState) stageLegalize(fc *flow.Context) error {
 // stageCTS builds the clock tree in the given mode.
 func (s *flowState) stageCTS(mode cts.Mode) func(*flow.Context) error {
 	return func(fc *flow.Context) error {
-		ct, err := cts.Build(s.d, cts.DefaultOptions(mode, s.libs))
+		copt := cts.DefaultOptions(mode, s.libs)
+		copt.Workers = s.opt.FlowWorkers
+		copt.Par = &par.Stats{}
+		ct, err := cts.Build(s.d, copt)
 		if err != nil {
 			return err
 		}
+		fc.AddStat(flow.StatParBatches, copt.Par.Batches)
+		fc.AddStat(flow.StatParTasks, copt.Par.Tasks)
 		s.ct = ct
 		return nil
 	}
@@ -276,6 +284,7 @@ func (s *flowState) bindTimingEnv(fc *flow.Context) {
 		latency:   s.ct.LatencyFunc(),
 		forceFull: s.opt.ForceFullSTA,
 		audit:     s.audit,
+		workers:   s.opt.FlowWorkers,
 	}
 }
 
@@ -316,6 +325,12 @@ func (s *flowState) stageSignoff(fc *flow.Context) error {
 		return err
 	}
 	s.ppac, s.pw = ppac, pw
+	if s.router != nil && s.router.Par != nil {
+		// Wirelength/MIV reductions fan out through the router; their
+		// counters are drained once, here, where collect runs them.
+		fc.AddStat(flow.StatParBatches, s.router.Par.Batches)
+		fc.AddStat(flow.StatParTasks, s.router.Par.Tasks)
+	}
 	if s.env != nil {
 		s.env.reportStats()
 		s.env.close()

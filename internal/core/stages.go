@@ -8,6 +8,7 @@ import (
 	"repro/internal/cts"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/place"
 	"repro/internal/power"
 	"repro/internal/route"
@@ -100,9 +101,14 @@ func placeWithCongestionRetry(fc *flow.Context, d *netlist.Design, opt Options, 
 		if err != nil {
 			return nil, err
 		}
-		if err := place.Global(d, fp.Core, place.DefaultGlobalOptions()); err != nil {
+		gopt := place.DefaultGlobalOptions()
+		gopt.Workers = opt.FlowWorkers
+		gopt.Par = &par.Stats{}
+		if err := place.Global(d, fp.Core, gopt); err != nil {
 			return nil, err
 		}
+		fc.AddStat(flow.StatParBatches, gopt.Par.Batches)
+		fc.AddStat(flow.StatParTasks, gopt.Par.Tasks)
 		cm, err := router.Congestion(d, fp.Outline, 16, 16)
 		if err != nil {
 			return nil, err
@@ -126,6 +132,28 @@ func placeWithCongestionRetry(fc *flow.Context, d *netlist.Design, opt Options, 
 	return fp, nil
 }
 
+// bottomCapacityFrac returns the largest bottom-die share of movable
+// cell area a tier partition may target such that the bottom tier still
+// fits its legalization rows (with a fragmentation margin). The FM
+// balance fraction counts exactly the movable, non-macro cells — the
+// same population the rows must host.
+func bottomCapacityFrac(d *netlist.Design, fp *place.Floorplan, bottomLib *cell.Library) float64 {
+	rowH := bottomLib.Variant.CellHeight
+	rows := float64(int(fp.Core.H() / rowH))
+	capArea := fp.Core.W() * rows * rowH * 0.97
+	var movable float64
+	for _, inst := range d.Instances {
+		if inst.Fixed || inst.Master.Function.IsMacro() {
+			continue
+		}
+		movable += inst.Master.Area()
+	}
+	if movable <= 0 {
+		return 1
+	}
+	return capArea / movable
+}
+
 // overflowAtHalfDemand evaluates the overflow fraction with per-bin
 // demand halved (two routing stacks share the 3-D footprint).
 func overflowAtHalfDemand(cm *route.CongestionMap) float64 {
@@ -143,11 +171,12 @@ func overflowAtHalfDemand(cm *route.CongestionMap) float64 {
 // clock model, and the boundary-derate switch. Both the optimization
 // environments and the pre-partition criticality analysis build their
 // configuration here so the two can never drift apart.
-func staConfig(period float64, ex route.Extractor, latency func(*netlist.Instance) float64, hetero bool) sta.Config {
+func staConfig(period float64, ex route.Extractor, latency func(*netlist.Instance) float64, hetero bool, workers int) sta.Config {
 	cfg := sta.DefaultConfig(period)
 	cfg.Router = ex
 	cfg.Latency = latency
 	cfg.Hetero = hetero
+	cfg.Workers = workers
 	return cfg
 }
 
@@ -175,6 +204,9 @@ type timingEnv struct {
 	// audit verifies the extraction cache against fresh extraction before
 	// every analysis — the detection side of cache-corruption faults.
 	audit bool
+	// workers bounds the full pass's intra-analysis parallelism
+	// (Options.FlowWorkers); results are identical at any value.
+	workers int
 
 	timer *sta.Timer
 	// lastTS/lastCS snapshot the cumulative engine counters at the last
@@ -194,7 +226,7 @@ func (e *timingEnv) analyze() (*sta.Result, error) {
 		}
 	}
 	if e.timer == nil {
-		cfg := staConfig(e.period, e.ex, e.latency, e.hetero)
+		cfg := staConfig(e.period, e.ex, e.latency, e.hetero, e.workers)
 		cfg.ForceFull = e.forceFull
 		t, err := sta.NewTimer(e.d, cfg)
 		if err != nil {
@@ -220,6 +252,8 @@ func (e *timingEnv) reportStats() {
 	e.fc.AddStat(flow.StatSTAFull, ts.FullUpdates-e.lastTS.FullUpdates)
 	e.fc.AddStat(flow.StatSTAIncr, ts.IncrementalUpdates-e.lastTS.IncrementalUpdates)
 	e.fc.AddStat(flow.StatSTANodes, ts.NodesReevaluated-e.lastTS.NodesReevaluated)
+	e.fc.AddStat(flow.StatParBatches, ts.ParBatches-e.lastTS.ParBatches)
+	e.fc.AddStat(flow.StatParTasks, ts.ParTasks-e.lastTS.ParTasks)
 	e.lastTS = ts
 	if e.cache != nil {
 		cs := e.cache.Stats()
@@ -254,14 +288,14 @@ func (e *timingEnv) libOf(inst *netlist.Instance) *cell.Library {
 // chasing an unreachable target grows the die — the 9-track
 // "over-correction in the synthesis stage" the paper reports
 // (Sec. IV-B2).
-func preSizeForClock(fc *flow.Context, d *netlist.Design, libs [2]*cell.Library, period float64, rounds int, forceFull bool) error {
+func preSizeForClock(fc *flow.Context, d *netlist.Design, libs [2]*cell.Library, period float64, rounds int, forceFull bool, workers int) error {
 	// Pre-placement timing needs a wire-load model: 2.5 fF of estimated
 	// wire per sink stands in for the not-yet-placed interconnect, so
 	// the sizes baked into the floorplan survive real extraction.
 	wlmRouter := route.New()
 	wlmRouter.WLMPerSinkFF = 2.5
 	cache := route.NewCache(wlmRouter, d)
-	e := &timingEnv{fc: fc, d: d, libs: libs, ex: cache, cache: cache, period: period, forceFull: forceFull}
+	e := &timingEnv{fc: fc, d: d, libs: libs, ex: cache, cache: cache, period: period, forceFull: forceFull, workers: workers}
 	defer e.close()
 	// Synthesis aims for margin, not bare closure: cells within 3 % of
 	// the period get upsized too, which is what makes a slow library

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/route"
 	"repro/internal/tech"
 )
@@ -44,6 +45,16 @@ type Options struct {
 	Libs [2]*cell.Library
 	// Router estimates clock wire RC; nil uses route.New().
 	Router *route.Router
+	// Workers bounds the partition phase's parallelism. Partitioning is
+	// pure (median splits over sink-location copies), so the resulting
+	// tree — and therefore buffer names, IDs, and every metric — is
+	// byte-identical at any value; materialization is always sequential
+	// in the original DFS post-order. <= 1 runs serially.
+	Workers int
+	// Par accumulates fan-out counters when set (the CTS stage drains
+	// them into its flow stats). Counts are schedule-independent: one
+	// batch per build, one task per partition node.
+	Par *par.Stats
 }
 
 // DefaultOptions returns the flow defaults for the given mode.
@@ -115,7 +126,14 @@ func Build(d *netlist.Design, opt Options) (*Result, error) {
 	}
 
 	b := &builder{d: d, opt: opt}
-	root, err := b.cluster(sinks, 1)
+	// Phase 1: pure recursive partition of the sink set — no design
+	// mutation, so subtrees split in parallel. Phase 2: materialize
+	// buffers sequentially in the partition tree's DFS post-order, which
+	// is exactly the order the fused recursion used, so cts_buf%d
+	// numbering (and every downstream metric) is unchanged.
+	pt := partition(sinks, 1, opt.MaxLeafFanout, opt.Workers)
+	opt.Par.Note(countNodes(pt))
+	root, err := b.materialize(pt)
 	if err != nil {
 		return nil, err
 	}
@@ -152,16 +170,23 @@ type builder struct {
 	maxDeep int
 }
 
-// cluster recursively builds the subtree for a sink set and returns its
-// buffer.
-func (b *builder) cluster(sinks []netlist.PinRef, level int) (*node, error) {
-	if level > b.maxDeep {
-		b.maxDeep = level
+// ptree is one node of the pure partition: either a leaf cluster of
+// sinks or a median split into two subtrees.
+type ptree struct {
+	sinks       []netlist.PinRef // leaf clusters only
+	left, right *ptree
+	level       int
+}
+
+// partition recursively median-splits the sink set along the longer
+// bbox axis until clusters fit one leaf buffer. It touches no shared
+// state — each call sorts its own copy — so the two subtrees recurse in
+// parallel while workers remain in the budget. The tree is identical at
+// any worker count.
+func partition(sinks []netlist.PinRef, level, maxLeaf, workers int) *ptree {
+	if len(sinks) <= maxLeaf {
+		return &ptree{sinks: sinks, level: level}
 	}
-	if len(sinks) <= b.opt.MaxLeafFanout {
-		return b.newBuffer(sinks, nil, level)
-	}
-	// Median split along the longer bbox axis.
 	var bb geom.BBox
 	for _, s := range sinks {
 		bb.Extend(s.Loc())
@@ -180,15 +205,48 @@ func (b *builder) cluster(sinks []netlist.PinRef, level int) (*node, error) {
 		return sorted[i].Inst.ID < sorted[j].Inst.ID
 	})
 	mid := len(sorted) / 2
-	left, err := b.cluster(sorted[:mid], level+1)
+	t := &ptree{level: level}
+	if workers > 1 {
+		lw := workers / 2
+		rw := workers - lw
+		par.Do(2,
+			func() { t.left = partition(sorted[:mid], level+1, maxLeaf, lw) },
+			func() { t.right = partition(sorted[mid:], level+1, maxLeaf, rw) },
+		)
+	} else {
+		t.left = partition(sorted[:mid], level+1, maxLeaf, 1)
+		t.right = partition(sorted[mid:], level+1, maxLeaf, 1)
+	}
+	return t
+}
+
+// countNodes sizes the partition tree (schedule-independent task count).
+func countNodes(t *ptree) int {
+	if t == nil {
+		return 0
+	}
+	return 1 + countNodes(t.left) + countNodes(t.right)
+}
+
+// materialize builds the buffer tree for a partition, bottom-up in DFS
+// post-order: left subtree, right subtree, parent buffer. Buffer
+// numbering therefore matches the original fused recursion exactly.
+func (b *builder) materialize(t *ptree) (*node, error) {
+	if t.level > b.maxDeep {
+		b.maxDeep = t.level
+	}
+	if t.left == nil {
+		return b.newBuffer(t.sinks, nil, t.level)
+	}
+	left, err := b.materialize(t.left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := b.cluster(sorted[mid:], level+1)
+	right, err := b.materialize(t.right)
 	if err != nil {
 		return nil, err
 	}
-	return b.newBuffer(nil, []*node{left, right}, level)
+	return b.newBuffer(nil, []*node{left, right}, t.level)
 }
 
 // newBuffer creates a buffer instance at the centroid of what it drives.

@@ -1,0 +1,60 @@
+package cts
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/par"
+)
+
+// TestBuildWorkersEquivalence pins the CTS determinism contract: the
+// parallel partition phase is pure and materialization is sequential in
+// DFS post-order, so the tree — buffer names, tiers, locations, and
+// every summary metric — is byte-identical at any worker count. Under
+// -race this also proves the partition fan-out has no conflicting
+// accesses.
+func TestBuildWorkersEquivalence(t *testing.T) {
+	type snapshot struct {
+		names   []string
+		tiers   []int
+		summary Result
+	}
+	build := func(workers int) snapshot {
+		d := placedDesign(t, true)
+		opt := DefaultOptions(ModeHetero3D, [2]*cell.Library{lib12, lib9})
+		opt.Workers = workers
+		opt.Par = &par.Stats{}
+		res, err := Build(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Par.Batches != 1 || opt.Par.Tasks == 0 {
+			t.Fatalf("workers %d: unexpected fan-out counters: %+v", workers, *opt.Par)
+		}
+		s := snapshot{summary: *res}
+		s.summary.Buffers = nil
+		s.summary.Latency = nil
+		for _, buf := range res.Buffers {
+			s.names = append(s.names, buf.Name)
+			s.tiers = append(s.tiers, int(buf.Tier))
+		}
+		return s
+	}
+	serial := build(1)
+	for _, w := range []int{2, 8} {
+		got := build(w)
+		if !reflect.DeepEqual(got.summary, serial.summary) {
+			t.Fatalf("workers %d: summary %+v differs from serial %+v", w, got.summary, serial.summary)
+		}
+		if len(got.names) != len(serial.names) {
+			t.Fatalf("workers %d: %d buffers vs serial %d", w, len(got.names), len(serial.names))
+		}
+		for i := range got.names {
+			if got.names[i] != serial.names[i] || got.tiers[i] != serial.tiers[i] {
+				t.Fatalf("workers %d: buffer %d is %s/tier%d, serial built %s/tier%d",
+					w, i, got.names[i], got.tiers[i], serial.names[i], serial.tiers[i])
+			}
+		}
+	}
+}

@@ -147,6 +147,8 @@ func (s *Suite) EngineReport() *report.Table {
 				row.Nodes += m.Stats[flow.StatSTANodes]
 				row.RCHits += m.Stats[flow.StatRCHits]
 				row.RCMisses += m.Stats[flow.StatRCMisses]
+				row.ParBatches += m.Stats[flow.StatParBatches]
+				row.ParTasks += m.Stats[flow.StatParTasks]
 				row.Retries += m.Stats[flow.StatCongestionRetries]
 				row.Faults += m.Stats[flow.StatFaultsInjected]
 				row.Reruns += m.Stats[flow.StatStageReruns]

@@ -31,6 +31,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/tech"
 )
 
@@ -65,6 +66,12 @@ type SuiteOptions struct {
 	// 0 means GOMAXPROCS; 1 runs the suite fully serially. Results are
 	// identical at any worker count.
 	Workers int
+	// FlowWorkers bounds each flow's intra-flow parallelism (the place/
+	// route/STA/CTS kernels; core.Options.FlowWorkers). 0 budgets it
+	// automatically so suite workers × flow workers stays within
+	// GOMAXPROCS; an explicit value is honored as-is. Results are
+	// identical at any value.
+	FlowWorkers int
 	// Events receives structured progress events (nil = silent),
 	// replacing the printf-style Progress callback of earlier versions.
 	// LogSink adapts the events back to log lines for CLI use.
@@ -153,6 +160,12 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	// Nested-parallelism budget: suite workers × flow workers stays
+	// within the machine unless the caller explicitly oversubscribes.
+	flowWorkers := opt.FlowWorkers
+	if flowWorkers <= 0 {
+		flowWorkers = par.Budget(runtime.GOMAXPROCS(0), workers)
 	}
 
 	var ck *Checkpoint
@@ -249,6 +262,7 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 						}
 						fopt.Flow.Seed = opt.Seed
 						fopt.Flow.Events = opt.Events
+						fopt.Flow.FlowWorkers = flowWorkers
 						fmax, err = core.FindFmax(jctx, d, core.Config2D12T, fopt)
 						if err != nil {
 							return fmt.Errorf("eval: fmax %s: %w", name, err)
@@ -307,6 +321,7 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 						o.Events = opt.Events
 						o.Check = opt.Check
 						o.Fault = opt.Fault
+						o.FlowWorkers = flowWorkers
 						var rerr error
 						r, trace, rerr = core.RunWithRetry(jctx, src, cfg, o, opt.Retry)
 						return rerr

@@ -31,4 +31,12 @@ const (
 	StatDegradeFullSTA    = "degrade_full_sta"   // downgrades to full-STA recomputes
 	StatDegradeUtil       = "degrade_util"       // extra utilization relaxations past the retry budget
 	StatPanicsRecovered   = "panics_recovered"   // stage panics recovered into errors
+
+	// Intra-flow parallelism counters (internal/par fan-outs inside the
+	// place/route/sta/cts kernels). Both count *scheduled* work — fan-out
+	// rounds and the items they dispatched — which is identical at any
+	// worker count, so surfacing them keeps flow results byte-identical
+	// whatever -flow-workers is set to.
+	StatParBatches = "par_batches" // parallel fan-out rounds executed
+	StatParTasks   = "par_tasks"   // work items dispatched across those rounds
 )

@@ -1,0 +1,170 @@
+// Package par is the repository's shared bounded-parallelism primitive
+// for intra-flow kernels: a deterministic fan-out-fan-in loop with
+// ordered result collection and panic capture.
+//
+// The determinism contract: ParallelFor promises nothing about the
+// order work items *execute*, so a caller is deterministic exactly when
+// each item writes only its own, index-addressed output and reads only
+// state that is frozen for the duration of the call. Every kernel built
+// on this package (place's bisection frontier, sta's per-level sweeps,
+// route's per-net fan-out, cts's subtree partitioning) is structured
+// that way, which is what makes flow results byte-identical at any
+// worker count. Work items must not draw from a shared RNG — a stream
+// consumed in scheduling order would differ run to run; seeds must be
+// pre-split per item instead (the flow.AttemptSeed pattern).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: non-positive means
+// "automatic" (GOMAXPROCS), anything else is taken as given. Callers
+// that fan out nested parallelism should budget with Budget instead of
+// multiplying automatics together.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Budget derives the per-job inner worker count when outer jobs each
+// fan out their own parallelism: total/outer, floored at 1, so
+// outer × inner never exceeds the total budget (eval.RunSuite uses
+// GOMAXPROCS as the total). A non-positive total means GOMAXPROCS.
+func Budget(total, outer int) int {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner := total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}
+
+// Stats accumulates fan-out counters for the engine-observability
+// report: Batches counts ParallelFor/Do invocations, Tasks the work
+// items they dispatched. Both are schedule-independent — the same at
+// any worker count — so they are safe to surface in deterministic
+// outputs. Note must be called from the coordinating goroutine (the
+// methods are not atomic); a nil *Stats discards.
+type Stats struct {
+	Batches, Tasks int64
+}
+
+// Note records one fan-out of n work items.
+func (s *Stats) Note(n int) {
+	if s == nil {
+		return
+	}
+	s.Batches++
+	s.Tasks += int64(n)
+}
+
+// Add merges another counter set (used when draining kernel-local stats
+// into a stage's flow counters).
+func (s *Stats) Add(o Stats) {
+	if s == nil {
+		return
+	}
+	s.Batches += o.Batches
+	s.Tasks += o.Tasks
+}
+
+// WorkerPanic wraps a panic raised inside a ParallelFor or Do work
+// item. The panic is re-raised on the calling goroutine with this type
+// as the value, so the flow engine's stage panic barrier attributes it
+// like any other stage panic while keeping the worker's stack.
+type WorkerPanic struct {
+	// Item is the work-item index that panicked (the lowest, when
+	// several did — chosen so the surfaced failure is deterministic).
+	Item int
+	// Value is the original panic value.
+	Value interface{}
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker panic on item %d: %v\n%s", p.Item, p.Value, p.Stack)
+}
+
+// ParallelFor executes fn(i) for every i in [0, n) on at most workers
+// concurrently running goroutines and returns when all items finished.
+// Items are claimed off an atomic counter, so heavily imbalanced items
+// (bisection regions, STA levels) still load-balance. workers <= 1 or
+// n <= 1 runs inline with no goroutines.
+//
+// A panicking item does not abort its siblings (every claimed item
+// runs); once all workers drain, the panic from the lowest-indexed
+// failing item is re-raised on the caller as a *WorkerPanic — on the
+// serial path too, so failure surfaces identically at any worker count.
+func ParallelFor(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu    sync.Mutex
+		first *WorkerPanic
+	)
+	record := func(i int, v interface{}) {
+		mu.Lock()
+		if first == nil || i < first.Item {
+			buf := make([]byte, 64<<10)
+			first = &WorkerPanic{Item: i, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+		}
+		mu.Unlock()
+	}
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				record(i, v)
+			}
+		}()
+		fn(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if first != nil {
+		panic(first)
+	}
+}
+
+// Do runs the given functions, concurrently when workers > 1, and
+// returns when all finished — the two-or-three-way fork for recursive
+// kernels (cts subtree construction). Panic semantics match
+// ParallelFor: the lowest-indexed panicking function wins.
+func Do(workers int, fns ...func()) {
+	ParallelFor(workers, len(fns), func(i int) { fns[i]() })
+}

@@ -1,0 +1,152 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 13} {
+		n := 1000
+		got := make([]int32, n)
+		ParallelFor(workers, n, func(i int) { atomic.AddInt32(&got[i], 1) })
+		for i, c := range got {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForOrderedResults(t *testing.T) {
+	// The canonical use: each item writes its own slot; the collected
+	// slice is identical at any worker count.
+	compute := func(workers int) []int {
+		out := make([]int, 257)
+		ParallelFor(workers, len(out), func(i int) { out[i] = i * i })
+		return out
+	}
+	want := compute(1)
+	for _, w := range []int{2, 8, 32} {
+		got := compute(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelForEmptyAndSingle(t *testing.T) {
+	ParallelFor(8, 0, func(int) { t.Fatal("fn called for n=0") })
+	ran := 0
+	ParallelFor(8, 1, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("n=1 ran %d times", ran)
+	}
+}
+
+func TestParallelForPanicLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				v := recover()
+				wp, ok := v.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *WorkerPanic", workers, v, v)
+				}
+				if wp.Item != 3 {
+					t.Errorf("workers=%d: panic attributed to item %d, want 3 (lowest)", workers, wp.Item)
+				}
+				if wp.Value != "boom" {
+					t.Errorf("workers=%d: panic value %v, want boom", workers, wp.Value)
+				}
+				if len(wp.Stack) == 0 {
+					t.Errorf("workers=%d: no stack captured", workers)
+				}
+			}()
+			ParallelFor(workers, 64, func(i int) {
+				if i >= 3 && i%2 == 1 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: ParallelFor returned, want panic", workers)
+		}()
+	}
+}
+
+func TestPanicDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for k := 0; k < 10; k++ {
+		func() {
+			defer func() { recover() }()
+			ParallelFor(4, 100, func(i int) {
+				if i == 50 {
+					panic("x")
+				}
+			})
+		}()
+	}
+	// All workers drain before the re-raise, so nothing lingers.
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d", before, after)
+	}
+}
+
+func TestDo(t *testing.T) {
+	a, b, c := 0, 0, 0
+	Do(3, func() { a = 1 }, func() { b = 2 }, func() { c = 3 })
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("Do results %d %d %d", a, b, c)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	cases := []struct{ total, outer, want int }{
+		{8, 2, 4},
+		{8, 8, 1},
+		{8, 16, 1},
+		{8, 3, 2},
+		{1, 4, 1},
+		{4, 0, 4},
+	}
+	for _, c := range cases {
+		if got := Budget(c.total, c.outer); got != c.want {
+			t.Errorf("Budget(%d, %d) = %d, want %d", c.total, c.outer, got, c.want)
+		}
+	}
+	if got := Budget(0, 1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Budget(0, 1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Note(10)
+	s.Note(5)
+	if s.Batches != 2 || s.Tasks != 15 {
+		t.Fatalf("stats = %+v", s)
+	}
+	var sum Stats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Batches != 4 || sum.Tasks != 30 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	var nilStats *Stats
+	nilStats.Note(3) // must not panic
+	nilStats.Add(s)
+}

@@ -21,6 +21,12 @@ type TierOptions struct {
 	MaxNetDegree int
 	// BinSweeps is how many scan passes of per-bin FM refinement run.
 	BinSweeps int
+	// MaxFrac0 caps side 0's share of the movable cell area after the
+	// bin refinement (0 disables the cap). The hetero flow derives it
+	// from the bottom die's row capacity: the bin-local balance is
+	// allowed to drift the global split, but never past what per-tier
+	// legalization can physically host.
+	MaxFrac0 float64
 }
 
 // DefaultTierOptions returns the flow defaults.
@@ -122,6 +128,18 @@ func TierPartition(d *netlist.Design, outline geom.Rect, preassign map[*netlist.
 		}
 	}
 
+	// Per-bin refinement enforces each bin's local balance, which can
+	// drift the global split past the FM window: bins dominated by
+	// timing-pinned cells cannot reach the local target while free bins
+	// re-center on it, so the pinned side only ever gains area. The
+	// drift itself is benign — the refined locality is worth more than
+	// the nominal window — until the heavy side outgrows its physical
+	// row capacity and per-tier legalization becomes infeasible. The
+	// capacity cap trims just enough area to fit, nothing more.
+	if opt.MaxFrac0 > 0 {
+		trimSide0(h, sol, opt.MaxFrac0)
+	}
+
 	res := &TierResult{
 		Cut:          CutSize(h, sol.Side),
 		Preassigned:  len(preassign),
@@ -169,6 +187,67 @@ func assignMacros(d *netlist.Design, preassign map[*netlist.Instance]tech.Tier, 
 			res.AreaBottom += m.Master.Area()
 		}
 	}
+}
+
+// trimSide0 moves free side-0 cells to side 1 until side 0 holds at most
+// maxFrac of the total movable area — the capacity guard behind
+// TierOptions.MaxFrac0. Candidates leave in order of least cut damage
+// (highest FM move gain, cell index as tiebreak); gains are computed once
+// up front, which is accurate enough for the small trims the guard
+// performs and keeps the pass deterministic and linear.
+func trimSide0(h *Hypergraph, sol *Solution, maxFrac float64) {
+	total := h.TotalArea()
+	if total <= 0 {
+		return
+	}
+	want := maxFrac * total
+	if sol.AreaSide[0] <= want {
+		return
+	}
+	cnt := make([][2]int, len(h.Nets))
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			cnt[ni][sol.Side[c]]++
+		}
+	}
+	cellNets := h.cellNets()
+	type cand struct {
+		idx, gain int
+	}
+	var cands []cand
+	for i := range h.Area {
+		if sol.Side[i] != 0 || h.Fixed[i] >= 0 {
+			continue
+		}
+		g := 0
+		for _, ni := range cellNets[i] {
+			if len(h.Nets[ni]) < 2 {
+				continue
+			}
+			if cnt[ni][0] == 1 {
+				g++ // net leaves the cut
+			}
+			if cnt[ni][1] == 0 {
+				g-- // net enters the cut
+			}
+		}
+		cands = append(cands, cand{i, g})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].gain != cands[b].gain {
+			return cands[a].gain > cands[b].gain
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	for _, c := range cands {
+		if sol.AreaSide[0] <= want {
+			break
+		}
+		sol.Side[c.idx] = 1
+		sol.AreaSide[0] -= h.Area[c.idx]
+		sol.AreaSide[1] += h.Area[c.idx]
+	}
+	sol.Cut = CutSize(h, sol.Side)
 }
 
 // refineBins runs FM inside each placement bin with out-of-bin neighbours

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -17,6 +18,16 @@ type GlobalOptions struct {
 	FM partition.FMOptions
 	// MaxNetDegree excludes huge nets from cut objectives.
 	MaxNetDegree int
+	// Workers bounds the bisection frontier's parallelism: all regions
+	// of one recursion level bisect concurrently against the
+	// level-start location estimates, then the estimate updates apply
+	// sequentially in region order — so the placement is byte-identical
+	// at any worker count. <= 1 runs serially (same level-snapshot
+	// semantics).
+	Workers int
+	// Par accumulates fan-out counters when set (the place stage drains
+	// them into its flow stats).
+	Par *par.Stats
 }
 
 // DefaultGlobalOptions returns the flow defaults.
@@ -57,31 +68,56 @@ func Global(d *netlist.Design, region geom.Rect, opt GlobalOptions) error {
 	// Net adjacency once, by instance ID.
 	adj := buildAdjacency(d, opt.MaxNetDegree)
 
+	// Level-synchronous recursion: the regions of one level are
+	// independent subproblems, so they bisect in parallel — every cut
+	// reads the location estimates as of the level start (terminal
+	// propagation sees a frozen snapshot), and all estimate updates and
+	// leaf spreads apply afterwards, sequentially in region order. The
+	// next level therefore has exactly one possible composition,
+	// whatever the worker count.
 	type job struct {
 		region geom.Rect
 		cells  []*netlist.Instance
 	}
-	queue := []job{{region, movable}}
-	for len(queue) > 0 {
-		j := queue[0]
-		queue = queue[1:]
-		if len(j.cells) <= opt.LeafCells {
-			spreadLeaf(j.region, j.cells)
-			continue
+	type split struct {
+		left, right []*netlist.Instance
+		lr, rr      geom.Rect
+		err         error
+	}
+	level := []job{{region, movable}}
+	for len(level) > 0 {
+		splits := make([]*split, len(level))
+		par.ParallelFor(opt.Workers, len(level), func(i int) {
+			j := level[i]
+			if len(j.cells) <= opt.LeafCells {
+				return // leaf: spread in the apply phase
+			}
+			s := &split{}
+			s.left, s.right, s.lr, s.rr, s.err = bisect(d, adj, j.region, j.cells, opt)
+			splits[i] = s
+		})
+		opt.Par.Note(len(level))
+		var next []job
+		for i, j := range level {
+			s := splits[i]
+			if s == nil {
+				spreadLeaf(j.region, j.cells)
+				continue
+			}
+			if s.err != nil {
+				return s.err
+			}
+			// Update location estimates to the new subregion centers so
+			// the next level's cuts see propagated terminals.
+			for _, c := range s.left {
+				c.InitLoc(s.lr.Center())
+			}
+			for _, c := range s.right {
+				c.InitLoc(s.rr.Center())
+			}
+			next = append(next, job{s.lr, s.left}, job{s.rr, s.right})
 		}
-		left, right, lr, rr, err := bisect(d, adj, j.region, j.cells, opt)
-		if err != nil {
-			return err
-		}
-		// Update location estimates to the new subregion centers so
-		// later cuts see propagated terminals.
-		for _, c := range left {
-			c.InitLoc(lr.Center())
-		}
-		for _, c := range right {
-			c.InitLoc(rr.Center())
-		}
-		queue = append(queue, job{lr, left}, job{rr, right})
+		level = next
 	}
 	return nil
 }

@@ -88,7 +88,12 @@ func Legalize(cells []*netlist.Instance, region geom.Rect, rowHeight float64) (*
 			}
 		}
 		if r < 0 {
-			return nil, fmt.Errorf("place: no row can host cell %s (width %v)", c.Name, w)
+			var demand float64
+			for _, cc := range cells {
+				demand += cc.Master.Width
+			}
+			return nil, fmt.Errorf("place: no row can host cell %s (width %v; %d cells demand %.0f µm of %d×%.0f µm row capacity)",
+				c.Name, w, len(cells), demand, nRows, rowW)
 		}
 		used[r] += w
 		rows[r] = append(rows[r], c)

@@ -12,6 +12,10 @@ type EngineStatsRow struct {
 	Full, Incremental, Nodes int64
 	// RCHits and RCMisses are the extraction cache's counters.
 	RCHits, RCMisses int64
+	// ParBatches and ParTasks count the stage's intra-flow parallel
+	// fan-outs: rounds scheduled and work items dispatched. Both count
+	// *scheduled* work, so they are identical at any -flow-workers value.
+	ParBatches, ParTasks int64
 	// Robustness counters: congestion-driven placement retries, injected
 	// faults, degraded-mode stage re-runs, degradations (full-STA
 	// downgrades + extra utilization relaxations), and recovered panics.
@@ -22,7 +26,7 @@ type EngineStatsRow struct {
 // a derived cache-hit-rate column and a totals line.
 func EngineStatsTable(title string, rows []EngineStatsRow) *Table {
 	t := NewTable(title, "Stage", "Full", "Incr", "Nodes re-eval", "RC hits", "RC misses", "RC hit rate",
-		"Retries", "Faults", "Reruns", "Degraded", "Panics")
+		"Par batches", "Par tasks", "Retries", "Faults", "Reruns", "Degraded", "Panics")
 	rate := func(h, m int64) string {
 		if h+m == 0 {
 			return "-"
@@ -33,6 +37,7 @@ func EngineStatsTable(title string, rows []EngineStatsRow) *Table {
 	add := func(r EngineStatsRow) {
 		t.AddRowf(r.Stage, fmt.Sprint(r.Full), fmt.Sprint(r.Incremental), fmt.Sprint(r.Nodes),
 			fmt.Sprint(r.RCHits), fmt.Sprint(r.RCMisses), rate(r.RCHits, r.RCMisses),
+			fmt.Sprint(r.ParBatches), fmt.Sprint(r.ParTasks),
 			fmt.Sprint(r.Retries), fmt.Sprint(r.Faults), fmt.Sprint(r.Reruns),
 			fmt.Sprint(r.Degraded), fmt.Sprint(r.Panics))
 	}
@@ -42,6 +47,8 @@ func EngineStatsTable(title string, rows []EngineStatsRow) *Table {
 		tot.Nodes += r.Nodes
 		tot.RCHits += r.RCHits
 		tot.RCMisses += r.RCMisses
+		tot.ParBatches += r.ParBatches
+		tot.ParTasks += r.ParTasks
 		tot.Retries += r.Retries
 		tot.Faults += r.Faults
 		tot.Reruns += r.Reruns

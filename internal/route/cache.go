@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/netlist"
 )
@@ -22,15 +23,22 @@ type Extractor interface {
 // report.
 type CacheStats struct {
 	Hits, Misses int64
+	// Coalesced counts lookups that found an extraction of the same net
+	// revision already in flight on another goroutine and waited for its
+	// result instead of extracting again — the singleflight path. It is
+	// always 0 in a serial flow.
+	Coalesced int64
 }
 
-// HitRate returns the fraction of lookups served from cache (0 when the
-// cache was never queried).
+// HitRate returns the fraction of lookups served without a fresh
+// extraction (0 when the cache was never queried). Coalesced lookups
+// count as served: they returned a shared result, not new work.
 func (s CacheStats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
+	served := s.Hits + s.Coalesced
+	if served+s.Misses == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
+	return float64(served) / float64(served+s.Misses)
 }
 
 // Cache memoizes per-net extraction keyed on the design's change journal:
@@ -40,14 +48,28 @@ func (s CacheStats) HitRate() float64 {
 // net revisions, so the whole timing-repair sizing loop runs on warm
 // entries.
 //
-// A Cache belongs to one flow and is not safe for concurrent use — the
-// evaluation suite's parallelism is across flows, each with its own cache.
+// A Cache belongs to one flow but is safe for concurrent use within it:
+// the parallel extraction fan-outs (sta's extractAll, concurrent
+// timing+power analysis) may call Extract from many goroutines. Fills
+// are per-revision singleflight — when several goroutines miss on the
+// same net at the same revision, exactly one runs the underlying
+// extraction and the rest wait for (and share) its result. The design
+// itself must be quiescent while extractions run concurrently; mutating
+// the netlist is only legal with no Extract in flight, which the flow's
+// phase structure guarantees.
 type Cache struct {
 	inner Extractor
 	d     *netlist.Design
+
+	mu sync.Mutex
 	// entries is indexed by net ID and grows lazily as nets are added.
 	entries []cacheEntry
-	stats   CacheStats
+	// flights holds the in-progress extraction per net ID (singleflight).
+	flights map[int]*flight
+	// gen invalidation generation: a flight started before an Invalidate
+	// must not re-validate its entry afterwards.
+	gen   uint64
+	stats CacheStats
 }
 
 type cacheEntry struct {
@@ -56,39 +78,79 @@ type cacheEntry struct {
 	valid bool
 }
 
+// flight is one in-progress underlying extraction; waiters block on done
+// and read rc afterwards.
+type flight struct {
+	rev  uint64
+	gen  uint64
+	rc   *NetRC
+	done chan struct{}
+}
+
 // NewCache wraps an extractor (usually a *Router) with revision-keyed
 // memoization over d's nets.
 func NewCache(inner Extractor, d *netlist.Design) *Cache {
-	return &Cache{inner: inner, d: d}
+	return &Cache{inner: inner, d: d, flights: make(map[int]*flight)}
 }
 
-// Extract implements Extractor: a journal-validated hit returns the stored
-// RC, anything else re-extracts and stores.
+// Extract implements Extractor: a journal-validated hit returns the
+// stored RC, a lookup that races an in-flight extraction of the same
+// revision waits for it, and anything else re-extracts and stores.
 func (c *Cache) Extract(n *netlist.Net) *NetRC {
+	c.mu.Lock()
 	if n.ID >= len(c.entries) {
 		grown := make([]cacheEntry, len(c.d.Nets))
 		copy(grown, c.entries)
 		c.entries = grown
 	}
-	e := &c.entries[n.ID]
 	rev := c.d.NetRev(n)
-	if e.valid && e.rev == rev {
+	if e := &c.entries[n.ID]; e.valid && e.rev == rev {
 		c.stats.Hits++
-		return e.rc
+		rc := e.rc
+		c.mu.Unlock()
+		return rc
 	}
+	if f := c.flights[n.ID]; f != nil && f.rev == rev {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.rc
+	}
+	f := &flight{rev: rev, gen: c.gen, done: make(chan struct{})}
+	c.flights[n.ID] = f
 	c.stats.Misses++
-	e.rc = c.inner.Extract(n)
-	e.rev = rev
-	e.valid = true
-	return e.rc
+	c.mu.Unlock()
+
+	rc := c.inner.Extract(n)
+
+	c.mu.Lock()
+	f.rc = rc
+	if f.gen == c.gen {
+		e := &c.entries[n.ID]
+		e.rc, e.rev, e.valid = rc, rev, true
+	}
+	if c.flights[n.ID] == f {
+		delete(c.flights, n.ID)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return rc
 }
 
-// Stats returns the cumulative hit/miss counters.
-func (c *Cache) Stats() CacheStats { return c.stats }
+// Stats returns the cumulative hit/miss/coalesce counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
-// Invalidate drops every entry; the next lookups re-extract. Useful after
-// mutations that bypassed the journal.
+// Invalidate drops every entry; the next lookups re-extract. Extractions
+// already in flight complete but do not re-validate their entries.
+// Useful after mutations that bypassed the journal.
 func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
 	for i := range c.entries {
 		c.entries[i].valid = false
 	}
@@ -110,10 +172,14 @@ func (e *ErrCorrupted) Error() string {
 // the detection side of fault injection's extraction-cache corruption: the
 // revision key guarantees freshness only if the stored values were right
 // when stored. Audit is O(nets) per call, so the timing env enables it only
-// when a fault plan is armed.
+// when a fault plan is armed. It snapshots the entries and runs the fresh
+// extractions unlocked; audit a quiescent cache (no concurrent fills).
 func (c *Cache) Audit() error {
-	for i := range c.entries {
-		e := &c.entries[i]
+	c.mu.Lock()
+	snap := append([]cacheEntry(nil), c.entries...)
+	c.mu.Unlock()
+	for i := range snap {
+		e := &snap[i]
 		if !e.valid || i >= len(c.d.Nets) {
 			continue
 		}
@@ -156,6 +222,8 @@ func rcEqual(a, b *NetRC) bool {
 // perturbation is seeded for reproducibility and never exactly zero, so
 // Audit always detects it. Returns how many entries were poisoned.
 func (c *Cache) Poison(seed int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	rng := rand.New(rand.NewSource(seed))
 	poisoned := 0
 	for i := range c.entries {

@@ -3,10 +3,13 @@ package route
 import (
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/tech"
 )
 
 // Router estimates wiring over a given BEOL stack and MIV technology.
+// Extract/NetTree/CountMIVs are pure with respect to the Router and safe
+// to call from many goroutines at once.
 type Router struct {
 	Stack tech.Stack
 	MIV   tech.MIV
@@ -18,6 +21,15 @@ type Router struct {
 	// (and the matching resistance) regardless of geometry. Synthesis-
 	// stage sizing uses it before any placement exists.
 	WLMPerSinkFF float64
+	// Workers bounds the whole-design reductions' per-net fan-out
+	// (Wirelength, TotalMIVs): nets are processed concurrently into
+	// index-addressed slots and reduced in net order, so the sums are
+	// byte-identical at any worker count. <= 1 runs serially.
+	Workers int
+	// Par accumulates fan-out counters when set (drained into the
+	// signoff stage's flow stats). Only the reduction entry points touch
+	// it, from the calling goroutine.
+	Par *par.Stats
 }
 
 // New returns a Router over the standard signal stack and default MIV.
@@ -42,13 +54,19 @@ func (r *Router) NetWirelength(n *netlist.Net) float64 {
 // Wirelength sums Steiner wirelength over the design. Clock nets are
 // reported separately: before CTS they are a single star that would
 // dwarf the signal estimate, and after CTS the clock tree owns them.
+// The per-net trees build concurrently (Router.Workers); the sums
+// accumulate in net order, so the result is worker-count independent.
 func (r *Router) Wirelength(d *netlist.Design) (signal, clock float64) {
-	for _, n := range d.Nets {
-		wl := r.NetWirelength(n)
+	wls := make([]float64, len(d.Nets))
+	par.ParallelFor(r.Workers, len(d.Nets), func(i int) {
+		wls[i] = r.NetWirelength(d.Nets[i])
+	})
+	r.Par.Note(len(d.Nets))
+	for i, n := range d.Nets {
 		if n.IsClock {
-			clock += wl
+			clock += wls[i]
 		} else {
-			signal += wl
+			signal += wls[i]
 		}
 	}
 	return signal, clock
@@ -95,11 +113,16 @@ func clusterCount(pts []geom.Point, radius float64) int {
 }
 
 // TotalMIVs sums the MIV estimate over all nets (clock included — the 3-D
-// clock tree crosses tiers too).
+// clock tree crosses tiers too). Per-net counts fan out like Wirelength.
 func (r *Router) TotalMIVs(d *netlist.Design) int {
+	counts := make([]int, len(d.Nets))
+	par.ParallelFor(r.Workers, len(d.Nets), func(i int) {
+		counts[i] = r.CountMIVs(d.Nets[i])
+	})
+	r.Par.Note(len(d.Nets))
 	total := 0
-	for _, n := range d.Nets {
-		total += r.CountMIVs(n)
+	for _, c := range counts {
+		total += c
 	}
 	return total
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/route"
 )
 
@@ -113,13 +114,18 @@ type extraction struct {
 	rc []*route.NetRC // by net ID
 }
 
-func extractAll(d *netlist.Design, r route.Extractor) *extraction {
+// extractAll extracts every non-clock net, fanning out per net when
+// workers > 1. Each net writes only its own rc slot, so the result is
+// identical at any worker count; r must be safe for concurrent Extract
+// (Router is pure, Cache is singleflight).
+func extractAll(d *netlist.Design, r route.Extractor, workers int) *extraction {
 	ex := &extraction{rc: make([]*route.NetRC, len(d.Nets))}
-	for _, n := range d.Nets {
+	par.ParallelFor(workers, len(d.Nets), func(i int) {
+		n := d.Nets[i]
 		if n.IsClock {
-			continue // clock timing comes from the CTS latency model
+			return // clock timing comes from the CTS latency model
 		}
 		ex.rc[n.ID] = r.Extract(n)
-	}
+	})
 	return ex
 }

@@ -32,7 +32,7 @@ func analyzeReference(d *netlist.Design, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex := extractAll(d, cfg.Router)
+	ex := extractAll(d, cfg.Router, 1)
 
 	n := len(d.Instances)
 	res := &Result{

@@ -32,6 +32,13 @@ type Config struct {
 	// ForceFull disables incremental updates on a Timer: every Update
 	// recomputes from scratch. One-shot Analyze is always full.
 	ForceFull bool
+	// Workers bounds the full pass's intra-analysis parallelism: RC
+	// extraction fans out per net and the forward/backward sweeps run
+	// per topological level. Results are byte-identical at any value
+	// (every work item writes only its own index-addressed slots);
+	// <= 1 runs serially. Incremental updates are always serial — their
+	// frontier is small by construction.
+	Workers int
 }
 
 // DefaultConfig returns a Config for an ideal clock at the given period.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/route"
 	"repro/internal/tech"
 )
@@ -24,6 +25,11 @@ type TimerStats struct {
 	// NodesReevaluated totals per-instance forward recomputations across
 	// all updates (a full update counts every instance).
 	NodesReevaluated int64
+	// ParBatches and ParTasks count the full pass's parallel fan-outs
+	// (extraction, forward levels, pred replay, backward levels) and the
+	// work items they dispatched. Both count scheduled work, so they are
+	// identical at any Config.Workers value.
+	ParBatches, ParTasks int64
 }
 
 // faninEdge is one timing arc into an instance: driver, the net carrying
@@ -59,6 +65,16 @@ type Timer struct {
 	// endStart/endCount locate each driver's endpoint entries inside
 	// res.endSlack so incremental updates can rewrite them in place.
 	endStart, endCount []int32
+	// flevels/blevels group topological positions into dependency levels
+	// of the position-gated forward and backward sweeps: nodes within a
+	// level are mutually independent, so the full pass runs each level
+	// as one parallel fan-out. Rebuilt with the graph (purely
+	// structural), keyed on topoRev like fanin.
+	flevels, blevels [][]int32
+	// endScratch holds each driver's endpoint entries from the parallel
+	// backward sweep until the sequential assembly appends them to
+	// res.endSlack in the reference order. Indexed by instance ID.
+	endScratch [][]endpoint
 
 	// Forward-pass state the push model accumulates at input pins. Kept
 	// outside Result: only combinational instances' entries carry meaning.
@@ -217,6 +233,17 @@ func (t *Timer) resolveSeeds() []int32 {
 // fullUpdate recomputes everything: graph (when the topology revision
 // moved), extraction, forward arrivals, and the backward required pass.
 // This is the reference computation — Analyze is exactly one of these.
+//
+// With Config.Workers > 1 the expensive phases fan out without changing
+// a single bit of the result: extraction is per-net independent; the
+// forward sweep runs level-by-level over flevels, where a node's
+// replayEffective reads only strictly-earlier-position drivers (all in
+// lower levels, final) and computeNode writes only the node's own
+// slots; the pred replay runs after every arrival is final, per node;
+// the backward sweep runs level-by-level over blevels with each
+// driver's endpoint entries parked in endScratch, then a sequential
+// assembly appends them to res.endSlack in exactly the reference
+// (reverse-position) order.
 func (t *Timer) fullUpdate() error {
 	d := t.d
 	if t.g == nil || t.topoRev != d.TopoRev() {
@@ -231,8 +258,11 @@ func (t *Timer) fullUpdate() error {
 			t.pos[inst.ID] = int32(p)
 		}
 		t.buildFanin()
+		t.buildLevels()
 	}
-	t.rc = extractAll(d, t.cfg.Router).rc
+	workers := t.cfg.Workers
+	t.rc = extractAll(d, t.cfg.Router, workers).rc
+	t.noteFanout(len(d.Nets))
 
 	n := len(d.Instances)
 	res := t.res
@@ -280,41 +310,168 @@ func (t *Timer) fullUpdate() error {
 	}
 
 	// ---------- Forward pass: arrivals and slews ----------
-	for _, inst := range t.g.order {
-		if !timingSource(inst) {
-			t.replayEffective(inst)
-		}
-		t.computeNode(inst)
+	// Levels run in order; nodes within a level are independent (their
+	// landed fanin arcs all come from lower levels) and write only their
+	// own index-addressed state.
+	for _, level := range t.flevels {
+		level := level
+		par.ParallelFor(workers, len(level), func(k int) {
+			inst := t.g.order[level[k]]
+			if !timingSource(inst) {
+				t.replayEffective(inst)
+			}
+			t.computeNode(inst)
+		})
+		t.noteFanout(len(level))
 	}
-	for _, inst := range t.g.order {
-		if !timingSource(inst) {
+	// Pred bookkeeping scans every fanin arc against final arrivals —
+	// all reads, one own-slot write, so the whole order fans out at once.
+	par.ParallelFor(workers, len(t.g.order), func(i int) {
+		if inst := t.g.order[i]; !timingSource(inst) {
 			t.replayPred(inst)
 		}
-	}
+	})
+	t.noteFanout(len(t.g.order))
 
 	// ---------- Endpoint checks and backward required pass ----------
-	var scratch []endpoint
+	// Backward levels: a driver's required time depends only on
+	// later-position combinational sinks that themselves run the
+	// backward computation — all in lower backward levels, final when
+	// the driver computes. Endpoint entries park in per-driver scratch.
+	if len(t.endScratch) != n {
+		t.endScratch = make([][]endpoint, n)
+	}
+	for _, level := range t.blevels {
+		level := level
+		par.ParallelFor(workers, len(level), func(k int) {
+			inst := t.g.order[level[k]]
+			out := d.OutputNet(inst)
+			if out == nil || t.rc[out.ID] == nil {
+				t.endScratch[inst.ID] = t.endScratch[inst.ID][:0]
+				return
+			}
+			var req float64
+			req, t.endScratch[inst.ID] = t.computeRequired(inst, t.endScratch[inst.ID][:0])
+			if req < res.reqOut[inst.ID] {
+				res.reqOut[inst.ID] = req
+			}
+		})
+		t.noteFanout(len(level))
+	}
+	// Sequential assembly in the reference order (reverse topological
+	// position), so endSlack bytes match the serial sweep exactly.
 	for i := len(t.g.order) - 1; i >= 0; i-- {
 		inst := t.g.order[i]
 		out := d.OutputNet(inst)
-		if out == nil {
+		if out == nil || t.rc[out.ID] == nil {
 			continue
 		}
-		if t.rc[out.ID] == nil {
-			continue
-		}
-		var req float64
-		req, scratch = t.computeRequired(inst, scratch[:0])
+		scratch := t.endScratch[inst.ID]
 		t.endStart[inst.ID] = int32(len(res.endSlack))
 		t.endCount[inst.ID] = int32(len(scratch))
 		res.endSlack = append(res.endSlack, scratch...)
-		if req < res.reqOut[inst.ID] {
-			res.reqOut[inst.ID] = req
-		}
 	}
 	t.stats.FullUpdates++
 	t.stats.NodesReevaluated += int64(len(t.g.order))
 	return nil
+}
+
+// noteFanout records one scheduled parallel fan-out of n items (counted
+// the same at any worker count — see TimerStats).
+func (t *Timer) noteFanout(n int) {
+	t.stats.ParBatches++
+	t.stats.ParTasks += int64(n)
+}
+
+// buildLevels derives the dependency levels of the position-gated
+// sweeps from the fanin arcs — purely structural, rebuilt with the
+// graph.
+//
+// Forward: flevel(v) = 1 + max flevel(d) over v's *landed* fanin arcs
+// (drivers at earlier topological positions — exactly the prefix
+// replayEffective consumes); sources and nodes with only late arcs sit
+// at level 0. Backward: blevel(v) = 1 + max blevel(s) over v's
+// later-position combinational sinks that run the backward computation
+// (have a non-clock output net); everything else reads as +Inf/absent
+// exactly like the serial sweep. Levels hold topological positions in
+// ascending (forward) / descending (backward) position order.
+func (t *Timer) buildLevels() {
+	d := t.d
+	order := t.g.order
+	level := make([]int32, len(d.Instances))
+
+	maxF := int32(0)
+	for p, inst := range order {
+		lv := int32(0)
+		if !timingSource(inst) {
+			kpos := int32(p)
+			for _, e := range t.fanin[inst.ID] {
+				if t.pos[e.drv] > kpos {
+					break
+				}
+				if l := level[e.drv] + 1; l > lv {
+					lv = l
+				}
+			}
+		}
+		level[inst.ID] = lv
+		if lv > maxF {
+			maxF = lv
+		}
+	}
+	t.flevels = make([][]int32, maxF+1)
+	for p, inst := range order {
+		lv := level[inst.ID]
+		t.flevels[lv] = append(t.flevels[lv], int32(p))
+	}
+
+	// participates mirrors the runtime rc guard: extraction covers every
+	// non-clock net, so rc[out.ID] == nil exactly when the output net is
+	// a clock (or absent).
+	participates := func(inst *netlist.Instance) *netlist.Net {
+		out := d.OutputNet(inst)
+		if out == nil || out.IsClock {
+			return nil
+		}
+		return out
+	}
+	for i := range level {
+		level[i] = 0
+	}
+	maxB := int32(-1)
+	for i := len(order) - 1; i >= 0; i-- {
+		inst := order[i]
+		out := participates(inst)
+		if out == nil {
+			continue
+		}
+		lv := int32(0)
+		for _, s := range out.Sinks {
+			sk := s.Inst
+			if s.Spec().Dir == cell.DirClk || timingSource(sk) {
+				continue
+			}
+			if t.pos[sk.ID] <= int32(i) || participates(sk) == nil {
+				continue
+			}
+			if l := level[sk.ID] + 1; l > lv {
+				lv = l
+			}
+		}
+		level[inst.ID] = lv
+		if lv > maxB {
+			maxB = lv
+		}
+	}
+	t.blevels = make([][]int32, maxB+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		inst := order[i]
+		if participates(inst) == nil {
+			continue
+		}
+		lv := level[inst.ID]
+		t.blevels[lv] = append(t.blevels[lv], int32(i))
+	}
 }
 
 // incremental re-propagates from the seed frontier. Returns false when it

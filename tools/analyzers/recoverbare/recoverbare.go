@@ -1,8 +1,10 @@
-// Package recoverbare flags naked recover() calls outside internal/fault
-// and internal/flow. Panic handling is centralized: the stage runner's
-// barrier (flow.Run) and flow.Shield convert panics into attributed
-// *flow.PanicError/*flow.Error values, preserving the stack and the
-// (design, config, stage) coordinates. A recover() anywhere else
+// Package recoverbare flags naked recover() calls outside internal/fault,
+// internal/flow, and internal/par. Panic handling is centralized: the
+// stage runner's barrier (flow.Run) and flow.Shield convert panics into
+// attributed *flow.PanicError/*flow.Error values, preserving the stack
+// and the (design, config, stage) coordinates, and par's worker pool
+// re-raises worker panics on the caller as *par.WorkerPanic (stack
+// attached) so they reach that same barrier. A recover() anywhere else
 // swallows a crash without attribution — the resilience reports then
 // undercount panics, and the original stack is lost.
 package recoverbare
@@ -19,12 +21,16 @@ import (
 var allowed = map[string]bool{
 	"repro/internal/fault": true,
 	"repro/internal/flow":  true,
+	// par's worker pool recovers only to re-raise on the calling
+	// goroutine (as *par.WorkerPanic, stack preserved) — the transport
+	// that carries worker panics to the stage barrier, not a swallow.
+	"repro/internal/par": true,
 }
 
 // Analyzer is the pass instance.
 var Analyzer = &analysis.Analyzer{
 	Name: "recoverbare",
-	Doc: "flag naked recover() outside internal/fault and internal/flow\n\n" +
+	Doc: "flag naked recover() outside internal/fault, internal/flow, and internal/par\n\n" +
 		"panic handling is centralized in flow.Run's stage barrier and\n" +
 		"flow.Shield; a recover() elsewhere swallows a crash without\n" +
 		"attribution and loses the stack.",

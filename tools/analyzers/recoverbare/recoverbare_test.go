@@ -22,3 +22,10 @@ func TestEvalClean(t *testing.T) {
 func TestFlowExempt(t *testing.T) {
 	analyzertest.Run(t, "../../../internal/flow", "repro/internal/flow", recoverbare.Analyzer)
 }
+
+// TestParExempt: internal/par's worker pool recovers only to re-raise
+// worker panics on the caller (as *par.WorkerPanic), which is the
+// sanctioned transport to the stage barrier.
+func TestParExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/par", "repro/internal/par", recoverbare.Analyzer)
+}
