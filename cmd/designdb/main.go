@@ -1,0 +1,165 @@
+// Command designdb inspects, verifies, and converts the repository's
+// binary file formats: design databases ("H3DB", written by
+// hetero3d/ppac -save-design) and evaluation journals ("H3CK", the
+// binary sibling of the JSONL checkpoint).
+//
+// Usage:
+//
+//	designdb inspect file.db...
+//	designdb verify file.db...
+//	designdb convert src dst
+//
+// inspect prints each file's kind, format version, section framing
+// (tag, offset, payload size, CRC), and — for design databases — the
+// design, configuration, and save boundary from the META section.
+//
+// verify decodes each design database and re-encodes it, requiring the
+// bytes to match exactly: the canonical-encoding invariant every writer
+// in the tree maintains and CI enforces over the committed golden
+// fixtures. Evaluation journals are verified by a full parse (header
+// first, every frame CRC-checked).
+//
+// convert translates an evaluation checkpoint between the JSONL and
+// binary framings; the destination format follows dst's extension
+// (.db/.bin = binary). Converted journals resume exactly where the
+// original did.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "inspect":
+		err = inspect(args)
+	case "verify":
+		err = verify(args)
+	case "convert":
+		err = convert(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "designdb: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designdb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  designdb inspect file.db...   list sections of design databases / evaluation journals
+  designdb verify file.db...    decode + re-encode, require byte-identical canonical form
+  designdb convert src dst      translate an evaluation checkpoint (JSONL <-> binary)
+`)
+}
+
+func kindName(magic string) string {
+	switch magic {
+	case db.MagicDesign:
+		return "design database"
+	case db.MagicJournal:
+		return "evaluation journal"
+	}
+	return "unknown"
+}
+
+func inspect(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("inspect: no files given")
+	}
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		magic, secs, err := db.List(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: %s (magic %q, format v%d, %d bytes, %d sections)\n",
+			path, kindName(magic), magic, db.FormatVersion, len(data), len(secs))
+		if magic == db.MagicDesign {
+			design, config, stage, err := core.DesignFileInfo(data)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Printf("  design %s in %s, saved after %q\n", design, config, stage)
+		}
+		fmt.Printf("  %-6s %10s %10s %10s\n", "tag", "offset", "bytes", "crc32")
+		for _, s := range secs {
+			fmt.Printf("  %-6s %10d %10d   %08x\n", s.Tag, s.Offset, s.Len, s.CRC)
+		}
+	}
+	return nil
+}
+
+func verify(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("verify: no files given")
+	}
+	bad := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		magic, _, err := db.List(data)
+		if err == nil {
+			switch magic {
+			case db.MagicDesign:
+				err = core.VerifyDesignFile(data)
+			case db.MagicJournal:
+				err = eval.VerifyJournal(data)
+			}
+		}
+		if err != nil {
+			bad++
+			fmt.Printf("%s: FAIL: %v\n", path, err)
+			continue
+		}
+		fmt.Printf("%s: ok (%s, %d bytes)\n", path, kindName(magic), len(data))
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d file(s) failed verification", bad, len(paths))
+	}
+	return nil
+}
+
+func convert(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("convert: want src and dst, got %d argument(s)", len(args))
+	}
+	src, dst := args[0], args[1]
+	if err := eval.ConvertCheckpoint(src, dst); err != nil {
+		return err
+	}
+	from, to := "JSONL", "binary"
+	if strings.HasSuffix(src, ".db") || strings.HasSuffix(src, ".bin") {
+		from = "binary"
+	}
+	if !strings.HasSuffix(dst, ".db") && !strings.HasSuffix(dst, ".bin") {
+		to = "JSONL"
+	}
+	fmt.Printf("converted %s (%s) -> %s (%s)\n", src, from, dst, to)
+	return nil
+}

@@ -9,11 +9,22 @@
 //	         [-deep] [-svg dir] [-verilog out.v] [-stage-report]
 //	         [-timer-stats] [-check off|fast|full] [-fault spec]
 //	         [-retries n] [-workers 0] [-timeout 0]
+//	         [-save-design out.db] [-save-after place,cts] [-stop-after place]
+//	         [-load-design in.db]
 //
 // -config also accepts a comma-separated list or "all"; multiple
 // configurations run concurrently on a worker pool bounded by -workers.
 // The deep dive, SVG, and Verilog outputs apply when exactly one
 // configuration is requested.
+//
+// -save-design writes the binary design database (internal/db) at the
+// boundaries named by -save-after (default "place"); -load-design resumes
+// a flow from such a file, skipping the saved stages, and finishes
+// byte-identical to the uninterrupted run. -stop-after truncates the flow
+// after the named stage — combine with -save-design to produce a snapshot
+// without paying for the full flow. All three apply to single-config runs
+// (a database records exactly one design in one configuration); inspect
+// or verify the files with the designdb tool.
 //
 // -fault arms the deterministic fault-injection harness (internal/fault),
 // e.g. -fault "cpu/Hetero-M3D/eco=corrupt:extraction-cache" or
@@ -64,6 +75,10 @@ func main() {
 		checkM   = flag.String("check", "off", "design-integrity checks at stage boundaries: off, fast (signoff only), or full; error findings fail the run")
 		faultS   = flag.String("fault", "", "fault-injection spec: design/config/stage[@occ]=class[:modifier],... (classes: panic, error, cancel, timeout, corrupt)")
 		retries  = flag.Int("retries", 1, "attempts per flow for transient failures (1 = no retries)")
+		saveDB   = flag.String("save-design", "", "write the binary design database to this file at each -save-after boundary (single config)")
+		saveAt   = flag.String("save-after", "", "comma-separated save boundaries for -save-design: map, place, legalize, cts, signoff (default place)")
+		loadDB   = flag.String("load-design", "", "resume the flow from a design database written by -save-design (single config)")
+		stopAt   = flag.String("stop-after", "", "truncate the flow after this stage, e.g. place (single config)")
 	)
 	flag.Parse()
 
@@ -85,10 +100,21 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *flowWork, *deep, *stageRep, *timerSt, checkMode, plan, *retries, *svgDir, *vlog); err != nil {
+	dbio := designIO{save: *saveDB, saveAfter: *saveAt, load: *loadDB, stop: *stopAt}
+	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *flowWork, *deep, *stageRep, *timerSt, checkMode, plan, *retries, *svgDir, *vlog, dbio); err != nil {
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}
+}
+
+// designIO carries the save/load/stop flags of the binary design
+// database into the flow options.
+type designIO struct {
+	save, saveAfter, load, stop string
+}
+
+func (d designIO) active() bool {
+	return d.save != "" || d.load != "" || d.stop != ""
 }
 
 func parseConfigs(s string) []core.ConfigName {
@@ -102,8 +128,11 @@ func parseConfigs(s string) []core.ConfigName {
 	return out
 }
 
-func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers, flowWorkers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, plan *fault.Plan, retries int, svgDir, vlog string) error {
+func run(ctx context.Context, design, config string, scale, clock float64, seed int64, workers, flowWorkers int, deep, stageRep, timerSt bool, checkMode core.CheckMode, plan *fault.Plan, retries int, svgDir, vlog string, dbio designIO) error {
 	cfgs := parseConfigs(config)
+	if dbio.active() && len(cfgs) != 1 {
+		return fmt.Errorf("-save-design/-load-design/-stop-after apply to a single configuration, got %d", len(cfgs))
+	}
 
 	lib12 := cell.NewLibrary(tech.Variant12T())
 	src, err := designs.Generate(designs.Name(design), lib12, designs.Params{Scale: scale, Seed: seed})
@@ -162,6 +191,10 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 			opt.Seed = seed
 			opt.Check = checkMode
 			opt.FlowWorkers = flowWorkers
+			opt.SaveDesign = dbio.save
+			opt.SaveAfter = dbio.saveAfter
+			opt.LoadDesign = dbio.load
+			opt.StopAfter = dbio.stop
 			if plan != nil {
 				opt.Fault = plan.Hook()
 			}
@@ -196,6 +229,14 @@ func run(ctx context.Context, design, config string, scale, clock float64, seed 
 
 func printResult(design, config string, clock float64, r *core.Result, stageRep, timerSt bool) error {
 	p := r.PPAC
+	if p == nil {
+		// The flow was truncated by -stop-after before signoff: there is
+		// no PPAC record, only the stages that ran (and a saved database,
+		// if -save-design was given).
+		fmt.Printf("flow stopped after %q — no PPAC record (%d stage(s) ran)\n",
+			r.Stages[len(r.Stages)-1].Name, len(r.Stages))
+		return printStageTables(design, config, r, stageRep, timerSt)
+	}
 	t := report.NewTable(fmt.Sprintf("PPAC — %s in %s @ %.3f GHz", design, config, clock), "Metric", "Value")
 	t.AddRowf("Si area", fmt.Sprintf("%.4f mm²", p.SiAreaMM2))
 	t.AddRowf("Footprint", fmt.Sprintf("%.4f mm² (%.0f µm wide)", p.FootprintMM2, p.ChipWidthUM))
@@ -214,7 +255,10 @@ func printResult(design, config string, clock float64, r *core.Result, stageRep,
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
+	return printStageTables(design, config, r, stageRep, timerSt)
+}
 
+func printStageTables(design, config string, r *core.Result, stageRep, timerSt bool) error {
 	if stageRep {
 		rows := make([]report.StageRow, 0, len(r.Stages))
 		for _, m := range r.Stages {
@@ -278,6 +322,10 @@ func printHealth(config string, r *core.Result, trace *flow.RetryTrace) {
 }
 
 func singleConfigExtras(design, config string, r *core.Result, deep bool, svgDir, vlog string) error {
+	if r.PPAC == nil {
+		// A -stop-after run has no signoff state to dive into or draw.
+		return nil
+	}
 	if deep {
 		dd, err := core.DeepAnalyze(r)
 		if err != nil {

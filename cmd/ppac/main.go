@@ -9,7 +9,7 @@
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
 //	     [-workers 0] [-flow-workers 0] [-timeout 0] [-stage-report] [-timer-stats]
 //	     [-check off|fast|full] [-fault spec] [-checkpoint file]
-//	     [-retries n] [-resilience] [-v]
+//	     [-retries n] [-resilience] [-resume-from-place dir] [-v]
 //
 // -check runs the design-integrity checker (internal/check) at stage
 // boundaries of every implementation; Error-severity findings fail the
@@ -20,8 +20,17 @@
 // injections, e.g. "cpu/Hetero-M3D/eco=corrupt:extraction-cache" or
 // "*/*/cts@1=error:retryable". -retries re-attempts flows that fail with
 // transient errors; -checkpoint journals completed flows so an
-// interrupted evaluation resumes without repeating work; -resilience
-// prints the per-flow fault/retry/degradation table.
+// interrupted evaluation resumes without repeating work (a .db or .bin
+// path selects the compact binary journal, anything else JSONL — both
+// resume interchangeably and the designdb tool converts between them);
+// -resilience prints the per-flow fault/retry/degradation table.
+//
+// -resume-from-place splits every configuration flow in two at the
+// placement boundary through the binary design database: each flow saves
+// its design into the named directory after placement, then a second run
+// loads the file and finishes the remaining stages. Results are
+// byte-identical to uninterrupted flows; the saved databases stay on
+// disk for designdb inspect/verify.
 package main
 
 import (
@@ -55,6 +64,7 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "journal completed flows to this file and resume from it on rerun")
 		retries  = flag.Int("retries", 1, "attempts per flow for transient failures (1 = no retries)")
 		resil    = flag.Bool("resilience", false, "print the per-flow fault/retry/degradation table after the evaluation")
+		resume   = flag.String("resume-from-place", "", "save every flow's design database into this directory after placement, then resume it from the file (proves save/load determinism)")
 		verbose  = flag.Bool("v", false, "log every pipeline stage as it completes")
 	)
 	flag.Parse()
@@ -86,6 +96,7 @@ func main() {
 	opt.Check = checkMode
 	opt.Events = sink
 	opt.Checkpoint = *ckptPath
+	opt.ResumeFromPlace = *resume
 	if *retries > 1 {
 		opt.Retry = flow.DefaultRetryPolicy(*retries)
 	}

@@ -114,6 +114,27 @@ type Options struct {
 	// only. <= 1 runs the kernels serially; the evaluation suite budgets
 	// it against its own flow-level parallelism.
 	FlowWorkers int
+	// SaveDesign writes a binary design database (internal/db) at the
+	// stage boundaries named by SaveAfter. A flow later resumed from the
+	// file (LoadDesign) finishes byte-identical to this run.
+	SaveDesign string
+	// SaveAfter names the boundaries to save at, comma-separated
+	// (default "place" when SaveDesign is set). Supported boundaries:
+	// map, place, legalize, cts, signoff. With more than one boundary
+	// the stage name is inserted into the file name before its
+	// extension (design.db → design-place.db).
+	SaveAfter string
+	// LoadDesign resumes the flow from a design database written by
+	// SaveDesign: the saved stages are skipped, their state is restored,
+	// and the remaining stages run byte-identical to an uninterrupted
+	// run. The file must come from the same design, configuration, and
+	// flow options (scheduling options like FlowWorkers excepted).
+	LoadDesign string
+	// StopAfter truncates the flow after the named stage. Used with
+	// SaveDesign to produce a snapshot without paying for the full flow;
+	// the Result then carries only the state the executed stages built
+	// (PPAC is nil before signoff).
+	StopAfter string
 }
 
 // DefaultOptions returns the evaluation defaults at the given target
@@ -267,15 +288,26 @@ func Run(ctx context.Context, src *netlist.Design, cfg ConfigName, opt Options) 
 	fc.Sink = opt.Events
 	fc.CancelRun = cancel
 	fc.Fault = opt.Fault
+	s, stages, err := flowPlan(src, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.runFlow(fc, stages)
+}
+
+// flowPlan builds the flow state and stage list for a configuration
+// without executing anything — the single dispatch point the runner,
+// the save/load machinery, and StopAfter all share.
+func flowPlan(src *netlist.Design, cfg ConfigName, opt Options) (*flowState, []flow.Stage, error) {
 	switch cfg {
 	case Config2D9T, Config2D12T:
-		return run2D(fc, src, cfg, opt)
+		return plan2D(src, cfg, opt)
 	case ConfigM3D9T, ConfigM3D12T:
-		return runM3D(fc, src, cfg, opt)
+		return planM3D(src, cfg, opt)
 	case ConfigHetero:
-		return runHetero(fc, src, opt)
+		return planHetero(src, opt)
 	default:
-		return nil, fmt.Errorf("core: unknown config %q", cfg)
+		return nil, nil, fmt.Errorf("core: unknown config %q", cfg)
 	}
 }
 

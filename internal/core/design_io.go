@@ -1,0 +1,949 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/cts"
+	"repro/internal/db"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// This file is the flow side of the binary design database: assembling
+// a designDB from mid-flow state at a save boundary, and overlaying a
+// decoded one back onto a fresh flowState so the remaining stages run
+// byte-identical to an uninterrupted flow (DESIGN.md §6.7).
+
+// ErrOptionsMismatch reports a LoadDesign whose file was saved under
+// different flow options. It is deliberately NOT db.ErrCorrupt: the
+// file is fine, the caller's options are not.
+var ErrOptionsMismatch = errors.New("core: design database was saved under different flow options — rerun with the original options or re-save")
+
+// Core-owned section tags (the per-layer tags live in internal/db).
+const (
+	tagMeta   = "META"
+	tagStages = "STGS"
+	tagPPAC   = "PPAC"
+	tagPower  = "POWR"
+)
+
+// saveBoundaries are the stage boundaries a design may be saved at and
+// resumed from. They are exactly the stages present in all three flows
+// whose downstream state is fully captured by the database sections;
+// intermediate stages (synth, partition, eco, ...) save nothing a
+// later boundary does not supersede.
+var saveBoundaries = []string{StageMap, StagePlace, StageLegalize, StageCTS, StageSignoff}
+
+func boundaryOK(stage string) bool {
+	for _, b := range saveBoundaries {
+		if b == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSaveAfter splits and validates Options.SaveAfter ("" defaults to
+// the post-place boundary).
+func parseSaveAfter(list string) (map[string]bool, error) {
+	if list == "" {
+		list = StagePlace
+	}
+	out := make(map[string]bool)
+	for _, st := range strings.Split(list, ",") {
+		st = strings.TrimSpace(st)
+		if st == "" {
+			continue
+		}
+		if !boundaryOK(st) {
+			return nil, fmt.Errorf("core: -save-after stage %q is not a save boundary (one of %s)",
+				st, strings.Join(saveBoundaries, ", "))
+		}
+		out[st] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: -save-after lists no stages")
+	}
+	return out, nil
+}
+
+// savePathFor returns the file path for one boundary: the configured
+// path as-is for a single-boundary save, with "-<stage>" inserted
+// before the extension when several boundaries save in one run.
+func savePathFor(path, stage string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + stage + ext
+}
+
+// optionsFingerprint serializes every Options field that shapes the
+// design trajectory. Scheduling and observation knobs — FlowWorkers,
+// Events, Fault, AuditExtraction, the Save*/Load*/StopAfter paths —
+// are deliberately excluded: a snapshot saved at FLOW_WORKERS=1 must
+// resume under FLOW_WORKERS=8 (every kernel is byte-identical across
+// worker counts).
+func optionsFingerprint(opt Options) []byte {
+	w := db.NewWriter()
+	w.PutF64(opt.ClockGHz)
+	w.PutF64(opt.TargetUtil)
+	w.PutF64(opt.TimingAreaFrac)
+	w.PutI32(int32(opt.RepairRounds))
+	w.PutBool(opt.EnableTimingPartition)
+	w.PutBool(opt.Enable3DCTS)
+	w.PutBool(opt.EnableRepartition)
+	w.PutF64(opt.Cost.FEOLFrac)
+	w.PutF64(opt.Cost.BEOLFracPerLayer)
+	w.PutI32(int32(opt.Cost.SignalLayers))
+	w.PutF64(opt.Cost.Alpha)
+	w.PutF64(opt.Cost.WaferDiameterMM)
+	w.PutF64(opt.Cost.DefectDensity)
+	w.PutF64(opt.Cost.WaferYield)
+	w.PutF64(opt.Cost.YieldDegradation3D)
+	w.PutI64(opt.Seed)
+	w.PutBool(opt.TopVariant != nil)
+	if v := opt.TopVariant; v != nil {
+		w.PutI32(int32(v.Track))
+		w.PutF64(v.VDD)
+		w.PutF64(v.CellHeight)
+		w.PutF64(v.AreaScale)
+		w.PutF64(v.DriveRes)
+		w.PutF64(v.InputCap)
+		w.PutF64(v.IntrinsicDelay)
+		w.PutF64(v.LeakagePower)
+		w.PutF64(v.InternalEnergy)
+		w.PutF64(v.WireCostScale)
+	}
+	w.PutBool(opt.ForceLevelShifters)
+	w.PutBool(opt.ForceFullSTA)
+	w.PutString(string(opt.Check))
+	w.PutBool(opt.CheckReportOnly)
+	return w.Bytes()
+}
+
+// preassignPair is one macro/timing-partition pre-assignment in
+// exportable form (instance dense ID → tier), kept sorted by ID so the
+// encoding is canonical.
+type preassignPair struct {
+	Inst int32
+	Tier tech.Tier
+}
+
+// designDB is one decoded (or about-to-be-encoded) design database:
+// the sum of every section. Encode and decode share it, which is what
+// makes VerifyDesignFile's decode→re-encode→compare meaningful.
+type designDB struct {
+	design string // source design name
+	config string
+	stage  string // boundary the file was saved at
+	fprint []byte
+
+	snap *netlist.Snapshot
+	d    *netlist.Design // materialized from snap during decode
+
+	fp     *place.Floorplan
+	ct     *cts.Result
+	st     *sta.Snapshot
+	routes []route.CacheEntry
+
+	hasChecks bool
+	chkState  check.SessionState
+	chkReps   []*check.Report
+
+	metrics    []flow.StageMetric
+	degraded   []string
+	notes      string
+	notesExtra string
+	// hasPreassign distinguishes "no pre-assignment map yet" from "an
+	// empty one" — the macro stage creates the map even on macro-free
+	// designs, and later stages write into it unconditionally.
+	hasPreassign bool
+	preassign    []preassignPair
+	tres         *partition.TierResult
+
+	ppac *PPAC
+	pw   *power.Breakdown
+}
+
+// metaSection is the META section: file identity (design, config,
+// saved stage) and the options fingerprint the loader validates.
+type metaSection struct{ dd *designDB }
+
+func (s *metaSection) Tag() string { return tagMeta }
+
+func (s *metaSection) Encode(w *db.Writer) error {
+	w.PutString(s.dd.design)
+	w.PutString(s.dd.config)
+	w.PutString(s.dd.stage)
+	w.PutBytes(s.dd.fprint)
+	return nil
+}
+
+func (s *metaSection) Decode(r *db.Reader) error {
+	var err error
+	if s.dd.design, err = r.String(); err != nil {
+		return err
+	}
+	if s.dd.config, err = r.String(); err != nil {
+		return err
+	}
+	if s.dd.stage, err = r.String(); err != nil {
+		return err
+	}
+	s.dd.fprint, err = r.Bytes()
+	return err
+}
+
+// netlSection adapts db.NetlistSection to the designDB: decode also
+// replays the snapshot into a live design, so sections after NETL in
+// file order (CTSR's buffer IDs, STGS's pre-assignments) can resolve
+// instances.
+type netlSection struct{ dd *designDB }
+
+func (s *netlSection) Tag() string { return db.TagNetlist }
+
+func (s *netlSection) Encode(w *db.Writer) error {
+	return (&db.NetlistSection{Snap: s.dd.snap}).Encode(w)
+}
+
+func (s *netlSection) Decode(r *db.Reader) error {
+	var ns db.NetlistSection
+	if err := ns.Decode(r); err != nil {
+		return err
+	}
+	d, err := netlist.ImportState(ns.Snap)
+	if err != nil {
+		return db.Corruptf("%v", err)
+	}
+	s.dd.snap = ns.Snap
+	s.dd.d = d
+	return nil
+}
+
+// stagesSection is the STGS section: everything the flow itself owns at
+// a boundary — executed stage metrics, degradations, flow notes, tier
+// pre-assignments, and the partition summary.
+type stagesSection struct{ dd *designDB }
+
+func (s *stagesSection) Tag() string { return tagStages }
+
+func (s *stagesSection) Encode(w *db.Writer) error {
+	dd := s.dd
+	w.PutU32(uint32(len(dd.metrics)))
+	for _, m := range dd.metrics {
+		db.PutStageMetric(w, m)
+	}
+	w.PutU32(uint32(len(dd.degraded)))
+	for _, r := range dd.degraded {
+		w.PutString(r)
+	}
+	w.PutString(dd.notes)
+	w.PutString(dd.notesExtra)
+	w.PutBool(dd.hasPreassign)
+	w.PutU32(uint32(len(dd.preassign)))
+	for _, p := range dd.preassign {
+		w.PutI32(p.Inst)
+		w.PutU8(uint8(p.Tier))
+	}
+	w.PutBool(dd.tres != nil)
+	if t := dd.tres; t != nil {
+		w.PutI32(int32(t.Cut))
+		w.PutF64(t.AreaTop)
+		w.PutF64(t.AreaBottom)
+		w.PutI32(int32(t.Preassigned))
+		w.PutI32(int32(t.MovableCells))
+	}
+	return nil
+}
+
+func (s *stagesSection) Decode(r *db.Reader) error {
+	dd := s.dd
+	if dd.d == nil {
+		return db.Corruptf("stage section before netlist section")
+	}
+	nm, err := r.Count(13)
+	if err != nil {
+		return err
+	}
+	dd.metrics = nil
+	for i := 0; i < nm; i++ {
+		m, err := db.ReadStageMetric(r)
+		if err != nil {
+			return err
+		}
+		dd.metrics = append(dd.metrics, m)
+	}
+	nd, err := r.Count(4)
+	if err != nil {
+		return err
+	}
+	dd.degraded = nil
+	for i := 0; i < nd; i++ {
+		reason, err := r.String()
+		if err != nil {
+			return err
+		}
+		dd.degraded = append(dd.degraded, reason)
+	}
+	if dd.notes, err = r.String(); err != nil {
+		return err
+	}
+	if dd.notesExtra, err = r.String(); err != nil {
+		return err
+	}
+	if dd.hasPreassign, err = r.Bool(); err != nil {
+		return err
+	}
+	np, err := r.Count(5)
+	if err != nil {
+		return err
+	}
+	dd.preassign = nil
+	for i := 0; i < np; i++ {
+		var p preassignPair
+		if p.Inst, err = r.I32(); err != nil {
+			return err
+		}
+		if p.Inst < 0 || int(p.Inst) >= len(dd.d.Instances) {
+			return db.Corruptf("pre-assignment references instance %d of %d", p.Inst, len(dd.d.Instances))
+		}
+		t, err := r.U8()
+		if err != nil {
+			return err
+		}
+		if t > uint8(tech.TierTop) {
+			return db.Corruptf("pre-assignment tier %d", t)
+		}
+		p.Tier = tech.Tier(t)
+		dd.preassign = append(dd.preassign, p)
+	}
+	hasTres, err := r.Bool()
+	if err != nil {
+		return err
+	}
+	dd.tres = nil
+	if hasTres {
+		t := &partition.TierResult{}
+		var v int32
+		if v, err = r.I32(); err != nil {
+			return err
+		}
+		t.Cut = int(v)
+		if t.AreaTop, err = r.F64(); err != nil {
+			return err
+		}
+		if t.AreaBottom, err = r.F64(); err != nil {
+			return err
+		}
+		if v, err = r.I32(); err != nil {
+			return err
+		}
+		t.Preassigned = int(v)
+		if v, err = r.I32(); err != nil {
+			return err
+		}
+		t.MovableCells = int(v)
+		dd.tres = t
+	}
+	return nil
+}
+
+// PutPPAC writes a PPAC record (minus its Clock pointer, which the CTSR
+// section round-trips; the loader re-points it). Exported because the
+// binary evaluation journal and the save/load parity tests byte-compare
+// PPAC records through this exact encoding.
+func PutPPAC(w *db.Writer, p *PPAC) {
+	w.PutString(p.Design)
+	w.PutString(string(p.Config))
+	w.PutF64(p.FreqGHz)
+	w.PutF64(p.FootprintMM2)
+	w.PutF64(p.SiAreaMM2)
+	w.PutF64(p.ChipWidthUM)
+	w.PutF64(p.Density)
+	w.PutF64(p.WLm)
+	w.PutI32(int32(p.MIVs))
+	w.PutF64(p.PowerMW)
+	w.PutF64(p.LeakageMW)
+	w.PutF64(p.ClockPowerMW)
+	w.PutF64(p.WNS)
+	w.PutF64(p.TNS)
+	w.PutF64(p.EffDelayNS)
+	w.PutF64(p.PDPpJ)
+	w.PutF64(p.DieCostMicroC)
+	w.PutF64(p.CostPerCm2)
+	w.PutF64(p.PPC)
+	w.PutI32(int32(p.Cells))
+	w.PutI32(int32(p.CutSize))
+	w.PutString(p.Refinement)
+}
+
+// ReadPPAC reads a PPAC record written by PutPPAC.
+func ReadPPAC(r *db.Reader) (*PPAC, error) {
+	p := &PPAC{}
+	var err error
+	if p.Design, err = r.String(); err != nil {
+		return nil, err
+	}
+	cfg, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	p.Config = ConfigName(cfg)
+	if p.FreqGHz, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.FootprintMM2, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.SiAreaMM2, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.ChipWidthUM, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.Density, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.WLm, err = r.F64(); err != nil {
+		return nil, err
+	}
+	var v int32
+	if v, err = r.I32(); err != nil {
+		return nil, err
+	}
+	p.MIVs = int(v)
+	if p.PowerMW, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.LeakageMW, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.ClockPowerMW, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.WNS, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.TNS, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.EffDelayNS, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.PDPpJ, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.DieCostMicroC, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.CostPerCm2, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if p.PPC, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if v, err = r.I32(); err != nil {
+		return nil, err
+	}
+	p.Cells = int(v)
+	if v, err = r.I32(); err != nil {
+		return nil, err
+	}
+	p.CutSize = int(v)
+	p.Refinement, err = r.String()
+	return p, err
+}
+
+// ppacSection is the PPAC section (present only for signoff saves).
+type ppacSection struct{ dd *designDB }
+
+func (s *ppacSection) Tag() string { return tagPPAC }
+
+func (s *ppacSection) Encode(w *db.Writer) error {
+	PutPPAC(w, s.dd.ppac)
+	return nil
+}
+
+func (s *ppacSection) Decode(r *db.Reader) error {
+	p, err := ReadPPAC(r)
+	if err != nil {
+		return err
+	}
+	s.dd.ppac = p
+	return nil
+}
+
+// powerSection is the POWR section: the signoff power breakdown.
+type powerSection struct{ dd *designDB }
+
+func (s *powerSection) Tag() string { return tagPower }
+
+func (s *powerSection) Encode(w *db.Writer) error {
+	pw := s.dd.pw
+	w.PutF64(pw.Switching)
+	w.PutF64(pw.Internal)
+	w.PutF64(pw.Leakage)
+	w.PutF64(pw.Clock)
+	w.PutF64(pw.Total)
+	w.PutF64(pw.ByTier[0])
+	w.PutF64(pw.ByTier[1])
+	w.PutF64s(pw.NetSwitching)
+	w.PutF64s(pw.PerInstance)
+	return nil
+}
+
+func (s *powerSection) Decode(r *db.Reader) error {
+	pw := &power.Breakdown{}
+	var err error
+	if pw.Switching, err = r.F64(); err != nil {
+		return err
+	}
+	if pw.Internal, err = r.F64(); err != nil {
+		return err
+	}
+	if pw.Leakage, err = r.F64(); err != nil {
+		return err
+	}
+	if pw.Clock, err = r.F64(); err != nil {
+		return err
+	}
+	if pw.Total, err = r.F64(); err != nil {
+		return err
+	}
+	if pw.ByTier[0], err = r.F64(); err != nil {
+		return err
+	}
+	if pw.ByTier[1], err = r.F64(); err != nil {
+		return err
+	}
+	if pw.NetSwitching, err = r.F64s(); err != nil {
+		return err
+	}
+	pw.PerInstance, err = r.F64s()
+	if err != nil {
+		return err
+	}
+	s.dd.pw = pw
+	return nil
+}
+
+// sections returns the file's section list in canonical order —
+// optional sections appear exactly when their state exists, so encode
+// after decode reproduces the original file byte for byte.
+func (dd *designDB) sections() []db.Section {
+	secs := []db.Section{&metaSection{dd}, &netlSection{dd}}
+	if dd.fp != nil {
+		secs = append(secs, &db.FloorplanSection{FP: dd.fp})
+	}
+	if dd.ct != nil {
+		secs = append(secs, &db.CTSSection{D: dd.d, Res: dd.ct})
+	}
+	if dd.st != nil {
+		secs = append(secs, &db.STASection{Snap: dd.st})
+	}
+	if dd.routes != nil {
+		secs = append(secs, &db.RouteSection{Entries: dd.routes})
+	}
+	if dd.hasChecks {
+		secs = append(secs, &db.ChecksSection{State: dd.chkState, Reports: dd.chkReps})
+	}
+	secs = append(secs, &stagesSection{dd})
+	if dd.ppac != nil {
+		secs = append(secs, &ppacSection{dd})
+	}
+	if dd.pw != nil {
+		secs = append(secs, &powerSection{dd})
+	}
+	return secs
+}
+
+// encodeDesignDB serializes a designDB into a complete file image.
+func encodeDesignDB(dd *designDB) ([]byte, error) {
+	return db.Encode(db.MagicDesign, dd.sections()...)
+}
+
+// decodeDesignDB parses a design-database file, replaying the netlist
+// into a live design and collecting every other section. Unknown tags
+// are skipped (forward compatibility); every decode failure is typed
+// db.ErrCorrupt/db.ErrVersion.
+func decodeDesignDB(data []byte) (*designDB, error) {
+	dd := &designDB{}
+	err := db.Decode(data, db.MagicDesign, func(tag string) (db.Section, error) {
+		switch tag {
+		case tagMeta:
+			return &metaSection{dd}, nil
+		case db.TagNetlist:
+			return &netlSection{dd}, nil
+		case db.TagFloorplan:
+			return &fpAdapter{dd}, nil
+		case db.TagCTS:
+			if dd.d == nil {
+				return nil, db.Corruptf("clock section before netlist section")
+			}
+			return &ctsAdapter{dd}, nil
+		case db.TagSTA:
+			return &staAdapter{dd}, nil
+		case db.TagRoute:
+			return &routeAdapter{dd}, nil
+		case db.TagChecks:
+			return &checksAdapter{dd}, nil
+		case tagStages:
+			return &stagesSection{dd}, nil
+		case tagPPAC:
+			return &ppacSection{dd}, nil
+		case tagPower:
+			return &powerSection{dd}, nil
+		default:
+			return nil, nil // unknown section: skip
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dd.d == nil {
+		return nil, db.Corruptf("design database has no netlist section")
+	}
+	return dd, nil
+}
+
+// The thin adapters below route the db-owned sections' decoded payloads
+// into the designDB (their encode sides are built directly in
+// sections()).
+
+type fpAdapter struct{ dd *designDB }
+
+func (a *fpAdapter) Tag() string               { return db.TagFloorplan }
+func (a *fpAdapter) Encode(w *db.Writer) error { return (&db.FloorplanSection{FP: a.dd.fp}).Encode(w) }
+func (a *fpAdapter) Decode(r *db.Reader) error {
+	var s db.FloorplanSection
+	if err := s.Decode(r); err != nil {
+		return err
+	}
+	a.dd.fp = s.FP
+	return nil
+}
+
+type ctsAdapter struct{ dd *designDB }
+
+func (a *ctsAdapter) Tag() string { return db.TagCTS }
+func (a *ctsAdapter) Encode(w *db.Writer) error {
+	return (&db.CTSSection{D: a.dd.d, Res: a.dd.ct}).Encode(w)
+}
+func (a *ctsAdapter) Decode(r *db.Reader) error {
+	s := db.CTSSection{D: a.dd.d}
+	if err := s.Decode(r); err != nil {
+		return err
+	}
+	a.dd.ct = s.Res
+	return nil
+}
+
+type staAdapter struct{ dd *designDB }
+
+func (a *staAdapter) Tag() string               { return db.TagSTA }
+func (a *staAdapter) Encode(w *db.Writer) error { return (&db.STASection{Snap: a.dd.st}).Encode(w) }
+func (a *staAdapter) Decode(r *db.Reader) error {
+	var s db.STASection
+	if err := s.Decode(r); err != nil {
+		return err
+	}
+	a.dd.st = s.Snap
+	return nil
+}
+
+type routeAdapter struct{ dd *designDB }
+
+func (a *routeAdapter) Tag() string { return db.TagRoute }
+func (a *routeAdapter) Encode(w *db.Writer) error {
+	return (&db.RouteSection{Entries: a.dd.routes}).Encode(w)
+}
+func (a *routeAdapter) Decode(r *db.Reader) error {
+	var s db.RouteSection
+	if err := s.Decode(r); err != nil {
+		return err
+	}
+	a.dd.routes = s.Entries
+	return nil
+}
+
+type checksAdapter struct{ dd *designDB }
+
+func (a *checksAdapter) Tag() string { return db.TagChecks }
+func (a *checksAdapter) Encode(w *db.Writer) error {
+	return (&db.ChecksSection{State: a.dd.chkState, Reports: a.dd.chkReps}).Encode(w)
+}
+func (a *checksAdapter) Decode(r *db.Reader) error {
+	var s db.ChecksSection
+	if err := s.Decode(r); err != nil {
+		return err
+	}
+	a.dd.hasChecks = true
+	a.dd.chkState = s.State
+	a.dd.chkReps = s.Reports
+	return nil
+}
+
+// buildDB assembles a designDB from the flow's live state at a save
+// boundary. Only state that exists is captured; the section list
+// mirrors the flow's progress (a post-place save has no clock tree, a
+// pre-signoff save no PPAC).
+func (s *flowState) buildDB(fc *flow.Context, stage string) *designDB {
+	dd := &designDB{
+		design:     s.src.Name,
+		config:     string(s.cfg),
+		stage:      stage,
+		fprint:     optionsFingerprint(s.opt),
+		snap:       s.d.ExportState(),
+		d:          s.d,
+		fp:         s.fp,
+		ct:         s.ct,
+		metrics:    fc.Metrics(),
+		degraded:   fc.Degradations(),
+		notes:      s.notes,
+		notesExtra: s.notesExtra,
+		tres:       s.tres,
+		ppac:       s.ppac,
+		pw:         s.pw,
+	}
+	if s.st != nil {
+		dd.st = s.st.Snapshot()
+	}
+	if s.cache != nil {
+		dd.routes = s.cache.Export()
+	}
+	if s.checks != nil {
+		dd.hasChecks = true
+		dd.chkState = s.checks.State()
+		dd.chkReps = s.checks.Reports()
+	}
+	if s.preassign != nil {
+		dd.hasPreassign = true
+		for inst, t := range s.preassign {
+			dd.preassign = append(dd.preassign, preassignPair{Inst: int32(inst.ID), Tier: t})
+		}
+		sort.Slice(dd.preassign, func(i, j int) bool { return dd.preassign[i].Inst < dd.preassign[j].Inst })
+	}
+	return dd
+}
+
+// saveHook returns the flow.Context.Snapshot hook that writes the
+// design database at each requested boundary.
+func (s *flowState) saveHook(saveSet map[string]bool, path string) func(*flow.Context, string) error {
+	multi := len(saveSet) > 1
+	return func(fc *flow.Context, stage string) error {
+		if !saveSet[stage] {
+			return nil
+		}
+		data, err := encodeDesignDB(s.buildDB(fc, stage))
+		if err != nil {
+			return fmt.Errorf("core: save design after %s: %w", stage, err)
+		}
+		out := savePathFor(path, stage, multi)
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return fmt.Errorf("core: save design after %s: %w", stage, err)
+		}
+		return nil
+	}
+}
+
+// loadDesign restores a saved database onto the flow state and returns
+// the stages remaining after the saved boundary. The restored flow's
+// first act is exactly what the uninterrupted flow's next stage would
+// have seen: same design object graph (dense IDs, iteration orders,
+// journal revisions), same floorplan/clock/timing/cache state, same
+// check-session baseline.
+func (s *flowState) loadDesign(fc *flow.Context, path string, stages []flow.Stage) ([]flow.Stage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load design: %w", err)
+	}
+	dd, err := decodeDesignDB(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: load design %s: %w", path, err)
+	}
+	if dd.design != s.src.Name {
+		return nil, fmt.Errorf("core: load design %s: file holds design %q, flow runs %q", path, dd.design, s.src.Name)
+	}
+	if dd.config != string(s.cfg) {
+		return nil, fmt.Errorf("core: load design %s: file holds config %q, flow runs %q", path, dd.config, s.cfg)
+	}
+	if !bytes.Equal(dd.fprint, optionsFingerprint(s.opt)) {
+		return nil, fmt.Errorf("core: load design %s: %w", path, ErrOptionsMismatch)
+	}
+	if !boundaryOK(dd.stage) {
+		return nil, fmt.Errorf("core: load design %s: %w", path,
+			db.Corruptf("saved stage %q is not a resume boundary", dd.stage))
+	}
+	idx := -1
+	for i := range stages {
+		if stages[i].Name == dd.stage {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("core: load design %s: saved stage %q is not part of the %s flow", path, dd.stage, s.cfg)
+	}
+
+	s.d = dd.d
+	s.fp = dd.fp
+	s.ct = dd.ct
+	if s.fp != nil {
+		// The router is created by the place stage; a resume past it
+		// recreates the same (stateless, parameter-identical) router.
+		s.router = route.New()
+		s.router.Workers = s.opt.FlowWorkers
+		s.router.Par = &par.Stats{}
+	}
+	if dd.st != nil {
+		st, err := sta.RestoreResult(s.d, dd.st)
+		if err != nil {
+			return nil, fmt.Errorf("core: load design %s: %w", path, db.Corruptf("%v", err))
+		}
+		s.st = st
+	}
+	if dd.routes != nil {
+		if s.router == nil {
+			return nil, fmt.Errorf("core: load design %s: %w", path,
+				db.Corruptf("routing section without a floorplan section"))
+		}
+		s.cache = route.NewCache(s.router, s.d)
+		if err := s.cache.Restore(dd.routes); err != nil {
+			return nil, fmt.Errorf("core: load design %s: %w", path, db.Corruptf("%v", err))
+		}
+	}
+	if dd.hasChecks {
+		s.checks = &check.Session{}
+		s.checks.Restore(dd.chkState, dd.chkReps)
+	}
+	if dd.hasPreassign {
+		s.preassign = make(map[*netlist.Instance]tech.Tier, len(dd.preassign))
+		for _, p := range dd.preassign {
+			s.preassign[s.d.Instances[p.Inst]] = p.Tier
+		}
+	}
+	s.tres = dd.tres
+	s.notes = dd.notes
+	s.notesExtra = dd.notesExtra
+	if dd.ppac != nil {
+		dd.ppac.Clock = s.ct
+		s.ppac = dd.ppac
+	}
+	s.pw = dd.pw
+	fc.SeedMetrics(dd.metrics)
+	for _, reason := range dd.degraded {
+		fc.MarkDegraded(reason)
+	}
+	return stages[idx+1:], nil
+}
+
+// runFlow applies the save/load/stop options around the planned stage
+// list and executes it.
+func (s *flowState) runFlow(fc *flow.Context, stages []flow.Stage) (*Result, error) {
+	opt := s.opt
+	if opt.StopAfter != "" {
+		idx := -1
+		for i := range stages {
+			if stages[i].Name == opt.StopAfter {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("core: -stop-after stage %q is not part of the %s flow", opt.StopAfter, s.cfg)
+		}
+		stages = stages[:idx+1]
+	}
+	if opt.SaveDesign != "" {
+		saveSet, err := parseSaveAfter(opt.SaveAfter)
+		if err != nil {
+			return nil, err
+		}
+		for st := range saveSet {
+			found := false
+			for i := range stages {
+				if stages[i].Name == st {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("core: -save-after stage %q is not part of the executed %s flow", st, s.cfg)
+			}
+		}
+		fc.Snapshot = s.saveHook(saveSet, opt.SaveDesign)
+	}
+	if opt.LoadDesign != "" {
+		var err error
+		stages, err = s.loadDesign(fc, opt.LoadDesign, stages)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.execute(fc, stages)
+}
+
+// VerifyDesignFile proves a design database is well-formed and
+// canonically encoded: it decodes every section (replaying the netlist
+// through the journal) and re-encodes the result, which must reproduce
+// the input byte for byte.
+// DesignFileInfo reads just the META section of a design database —
+// the design, configuration, and boundary it was saved at — without
+// materializing the netlist or any flow state. Inspection tooling
+// (cmd/designdb) uses it to label files cheaply.
+func DesignFileInfo(data []byte) (design, config, stage string, err error) {
+	body, err := db.ParseHeader(data, db.MagicDesign)
+	if err != nil {
+		return "", "", "", err
+	}
+	it := db.NewFrameIter(body)
+	for {
+		tag, payload, err := it.Next()
+		if err == io.EOF {
+			return "", "", "", db.Corruptf("no META section")
+		}
+		if err != nil {
+			return "", "", "", err
+		}
+		if tag != tagMeta {
+			continue
+		}
+		dd := &designDB{}
+		r := db.NewReader(payload)
+		if err := (&metaSection{dd: dd}).Decode(r); err != nil {
+			return "", "", "", err
+		}
+		return dd.design, dd.config, dd.stage, nil
+	}
+}
+
+func VerifyDesignFile(data []byte) error {
+	dd, err := decodeDesignDB(data)
+	if err != nil {
+		return err
+	}
+	enc, err := encodeDesignDB(dd)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(enc, data) {
+		return db.Corruptf("file is not canonically encoded: re-encode differs (%d vs %d bytes)", len(enc), len(data))
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/designs"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// ppacBytes is the canonical byte form of a PPAC record, the
+// comparison currency of the resume-parity tests: two PPACs are "the
+// same result" exactly when their encodings match bit for bit.
+func ppacBytes(t *testing.T, p *PPAC) []byte {
+	t.Helper()
+	if p == nil {
+		return nil
+	}
+	w := db.NewWriter()
+	PutPPAC(w, p)
+	return w.Bytes()
+}
+
+func checksBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	w := db.NewWriter()
+	for _, rep := range r.Checks {
+		db.PutCheckReport(w, rep)
+	}
+	return w.Bytes()
+}
+
+// metricKey strips the wall-clock time (the one legitimately
+// nondeterministic field) from a stage metric.
+type metricKey struct {
+	Name  string
+	Cells int
+	Stats string
+}
+
+func metricKeys(ms []flow.StageMetric) []metricKey {
+	out := make([]metricKey, len(ms))
+	for i, m := range ms {
+		keys := make([]string, 0, len(m.Stats))
+		for k := range m.Stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b bytes.Buffer
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%d;", k, m.Stats[k])
+		}
+		out[i] = metricKey{Name: m.Name, Cells: m.Cells, Stats: b.String()}
+	}
+	return out
+}
+
+// TestSaveLoadBoundaryMatrix saves the design at every boundary of both
+// flow shapes and resumes each save, requiring the resumed flow's final
+// PPAC, check reports, degradations, and stage metrics to be
+// byte-identical to the uninterrupted run it was carved out of.
+func TestSaveLoadBoundaryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full save/load matrix")
+	}
+	src := genSrc(t, designs.AES, 0.05)
+	for _, cfg := range []ConfigName{Config2D12T, ConfigHetero} {
+		opt := DefaultOptions(testClock)
+		opt.Check = CheckFull
+		opt.CheckReportOnly = true
+
+		base, err := Run(context.Background(), src, cfg, opt)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", cfg, err)
+		}
+		wantPPAC := ppacBytes(t, base.PPAC)
+		wantChecks := checksBytes(t, base)
+		wantMetrics := metricKeys(base.Stages)
+
+		for _, boundary := range saveBoundaries {
+			t.Run(string(cfg)+"/"+boundary, func(t *testing.T) {
+				dir := t.TempDir()
+				path := filepath.Join(dir, "design.db")
+				save := opt
+				save.SaveDesign = path
+				save.SaveAfter = boundary
+				if _, err := Run(context.Background(), src, cfg, save); err != nil {
+					t.Fatalf("save run: %v", err)
+				}
+
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("no database written: %v", err)
+				}
+				if err := VerifyDesignFile(data); err != nil {
+					t.Fatalf("saved file not canonical: %v", err)
+				}
+
+				load := opt
+				load.LoadDesign = path
+				res, err := Run(context.Background(), src, cfg, load)
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if got := ppacBytes(t, res.PPAC); !bytes.Equal(got, wantPPAC) {
+					t.Errorf("resumed PPAC differs from uninterrupted run:\n got %+v\nwant %+v", res.PPAC, base.PPAC)
+				}
+				if got := checksBytes(t, res); !bytes.Equal(got, wantChecks) {
+					t.Errorf("resumed check reports differ (%d vs %d reports)", len(res.Checks), len(base.Checks))
+				}
+				if got := metricKeys(res.Stages); len(got) != len(wantMetrics) {
+					t.Errorf("stage metric count %d, want %d", len(got), len(wantMetrics))
+				} else {
+					for i := range got {
+						if got[i] != wantMetrics[i] {
+							t.Errorf("stage %d metric differs:\n got %+v\nwant %+v", i, got[i], wantMetrics[i])
+						}
+					}
+				}
+				if len(res.Degraded) != len(base.Degraded) {
+					t.Errorf("degradations %v, want %v", res.Degraded, base.Degraded)
+				}
+			})
+		}
+	}
+}
+
+// TestSaveLoadResumeWorkers proves the FLOW_WORKERS independence of the
+// resume path: a design saved under serial execution resumes under
+// 8-way intra-flow parallelism onto the same bytes.
+func TestSaveLoadResumeWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-worker resume")
+	}
+	src := genSrc(t, designs.AES, 0.05)
+	opt := DefaultOptions(testClock)
+	opt.FlowWorkers = 1
+
+	base, err := Run(context.Background(), src, ConfigHetero, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "design.db")
+	save := opt
+	save.SaveDesign = path
+	save.SaveAfter = StagePlace
+	if _, err := Run(context.Background(), src, ConfigHetero, save); err != nil {
+		t.Fatal(err)
+	}
+
+	load := opt
+	load.FlowWorkers = 8
+	load.LoadDesign = path
+	res, err := Run(context.Background(), src, ConfigHetero, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ppacBytes(t, res.PPAC), ppacBytes(t, base.PPAC); !bytes.Equal(got, want) {
+		t.Errorf("PPAC after workers=8 resume differs from workers=1 baseline:\n got %+v\nwant %+v", res.PPAC, base.PPAC)
+	}
+}
+
+// TestNetlistExportImportIdentity round-trips a mid-flow netlist through
+// its snapshot: import must rebuild an equivalent design whose own
+// export encodes to the same bytes.
+func TestNetlistExportImportIdentity(t *testing.T) {
+	src := genSrc(t, designs.CPU, 0.03)
+	opt := DefaultOptions(testClock)
+	opt.StopAfter = StagePlace
+	res, err := Run(context.Background(), src, ConfigHetero, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := func(s interface {
+		Encode(*db.Writer) error
+	}) []byte {
+		w := db.NewWriter()
+		if err := s.Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		return w.Bytes()
+	}
+	snap := res.Design.ExportState()
+	first := snapBytes(&db.NetlistSection{Snap: snap})
+	d2, err := netlist.ImportState(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := snapBytes(&db.NetlistSection{Snap: d2.ExportState()})
+	if !bytes.Equal(first, second) {
+		t.Fatalf("export→import→export not identical (%d vs %d bytes)", len(first), len(second))
+	}
+}
+
+// TestLoadDesignErrors covers the loader's refusal paths: a fingerprint
+// from different options, a design-name mismatch, and a corrupted file.
+func TestLoadDesignErrors(t *testing.T) {
+	src := genSrc(t, designs.AES, 0.04)
+	opt := DefaultOptions(testClock)
+	opt.StopAfter = StagePlace
+	path := filepath.Join(t.TempDir(), "d.db")
+	opt.SaveDesign = path
+	opt.SaveAfter = StagePlace
+	if _, err := Run(context.Background(), src, Config2D12T, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	load := DefaultOptions(testClock)
+	load.LoadDesign = path
+	load.RepairRounds++ // shapes the trajectory → fingerprint differs
+	if _, err := Run(context.Background(), src, Config2D12T, load); !errors.Is(err, ErrOptionsMismatch) {
+		t.Errorf("changed options: got %v, want ErrOptionsMismatch", err)
+	}
+
+	load = DefaultOptions(testClock)
+	load.LoadDesign = path
+	if _, err := Run(context.Background(), src, ConfigHetero, load); err == nil {
+		t.Error("loading a 2D-12T save into the hetero flow should fail")
+	}
+
+	other := genSrc(t, designs.CPU, 0.03)
+	if _, err := Run(context.Background(), other, Config2D12T, load); err == nil {
+		t.Error("loading another design's save should fail")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	badPath := filepath.Join(t.TempDir(), "bad.db")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load.LoadDesign = badPath
+	if _, err := Run(context.Background(), src, Config2D12T, load); !errors.Is(err, db.ErrCorrupt) {
+		t.Errorf("bit-flipped file: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParseSaveAfter(t *testing.T) {
+	set, err := parseSaveAfter("")
+	if err != nil || !set[StagePlace] || len(set) != 1 {
+		t.Errorf("default: %v %v", set, err)
+	}
+	set, err = parseSaveAfter("map, cts")
+	if err != nil || !set[StageMap] || !set[StageCTS] || len(set) != 2 {
+		t.Errorf("list: %v %v", set, err)
+	}
+	if _, err := parseSaveAfter("synth"); err == nil {
+		t.Error("synth is not a boundary")
+	}
+	if _, err := parseSaveAfter(","); err == nil {
+		t.Error("empty list should fail")
+	}
+}
+
+func TestSavePathFor(t *testing.T) {
+	if got := savePathFor("out/d.db", StageCTS, false); got != "out/d.db" {
+		t.Errorf("single: %q", got)
+	}
+	if got := savePathFor("out/d.db", StageCTS, true); got != "out/d-cts.db" {
+		t.Errorf("multi: %q", got)
+	}
+	if got := savePathFor("out/d", StageMap, true); got != "out/d-map" {
+		t.Errorf("no ext: %q", got)
+	}
+}
+
+// TestStopAfter checks the truncation option on its own: the flow ends
+// at the named stage with partial results and no sign-off record.
+func TestStopAfter(t *testing.T) {
+	src := genSrc(t, designs.AES, 0.04)
+	opt := DefaultOptions(testClock)
+	opt.StopAfter = StageLegalize
+	res, err := Run(context.Background(), src, Config2D12T, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PPAC != nil {
+		t.Error("stopped flow should have no PPAC")
+	}
+	if n := len(res.Stages); n != 4 {
+		t.Errorf("expected 4 executed stages, got %d", n)
+	}
+	opt.StopAfter = "nope"
+	if _, err := Run(context.Background(), src, Config2D12T, opt); err == nil {
+		t.Error("unknown stop stage should fail")
+	}
+}

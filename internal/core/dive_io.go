@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/db"
+
+// PutDeepDive writes a Table VIII deep-dive record in field order.
+// Exported for the binary evaluation journal, which persists the dive
+// alongside each flow's PPAC.
+func PutDeepDive(w *db.Writer, d *DeepDive) {
+	w.PutF64(d.MemInLatencyPS)
+	w.PutF64(d.MemOutLatencyPS)
+	w.PutF64(d.MemNetSwitchUW)
+	w.PutBool(d.HasMacros)
+	w.PutI32(int32(d.ClockBuffers))
+	w.PutI32(int32(d.TopBuffers))
+	w.PutI32(int32(d.BottomBuffers))
+	w.PutF64(d.ClockBufferAreaUM2)
+	w.PutF64(d.ClockWLmm)
+	w.PutF64(d.ClockMaxLatencyNS)
+	w.PutF64(d.ClockMaxSkewNS)
+	w.PutF64(d.AvgSkew100NS)
+	w.PutF64(d.ClockPeriodNS)
+	w.PutF64(d.SlackNS)
+	w.PutF64(d.CritSkewNS)
+	w.PutF64(d.SetupNS)
+	w.PutF64(d.PathDelayNS)
+	w.PutF64(d.WireDelayNS)
+	w.PutF64(d.CellDelayNS)
+	w.PutF64(d.PathWLum)
+	w.PutF64(d.TopWLum)
+	w.PutF64(d.BottomWLum)
+	w.PutI32(int32(d.PathCells))
+	w.PutI32(int32(d.PathMIVs))
+	w.PutI32(int32(d.TopCells))
+	w.PutI32(int32(d.BottomCells))
+	w.PutF64(d.TopCellDelayNS)
+	w.PutF64(d.BotCellDelayNS)
+	w.PutF64(d.AvgTopDelayNS)
+	w.PutF64(d.AvgBotDelayNS)
+}
+
+// ReadDeepDive reads a record written by PutDeepDive.
+func ReadDeepDive(r *db.Reader) (*DeepDive, error) {
+	d := &DeepDive{}
+	var err error
+	readF := func(dst *float64) bool {
+		if err != nil {
+			return false
+		}
+		*dst, err = r.F64()
+		return err == nil
+	}
+	readI := func(dst *int) bool {
+		if err != nil {
+			return false
+		}
+		var v int32
+		if v, err = r.I32(); err != nil {
+			return false
+		}
+		*dst = int(v)
+		return true
+	}
+	readF(&d.MemInLatencyPS)
+	readF(&d.MemOutLatencyPS)
+	readF(&d.MemNetSwitchUW)
+	if err == nil {
+		d.HasMacros, err = r.Bool()
+	}
+	readI(&d.ClockBuffers)
+	readI(&d.TopBuffers)
+	readI(&d.BottomBuffers)
+	readF(&d.ClockBufferAreaUM2)
+	readF(&d.ClockWLmm)
+	readF(&d.ClockMaxLatencyNS)
+	readF(&d.ClockMaxSkewNS)
+	readF(&d.AvgSkew100NS)
+	readF(&d.ClockPeriodNS)
+	readF(&d.SlackNS)
+	readF(&d.CritSkewNS)
+	readF(&d.SetupNS)
+	readF(&d.PathDelayNS)
+	readF(&d.WireDelayNS)
+	readF(&d.CellDelayNS)
+	readF(&d.PathWLum)
+	readF(&d.TopWLum)
+	readF(&d.BottomWLum)
+	readI(&d.PathCells)
+	readI(&d.PathMIVs)
+	readI(&d.TopCells)
+	readI(&d.BottomCells)
+	readF(&d.TopCellDelayNS)
+	readF(&d.BotCellDelayNS)
+	readF(&d.AvgTopDelayNS)
+	readF(&d.AvgBotDelayNS)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -6,17 +6,17 @@ import (
 	"repro/internal/netlist"
 )
 
-// run2D implements the design as a conventional single-die chip in the
+// plan2D implements the design as a conventional single-die chip in the
 // configuration's library — the paper's 2-D baselines — as a pipeline of
 // map → synth → place → legalize → cts → timing-repair → power-recovery
 // → signoff.
-func run2D(fc *flow.Context, src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
+func plan2D(src *netlist.Design, cfg ConfigName, opt Options) (*flowState, []flow.Stage, error) {
 	libs, err := libFor(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := &flowState{cfg: cfg, opt: opt, src: src, libs: libs, tiers: 1, areaScale: 1, notes: "2D flow"}
-	return s.execute(fc, []flow.Stage{
+	return s, []flow.Stage{
 		{Name: StageMap, Run: s.stageMap},
 		{Name: StageSynth, Run: s.stageSynth},
 		{Name: StagePlace, Run: s.stagePlace},
@@ -25,5 +25,5 @@ func run2D(fc *flow.Context, src *netlist.Design, cfg ConfigName, opt Options) (
 		{Name: StageRepair, Run: s.stageRepair},
 		{Name: StagePower, Run: s.stagePower},
 		{Name: StageSignoff, Run: s.stageSignoff},
-	})
+	}, nil
 }

@@ -8,19 +8,19 @@ import (
 	"repro/internal/netlist"
 )
 
-// runM3D implements the design as a homogeneous monolithic 3-D chip: the
+// planM3D implements the design as a homogeneous monolithic 3-D chip: the
 // Pin-3D-style flow — pseudo-3-D implementation over the halved
 // footprint, placement-driven bin-based FM tier partitioning, per-tier
 // legalization, 3-D clock tree, and post-partition timing repair — as a
 // pipeline of map → synth → macro-tiers → place → partition → legalize →
 // cts → timing-repair → power-recovery → signoff.
-func runM3D(fc *flow.Context, src *netlist.Design, cfg ConfigName, opt Options) (*Result, error) {
+func planM3D(src *netlist.Design, cfg ConfigName, opt Options) (*flowState, []flow.Stage, error) {
 	libs, err := libFor(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := &flowState{cfg: cfg, opt: opt, src: src, libs: libs, tiers: 2, areaScale: 1}
-	return s.execute(fc, []flow.Stage{
+	return s, []flow.Stage{
 		{Name: StageMap, Run: s.stageMap},
 		{Name: StageSynth, Run: s.stageSynth},
 		// Macro tiers first so the floorplan stacks each die's macros
@@ -42,5 +42,5 @@ func runM3D(fc *flow.Context, src *netlist.Design, cfg ConfigName, opt Options) 
 		{Name: StageRepair, Run: s.stageRepair},
 		{Name: StagePower, Run: s.stagePower},
 		{Name: StageSignoff, Run: s.stageSignoff},
-	})
+	}, nil
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/designs"
+)
+
+// -update regenerates the pinned database hashes and the committed .db
+// fixtures instead of comparing. Review the diff before committing: a
+// changed hash is a format or determinism change.
+var updateDB = flag.Bool("update-db", false, "rewrite the design-database goldens under testdata/golden")
+
+const dbShaFile = "testdata/golden/db_sha.json"
+
+// wallZeroedEncoding re-encodes a database with every stage metric's
+// wall-clock time cleared — the only field that legitimately differs
+// between two runs of the same deterministic flow.
+func wallZeroedEncoding(t *testing.T, data []byte) []byte {
+	t.Helper()
+	dd, err := decodeDesignDB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dd.metrics {
+		dd.metrics[i].Wall = 0
+	}
+	enc, err := encodeDesignDB(dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestDesignDBGolden pins the post-place database of every design under
+// both flow shapes at the evaluation scale: the file must be canonically
+// encoded (decode→re-encode reproduces it byte for byte) and its
+// wall-zeroed hash must match the committed golden.
+func TestDesignDBGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale database goldens")
+	}
+	want := map[string]string{}
+	if !*updateDB {
+		raw, err := os.ReadFile(dbShaFile)
+		if err != nil {
+			t.Fatalf("no golden hashes (run with -update-db): %v", err)
+		}
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]string{}
+	for _, name := range designs.All {
+		src := genSrc(t, name, 0.1)
+		for _, cfg := range []ConfigName{Config2D12T, ConfigHetero} {
+			key := string(name) + "/" + string(cfg)
+			t.Run(key, func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "d.db")
+				opt := DefaultOptions(testClock)
+				opt.StopAfter = StagePlace
+				opt.SaveDesign = path
+				opt.SaveAfter = StagePlace
+				if _, err := Run(context.Background(), src, cfg, opt); err != nil {
+					t.Fatal(err)
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifyDesignFile(data); err != nil {
+					t.Fatalf("not canonically encoded: %v", err)
+				}
+				sum := sha256.Sum256(wallZeroedEncoding(t, data))
+				got[key] = hex.EncodeToString(sum[:])
+				if !*updateDB && got[key] != want[key] {
+					t.Errorf("database hash drifted:\n got %s\nwant %s", got[key], want[key])
+				}
+			})
+		}
+	}
+	if *updateDB {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		raw, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dbShaFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenDBFixtures keeps small committed .db files decodable: they
+// are the format-version gate — if the wire format changes without a
+// version bump, decoding the old bytes fails here (and in the CI
+// `designdb verify` leg) before the change ships.
+func TestGoldenDBFixtures(t *testing.T) {
+	fixtures := map[string]ConfigName{
+		"testdata/golden/aes-2d12t.db":  Config2D12T,
+		"testdata/golden/aes-hetero.db": ConfigHetero,
+	}
+	if *updateDB {
+		src := genSrc(t, designs.AES, 0.03)
+		for path, cfg := range fixtures {
+			opt := DefaultOptions(testClock)
+			opt.StopAfter = StagePlace
+			opt.SaveDesign = path
+			opt.SaveAfter = StagePlace
+			if _, err := Run(context.Background(), src, cfg, opt); err != nil {
+				t.Fatal(err)
+			}
+			// Strip wall times so the committed bytes are reproducible.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, wallZeroedEncoding(t, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for path, cfg := range fixtures {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing fixture (run with -update-db): %v", err)
+		}
+		if err := VerifyDesignFile(data); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		dd, err := decodeDesignDB(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dd.config != string(cfg) || dd.stage != StagePlace {
+			t.Errorf("%s: holds %s@%s, want %s@%s", path, dd.config, dd.stage, cfg, StagePlace)
+		}
+	}
+}
+
+// TestDesignDBDecodeReEncode asserts the exact identity (not just the
+// wall-zeroed hash): decoding a freshly saved database and re-encoding
+// it reproduces the input bytes including wall times.
+func TestDesignDBDecodeReEncode(t *testing.T) {
+	src := genSrc(t, designs.AES, 0.04)
+	path := filepath.Join(t.TempDir(), "d.db")
+	opt := DefaultOptions(testClock)
+	opt.SaveDesign = path
+	opt.SaveAfter = StageCTS
+	if _, err := Run(context.Background(), src, ConfigHetero, opt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := decodeDesignDB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encodeDesignDB(dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, data) {
+		t.Fatalf("decode→re-encode differs: %d vs %d bytes", len(enc), len(data))
+	}
+}

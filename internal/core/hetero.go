@@ -14,7 +14,7 @@ import (
 	"repro/internal/tech"
 )
 
-// runHetero is the paper's contribution: the Hetero-Pin-3D flow, composed
+// planHetero is the paper's contribution: the Hetero-Pin-3D flow, composed
 // as the pipeline map → synth → macro-tiers → place → timing-partition →
 // partition → retarget → level-shifters → legalize → cts → timing-repair
 // → eco → final-repair → power-recovery → signoff.
@@ -33,10 +33,10 @@ import (
 // The conditional stages (timing-partition, level-shifters, eco) stay in
 // the pipeline when their ablation switch disables them and no-op, so
 // every hetero run reports the same stage list.
-func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, error) {
+func planHetero(src *netlist.Design, opt Options) (*flowState, []flow.Stage, error) {
 	libs, err := libFor(ConfigHetero)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opt.TopVariant != nil {
 		libs[1] = cell.NewLibrary(*opt.TopVariant)
@@ -55,7 +55,7 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 		ctsMode = cts.Mode2D
 	}
 
-	return s.execute(fc, []flow.Stage{
+	return s, []flow.Stage{
 		// --- Pseudo-3-D stage: single technology (12-track).
 		{Name: StageMap, Run: s.stageMap},
 		{Name: StageSynth, Run: s.stageSynth},
@@ -233,7 +233,7 @@ func runHetero(fc *flow.Context, src *netlist.Design, opt Options) (*Result, err
 		}},
 		{Name: StagePower, Run: s.stagePower},
 		{Name: StageSignoff, Run: s.stageSignoff},
-	})
+	}, nil
 }
 
 // staOracle adapts the STA engine to the repartitioning loop's

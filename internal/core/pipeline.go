@@ -106,7 +106,11 @@ func (s *flowState) execute(fc *flow.Context, stages []flow.Stage) (*Result, err
 		return len(s.d.Instances)
 	}
 	if s.opt.Check != CheckOff && s.opt.Check != "" {
-		s.checks = &check.Session{}
+		if s.checks == nil {
+			// A flow resumed from a design database arrives with the saved
+			// session (ENG-003 monotonicity baseline) already restored.
+			s.checks = &check.Session{}
+		}
 		fc.Check = s.checkBoundary
 	}
 	s.audit = s.opt.AuditExtraction || fc.Fault != nil
@@ -123,9 +127,13 @@ func (s *flowState) execute(fc *flow.Context, stages []flow.Stage) (*Result, err
 		Router:   s.router,
 		Timing:   s.st,
 		Power:    s.pw,
-		Outline:  s.fp.Outline,
 		Stages:   fc.Metrics(),
 		Degraded: fc.Degradations(),
+	}
+	if s.fp != nil {
+		// StopAfter can end the flow before placement; there is no outline
+		// to report then.
+		res.Outline = s.fp.Outline
 	}
 	if s.checks != nil {
 		res.Checks = s.checks.Reports()

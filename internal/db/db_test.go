@@ -1,0 +1,223 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// primSection exercises every primitive the Writer/Reader pair offers.
+type primSection struct {
+	u8   uint8
+	b    bool
+	u32  uint32
+	u64  uint64
+	i32  int32
+	i64  int64
+	f64  float64
+	raw  []byte
+	str  string
+	f64s []float64
+	u64s []uint64
+	i32s []int32
+}
+
+func (s *primSection) Tag() string { return "PRIM" }
+
+func (s *primSection) Encode(w *Writer) error {
+	w.PutU8(s.u8)
+	w.PutBool(s.b)
+	w.PutU32(s.u32)
+	w.PutU64(s.u64)
+	w.PutI32(s.i32)
+	w.PutI64(s.i64)
+	w.PutF64(s.f64)
+	w.PutBytes(s.raw)
+	w.PutString(s.str)
+	w.PutF64s(s.f64s)
+	w.PutU64s(s.u64s)
+	w.PutI32s(s.i32s)
+	return nil
+}
+
+func (s *primSection) Decode(r *Reader) error {
+	var err error
+	if s.u8, err = r.U8(); err != nil {
+		return err
+	}
+	if s.b, err = r.Bool(); err != nil {
+		return err
+	}
+	if s.u32, err = r.U32(); err != nil {
+		return err
+	}
+	if s.u64, err = r.U64(); err != nil {
+		return err
+	}
+	if s.i32, err = r.I32(); err != nil {
+		return err
+	}
+	if s.i64, err = r.I64(); err != nil {
+		return err
+	}
+	if s.f64, err = r.F64(); err != nil {
+		return err
+	}
+	if s.raw, err = r.Bytes(); err != nil {
+		return err
+	}
+	if s.str, err = r.String(); err != nil {
+		return err
+	}
+	if s.f64s, err = r.F64s(); err != nil {
+		return err
+	}
+	if s.u64s, err = r.U64s(); err != nil {
+		return err
+	}
+	s.i32s, err = r.I32s()
+	return err
+}
+
+func testFile(t *testing.T, secs ...Section) []byte {
+	t.Helper()
+	data, err := Encode(MagicDesign, secs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	in := &primSection{
+		u8: 0xab, b: true, u32: 1 << 31, u64: 1 << 60,
+		i32: -12345, i64: -1 << 50, f64: -math.Pi,
+		raw: []byte{0, 1, 2, 255}, str: "hello, 3-D world",
+		f64s: []float64{0, -1.5, math.Inf(1)},
+		u64s: []uint64{7, 8},
+		i32s: []int32{-1, 0, 1},
+	}
+	data := testFile(t, in)
+
+	out := &primSection{}
+	err := Decode(data, MagicDesign, func(tag string) (Section, error) {
+		if tag != "PRIM" {
+			t.Fatalf("unexpected tag %q", tag)
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode the decoded value again: byte identity is the contract.
+	if again := testFile(t, out); !bytes.Equal(again, data) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(again), len(data))
+	}
+	if out.str != in.str || out.u64 != in.u64 || !math.Signbit(out.f64) {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestEmptySlicesStayNil(t *testing.T) {
+	data := testFile(t, &primSection{})
+	out := &primSection{raw: []byte{1}, f64s: []float64{1}}
+	err := Decode(data, MagicDesign, func(string) (Section, error) { return out, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.raw != nil || out.f64s != nil || out.u64s != nil || out.i32s != nil {
+		t.Fatalf("zero-length slices must decode to nil: %+v", out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := testFile(t, &primSection{str: "x", f64s: []float64{1, 2}})
+	nop := func(string) (Section, error) { return nil, nil }
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": valid[:4],
+		"bad magic":    append([]byte("XXXX"), valid[4:]...),
+	}
+	for name, data := range cases {
+		if err := Decode(data, MagicDesign, nop); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// Wrong version is its own error class.
+	future := append([]byte(nil), valid...)
+	future[4] = FormatVersion + 1
+	if err := Decode(future, MagicDesign, nop); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: got %v, want ErrVersion", err)
+	}
+
+	// A complete frame with a flipped payload bit fails its CRC.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-6] ^= 1
+	if err := Decode(flipped, MagicDesign, nop); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("crc: got %v, want ErrCorrupt", err)
+	}
+
+	// Truncation inside the last frame is the distinguished corrupt
+	// subclass the journal reader tolerates.
+	trunc := valid[:len(valid)-3]
+	if err := Decode(trunc, MagicDesign, nop); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: got %v, want ErrTruncated", err)
+	}
+
+	// A section that leaves payload bytes unread is corrupt.
+	shortDecode := func(string) (Section, error) { return sectionFunc{&primSection{}}, nil }
+	if err := Decode(valid, MagicDesign, shortDecode); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+}
+
+// sectionFunc decodes only the first byte of a PRIM payload, leaving a
+// tail — the trailing-bytes misuse the decoder must refuse.
+type sectionFunc struct{ s Section }
+
+func (f sectionFunc) Tag() string            { return f.s.Tag() }
+func (f sectionFunc) Encode(w *Writer) error { return f.s.Encode(w) }
+func (f sectionFunc) Decode(r *Reader) error { _, err := r.U8(); return err }
+
+func TestUnknownSectionsSkipped(t *testing.T) {
+	data := testFile(t, &primSection{u32: 9}, &primSection{u32: 10})
+	var seen int
+	err := Decode(data, MagicDesign, func(tag string) (Section, error) {
+		seen++
+		if seen == 1 {
+			return nil, nil // skip the first
+		}
+		return &primSection{}, nil
+	})
+	if err != nil || seen != 2 {
+		t.Fatalf("err=%v seen=%d", err, seen)
+	}
+}
+
+func TestList(t *testing.T) {
+	data := testFile(t, &primSection{raw: make([]byte, 100)})
+	magic, infos, err := List(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if magic != MagicDesign || len(infos) != 1 || infos[0].Tag != "PRIM" || infos[0].Len < 100 {
+		t.Fatalf("magic %q infos %+v", magic, infos)
+	}
+	if _, _, err := List([]byte("bogus!")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bogus list: %v", err)
+	}
+}
+
+func TestCountGuardsAllocation(t *testing.T) {
+	// A frame claiming 2^31 elements of 8 bytes each must fail cleanly
+	// (not allocate), because the payload cannot possibly hold them.
+	w := NewWriter()
+	w.PutU32(1 << 31)
+	r := NewReader(w.Bytes())
+	if _, err := r.F64s(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized count: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package db
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// PutStageMetric writes one flow stage metric. The stats map is emitted
+// as sorted (key, value) pairs so encoding stays canonical regardless
+// of map iteration order. Wall time is serialized for checkpoint parity
+// — a resumed flow reports the saved stages' real durations — which is
+// also why tests pinning file digests must hash with Wall zeroed.
+func PutStageMetric(w *Writer, m flow.StageMetric) {
+	w.PutString(m.Name)
+	w.PutI64(int64(m.Wall))
+	w.PutI32(int32(m.Cells))
+	keys := make([]string, 0, len(m.Stats))
+	for k := range m.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.PutU32(uint32(len(keys)))
+	for _, k := range keys {
+		w.PutString(k)
+		w.PutI64(m.Stats[k])
+	}
+}
+
+// ReadStageMetric reads one flow stage metric. An empty stats map
+// decodes to nil, matching what a stage that recorded no stats carries.
+func ReadStageMetric(r *Reader) (flow.StageMetric, error) {
+	var m flow.StageMetric
+	var err error
+	if m.Name, err = r.String(); err != nil {
+		return m, err
+	}
+	wall, err := r.I64()
+	if err != nil {
+		return m, err
+	}
+	m.Wall = time.Duration(wall)
+	cells, err := r.I32()
+	if err != nil {
+		return m, err
+	}
+	m.Cells = int(cells)
+	n, err := r.Count(12)
+	if err != nil {
+		return m, err
+	}
+	if n > 0 {
+		m.Stats = make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			k, err := r.String()
+			if err != nil {
+				return m, err
+			}
+			v, err := r.I64()
+			if err != nil {
+				return m, err
+			}
+			m.Stats[k] = v
+		}
+	}
+	return m, nil
+}

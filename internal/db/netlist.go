@@ -1,0 +1,379 @@
+package db
+
+import (
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// NetlistSection is the NETL section: the full netlist.Snapshot —
+// masters (NLDM grids included), instances, nets, ports, and the change
+// journal's revision counters, folded into one payload so decoding NETL
+// alone is sufficient to rebuild the design every other section
+// references.
+type NetlistSection struct {
+	Snap *netlist.Snapshot
+}
+
+// TagNetlist identifies the netlist section of a design file.
+const TagNetlist = "NETL"
+
+// Tag implements Section.
+func (s *NetlistSection) Tag() string { return TagNetlist }
+
+// PutPoint writes a geom.Point as two float64s.
+func (w *Writer) PutPoint(p geom.Point) {
+	w.PutF64(p.X)
+	w.PutF64(p.Y)
+}
+
+// Point reads a geom.Point.
+func (r *Reader) Point() (geom.Point, error) {
+	x, err := r.F64()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := r.F64()
+	return geom.Point{X: x, Y: y}, err
+}
+
+// PutRect writes a geom.Rect as four float64s.
+func (w *Writer) PutRect(rc geom.Rect) {
+	w.PutF64(rc.Lx)
+	w.PutF64(rc.Ly)
+	w.PutF64(rc.Ux)
+	w.PutF64(rc.Uy)
+}
+
+// Rect reads a geom.Rect.
+func (r *Reader) Rect() (geom.Rect, error) {
+	var rc geom.Rect
+	var err error
+	if rc.Lx, err = r.F64(); err != nil {
+		return rc, err
+	}
+	if rc.Ly, err = r.F64(); err != nil {
+		return rc, err
+	}
+	if rc.Ux, err = r.F64(); err != nil {
+		return rc, err
+	}
+	rc.Uy, err = r.F64()
+	return rc, err
+}
+
+func putNLDM(w *Writer, t *cell.NLDM) {
+	w.PutBool(t != nil)
+	if t == nil {
+		return
+	}
+	w.PutF64s(t.SlewAxis)
+	w.PutF64s(t.LoadAxis)
+	w.PutU32(uint32(len(t.Values)))
+	for _, row := range t.Values {
+		w.PutF64s(row)
+	}
+}
+
+func readNLDM(r *Reader) (*cell.NLDM, error) {
+	present, err := r.Bool()
+	if err != nil || !present {
+		return nil, err
+	}
+	t := &cell.NLDM{}
+	if t.SlewAxis, err = r.F64s(); err != nil {
+		return nil, err
+	}
+	if t.LoadAxis, err = r.F64s(); err != nil {
+		return nil, err
+	}
+	rows, err := r.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		row, err := r.F64s()
+		if err != nil {
+			return nil, err
+		}
+		t.Values = append(t.Values, row)
+	}
+	return t, nil
+}
+
+// PutMaster writes a complete cell master, timing tables included.
+func PutMaster(w *Writer, m *cell.Master) {
+	w.PutString(m.Name)
+	w.PutI32(int32(m.Function))
+	w.PutI32(int32(m.Drive))
+	w.PutF64(m.Width)
+	w.PutF64(m.Height)
+	w.PutU32(uint32(len(m.Pins)))
+	for _, p := range m.Pins {
+		w.PutString(p.Name)
+		w.PutU8(uint8(p.Dir))
+		w.PutF64(p.Cap)
+	}
+	putNLDM(w, m.Delay)
+	putNLDM(w, m.OutSlew)
+	w.PutF64(m.Setup)
+	w.PutF64(m.Hold)
+	w.PutF64(m.Leakage)
+	w.PutF64(m.InternalEnergy)
+	w.PutF64(m.MaxLoad)
+	w.PutI32(int32(m.Track))
+	w.PutF64(m.VDD)
+}
+
+// ReadMaster reads one cell master. Semantic validation (table shape,
+// pin sanity) is the importer's job — netlist.ImportState runs
+// Master.Validate on every master it receives.
+func ReadMaster(r *Reader) (*cell.Master, error) {
+	m := &cell.Master{}
+	var err error
+	if m.Name, err = r.String(); err != nil {
+		return nil, err
+	}
+	fn, err := r.I32()
+	if err != nil {
+		return nil, err
+	}
+	m.Function = cell.Function(fn)
+	drive, err := r.I32()
+	if err != nil {
+		return nil, err
+	}
+	m.Drive = int(drive)
+	if m.Width, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if m.Height, err = r.F64(); err != nil {
+		return nil, err
+	}
+	npins, err := r.Count(13) // name len + dir + cap
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < npins; i++ {
+		var p cell.PinSpec
+		if p.Name, err = r.String(); err != nil {
+			return nil, err
+		}
+		dir, err := r.U8()
+		if err != nil {
+			return nil, err
+		}
+		if dir > uint8(cell.DirClk) {
+			return nil, Corruptf("pin %s has direction %d", p.Name, dir)
+		}
+		p.Dir = cell.Dir(dir)
+		if p.Cap, err = r.F64(); err != nil {
+			return nil, err
+		}
+		m.Pins = append(m.Pins, p)
+	}
+	if m.Delay, err = readNLDM(r); err != nil {
+		return nil, err
+	}
+	if m.OutSlew, err = readNLDM(r); err != nil {
+		return nil, err
+	}
+	if m.Setup, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if m.Hold, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if m.Leakage, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if m.InternalEnergy, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if m.MaxLoad, err = r.F64(); err != nil {
+		return nil, err
+	}
+	track, err := r.I32()
+	if err != nil {
+		return nil, err
+	}
+	m.Track = tech.Track(track)
+	m.VDD, err = r.F64()
+	return m, err
+}
+
+func putPinSnap(w *Writer, p netlist.PinSnap) {
+	w.PutI32(p.Inst)
+	w.PutI32(p.Pin)
+}
+
+func readPinSnap(r *Reader) (netlist.PinSnap, error) {
+	var p netlist.PinSnap
+	var err error
+	if p.Inst, err = r.I32(); err != nil {
+		return p, err
+	}
+	p.Pin, err = r.I32()
+	return p, err
+}
+
+// Encode implements Section.
+func (s *NetlistSection) Encode(w *Writer) error {
+	sn := s.Snap
+	w.PutString(sn.Name)
+	w.PutU32(uint32(len(sn.Masters)))
+	for _, m := range sn.Masters {
+		PutMaster(w, m)
+	}
+	w.PutU32(uint32(len(sn.Insts)))
+	for i := range sn.Insts {
+		is := &sn.Insts[i]
+		w.PutString(is.Name)
+		w.PutI32(is.Master)
+		w.PutU8(uint8(is.Tier))
+		w.PutPoint(is.Loc)
+		w.PutBool(is.Fixed)
+	}
+	w.PutU32(uint32(len(sn.Nets)))
+	for i := range sn.Nets {
+		ns := &sn.Nets[i]
+		w.PutString(ns.Name)
+		w.PutBool(ns.IsClock)
+		putPinSnap(w, ns.Driver)
+		w.PutU32(uint32(len(ns.Sinks)))
+		for _, sink := range ns.Sinks {
+			putPinSnap(w, sink)
+		}
+	}
+	w.PutU32(uint32(len(sn.Ports)))
+	for i := range sn.Ports {
+		ps := &sn.Ports[i]
+		w.PutString(ps.Name)
+		w.PutU8(uint8(ps.Dir))
+		w.PutI32(ps.Net)
+		w.PutPoint(ps.Loc)
+		w.PutF64(ps.Cap)
+	}
+	w.PutU64(sn.Journal.TopoRev)
+	w.PutU64(sn.Journal.MaxTopo)
+	w.PutU64s(sn.Journal.InstRev)
+	w.PutU64s(sn.Journal.NetRev)
+	return nil
+}
+
+// Decode implements Section. It only rebuilds the Snapshot; replaying
+// it into a live Design (netlist.ImportState) is the caller's step, so
+// structural validation lives in one place.
+func (s *NetlistSection) Decode(r *Reader) error {
+	sn := &netlist.Snapshot{}
+	var err error
+	if sn.Name, err = r.String(); err != nil {
+		return err
+	}
+	nm, err := r.Count(1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nm; i++ {
+		m, err := ReadMaster(r)
+		if err != nil {
+			return err
+		}
+		sn.Masters = append(sn.Masters, m)
+	}
+	ni, err := r.Count(26) // name len + master + tier + loc + fixed
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ni; i++ {
+		var is netlist.InstSnap
+		if is.Name, err = r.String(); err != nil {
+			return err
+		}
+		mi, err := r.I32()
+		if err != nil {
+			return err
+		}
+		is.Master = mi
+		tier, err := r.U8()
+		if err != nil {
+			return err
+		}
+		is.Tier = tech.Tier(tier)
+		if is.Loc, err = r.Point(); err != nil {
+			return err
+		}
+		if is.Fixed, err = r.Bool(); err != nil {
+			return err
+		}
+		sn.Insts = append(sn.Insts, is)
+	}
+	nn, err := r.Count(17) // name len + clock + driver + sink count
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nn; i++ {
+		var ns netlist.NetSnap
+		if ns.Name, err = r.String(); err != nil {
+			return err
+		}
+		if ns.IsClock, err = r.Bool(); err != nil {
+			return err
+		}
+		if ns.Driver, err = readPinSnap(r); err != nil {
+			return err
+		}
+		nsk, err := r.Count(8)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nsk; j++ {
+			sink, err := readPinSnap(r)
+			if err != nil {
+				return err
+			}
+			ns.Sinks = append(ns.Sinks, sink)
+		}
+		sn.Nets = append(sn.Nets, ns)
+	}
+	np, err := r.Count(33) // name len + dir + net + loc + cap
+	if err != nil {
+		return err
+	}
+	for i := 0; i < np; i++ {
+		var ps netlist.PortSnap
+		if ps.Name, err = r.String(); err != nil {
+			return err
+		}
+		dir, err := r.U8()
+		if err != nil {
+			return err
+		}
+		ps.Dir = cell.Dir(dir)
+		if ps.Net, err = r.I32(); err != nil {
+			return err
+		}
+		if ps.Loc, err = r.Point(); err != nil {
+			return err
+		}
+		if ps.Cap, err = r.F64(); err != nil {
+			return err
+		}
+		sn.Ports = append(sn.Ports, ps)
+	}
+	if sn.Journal.TopoRev, err = r.U64(); err != nil {
+		return err
+	}
+	if sn.Journal.MaxTopo, err = r.U64(); err != nil {
+		return err
+	}
+	if sn.Journal.InstRev, err = r.U64s(); err != nil {
+		return err
+	}
+	if sn.Journal.NetRev, err = r.U64s(); err != nil {
+		return err
+	}
+	s.Snap = sn
+	return nil
+}

@@ -1,0 +1,187 @@
+package db
+
+import "math"
+
+// Reader is the bounds-checked decode counterpart of Writer: every read
+// validates the remaining length and returns ErrCorrupt on truncation,
+// and element counts are capped against the bytes actually present —
+// an adversarial header claiming 2³¹ elements cannot force a huge
+// allocation or a panic.
+type Reader struct {
+	data []byte
+	off  int
+}
+
+// NewReader reads from data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+func (r *Reader) take(n int) ([]byte, error) {
+	if n < 0 || r.Remaining() < n {
+		return nil, Corruptf("need %d bytes, %d remain", n, r.Remaining())
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Bool reads one byte as a bool; any value other than 0 or 1 is
+// corrupt (a canonical encoder only emits those).
+func (r *Reader) Bool() (bool, error) {
+	v, err := r.U8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, Corruptf("bool byte %d", v)
+	}
+	return v == 1, nil
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return leU32(b), nil
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return leU64(b), nil
+}
+
+// I32 reads a two's-complement int32.
+func (r *Reader) I32() (int32, error) {
+	v, err := r.U32()
+	return int32(v), err
+}
+
+// I64 reads a two's-complement int64.
+func (r *Reader) I64() (int64, error) {
+	v, err := r.U64()
+	return int64(v), err
+}
+
+// F64 reads a float64 from its IEEE-754 bit pattern.
+func (r *Reader) F64() (float64, error) {
+	v, err := r.U64()
+	return math.Float64frombits(v), err
+}
+
+// Count reads a u32 element count and validates it against the bytes
+// remaining: each element needs at least elemSize bytes, so a count
+// exceeding Remaining()/elemSize is corrupt. elemSize must be >= 1
+// (variable-size elements pass their minimum encoding size).
+func (r *Reader) Count(elemSize int) (int, error) {
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	v, err := r.U32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n > r.Remaining()/elemSize {
+		return 0, Corruptf("count %d exceeds remaining input (%d bytes, >= %d each)", n, r.Remaining(), elemSize)
+	}
+	return n, nil
+}
+
+// Bytes reads a counted byte slice (a copy — the reader's backing array
+// is not aliased).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// String reads a counted string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Count(1)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// F64s reads a counted slice of float64 (nil when the count is 0, so
+// empty slices round-trip canonically).
+func (r *Reader) F64s() ([]float64, error) {
+	n, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = r.F64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// U64s reads a counted slice of uint64 (nil when the count is 0).
+func (r *Reader) U64s() ([]uint64, error) {
+	n, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = r.U64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// I32s reads a counted slice of int32 (nil when the count is 0).
+func (r *Reader) I32s() ([]int32, error) {
+	n, err := r.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		if out[i], err = r.I32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,509 @@
+package db
+
+import (
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/cts"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sta"
+)
+
+// Section tags of the per-layer design-file sections. Core adds its own
+// flow-owned tags (metadata, stage metrics, PPAC) on top of these.
+const (
+	TagFloorplan = "PLAC"
+	TagCTS       = "CTSR"
+	TagSTA       = "STAR"
+	TagRoute     = "ROUT"
+	TagChecks    = "CHKS"
+)
+
+// FloorplanSection is the PLAC section: the die/core outline and
+// placement parameters.
+type FloorplanSection struct {
+	FP *place.Floorplan
+}
+
+// Tag implements Section.
+func (s *FloorplanSection) Tag() string { return TagFloorplan }
+
+// Encode implements Section.
+func (s *FloorplanSection) Encode(w *Writer) error {
+	w.PutRect(s.FP.Outline)
+	w.PutRect(s.FP.Core)
+	w.PutF64(s.FP.TargetUtil)
+	w.PutI32(int32(s.FP.Tiers))
+	return nil
+}
+
+// Decode implements Section.
+func (s *FloorplanSection) Decode(r *Reader) error {
+	fp := &place.Floorplan{}
+	var err error
+	if fp.Outline, err = r.Rect(); err != nil {
+		return err
+	}
+	if fp.Core, err = r.Rect(); err != nil {
+		return err
+	}
+	if fp.TargetUtil, err = r.F64(); err != nil {
+		return err
+	}
+	tiers, err := r.I32()
+	if err != nil {
+		return err
+	}
+	if tiers < 1 || tiers > 2 {
+		return Corruptf("floorplan has %d tiers", tiers)
+	}
+	fp.Tiers = int(tiers)
+	s.FP = fp
+	return nil
+}
+
+// CTSSection is the CTSR section: the clock-tree result with buffer
+// references flattened to dense instance IDs and the latency map as
+// sorted (id, latency) pairs — the map's iteration order never touches
+// the wire, so encoding stays canonical. Decode needs the restored
+// design (D) to resolve buffer IDs back to instances.
+type CTSSection struct {
+	D   *netlist.Design
+	Res *cts.Result
+}
+
+// Tag implements Section.
+func (s *CTSSection) Tag() string { return TagCTS }
+
+// Encode implements Section.
+func (s *CTSSection) Encode(w *Writer) error {
+	ct := s.Res
+	w.PutU32(uint32(len(ct.Buffers)))
+	for _, b := range ct.Buffers {
+		w.PutI32(int32(b.ID))
+	}
+	ids := make([]int, 0, len(ct.Latency))
+	for id := range ct.Latency {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.PutU32(uint32(len(ids)))
+	for _, id := range ids {
+		w.PutI32(int32(id))
+		w.PutF64(ct.Latency[id])
+	}
+	w.PutF64(ct.MaxLatency)
+	w.PutF64(ct.MinLatency)
+	w.PutF64(ct.MaxSkew)
+	w.PutF64(ct.BufferArea)
+	w.PutF64(ct.Wirelength)
+	w.PutI32(int32(ct.CountByTier[0]))
+	w.PutI32(int32(ct.CountByTier[1]))
+	w.PutI32(int32(ct.Levels))
+	return nil
+}
+
+// Decode implements Section.
+func (s *CTSSection) Decode(r *Reader) error {
+	ct := &cts.Result{}
+	nb, err := r.Count(4)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nb; i++ {
+		id, err := r.I32()
+		if err != nil {
+			return err
+		}
+		if id < 0 || int(id) >= len(s.D.Instances) {
+			return Corruptf("clock buffer references instance %d of %d", id, len(s.D.Instances))
+		}
+		ct.Buffers = append(ct.Buffers, s.D.Instances[id])
+	}
+	nl, err := r.Count(12)
+	if err != nil {
+		return err
+	}
+	ct.Latency = make(map[int]float64, nl)
+	for i := 0; i < nl; i++ {
+		id, err := r.I32()
+		if err != nil {
+			return err
+		}
+		if id < 0 || int(id) >= len(s.D.Instances) {
+			return Corruptf("clock latency references instance %d of %d", id, len(s.D.Instances))
+		}
+		v, err := r.F64()
+		if err != nil {
+			return err
+		}
+		ct.Latency[int(id)] = v
+	}
+	if ct.MaxLatency, err = r.F64(); err != nil {
+		return err
+	}
+	if ct.MinLatency, err = r.F64(); err != nil {
+		return err
+	}
+	if ct.MaxSkew, err = r.F64(); err != nil {
+		return err
+	}
+	if ct.BufferArea, err = r.F64(); err != nil {
+		return err
+	}
+	if ct.Wirelength, err = r.F64(); err != nil {
+		return err
+	}
+	for t := 0; t < 2; t++ {
+		v, err := r.I32()
+		if err != nil {
+			return err
+		}
+		ct.CountByTier[t] = int(v)
+	}
+	levels, err := r.I32()
+	if err != nil {
+		return err
+	}
+	ct.Levels = int(levels)
+	s.Res = ct
+	return nil
+}
+
+// STASection is the STAR section: a full sta.Snapshot — summary
+// numbers, per-instance arrival/required/delay/slew/wire arrays,
+// predecessors, and the endpoint slack table.
+type STASection struct {
+	Snap *sta.Snapshot
+}
+
+// Tag implements Section.
+func (s *STASection) Tag() string { return TagSTA }
+
+// Encode implements Section.
+func (s *STASection) Encode(w *Writer) error {
+	sn := s.Snap
+	w.PutF64(sn.Period)
+	w.PutF64(sn.WNS)
+	w.PutF64(sn.TNS)
+	w.PutF64(sn.HoldWNS)
+	w.PutF64(sn.HoldTNS)
+	w.PutI32(int32(sn.Endpoints))
+	w.PutI32(int32(sn.FailingEndpoints))
+	w.PutI32(int32(sn.FailingHoldEndpoints))
+	w.PutF64s(sn.ArrOut)
+	w.PutF64s(sn.ReqOut)
+	w.PutF64s(sn.Delay)
+	w.PutF64s(sn.SlewOut)
+	w.PutF64s(sn.InWire)
+	w.PutI32s(sn.Pred)
+	w.PutU32(uint32(len(sn.Ends)))
+	for _, e := range sn.Ends {
+		w.PutI32(e.Inst)
+		w.PutI32(e.Port)
+		w.PutI32(e.From)
+		w.PutF64(e.Slack)
+		w.PutF64(e.Hold)
+	}
+	return nil
+}
+
+// Decode implements Section.
+func (s *STASection) Decode(r *Reader) error {
+	sn := &sta.Snapshot{}
+	var err error
+	if sn.Period, err = r.F64(); err != nil {
+		return err
+	}
+	if sn.WNS, err = r.F64(); err != nil {
+		return err
+	}
+	if sn.TNS, err = r.F64(); err != nil {
+		return err
+	}
+	if sn.HoldWNS, err = r.F64(); err != nil {
+		return err
+	}
+	if sn.HoldTNS, err = r.F64(); err != nil {
+		return err
+	}
+	var v int32
+	if v, err = r.I32(); err != nil {
+		return err
+	}
+	sn.Endpoints = int(v)
+	if v, err = r.I32(); err != nil {
+		return err
+	}
+	sn.FailingEndpoints = int(v)
+	if v, err = r.I32(); err != nil {
+		return err
+	}
+	sn.FailingHoldEndpoints = int(v)
+	if sn.ArrOut, err = r.F64s(); err != nil {
+		return err
+	}
+	if sn.ReqOut, err = r.F64s(); err != nil {
+		return err
+	}
+	if sn.Delay, err = r.F64s(); err != nil {
+		return err
+	}
+	if sn.SlewOut, err = r.F64s(); err != nil {
+		return err
+	}
+	if sn.InWire, err = r.F64s(); err != nil {
+		return err
+	}
+	if sn.Pred, err = r.I32s(); err != nil {
+		return err
+	}
+	ne, err := r.Count(28)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ne; i++ {
+		var e sta.EndpointSnap
+		if e.Inst, err = r.I32(); err != nil {
+			return err
+		}
+		if e.Port, err = r.I32(); err != nil {
+			return err
+		}
+		if e.From, err = r.I32(); err != nil {
+			return err
+		}
+		if e.Slack, err = r.F64(); err != nil {
+			return err
+		}
+		if e.Hold, err = r.F64(); err != nil {
+			return err
+		}
+		sn.Ends = append(sn.Ends, e)
+	}
+	s.Snap = sn
+	return nil
+}
+
+// RouteSection is the ROUT section: the valid extraction-cache entries
+// in net-ID order, each keyed on the journal revision it was extracted
+// at. A resumed flow installs them into a fresh cache; any entry whose
+// net has since moved simply misses and re-extracts — determinism rests
+// on the extraction being a pure function of the design, the entries
+// only keep the cache warm.
+type RouteSection struct {
+	Entries []route.CacheEntry
+}
+
+// Tag implements Section.
+func (s *RouteSection) Tag() string { return TagRoute }
+
+// Encode implements Section.
+func (s *RouteSection) Encode(w *Writer) error {
+	w.PutU32(uint32(len(s.Entries)))
+	for _, e := range s.Entries {
+		w.PutI32(int32(e.Net))
+		w.PutU64(e.Rev)
+		w.PutF64(e.RC.WireLen)
+		w.PutF64(e.RC.WireCap)
+		w.PutF64s(e.RC.SinkR)
+		w.PutF64s(e.RC.SinkCapShare)
+		w.PutI32(int32(e.RC.MIVs))
+	}
+	return nil
+}
+
+// Decode implements Section.
+func (s *RouteSection) Decode(r *Reader) error {
+	n, err := r.Count(40)
+	if err != nil {
+		return err
+	}
+	s.Entries = nil
+	for i := 0; i < n; i++ {
+		var e route.CacheEntry
+		id, err := r.I32()
+		if err != nil {
+			return err
+		}
+		e.Net = int(id)
+		if e.Rev, err = r.U64(); err != nil {
+			return err
+		}
+		rc := &route.NetRC{}
+		if rc.WireLen, err = r.F64(); err != nil {
+			return err
+		}
+		if rc.WireCap, err = r.F64(); err != nil {
+			return err
+		}
+		if rc.SinkR, err = r.F64s(); err != nil {
+			return err
+		}
+		if rc.SinkCapShare, err = r.F64s(); err != nil {
+			return err
+		}
+		mivs, err := r.I32()
+		if err != nil {
+			return err
+		}
+		rc.MIVs = int(mivs)
+		e.RC = rc
+		s.Entries = append(s.Entries, e)
+	}
+	return nil
+}
+
+// PutCheckReport writes one design-integrity report.
+func PutCheckReport(w *Writer, rep *check.Report) {
+	w.PutString(rep.Design)
+	w.PutString(rep.Stage)
+	w.PutU32(uint32(len(rep.Stats)))
+	for _, st := range rep.Stats {
+		w.PutString(st.ID)
+		w.PutString(st.Title)
+		w.PutU8(uint8(st.Severity))
+		w.PutI32(int32(st.Checked))
+		w.PutI32(int32(st.Violations))
+	}
+	w.PutU32(uint32(len(rep.Violations)))
+	for _, v := range rep.Violations {
+		w.PutString(v.Rule)
+		w.PutU8(uint8(v.Severity))
+		w.PutString(v.Obj)
+		w.PutString(v.Msg)
+	}
+}
+
+// ReadCheckReport reads one design-integrity report.
+func ReadCheckReport(r *Reader) (*check.Report, error) {
+	rep := &check.Report{}
+	var err error
+	if rep.Design, err = r.String(); err != nil {
+		return nil, err
+	}
+	if rep.Stage, err = r.String(); err != nil {
+		return nil, err
+	}
+	readSeverity := func() (check.Severity, error) {
+		v, err := r.U8()
+		if err != nil {
+			return 0, err
+		}
+		if v > uint8(check.Error) {
+			return 0, Corruptf("severity byte %d", v)
+		}
+		return check.Severity(v), nil
+	}
+	ns, err := r.Count(17)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ns; i++ {
+		var st check.RuleStat
+		if st.ID, err = r.String(); err != nil {
+			return nil, err
+		}
+		if st.Title, err = r.String(); err != nil {
+			return nil, err
+		}
+		if st.Severity, err = readSeverity(); err != nil {
+			return nil, err
+		}
+		v, err := r.I32()
+		if err != nil {
+			return nil, err
+		}
+		st.Checked = int(v)
+		if v, err = r.I32(); err != nil {
+			return nil, err
+		}
+		st.Violations = int(v)
+		rep.Stats = append(rep.Stats, st)
+	}
+	nv, err := r.Count(13)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nv; i++ {
+		var v check.Violation
+		if v.Rule, err = r.String(); err != nil {
+			return nil, err
+		}
+		if v.Severity, err = readSeverity(); err != nil {
+			return nil, err
+		}
+		if v.Obj, err = r.String(); err != nil {
+			return nil, err
+		}
+		if v.Msg, err = r.String(); err != nil {
+			return nil, err
+		}
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep, nil
+}
+
+// ChecksSection is the CHKS section: the check session's stage-boundary
+// context (the ENG-003 monotonicity baseline) plus every boundary
+// report produced so far, so a resumed flow reports and enforces
+// exactly what a continuous one would.
+type ChecksSection struct {
+	State   check.SessionState
+	Reports []*check.Report
+}
+
+// Tag implements Section.
+func (s *ChecksSection) Tag() string { return TagChecks }
+
+// Encode implements Section.
+func (s *ChecksSection) Encode(w *Writer) error {
+	w.PutBool(s.State.Seen)
+	w.PutString(s.State.PrevStage)
+	w.PutU64(s.State.PrevTopo)
+	w.PutI32(int32(s.State.PrevInsts))
+	w.PutI32(int32(s.State.PrevNets))
+	w.PutU32(uint32(len(s.Reports)))
+	for _, rep := range s.Reports {
+		PutCheckReport(w, rep)
+	}
+	return nil
+}
+
+// Decode implements Section.
+func (s *ChecksSection) Decode(r *Reader) error {
+	var err error
+	if s.State.Seen, err = r.Bool(); err != nil {
+		return err
+	}
+	if s.State.PrevStage, err = r.String(); err != nil {
+		return err
+	}
+	if s.State.PrevTopo, err = r.U64(); err != nil {
+		return err
+	}
+	var v int32
+	if v, err = r.I32(); err != nil {
+		return err
+	}
+	s.State.PrevInsts = int(v)
+	if v, err = r.I32(); err != nil {
+		return err
+	}
+	s.State.PrevNets = int(v)
+	nr, err := r.Count(16)
+	if err != nil {
+		return err
+	}
+	s.Reports = nil
+	for i := 0; i < nr; i++ {
+		rep, err := ReadCheckReport(r)
+		if err != nil {
+			return err
+		}
+		s.Reports = append(s.Reports, rep)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package db
+
+import "math"
+
+// Writer is an append-only little-endian byte builder — the encode half
+// of every codec. It never fails; sizing errors surface on the decode
+// side where untrusted input lives.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// PutU8 writes one byte.
+func (w *Writer) PutU8(v uint8) { w.buf = append(w.buf, v) }
+
+// PutBool writes a bool as one byte (0 or 1).
+func (w *Writer) PutBool(v bool) {
+	if v {
+		w.PutU8(1)
+	} else {
+		w.PutU8(0)
+	}
+}
+
+// PutU32 writes a little-endian uint32.
+func (w *Writer) PutU32(v uint32) { w.buf = appendU32(w.buf, v) }
+
+// PutU64 writes a little-endian uint64.
+func (w *Writer) PutU64(v uint64) { w.buf = appendU64(w.buf, v) }
+
+// PutI32 writes an int32 in two's complement.
+func (w *Writer) PutI32(v int32) { w.PutU32(uint32(v)) }
+
+// PutI64 writes an int64 in two's complement.
+func (w *Writer) PutI64(v int64) { w.PutU64(uint64(v)) }
+
+// PutF64 writes a float64 as its IEEE-754 bit pattern — values
+// round-trip bit-exactly, NaN payloads included.
+func (w *Writer) PutF64(v float64) { w.PutU64(math.Float64bits(v)) }
+
+// PutBytes writes a u32 length followed by the raw bytes.
+func (w *Writer) PutBytes(b []byte) {
+	w.PutU32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// PutString writes a string as PutBytes of its contents.
+func (w *Writer) PutString(s string) {
+	w.PutU32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// PutF64s writes a counted slice of float64.
+func (w *Writer) PutF64s(vs []float64) {
+	w.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		w.PutF64(v)
+	}
+}
+
+// PutU64s writes a counted slice of uint64.
+func (w *Writer) PutU64s(vs []uint64) {
+	w.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		w.PutU64(v)
+	}
+}
+
+// PutI32s writes a counted slice of int32.
+func (w *Writer) PutI32s(vs []int32) {
+	w.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		w.PutI32(v)
+	}
+}

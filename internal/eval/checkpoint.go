@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/db"
 	"repro/internal/designs"
 	"repro/internal/flow"
 )
@@ -72,11 +74,23 @@ type flowKey struct {
 	config core.ConfigName
 }
 
+// ckptRecord is one journal entry in file order — exactly one of its
+// fields is set. Both formats parse to this, which is what lets
+// ConvertCheckpoint translate between them without loss.
+type ckptRecord struct {
+	fmax *ckptFmax
+	flow *ckptFlow
+}
+
 // Checkpoint is an open evaluation journal: the completed work loaded
 // from it plus an append handle for new completions. Safe for concurrent
 // use by the suite's worker pool.
 type Checkpoint struct {
 	path string
+	// bin selects the length-prefixed binary framing (internal/db,
+	// magic "H3CK") over JSONL. Decided by sniffing an existing file's
+	// first bytes, or by extension (.db/.bin) for a fresh one.
+	bin bool
 
 	mu    sync.Mutex
 	f     *os.File
@@ -123,13 +137,42 @@ func sameHeader(a, b ckptHeader) bool {
 	return true
 }
 
+// binaryExt reports whether a fresh checkpoint at path should use the
+// binary framing (existing files are sniffed instead).
+func binaryExt(path string) bool {
+	switch filepath.Ext(path) {
+	case ".db", ".bin":
+		return true
+	}
+	return false
+}
+
+// parseCheckpoint dispatches on the file's first bytes: the journal
+// magic selects the binary framing, anything else parses as JSONL (a
+// JSONL journal starts with '{').
+func parseCheckpoint(data []byte) (hdr ckptHeader, recs []ckptRecord, bin bool, err error) {
+	if len(data) >= 4 && string(data[:4]) == db.MagicJournal {
+		hdr, recs, err = parseBinaryCkpt(data)
+		return hdr, recs, true, err
+	}
+	hdr, recs, err = parseJSONLCkpt(data)
+	return hdr, recs, false, err
+}
+
+// errDifferentOptions is shared by both formats so callers see one
+// message regardless of encoding.
+var errDifferentOptions = fmt.Errorf("journal was written under different suite options (scale/seed/designs/configs/check) — delete it or rerun with the original options")
+
 // OpenCheckpoint opens (or creates) the journal at path for the given
 // suite options. An existing journal written under different options is
-// refused — resuming it would silently mix incompatible results.
+// refused — resuming it would silently mix incompatible results. The
+// journal format is auto-detected for existing files; fresh journals
+// are binary when the path ends in .db or .bin, JSONL otherwise.
 func OpenCheckpoint(path string, opt SuiteOptions) (*Checkpoint, error) {
 	opt = opt.withDefaults()
 	c := &Checkpoint{
 		path:  path,
+		bin:   binaryExt(path),
 		fmax:  make(map[designs.Name]ckptFmax),
 		flows: make(map[flowKey]*ckptFlow),
 	}
@@ -142,9 +185,15 @@ func OpenCheckpoint(path string, opt SuiteOptions) (*Checkpoint, error) {
 	case err != nil:
 		return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
 	default:
-		if err := c.load(data, want); err != nil {
+		hdr, recs, bin, err := parseCheckpoint(data)
+		if err != nil {
 			return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
 		}
+		if !sameHeader(hdr, want) {
+			return nil, fmt.Errorf("eval: checkpoint %s: %w", path, errDifferentOptions)
+		}
+		c.bin = bin
+		c.index(recs)
 	}
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -153,7 +202,7 @@ func OpenCheckpoint(path string, opt SuiteOptions) (*Checkpoint, error) {
 	}
 	c.f = f
 	if len(data) == 0 {
-		if err := c.append(want); err != nil {
+		if err := c.appendHeader(want); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -161,11 +210,27 @@ func OpenCheckpoint(path string, opt SuiteOptions) (*Checkpoint, error) {
 	return c, nil
 }
 
-// load parses the journal, validates its header, and indexes the
-// records. A truncated or malformed final line is tolerated (the journal
-// may have been killed mid-append); a malformed line anywhere else is an
-// error.
-func (c *Checkpoint) load(data []byte, want ckptHeader) error {
+// index installs parsed records into the completion maps (later records
+// win, mirroring append order).
+func (c *Checkpoint) index(recs []ckptRecord) {
+	for _, rec := range recs {
+		switch {
+		case rec.fmax != nil:
+			c.fmax[designs.Name(rec.fmax.Design)] = *rec.fmax
+		case rec.flow != nil:
+			c.flows[flowKey{designs.Name(rec.flow.Design), core.ConfigName(rec.flow.Config)}] = rec.flow
+		}
+	}
+}
+
+// parseJSONLCkpt parses the line-oriented format. A truncated or
+// malformed final line is tolerated (the journal may have been killed
+// mid-append); a malformed line anywhere else is an error.
+func parseJSONLCkpt(data []byte) (ckptHeader, []ckptRecord, error) {
+	var (
+		hdr  ckptHeader
+		recs []ckptRecord
+	)
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	line := 0
@@ -178,7 +243,7 @@ func (c *Checkpoint) load(data []byte, want ckptHeader) error {
 			continue
 		}
 		if bad >= 0 {
-			return fmt.Errorf("malformed record at line %d (only the final line may be truncated)", bad)
+			return hdr, nil, fmt.Errorf("malformed record at line %d (only the final line may be truncated)", bad)
 		}
 		var kind struct {
 			Kind string `json:"kind"`
@@ -195,47 +260,72 @@ func (c *Checkpoint) load(data []byte, want ckptHeader) error {
 				continue
 			}
 			if sawHeader {
-				return fmt.Errorf("duplicate header at line %d", line)
+				return hdr, nil, fmt.Errorf("duplicate header at line %d", line)
 			}
 			sawHeader = true
-			if !sameHeader(h, want) {
-				return fmt.Errorf("journal was written under different suite options (scale/seed/designs/configs/check) — delete it or rerun with the original options")
-			}
+			hdr = h
 		case "fmax":
 			var r ckptFmax
 			if err := json.Unmarshal(raw, &r); err != nil {
 				bad = line
 				continue
 			}
-			c.fmax[designs.Name(r.Design)] = r
+			recs = append(recs, ckptRecord{fmax: &r})
 		case "flow":
 			var r ckptFlow
 			if err := json.Unmarshal(raw, &r); err != nil || r.PPAC == nil {
 				bad = line
 				continue
 			}
-			c.flows[flowKey{designs.Name(r.Design), core.ConfigName(r.Config)}] = &r
+			recs = append(recs, ckptRecord{flow: &r})
 		default:
 			bad = line
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return hdr, nil, err
 	}
 	if !sawHeader {
-		return fmt.Errorf("no header record — not an evaluation checkpoint")
+		return hdr, nil, fmt.Errorf("no header record — not an evaluation checkpoint")
 	}
-	return nil
+	return hdr, recs, nil
 }
 
-// append marshals one record and writes it as a single line. Callers
-// hold no lock; append takes it.
+// appendHeader writes the journal's first record.
+func (c *Checkpoint) appendHeader(h ckptHeader) error {
+	if c.bin {
+		return c.appendRaw(db.Header(db.MagicJournal), func() ([]byte, error) {
+			return appendHeaderFrame(nil, h)
+		})
+	}
+	return c.append(h)
+}
+
+// append marshals one record and writes it with a single Write call.
+// Callers hold no lock; append takes it.
 func (c *Checkpoint) append(rec any) error {
+	if c.bin {
+		return c.appendRaw(nil, func() ([]byte, error) {
+			return appendRecordFrame(nil, rec)
+		})
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("eval: checkpoint %s: %w", c.path, err)
 	}
-	b = append(b, '\n')
+	return c.write(append(b, '\n'))
+}
+
+// appendRaw builds prefix+frame and writes it in one call.
+func (c *Checkpoint) appendRaw(prefix []byte, frame func() ([]byte, error)) error {
+	b, err := frame()
+	if err != nil {
+		return fmt.Errorf("eval: checkpoint %s: %w", c.path, err)
+	}
+	return c.write(append(prefix, b...))
+}
+
+func (c *Checkpoint) write(b []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {

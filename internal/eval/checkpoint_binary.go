@@ -1,0 +1,329 @@
+package eval
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/db"
+)
+
+// The binary evaluation journal is the streamable sibling of the JSONL
+// checkpoint: the same append-only semantics (header first, one frame
+// per completed unit of work, a truncated final frame tolerated) over
+// internal/db's length-prefixed CRC-checked framing under the "H3CK"
+// magic. Records are written with the same explicit per-field encoders
+// the design database uses — no reflection, and floats survive exactly
+// by construction rather than by shortest-round-trip printing.
+
+// Frame tags of the binary journal.
+const (
+	tagCkptHeader = "EHDR"
+	tagCkptFmax   = "FMAX"
+	tagCkptFlow   = "FLOW"
+)
+
+func appendHeaderFrame(dst []byte, h ckptHeader) ([]byte, error) {
+	w := db.NewWriter()
+	w.PutI32(int32(h.Version))
+	w.PutF64(h.Scale)
+	w.PutI64(h.Seed)
+	w.PutU32(uint32(len(h.Designs)))
+	for _, d := range h.Designs {
+		w.PutString(d)
+	}
+	w.PutU32(uint32(len(h.Configs)))
+	for _, c := range h.Configs {
+		w.PutString(c)
+	}
+	w.PutI32(int32(h.FmaxIterations))
+	w.PutString(h.Check)
+	return db.AppendFrame(dst, tagCkptHeader, w.Bytes())
+}
+
+func readHeaderFrame(r *db.Reader) (ckptHeader, error) {
+	h := ckptHeader{Kind: "header"}
+	v, err := r.I32()
+	if err != nil {
+		return h, err
+	}
+	h.Version = int(v)
+	if h.Scale, err = r.F64(); err != nil {
+		return h, err
+	}
+	if h.Seed, err = r.I64(); err != nil {
+		return h, err
+	}
+	nd, err := r.Count(4)
+	if err != nil {
+		return h, err
+	}
+	for i := 0; i < nd; i++ {
+		s, err := r.String()
+		if err != nil {
+			return h, err
+		}
+		h.Designs = append(h.Designs, s)
+	}
+	nc, err := r.Count(4)
+	if err != nil {
+		return h, err
+	}
+	for i := 0; i < nc; i++ {
+		s, err := r.String()
+		if err != nil {
+			return h, err
+		}
+		h.Configs = append(h.Configs, s)
+	}
+	if v, err = r.I32(); err != nil {
+		return h, err
+	}
+	h.FmaxIterations = int(v)
+	h.Check, err = r.String()
+	return h, err
+}
+
+// appendRecordFrame encodes one fmax or flow record as a frame.
+func appendRecordFrame(dst []byte, rec any) ([]byte, error) {
+	w := db.NewWriter()
+	switch r := rec.(type) {
+	case ckptFmax:
+		w.PutString(r.Design)
+		w.PutI32(int32(r.Cells))
+		w.PutF64(r.FmaxGHz)
+		return db.AppendFrame(dst, tagCkptFmax, w.Bytes())
+	case *ckptFlow:
+		w.PutString(r.Design)
+		w.PutString(r.Config)
+		core.PutPPAC(w, r.PPAC)
+		w.PutU32(uint32(len(r.Stages)))
+		for _, m := range r.Stages {
+			db.PutStageMetric(w, m)
+		}
+		w.PutU32(uint32(len(r.Degraded)))
+		for _, s := range r.Degraded {
+			w.PutString(s)
+		}
+		w.PutBool(r.Dive != nil)
+		if r.Dive != nil {
+			core.PutDeepDive(w, r.Dive)
+		}
+		w.PutU32(uint32(len(r.Checks)))
+		for _, rep := range r.Checks {
+			db.PutCheckReport(w, rep)
+		}
+		return db.AppendFrame(dst, tagCkptFlow, w.Bytes())
+	default:
+		return nil, fmt.Errorf("unsupported journal record %T", rec)
+	}
+}
+
+func readFmaxFrame(r *db.Reader) (*ckptFmax, error) {
+	rec := &ckptFmax{Kind: "fmax"}
+	var err error
+	if rec.Design, err = r.String(); err != nil {
+		return nil, err
+	}
+	v, err := r.I32()
+	if err != nil {
+		return nil, err
+	}
+	rec.Cells = int(v)
+	rec.FmaxGHz, err = r.F64()
+	return rec, err
+}
+
+func readFlowFrame(r *db.Reader) (*ckptFlow, error) {
+	rec := &ckptFlow{Kind: "flow"}
+	var err error
+	if rec.Design, err = r.String(); err != nil {
+		return nil, err
+	}
+	if rec.Config, err = r.String(); err != nil {
+		return nil, err
+	}
+	if rec.PPAC, err = core.ReadPPAC(r); err != nil {
+		return nil, err
+	}
+	ns, err := r.Count(13)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ns; i++ {
+		m, err := db.ReadStageMetric(r)
+		if err != nil {
+			return nil, err
+		}
+		rec.Stages = append(rec.Stages, m)
+	}
+	ndg, err := r.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ndg; i++ {
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		rec.Degraded = append(rec.Degraded, s)
+	}
+	hasDive, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasDive {
+		if rec.Dive, err = core.ReadDeepDive(r); err != nil {
+			return nil, err
+		}
+	}
+	nch, err := r.Count(16)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nch; i++ {
+		rep, err := db.ReadCheckReport(r)
+		if err != nil {
+			return nil, err
+		}
+		rec.Checks = append(rec.Checks, rep)
+	}
+	return rec, nil
+}
+
+// parseBinaryCkpt walks the framed journal. Semantics mirror the JSONL
+// parser: the header frame must come first and exactly once, unknown
+// tags are skipped, and a truncated final frame is tolerated (the run
+// was killed mid-append; that record's work re-runs). A CRC failure on
+// a complete frame is corruption and refuses the journal.
+func parseBinaryCkpt(data []byte) (ckptHeader, []ckptRecord, error) {
+	var (
+		hdr  ckptHeader
+		recs []ckptRecord
+	)
+	body, err := db.ParseHeader(data, db.MagicJournal)
+	if err != nil {
+		return hdr, nil, err
+	}
+	it := db.NewFrameIter(body)
+	sawHeader := false
+	for {
+		tag, payload, err := it.Next()
+		if errors.Is(err, db.ErrTruncated) {
+			break // killed mid-append: the partial final frame re-runs
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return hdr, nil, err
+		}
+		r := db.NewReader(payload)
+		switch tag {
+		case tagCkptHeader:
+			if sawHeader {
+				return hdr, nil, db.Corruptf("duplicate header frame")
+			}
+			sawHeader = true
+			if hdr, err = readHeaderFrame(r); err != nil {
+				return hdr, nil, err
+			}
+		case tagCkptFmax:
+			rec, err := readFmaxFrame(r)
+			if err != nil {
+				return hdr, nil, err
+			}
+			recs = append(recs, ckptRecord{fmax: rec})
+		case tagCkptFlow:
+			rec, err := readFlowFrame(r)
+			if err != nil {
+				return hdr, nil, err
+			}
+			recs = append(recs, ckptRecord{flow: rec})
+		default:
+			// Unknown frame: a future record kind; skip it.
+		}
+	}
+	if !sawHeader {
+		return hdr, nil, fmt.Errorf("no header record — not an evaluation checkpoint")
+	}
+	return hdr, recs, nil
+}
+
+// VerifyJournal fully parses an evaluation journal in either framing:
+// the header must come first, and in the binary form every complete
+// frame must pass its CRC. A truncated final frame is legal (it is on
+// disk whenever a run is killed mid-append), so verification accepts
+// it just as resume does.
+func VerifyJournal(data []byte) error {
+	_, _, _, err := parseCheckpoint(data)
+	return err
+}
+
+// ConvertCheckpoint rewrites the journal at src into dst, translating
+// between the JSONL and binary formats. The destination format follows
+// dst's extension (.db/.bin = binary, anything else JSONL); record
+// order is preserved, so a converted journal resumes exactly where the
+// original did.
+func ConvertCheckpoint(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("eval: convert %s: %w", src, err)
+	}
+	hdr, recs, _, err := parseCheckpoint(data)
+	if err != nil {
+		return fmt.Errorf("eval: convert %s: %w", src, err)
+	}
+	var out []byte
+	if binaryExt(dst) {
+		out = db.Header(db.MagicJournal)
+		if out, err = appendHeaderFrame(out, hdr); err != nil {
+			return fmt.Errorf("eval: convert %s: %w", src, err)
+		}
+		for _, rec := range recs {
+			switch {
+			case rec.fmax != nil:
+				out, err = appendRecordFrame(out, *rec.fmax)
+			case rec.flow != nil:
+				out, err = appendRecordFrame(out, rec.flow)
+			}
+			if err != nil {
+				return fmt.Errorf("eval: convert %s: %w", src, err)
+			}
+		}
+	} else {
+		var buf []byte
+		add := func(rec any) error {
+			b, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			buf = append(buf, b...)
+			buf = append(buf, '\n')
+			return nil
+		}
+		if err := add(hdr); err != nil {
+			return fmt.Errorf("eval: convert %s: %w", src, err)
+		}
+		for _, rec := range recs {
+			var e error
+			switch {
+			case rec.fmax != nil:
+				e = add(*rec.fmax)
+			case rec.flow != nil:
+				e = add(rec.flow)
+			}
+			if e != nil {
+				return fmt.Errorf("eval: convert %s: %w", src, e)
+			}
+		}
+		out = buf
+	}
+	if err := os.WriteFile(dst, out, 0o644); err != nil {
+		return fmt.Errorf("eval: convert: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/designs"
+	"repro/internal/flow"
+)
+
+// binaryFlowResult builds a result exercising every optional field of a
+// flow record: stage stats, degradations, a deep dive, check reports.
+func binaryFlowResult() *core.Result {
+	return &core.Result{
+		PPAC: &core.PPAC{Design: "cpu", Config: core.ConfigHetero, FreqGHz: 0.4375,
+			PowerMW: 12.5, WNS: -0.03125, WLm: 0.25, MIVs: 210, Refinement: "hetero flow, cut=140"},
+		Stages: []flow.StageMetric{
+			{Name: "place", Wall: 1e6, Cells: 1234, Stats: map[string]int64{flow.StatCongestionRetries: 1}},
+			{Name: "cts", Cells: 1290},
+		},
+		Degraded: []string{flow.DegradeFullSTA},
+		Dive:     &core.DeepDive{ClockBuffers: 56, ClockPeriodNS: 2.2857142857142856, SlackNS: -0.03125, HasMacros: true},
+		Checks: []*check.Report{{
+			Design: "cpu", Stage: "signoff",
+			Stats:      []check.RuleStat{{ID: "ENG-003", Title: "journal monotonicity", Severity: check.Error, Checked: 10, Violations: 1}},
+			Violations: []check.Violation{{Rule: "ENG-003", Severity: check.Error, Obj: "topo", Msg: "rev moved backwards"}},
+		}},
+	}
+}
+
+func TestBinaryCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.db")
+	opt := ckptOpts()
+
+	ck, err := OpenCheckpoint(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.bin {
+		t.Fatal(".db checkpoint must choose the binary framing")
+	}
+	if err := ck.PutFmax(designs.CPU, 1234, 0.4375); err != nil {
+		t.Fatal(err)
+	}
+	want := binaryFlowResult()
+	if err := ck.PutFlow(designs.CPU, core.ConfigHetero, want); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:4]) != db.MagicJournal {
+		t.Fatalf("file magic %q, want %q", data[:4], db.MagicJournal)
+	}
+
+	ck2, err := OpenCheckpoint(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if !ck2.bin {
+		t.Error("reopen must sniff the binary framing")
+	}
+	fmax, cells, ok := ck2.Fmax(designs.CPU)
+	if !ok || fmax != 0.4375 || cells != 1234 {
+		t.Errorf("fmax record = %v/%d/%v", fmax, cells, ok)
+	}
+	got, ok := ck2.Flow(designs.CPU, core.ConfigHetero)
+	if !ok {
+		t.Fatal("flow record missing after reopen")
+	}
+	if !got.Restored {
+		t.Error("rehydrated result must be marked Restored")
+	}
+	if got.PPAC.WNS != want.PPAC.WNS || got.PPAC.Refinement != want.PPAC.Refinement {
+		t.Errorf("PPAC did not round-trip: %+v", got.PPAC)
+	}
+	if len(got.Stages) != 2 || got.Stages[0].Stats[flow.StatCongestionRetries] != 1 ||
+		got.Stages[0].Wall != want.Stages[0].Wall {
+		t.Errorf("stage metrics lost: %+v", got.Stages)
+	}
+	if got.Dive == nil || got.Dive.ClockPeriodNS != want.Dive.ClockPeriodNS || !got.Dive.HasMacros {
+		t.Errorf("deep dive lost: %+v", got.Dive)
+	}
+	if len(got.Checks) != 1 || len(got.Checks[0].Violations) != 1 ||
+		got.Checks[0].Violations[0].Msg != "rev moved backwards" {
+		t.Errorf("check reports lost: %+v", got.Checks)
+	}
+	if len(got.Degraded) != 1 || got.Degraded[0] != flow.DegradeFullSTA {
+		t.Errorf("degraded flags lost: %v", got.Degraded)
+	}
+}
+
+func TestBinaryCheckpointRefusesOptionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.db")
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	bad := ckptOpts()
+	bad.Seed = 99
+	if _, err := OpenCheckpoint(path, bad); err == nil || !strings.Contains(err.Error(), "different suite options") {
+		t.Errorf("seed mismatch must be refused with the shared message, got %v", err)
+	}
+}
+
+func TestBinaryCheckpointToleratesTruncatedFinalFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.db")
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFmax(designs.AES, 99, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFlow(designs.CPU, core.ConfigHetero, binaryFlowResult()); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// A kill mid-append leaves a partial final frame: chop bytes off the
+	// last record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatalf("truncated final frame must be tolerated: %v", err)
+	}
+	defer ck2.Close()
+	if _, _, ok := ck2.Fmax(designs.AES); !ok {
+		t.Error("intact records before the truncation lost")
+	}
+	if _, ok := ck2.Flow(designs.CPU, core.ConfigHetero); ok {
+		t.Error("the half-written record must not be served")
+	}
+}
+
+func TestBinaryCheckpointRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.db")
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFmax(designs.AES, 99, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit in a complete frame: the CRC must refuse it.
+	data[len(data)-6] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, ckptOpts()); err == nil {
+		t.Error("CRC-corrupt frame must be rejected")
+	}
+}
+
+// TestConvertCheckpoint proves lossless translation in both directions:
+// JSONL → binary → JSONL reproduces the original file byte for byte,
+// and both forms serve identical completions.
+func TestConvertCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "ckpt.jsonl")
+	opt := ckptOpts()
+	ck, err := OpenCheckpoint(jsonl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFmax(designs.CPU, 1234, 0.4375); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutFlow(designs.CPU, core.ConfigHetero, binaryFlowResult()); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	bin := filepath.Join(dir, "ckpt.db")
+	if err := ConvertCheckpoint(jsonl, bin); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.jsonl")
+	if err := ConvertCheckpoint(bin, back); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("JSONL→binary→JSONL not lossless:\n--- original ---\n%s--- converted ---\n%s", a, b)
+	}
+
+	ck2, err := OpenCheckpoint(bin, opt)
+	if err != nil {
+		t.Fatalf("converted journal must resume: %v", err)
+	}
+	defer ck2.Close()
+	if _, _, ok := ck2.Fmax(designs.CPU); !ok {
+		t.Error("fmax record lost in conversion")
+	}
+	r, ok := ck2.Flow(designs.CPU, core.ConfigHetero)
+	if !ok || r.Dive == nil || len(r.Checks) != 1 {
+		t.Errorf("flow record lost in conversion: %+v", r)
+	}
+}
+
+// TestCheckpointPreBinaryCompat pins backward compatibility: a JSONL
+// journal written before the binary format existed (committed fixture)
+// still opens and serves its records.
+func TestCheckpointPreBinaryCompat(t *testing.T) {
+	src, err := os.ReadFile("testdata/ckpt_pre_binary.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(path, ckptOpts())
+	if err != nil {
+		t.Fatalf("pre-binary journal must still open: %v", err)
+	}
+	defer ck.Close()
+	if ck.bin {
+		t.Error("JSONL journal misdetected as binary")
+	}
+	fmax, cells, ok := ck.Fmax(designs.CPU)
+	if !ok || fmax != 0.4375 || cells != 4321 {
+		t.Errorf("fmax = %v/%d/%v", fmax, cells, ok)
+	}
+	r, ok := ck.Flow(designs.CPU, core.ConfigHetero)
+	if !ok {
+		t.Fatal("flow record missing")
+	}
+	if r.PPAC.MIVs != 210 || r.PPAC.Refinement != "hetero flow, cut=140, preassigned=12" {
+		t.Errorf("PPAC fields lost: %+v", r.PPAC)
+	}
+	if len(r.Stages) != 1 || r.Stages[0].Stats[flow.StatCongestionRetries] != 1 {
+		t.Errorf("stages lost: %+v", r.Stages)
+	}
+}

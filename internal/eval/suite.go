@@ -22,6 +22,8 @@ package eval
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -96,6 +98,15 @@ type SuiteOptions struct {
 	// into every configuration flow; nil = no injection. The f_max
 	// probes are exempt, like Check.
 	Fault func(*flow.Context, string) error
+	// ResumeFromPlace, when set to a directory, runs every configuration
+	// flow in two legs through the binary design database: a truncated
+	// leg that saves the design right after placement, then a second
+	// flow that loads the saved file and runs the remaining stages. The
+	// suite's results must be byte-identical either way — this is the
+	// determinism harness for the save/restore path, not a performance
+	// feature. Excluded from the checkpoint header: it changes how
+	// results are computed, never what they are.
+	ResumeFromPlace string
 }
 
 // withDefaults fills the defaulted design/config lists (the checkpoint
@@ -166,6 +177,11 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 	flowWorkers := opt.FlowWorkers
 	if flowWorkers <= 0 {
 		flowWorkers = par.Budget(runtime.GOMAXPROCS(0), workers)
+	}
+	if opt.ResumeFromPlace != "" {
+		if err := os.MkdirAll(opt.ResumeFromPlace, 0o755); err != nil {
+			return nil, fmt.Errorf("eval: resume-from-place: %w", err)
+		}
 	}
 
 	var ck *Checkpoint
@@ -322,6 +338,20 @@ func RunSuite(ctx context.Context, opt SuiteOptions) (*Suite, error) {
 						o.Check = opt.Check
 						o.Fault = opt.Fault
 						o.FlowWorkers = flowWorkers
+						if opt.ResumeFromPlace != "" {
+							// Leg 1: run to placement and save the design
+							// database. Leg 2 below resumes from it.
+							dbPath := filepath.Join(opt.ResumeFromPlace,
+								fmt.Sprintf("%s-%s.db", name, cfg))
+							save := o
+							save.SaveDesign = dbPath
+							save.SaveAfter = core.StagePlace
+							save.StopAfter = core.StagePlace
+							if _, err := core.Run(jctx, src, cfg, save); err != nil {
+								return fmt.Errorf("eval: save leg %s/%s: %w", name, cfg, err)
+							}
+							o.LoadDesign = dbPath
+						}
 						var rerr error
 						r, trace, rerr = core.RunWithRetry(jctx, src, cfg, o, opt.Retry)
 						return rerr

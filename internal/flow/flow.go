@@ -101,6 +101,13 @@ type Context struct {
 	// harness calls it; the flow registers targets as the structures come
 	// to exist. An unknown or not-yet-available target returns an error.
 	Corrupt func(target string) error
+	// Snapshot, when non-nil, runs after every successful stage — after
+	// the stage's metric is appended, before the sink's StageDone — the
+	// stage-boundary persistence hook next to Check. The core flows
+	// install the design-database writer here (-save-design). A returned
+	// error or panic fails the stage: a snapshot the flow promised but
+	// could not write is a failure, not a warning.
+	Snapshot func(c *Context, stage string) error
 
 	metrics  []StageMetric
 	stats    map[string]int64
@@ -287,6 +294,30 @@ func (c *Context) execStage(st Stage) (err error) {
 	return nil
 }
 
+// runSnapshot invokes the stage-boundary snapshot hook behind the same
+// panic barrier as stage bodies: a panicking writer surfaces as a
+// stage-attributed *PanicError, never as a crashed flow goroutine.
+func (c *Context) runSnapshot(stage string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return c.Snapshot(c, stage)
+}
+
+// SeedMetrics pre-loads stage metrics recorded before this pipeline ran
+// — the resume path: a flow restored from a design database seeds the
+// saved stages' metrics so Metrics reports the complete run, saved and
+// resumed stages alike, in execution order.
+func (c *Context) SeedMetrics(ms []StageMetric) {
+	c.metrics = append(c.metrics, ms...)
+}
+
 // Run executes the stages in order over the context. Before each stage it
 // checks for cancellation; a cancelled context or a failing stage aborts
 // the pipeline with a *Error attributing the design, config, and stage.
@@ -328,6 +359,11 @@ func Run(c *Context, stages []Stage) error {
 			m.Cells = c.Cells()
 		}
 		c.metrics = append(c.metrics, m)
+		if err == nil && c.Snapshot != nil {
+			// The hook sees the finalized metric list (the design database
+			// records every executed stage, this one included).
+			err = c.runSnapshot(st.Name)
+		}
 		if c.Sink != nil {
 			c.Sink.StageDone(c.Design, c.Config, st.Name, m, err)
 		}

@@ -1,5 +1,7 @@
 package netlist
 
+import "fmt"
+
 // Change journaling: every structural or physical mutation of a Design
 // bumps fine-grained revision counters and notifies registered observers,
 // so downstream caches (RC extraction, the incremental timing engine) know
@@ -178,6 +180,35 @@ func (d *Design) CorruptTopoRev(n uint64) uint64 {
 	}
 	d.jn.topoRev -= n
 	return d.jn.topoRev
+}
+
+// RestoreJournal overwrites the journal's revision counters with a
+// previously exported JournalSnap — the last step of ImportState, run
+// on a freshly replayed design before any observer attaches. Restoring
+// the saved revisions (rather than keeping the replay's own counters)
+// is what keeps revision-keyed state saved alongside the netlist — RC
+// cache entries, the checker's ENG-003 high-water marks — coherent
+// after a load. The high-water mark is clamped up to the topology
+// revision so monotonicity holds even for a snapshot taken mid
+// fault-injection.
+func (d *Design) RestoreJournal(s JournalSnap) error {
+	if n := len(d.jn.observers); n != 0 {
+		return fmt.Errorf("netlist: RestoreJournal with %d observers attached", n)
+	}
+	if len(s.InstRev) != len(d.Instances) {
+		return fmt.Errorf("netlist: journal covers %d instances, design has %d", len(s.InstRev), len(d.Instances))
+	}
+	if len(s.NetRev) != len(d.Nets) {
+		return fmt.Errorf("netlist: journal covers %d nets, design has %d", len(s.NetRev), len(d.Nets))
+	}
+	d.jn.topoRev = s.TopoRev
+	d.jn.maxTopo = s.MaxTopo
+	if d.jn.maxTopo < s.TopoRev {
+		d.jn.maxTopo = s.TopoRev
+	}
+	d.jn.instRev = append(d.jn.instRev[:0], s.InstRev...)
+	d.jn.netRev = append(d.jn.netRev[:0], s.NetRev...)
+	return nil
 }
 
 func (d *Design) bumpNet(n *Net) {
