@@ -10,7 +10,7 @@
 //	         [-timer-stats] [-check off|fast|full] [-fault spec]
 //	         [-retries n] [-workers 0] [-timeout 0]
 //	         [-save-design out.db] [-save-after place,cts] [-stop-after place]
-//	         [-load-design in.db]
+//	         [-load-design in.db] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -config also accepts a comma-separated list or "all"; multiple
 // configurations run concurrently on a worker pool bounded by -workers.
@@ -53,6 +53,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/place"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/tech"
 )
@@ -79,16 +80,31 @@ func main() {
 		saveAt   = flag.String("save-after", "", "comma-separated save boundaries for -save-design: map, place, legalize, cts, signoff (default place)")
 		loadDB   = flag.String("load-design", "", "resume the flow from a design database written by -save-design (single config)")
 		stopAt   = flag.String("stop-after", "", "truncate the flow after this stage, e.g. place (single config)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile (pprof \"allocs\") to this file on exit")
 	)
 	flag.Parse()
 
+	sess, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetero3d:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := sess.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "hetero3d:", err)
+		}
+	}()
+
 	checkMode, err := core.ParseCheckMode(*checkM)
 	if err != nil {
+		sess.Stop()
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(2)
 	}
 	plan, err := fault.ParseSpec(*faultS)
 	if err != nil {
+		sess.Stop()
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(2)
 	}
@@ -102,6 +118,7 @@ func main() {
 
 	dbio := designIO{save: *saveDB, saveAfter: *saveAt, load: *loadDB, stop: *stopAt}
 	if err := run(ctx, *design, *config, *scale, *clock, *seed, *workers, *flowWork, *deep, *stageRep, *timerSt, checkMode, plan, *retries, *svgDir, *vlog, dbio); err != nil {
+		sess.Stop()
 		fmt.Fprintln(os.Stderr, "hetero3d:", err)
 		os.Exit(1)
 	}

@@ -9,7 +9,8 @@
 //	ppac [-scale 0.25] [-seed 1] [-designs netcard,aes,ldpc,cpu] [-svg dir]
 //	     [-workers 0] [-flow-workers 0] [-timeout 0] [-stage-report] [-timer-stats]
 //	     [-check off|fast|full] [-fault spec] [-checkpoint file]
-//	     [-retries n] [-resilience] [-resume-from-place dir] [-v]
+//	     [-retries n] [-resilience] [-resume-from-place dir]
+//	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-v]
 //
 // -check runs the design-integrity checker (internal/check) at stage
 // boundaries of every implementation; Error-severity findings fail the
@@ -45,6 +46,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/fault"
 	"repro/internal/flow"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -65,17 +67,32 @@ func main() {
 		retries  = flag.Int("retries", 1, "attempts per flow for transient failures (1 = no retries)")
 		resil    = flag.Bool("resilience", false, "print the per-flow fault/retry/degradation table after the evaluation")
 		resume   = flag.String("resume-from-place", "", "save every flow's design database into this directory after placement, then resume it from the file (proves save/load determinism)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the evaluation to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile (pprof \"allocs\") to this file on exit")
 		verbose  = flag.Bool("v", false, "log every pipeline stage as it completes")
 	)
 	flag.Parse()
 
+	sess, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppac:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := sess.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ppac:", err)
+		}
+	}()
+
 	checkMode, err := core.ParseCheckMode(*checkM)
 	if err != nil {
+		sess.Stop()
 		fmt.Fprintln(os.Stderr, "ppac:", err)
 		os.Exit(2)
 	}
 	plan, err := fault.ParseSpec(*faultS)
 	if err != nil {
+		sess.Stop()
 		fmt.Fprintln(os.Stderr, "ppac:", err)
 		os.Exit(2)
 	}
@@ -112,6 +129,7 @@ func main() {
 
 	s, err := eval.RunSuite(ctx, opt)
 	if err != nil {
+		sess.Stop()
 		fmt.Fprintln(os.Stderr, "ppac:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/designs"
+	"repro/internal/tech"
+)
+
+// TestScaleFullFlowSmoke implements the suite's largest netlist at the
+// paper's full scale (1.0 — netcard, ~250 k cells) in the heterogeneous
+// configuration, end to end. It is the one test that exercises the
+// dense-index data layers at the size they were rebuilt for; everything
+// else in the repository runs scaled-down netlists. Skipped under
+// -short; CI runs it in a dedicated long leg.
+func TestScaleFullFlowSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale (1.0) flow smoke runs in the long CI leg; skipped with -short")
+	}
+	lib := cell.NewLibrary(tech.Variant12T())
+	d, err := designs.Generate(designs.Netcard, lib, designs.Params{Scale: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), d, ConfigHetero, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.PPAC
+	if p == nil {
+		t.Fatal("flow finished without a PPAC record")
+	}
+	if len(res.Degraded) != 0 {
+		t.Errorf("flow degraded: %v", res.Degraded)
+	}
+	if p.Cells < 100_000 {
+		t.Errorf("netcard @1.0 implemented %d cells, want a paper-scale netlist (>= 100k)", p.Cells)
+	}
+	if p.MIVs <= 0 {
+		t.Errorf("hetero 3-D flow produced %d MIVs, want > 0", p.MIVs)
+	}
+	if !(p.PowerMW > 0) || !(p.WLm > 0) || !(p.FootprintMM2 > 0) {
+		t.Errorf("degenerate PPAC: power=%v mW, WL=%v m, footprint=%v mm²",
+			p.PowerMW, p.WLm, p.FootprintMM2)
+	}
+	if math.IsNaN(p.WNS) || math.IsInf(p.WNS, 0) {
+		t.Errorf("WNS = %v, want finite", p.WNS)
+	}
+}

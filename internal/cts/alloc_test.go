@@ -1,0 +1,63 @@
+package cts
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestPartitionAllocs pins the allocation count of the CTS sink
+// partition: with in-place median splits over one shared backing array,
+// building the tree must allocate exactly the tree nodes — no per-level
+// sink copies, no sort scaffolding.
+func TestPartitionAllocs(t *testing.T) {
+	d := placedDesign(t, false)
+	var clk *netlist.Net
+	for _, n := range d.Nets {
+		if n.IsClock && n.DriverPort != nil {
+			clk = n
+			break
+		}
+	}
+	if clk == nil || len(clk.Sinks) < 8 {
+		t.Fatalf("test design lacks a clock net with enough sinks")
+	}
+	work := append([]netlist.PinRef{}, clk.Sinks...)
+	const maxLeaf = 4
+	var pt *ptree
+	run := func() { pt = partition(work, 1, maxLeaf, 1) }
+	run() // size the tree (and re-sorting in place is idempotent)
+	nodes := countNodes(pt)
+
+	allocs := testing.AllocsPerRun(20, run)
+	t.Logf("allocs/run: partition of %d sinks into %d nodes=%v", len(work), nodes, allocs)
+	if allocs > float64(nodes)+2 {
+		t.Errorf("partition allocates %v per run, want <= %d tree nodes (+2 jitter)",
+			allocs, nodes)
+	}
+}
+
+// BenchmarkKernelCTSPartition measures the in-place CTS sink partition
+// (re-sorting in place is idempotent, so iterations share one backing
+// array); its B/op is guarded against the committed BENCH_alloc.json
+// baseline by tools/benchguard in CI.
+func BenchmarkKernelCTSPartition(b *testing.B) {
+	d := placedDesign(b, false)
+	var clk *netlist.Net
+	for _, n := range d.Nets {
+		if n.IsClock && n.DriverPort != nil {
+			clk = n
+			break
+		}
+	}
+	if clk == nil || len(clk.Sinks) < 8 {
+		b.Fatal("test design lacks a clock net with enough sinks")
+	}
+	work := append([]netlist.PinRef{}, clk.Sinks...)
+	partition(work, 1, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition(work, 1, 4, 1)
+	}
+}

@@ -8,9 +8,10 @@
 package cts
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cell"
 	"repro/internal/geom"
@@ -131,7 +132,9 @@ func Build(d *netlist.Design, opt Options) (*Result, error) {
 	// buffers sequentially in the partition tree's DFS post-order, which
 	// is exactly the order the fused recursion used, so cts_buf%d
 	// numbering (and every downstream metric) is unchanged.
-	pt := partition(sinks, 1, opt.MaxLeafFanout, opt.Workers)
+	// partition reorders its argument in place; hand it a private copy so
+	// the Disconnect loop below still walks the original sink order.
+	pt := partition(append([]netlist.PinRef{}, sinks...), 1, opt.MaxLeafFanout, opt.Workers)
 	opt.Par.Note(countNodes(pt))
 	root, err := b.materialize(pt)
 	if err != nil {
@@ -179,10 +182,14 @@ type ptree struct {
 }
 
 // partition recursively median-splits the sink set along the longer
-// bbox axis until clusters fit one leaf buffer. It touches no shared
-// state — each call sorts its own copy — so the two subtrees recurse in
-// parallel while workers remain in the budget. The tree is identical at
-// any worker count.
+// bbox axis until clusters fit one leaf buffer. Sorting is in place: the
+// root call owns a private copy of the sink list and the two subtrees
+// recurse on its disjoint halves, so the whole tree shares one backing
+// array and the recursion allocates only the tree nodes. The comparator
+// is a strict total order (location, instance ID, pin index), so the
+// tree is identical at any worker count and under any sort algorithm.
+//
+//hotpath:kernel
 func partition(sinks []netlist.PinRef, level, maxLeaf, workers int) *ptree {
 	if len(sinks) <= maxLeaf {
 		return &ptree{sinks: sinks, level: level}
@@ -193,29 +200,31 @@ func partition(sinks []netlist.PinRef, level, maxLeaf, workers int) *ptree {
 	}
 	r := bb.Rect()
 	byX := r.W() >= r.H()
-	sorted := append([]netlist.PinRef{}, sinks...)
-	sort.Slice(sorted, func(i, j int) bool {
-		li, lj := sorted[i].Loc(), sorted[j].Loc()
-		if byX && li.X != lj.X {
-			return li.X < lj.X
+	slices.SortFunc(sinks, func(a, b netlist.PinRef) int {
+		la, lb := a.Loc(), b.Loc()
+		if byX && la.X != lb.X {
+			return cmp.Compare(la.X, lb.X)
 		}
-		if !byX && li.Y != lj.Y {
-			return li.Y < lj.Y
+		if !byX && la.Y != lb.Y {
+			return cmp.Compare(la.Y, lb.Y)
 		}
-		return sorted[i].Inst.ID < sorted[j].Inst.ID
+		if a.Inst.ID != b.Inst.ID {
+			return cmp.Compare(a.Inst.ID, b.Inst.ID)
+		}
+		return cmp.Compare(a.Pin, b.Pin)
 	})
-	mid := len(sorted) / 2
+	mid := len(sinks) / 2
 	t := &ptree{level: level}
 	if workers > 1 {
 		lw := workers / 2
 		rw := workers - lw
 		par.Do(2,
-			func() { t.left = partition(sorted[:mid], level+1, maxLeaf, lw) },
-			func() { t.right = partition(sorted[mid:], level+1, maxLeaf, rw) },
+			func() { t.left = partition(sinks[:mid], level+1, maxLeaf, lw) },
+			func() { t.right = partition(sinks[mid:], level+1, maxLeaf, rw) },
 		)
 	} else {
-		t.left = partition(sorted[:mid], level+1, maxLeaf, 1)
-		t.right = partition(sorted[mid:], level+1, maxLeaf, 1)
+		t.left = partition(sinks[:mid], level+1, maxLeaf, 1)
+		t.right = partition(sinks[mid:], level+1, maxLeaf, 1)
 	}
 	return t
 }

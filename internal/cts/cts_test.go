@@ -16,7 +16,7 @@ var (
 	lib9  = cell.NewLibrary(tech.Variant9T())
 )
 
-func placedDesign(t *testing.T, tiers bool) *netlist.Design {
+func placedDesign(t testing.TB, tiers bool) *netlist.Design {
 	t.Helper()
 	d, err := designs.Generate(designs.AES, lib12, designs.Params{Scale: 0.05, Seed: 6})
 	if err != nil {

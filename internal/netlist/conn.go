@@ -1,0 +1,88 @@
+package netlist
+
+import "repro/internal/cell"
+
+// Conn is a dense, ID-indexed connectivity snapshot of a design: the
+// driven net per instance as a flat slice and the input (and clock) nets
+// per instance in CSR form. It is immutable once built and keyed on the
+// design's topology revision, so analysis engines iterate connectivity
+// as contiguous slice walks instead of per-call pin scans and per-call
+// slice allocations (Design.InputNets allocates on every lookup; the
+// snapshot's rows are shared).
+//
+// Rows are read-only: callers must not modify a returned slice.
+type Conn struct {
+	topoRev uint64
+	out     []*Net // by instance ID; nil when undriven or no output pin
+	inOff   []int32
+	inDat   []*Net
+}
+
+// OutputNet returns the net driven by the instance, or nil.
+func (c *Conn) OutputNet(inst *Instance) *Net {
+	if inst.ID < 0 || inst.ID >= len(c.out) {
+		return nil
+	}
+	return c.out[inst.ID]
+}
+
+// InputNets returns the nets on the instance's input and clock pins, in
+// pin order, skipping unconnected pins. The slice aliases the snapshot's
+// storage — treat it as read-only.
+func (c *Conn) InputNets(inst *Instance) []*Net {
+	if inst.ID < 0 || inst.ID+1 >= len(c.inOff) {
+		return nil
+	}
+	return c.inDat[c.inOff[inst.ID]:c.inOff[inst.ID+1]]
+}
+
+// TopoRev returns the topology revision the snapshot was built at.
+func (c *Conn) TopoRev() uint64 { return c.topoRev }
+
+// Conn returns the design's connectivity snapshot, rebuilding it only
+// when the topology revision has moved since the last call. Reading a
+// quiescent design from several goroutines is safe (racing rebuilds
+// produce identical snapshots; one wins the store); calling Conn
+// concurrently with structural mutation is not, per the journal's
+// quiescence contract.
+func (d *Design) Conn() *Conn {
+	if c := d.conn.Load(); c != nil && c.topoRev == d.jn.topoRev {
+		return c
+	}
+	c := d.buildConn()
+	d.conn.Store(c)
+	return c
+}
+
+func (d *Design) buildConn() *Conn {
+	c := &Conn{topoRev: d.jn.topoRev}
+	ni := len(d.Instances)
+	c.out = make([]*Net, ni)
+	c.inOff = make([]int32, ni+1)
+	total := 0
+	for _, inst := range d.Instances {
+		if inst.Master == nil {
+			continue
+		}
+		for i := range inst.Master.Pins {
+			if i < len(inst.nets) && inst.nets[i] != nil && inst.Master.Pins[i].Dir != cell.DirOut {
+				total++
+			}
+		}
+	}
+	c.inDat = make([]*Net, 0, total)
+	for id, inst := range d.Instances {
+		c.inOff[id] = int32(len(c.inDat))
+		if inst.Master == nil {
+			continue
+		}
+		c.out[id] = d.OutputNet(inst)
+		for i := range inst.Master.Pins {
+			if i < len(inst.nets) && inst.nets[i] != nil && inst.Master.Pins[i].Dir != cell.DirOut {
+				c.inDat = append(c.inDat, inst.nets[i])
+			}
+		}
+	}
+	c.inOff[ni] = int32(len(c.inDat))
+	return c
+}

@@ -7,6 +7,7 @@ package netlist
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/geom"
@@ -29,6 +30,10 @@ type Instance struct {
 	Fixed bool
 	// nets[i] is the net bound to Master.Pins[i], nil when unconnected.
 	nets []*Net
+	// outPin is the index of the master's output pin, -1 if it has none.
+	// Cached at AddInstance so OutputNet is a slice lookup; ReplaceMaster
+	// requires an identical pin interface, so the index never moves.
+	outPin int16
 	// design points back at the owning Design for the journaled mutators.
 	design *Design
 }
@@ -178,19 +183,26 @@ func (n *Net) DriverLoc() geom.Point {
 
 // PinLocs returns the locations of every pin on the net, driver first.
 func (n *Net) PinLocs() []geom.Point {
-	locs := make([]geom.Point, 0, n.Degree())
+	return n.AppendPinLocs(make([]geom.Point, 0, n.Degree()))
+}
+
+// AppendPinLocs appends every pin location on the net to dst, driver
+// first, and returns the extended slice — the allocation-free form of
+// PinLocs for callers with a reusable buffer (the router's per-net hot
+// paths).
+func (n *Net) AppendPinLocs(dst []geom.Point) []geom.Point {
 	if n.Driver.Valid() {
-		locs = append(locs, n.Driver.Loc())
+		dst = append(dst, n.Driver.Loc())
 	} else if n.DriverPort != nil {
-		locs = append(locs, n.DriverPort.Loc)
+		dst = append(dst, n.DriverPort.Loc)
 	}
 	for _, s := range n.Sinks {
-		locs = append(locs, s.Loc())
+		dst = append(dst, s.Loc())
 	}
 	for _, p := range n.SinkPorts {
-		locs = append(locs, p.Loc)
+		dst = append(dst, p.Loc)
 	}
-	return locs
+	return dst
 }
 
 // TotalPinCap returns the capacitance of all sink pins plus sink-port
@@ -236,6 +248,9 @@ type Design struct {
 	// jn tracks revisions and observers for the change journal
 	// (journal.go).
 	jn journal
+
+	// conn caches the topology-keyed connectivity snapshot (conn.go).
+	conn atomic.Pointer[Conn]
 }
 
 // New creates an empty design.
@@ -258,7 +273,14 @@ func (d *Design) AddInstance(name string, m *cell.Master) (*Instance, error) {
 		Name:   name,
 		Master: m,
 		nets:   make([]*Net, len(m.Pins)),
+		outPin: -1,
 		design: d,
+	}
+	for i, p := range m.Pins {
+		if p.Dir == cell.DirOut {
+			inst.outPin = int16(i)
+			break
+		}
 	}
 	d.Instances = append(d.Instances, inst)
 	d.instByName[name] = inst
@@ -362,14 +384,10 @@ func (d *Design) Net(name string) *Net { return d.netByName[name] }
 // Port returns the named port, or nil.
 func (d *Design) Port(name string) *Port { return d.portByName[name] }
 
-// OutputNet returns the net on the instance's output pin, or nil.
+// OutputNet returns the net on the instance's output pin, or nil. A
+// single slice lookup: the output pin index is cached at AddInstance.
 func (d *Design) OutputNet(inst *Instance) *Net {
-	for i, p := range inst.Master.Pins {
-		if p.Dir == cell.DirOut {
-			return d.NetAt(inst, i)
-		}
-	}
-	return nil
+	return d.NetAt(inst, int(inst.outPin))
 }
 
 // InputNets returns the nets on the instance's input (and clock) pins.

@@ -452,3 +452,47 @@ func TestCloneIntoRetarget(t *testing.T) {
 		}
 	}
 }
+
+func TestConnSnapshot(t *testing.T) {
+	d := buildMini(t)
+	c := d.Conn()
+	for _, inst := range d.Instances {
+		if got, want := c.OutputNet(inst), d.OutputNet(inst); got != want {
+			t.Errorf("Conn.OutputNet(%s) = %v, want %v", inst.Name, got, want)
+		}
+		got := c.InputNets(inst)
+		want := d.InputNets(inst)
+		if len(got) != len(want) {
+			t.Fatalf("Conn.InputNets(%s) = %d nets, want %d", inst.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Conn.InputNets(%s)[%d] mismatch", inst.Name, i)
+			}
+		}
+	}
+	if d.Conn() != c {
+		t.Error("Conn not cached while topology unchanged")
+	}
+
+	// A structural edit must invalidate the snapshot; the rebuilt one
+	// reflects the new connectivity.
+	mid := d.Net("mid")
+	var sink PinRef
+	for _, s := range mid.Sinks {
+		sink = s
+		break
+	}
+	buf := d.Instances[0].Master // structurally an in/out pair; fine for InsertBuffer
+	inst, nn, err := d.InsertBuffer(mid, []PinRef{sink}, buf, "cbuf")
+	if err != nil {
+		t.Fatalf("InsertBuffer: %v", err)
+	}
+	c2 := d.Conn()
+	if c2 == c {
+		t.Fatal("Conn snapshot not invalidated by structural edit")
+	}
+	if c2.OutputNet(inst) != nn {
+		t.Error("rebuilt Conn misses inserted buffer's output")
+	}
+}

@@ -2,7 +2,10 @@ package partition
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+
+	"repro/internal/dense"
 )
 
 // FMOptions tunes the Fiduccia–Mattheyses engine.
@@ -25,12 +28,28 @@ func DefaultFMOptions() FMOptions {
 	return FMOptions{TargetFrac: 0.5, Tolerance: 0.05, MaxPasses: 12, Seed: 1}
 }
 
+// Engine is a reusable FM context. One Engine can run many partitions in
+// sequence — the placer runs one per bisection node — reusing the
+// gain-bucket buffers between runs, so repeated small runs stay off the
+// allocator. An Engine must not be shared between goroutines; the
+// zero value is ready to use.
+type Engine struct {
+	st fmState
+}
+
 // FM runs Fiduccia–Mattheyses min-cut improvement on h. If initial is
 // non-nil it seeds the assignment (and must respect Fixed pins); otherwise
 // a random area-balanced assignment is generated. The returned solution
 // satisfies the balance constraint whenever the initial assignment does
 // (moves violating it are never accepted).
 func FM(h *Hypergraph, initial []uint8, opt FMOptions) (*Solution, error) {
+	var e Engine
+	return e.FM(h, initial, opt)
+}
+
+// FM runs one partition on the engine, identically to the package-level
+// FM but reusing the engine's buffers.
+func (e *Engine) FM(h *Hypergraph, initial []uint8, opt FMOptions) (*Solution, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,7 +60,9 @@ func FM(h *Hypergraph, initial []uint8, opt FMOptions) (*Solution, error) {
 		opt.MaxPasses = 1
 	}
 	n := h.NumCells()
-	side := make([]uint8, n)
+	st := &e.st
+	st.reset(h, opt)
+	side := st.side
 	if initial != nil {
 		if len(initial) != n {
 			return nil, fmt.Errorf("partition: initial has %d entries, want %d", len(initial), n)
@@ -55,8 +76,8 @@ func FM(h *Hypergraph, initial []uint8, opt FMOptions) (*Solution, error) {
 	} else {
 		seedAssignment(h, side, opt)
 	}
+	st.area = sideAreas(h, side)
 
-	st := newFMState(h, side, opt)
 	for pass := 0; pass < opt.MaxPasses; pass++ {
 		if st.runPass() == 0 {
 			break
@@ -97,57 +118,85 @@ func seedAssignment(h *Hypergraph, side []uint8, opt FMOptions) {
 }
 
 // fmState holds the gain-bucket machinery for one FM run.
+//
+// Each gain bucket keeps two intrusive lists, one per side, with a
+// global insertion stamp per cell: merging the two lists by descending
+// stamp reproduces the single-list scan order exactly, while the split
+// lets pickMove skip a whole side of a bucket when its conservative
+// area bounds prove the balance filter rejects every cell on it — the
+// saturated-side oscillation that otherwise makes the scan quadratic.
 type fmState struct {
 	h    *Hypergraph
 	opt  FMOptions
 	side []uint8
 
 	// Per-net side counts.
-	cnt [][2]int
-	// Gain bucket doubly-linked lists indexed by gain+maxDeg.
-	gain    []int
-	next    []int
-	prev    []int
-	bucket  []int // head cell per gain value, -1 if empty
+	cnt [][2]int32
+	// Gain bucket doubly-linked lists: heads[2*b+s] is the head of gain
+	// bucket b's side-s chain, nilCell if empty.
+	gain    []int32
+	next    []int32
+	prev    []int32
+	stamp   []uint64 // insertion stamp per cell; chains are stamp-descending
+	stampC  uint64
+	heads   []int32
+	minA    []float64 // conservative per-chain area bounds: every cell
+	maxA    []float64 // inserted this pass has minA <= Area <= maxA
 	maxDeg  int
 	maxGain int // current highest non-empty bucket index
 	locked  []bool
+	moves   []fmMove // per-pass move log, reused
 
 	area  [2]float64
 	total float64
+
+	// Two-slot cache of computed moveFilters keyed by the side-0 area
+	// bits: the saturated oscillation alternates between two area states,
+	// so both recur constantly.
+	fcacheKey  [2]uint64
+	fcacheVal  [2]moveFilter
+	fcacheOK   [2]bool
+	fcacheNext int
+}
+
+type fmMove struct {
+	cell int32
+	gain int32
 }
 
 const nilCell = -1
 
-func newFMState(h *Hypergraph, side []uint8, opt FMOptions) *fmState {
+// reset sizes the state's buffers for h, reusing prior capacity.
+func (st *fmState) reset(h *Hypergraph, opt FMOptions) {
 	n := h.NumCells()
-	st := &fmState{
-		h:    h,
-		opt:  opt,
-		side: side,
-		cnt:  make([][2]int, len(h.Nets)),
-		gain: make([]int, n),
-		next: make([]int, n),
-		prev: make([]int, n),
-
-		locked: make([]bool, n),
-		total:  h.TotalArea(),
-	}
-	cellNets := h.cellNets()
-	for _, nets := range cellNets {
-		if len(nets) > st.maxDeg {
-			st.maxDeg = len(nets)
+	st.h = h
+	st.opt = opt
+	st.side = dense.Grow(st.side, n)
+	st.cnt = dense.Grow(st.cnt, len(h.Nets))
+	st.gain = dense.Grow(st.gain, n)
+	st.next = dense.Grow(st.next, n)
+	st.prev = dense.Grow(st.prev, n)
+	st.stamp = dense.Grow(st.stamp, n)
+	st.locked = dense.Grow(st.locked, n)
+	st.total = h.TotalArea()
+	st.maxDeg = 0
+	h.cellNets()
+	for i := 0; i < n; i++ {
+		if d := h.cellDeg(i); d > st.maxDeg {
+			st.maxDeg = d
 		}
 	}
-	st.bucket = make([]int, 2*st.maxDeg+1)
-	st.area = sideAreas(h, side)
-	return st
+	st.heads = dense.Grow(st.heads, 2*(2*st.maxDeg+1))
+	st.minA = dense.Grow(st.minA, len(st.heads))
+	st.maxA = dense.Grow(st.maxA, len(st.heads))
+	st.fcacheOK = [2]bool{}
+	st.fcacheNext = 0
 }
 
 // recount refreshes net side counts from the current assignment.
 func (st *fmState) recount() {
 	for i := range st.cnt {
-		st.cnt[i] = [2]int{}
+		st.cnt[i] = [2]int32{}
 	}
 	for ni, net := range st.h.Nets {
 		for _, c := range net {
@@ -157,13 +206,12 @@ func (st *fmState) recount() {
 }
 
 // computeGain returns the cut-size reduction from moving cell c.
-func (st *fmState) computeGain(c int) int {
-	g := 0
+func (st *fmState) computeGain(c int) int32 {
+	var g int32
 	from := st.side[c]
 	to := 1 - from
-	for _, ni := range st.h.cellNets()[c] {
-		net := st.h.Nets[ni]
-		if len(net) < 2 {
+	for _, ni := range st.h.netsOf(c) {
+		if len(st.h.Nets[ni]) < 2 {
 			continue
 		}
 		if st.cnt[ni][from] == 1 {
@@ -176,27 +224,44 @@ func (st *fmState) computeGain(c int) int {
 	return g
 }
 
-func (st *fmState) bucketIdx(g int) int { return g + st.maxDeg }
+func (st *fmState) bucketIdx(g int32) int { return int(g) + st.maxDeg }
 
-func (st *fmState) insert(c int) {
-	b := st.bucketIdx(st.gain[c])
+// chainOf returns the bucket-chain index of cell c. Cells only change
+// side after they are locked and removed (applyMove on the picked cell
+// or during rollback), so side[c] here always matches the side at
+// insertion time.
+func (st *fmState) chainOf(c int32) int {
+	return 2*st.bucketIdx(st.gain[c]) + int(st.side[c])
+}
+
+func (st *fmState) insert(c int32) {
+	ch := st.chainOf(c)
+	st.stampC++
+	st.stamp[c] = st.stampC
 	st.prev[c] = nilCell
-	st.next[c] = st.bucket[b]
-	if st.bucket[b] != nilCell {
-		st.prev[st.bucket[b]] = c
+	st.next[c] = st.heads[ch]
+	if st.heads[ch] != nilCell {
+		st.prev[st.heads[ch]] = c
 	}
-	st.bucket[b] = c
-	if b > st.maxGain {
+	st.heads[ch] = c
+	a := st.h.Area[c]
+	if a < st.minA[ch] {
+		st.minA[ch] = a
+	}
+	if a > st.maxA[ch] {
+		st.maxA[ch] = a
+	}
+	if b := ch >> 1; b > st.maxGain {
 		st.maxGain = b
 	}
 }
 
-func (st *fmState) remove(c int) {
-	b := st.bucketIdx(st.gain[c])
+func (st *fmState) remove(c int32) {
+	ch := st.chainOf(c)
 	if st.prev[c] != nilCell {
 		st.next[st.prev[c]] = st.next[c]
 	} else {
-		st.bucket[b] = st.next[c]
+		st.heads[ch] = st.next[c]
 	}
 	if st.next[c] != nilCell {
 		st.prev[st.next[c]] = st.prev[c]
@@ -208,7 +273,13 @@ func (st *fmState) remove(c int) {
 // itself out of tolerance — the move must strictly reduce the imbalance.
 // The second clause lets FM repair unbalanced seed assignments (the
 // bin-based refinement feeds it those).
-func (st *fmState) balancedAfter(c int) bool {
+//
+// The bucket scan does not call this per candidate: pickMove bisects the
+// same expressions into per-side area thresholds once per pick (see
+// moveFilter), which accepts exactly the cells this predicate accepts.
+// This is the semantic reference, kept for the threshold equivalence
+// test and the odd caller that only needs one answer.
+func (st *fmState) balancedAfter(c int32) bool {
 	if st.total <= 0 {
 		return true
 	}
@@ -237,12 +308,88 @@ func abs(x float64) float64 {
 	return x
 }
 
+// moveFilter is the acceptance test of one pickMove scan, precomputed
+// from the current area split: a cell on side s may move iff
+// lo[s] < Area[c] <= hi[s]. Because balancedAfter's float expressions
+// are monotone in the moved area (every IEEE-754 operation involved is
+// monotone), the acceptable areas form an interval; maxAccept bisects
+// the float bit patterns against the *same* expressions, so the interval
+// bounds are exact and the filter reproduces balancedAfter bit for bit
+// while the scan itself does two comparisons per candidate.
+type moveFilter struct {
+	lo, hi [2]float64
+}
+
+func (f *moveFilter) ok(side uint8, area float64) bool {
+	return f.lo[side] < area && area <= f.hi[side]
+}
+
+// computeFilter derives the per-side area windows for the current state.
+func (st *fmState) computeFilter() moveFilter {
+	f := moveFilter{lo: [2]float64{-1, -1}, hi: [2]float64{math.Inf(1), math.Inf(1)}}
+	if st.total <= 0 {
+		return f // balancedAfter accepts everything
+	}
+	a0, total := st.area[0], st.total
+	target, tol := st.opt.TargetFrac, st.opt.Tolerance
+	// dev1/dev0 are balancedAfter's deviation after moving area x onto /
+	// off side 0 — the identical expression, so rounding agrees.
+	dev1 := func(x float64) float64 { return (a0+x)/total - target }
+	dev0 := func(x float64) float64 { return (a0-x)/total - target }
+	curDev := a0/total - target
+	switch {
+	case curDev >= -tol && curDev <= tol:
+		// In tolerance: a move is fine while it stays inside the window
+		// (deviation moves monotonically toward the violated bound).
+		f.hi[1] = maxAccept(func(x float64) bool { return dev1(x) <= tol })
+		f.hi[0] = maxAccept(func(x float64) bool { return dev0(x) >= -tol })
+	case curDev < -tol:
+		// Side 0 too light: draining it further can never help.
+		f.hi[0] = -1
+		// Filling it is accepted while |dev| strictly shrinks (or lands
+		// in tolerance): curDev < dev1(x) < -curDev.
+		f.lo[1] = maxAccept(func(x float64) bool { return dev1(x) <= curDev })
+		f.hi[1] = maxAccept(func(x float64) bool { return dev1(x) < -curDev })
+	default: // curDev > tol
+		f.hi[1] = -1
+		f.lo[0] = maxAccept(func(x float64) bool { return dev0(x) >= curDev })
+		f.hi[0] = maxAccept(func(x float64) bool { return dev0(x) > -curDev })
+	}
+	return f
+}
+
+// maxAccept returns the largest non-negative float64 satisfying pred,
+// or -1 when even 0 fails. pred must hold on a (possibly empty) prefix
+// of the non-negative floats; the bisection runs on the bit
+// representation, whose order matches numeric order for non-negative
+// values, so the returned threshold is exact.
+func maxAccept(pred func(float64) bool) float64 {
+	if !pred(0) {
+		return -1
+	}
+	if pred(math.MaxFloat64) {
+		return math.Inf(1)
+	}
+	lo, hi := uint64(0), math.Float64bits(math.MaxFloat64)
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if pred(math.Float64frombits(mid)) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return math.Float64frombits(lo)
+}
+
 // runPass performs one FM pass (move every free cell once, keep the best
 // prefix) and returns the cut improvement achieved.
 func (st *fmState) runPass() int {
 	st.recount()
-	for i := range st.bucket {
-		st.bucket[i] = nilCell
+	for i := range st.heads {
+		st.heads[i] = nilCell
+		st.minA[i] = math.Inf(1)
+		st.maxA[i] = math.Inf(-1)
 	}
 	st.maxGain = 0
 	free := 0
@@ -252,16 +399,15 @@ func (st *fmState) runPass() int {
 			continue
 		}
 		st.gain[c] = st.computeGain(c)
-		st.insert(c)
+		st.insert(int32(c))
 		free++
 	}
 
-	type move struct {
-		cell int
-		gain int
+	if cap(st.moves) < free {
+		st.moves = make([]fmMove, 0, free)
 	}
-	moves := make([]move, 0, free)
-	cum, best, bestIdx := 0, 0, -1
+	moves := st.moves[:0]
+	cum, best, bestIdx := int32(0), int32(0), -1
 	bestFeasible := st.inTolerance()
 
 	for len(moves) < free {
@@ -273,7 +419,7 @@ func (st *fmState) runPass() int {
 		st.locked[c] = true
 		g := st.gain[c]
 		st.applyMove(c)
-		moves = append(moves, move{c, g})
+		moves = append(moves, fmMove{c, g})
 		cum += g
 		// Prefer prefixes that restore balance feasibility; among equal
 		// feasibility, maximize cut gain.
@@ -289,12 +435,13 @@ func (st *fmState) runPass() int {
 	for i := len(moves) - 1; i > bestIdx; i-- {
 		st.applyMove(moves[i].cell) // moving back
 	}
+	st.moves = moves[:0]
 	if best < 0 {
 		// A negative-gain prefix is only kept to restore balance; report
 		// it as progress so the outer loop runs another pass.
 		return 1
 	}
-	return best
+	return int(best)
 }
 
 // inTolerance reports whether the current side-0 area fraction satisfies
@@ -309,28 +456,108 @@ func (st *fmState) inTolerance() bool {
 
 // pickMove returns the highest-gain unlocked cell whose move keeps
 // balance, or nilCell.
-func (st *fmState) pickMove() int {
+//
+// The scan starts on the balancedAfter reference and switches to the
+// bisected threshold filter once a few candidates have been rejected:
+// long rejection runs (the saturated-side oscillation of big runs, where
+// this scan dominates whole-flow time) then skip entire per-side chains
+// through their conservative area bounds, while the placer's many tiny
+// runs — whose scans accept almost immediately — never pay the filter's
+// bisection cost. Candidates are visited by descending insertion stamp
+// across the two side chains, which is exactly the single-list order.
+//
+//hotpath:kernel
+func (st *fmState) pickMove() int32 {
+	const filterAfter = 8
+	rejected := 0
+	haveFilter := false
+	var flt moveFilter
+	area := st.h.Area
 	for b := st.maxGain; b >= 0; b-- {
-		for c := st.bucket[b]; c != nilCell; c = st.next[c] {
-			if st.balancedAfter(c) {
+		c0, c1 := st.heads[2*b], st.heads[2*b+1]
+		if haveFilter {
+			if c0 != nilCell && st.chainDead(2*b, 0, &flt) {
+				c0 = nilCell
+			}
+			if c1 != nilCell && st.chainDead(2*b+1, 1, &flt) {
+				c1 = nilCell
+			}
+		}
+		for c0 != nilCell || c1 != nilCell {
+			var c int32
+			var s uint8
+			if c1 == nilCell || (c0 != nilCell && st.stamp[c0] > st.stamp[c1]) {
+				c, s = c0, 0
+			} else {
+				c, s = c1, 1
+			}
+			var ok bool
+			if haveFilter {
+				ok = flt.ok(s, area[c])
+			} else {
+				ok = st.balancedAfter(c)
+			}
+			if ok {
 				st.maxGain = b
 				return c
+			}
+			rejected++
+			if s == 0 {
+				c0 = st.next[c]
+			} else {
+				c1 = st.next[c]
+			}
+			if !haveFilter && rejected >= filterAfter {
+				flt = st.cachedFilter()
+				haveFilter = true
+				if c0 != nilCell && st.chainDead(2*b, 0, &flt) {
+					c0 = nilCell
+				}
+				if c1 != nilCell && st.chainDead(2*b+1, 1, &flt) {
+					c1 = nilCell
+				}
 			}
 		}
 	}
 	return nilCell
 }
 
+// chainDead reports whether the per-chain area bounds prove the filter
+// rejects every remaining cell of chain ch (side s). The bounds cover
+// every cell inserted this pass, hence every cell still in the chain.
+func (st *fmState) chainDead(ch int, s uint8, flt *moveFilter) bool {
+	return st.minA[ch] > flt.hi[s] || st.maxA[ch] <= flt.lo[s]
+}
+
+// cachedFilter returns the moveFilter for the current area split,
+// serving repeats from the two-slot cache.
+func (st *fmState) cachedFilter() moveFilter {
+	key := math.Float64bits(st.area[0])
+	for i := 0; i < 2; i++ {
+		if st.fcacheOK[i] && st.fcacheKey[i] == key {
+			return st.fcacheVal[i]
+		}
+	}
+	f := st.computeFilter()
+	st.fcacheKey[st.fcacheNext] = key
+	st.fcacheVal[st.fcacheNext] = f
+	st.fcacheOK[st.fcacheNext] = true
+	st.fcacheNext ^= 1
+	return f
+}
+
 // applyMove flips cell c's side, updating areas, net counts, and the
 // gains of unlocked neighbours.
-func (st *fmState) applyMove(c int) {
+//
+//hotpath:kernel
+func (st *fmState) applyMove(c int32) {
 	from := st.side[c]
 	to := 1 - from
 	st.area[from] -= st.h.Area[c]
 	st.area[to] += st.h.Area[c]
 	st.side[c] = to
 
-	for _, ni := range st.h.cellNets()[c] {
+	for _, ni := range st.h.netsOf(int(c)) {
 		net := st.h.Nets[ni]
 		if len(net) < 2 {
 			continue
@@ -340,13 +567,13 @@ func (st *fmState) applyMove(c int) {
 		if st.cnt[ni][to] == 0 {
 			// Net was uncut on 'from'; all its cells gain +1.
 			for _, x := range net {
-				st.bumpGain(x, +1)
+				st.bumpGain(int32(x), +1)
 			}
 		} else if st.cnt[ni][to] == 1 {
 			// One cell was alone on 'to'; it loses its +1.
 			for _, x := range net {
-				if st.side[x] == to && x != c {
-					st.bumpGain(x, -1)
+				if st.side[x] == to && int32(x) != c {
+					st.bumpGain(int32(x), -1)
 				}
 			}
 		}
@@ -355,13 +582,13 @@ func (st *fmState) applyMove(c int) {
 		if st.cnt[ni][from] == 0 {
 			// Net is now uncut on 'to'; all its cells lose a potential +1.
 			for _, x := range net {
-				st.bumpGain(x, -1)
+				st.bumpGain(int32(x), -1)
 			}
 		} else if st.cnt[ni][from] == 1 {
 			// One cell is now alone on 'from'; it gains +1.
 			for _, x := range net {
 				if st.side[x] == from {
-					st.bumpGain(x, +1)
+					st.bumpGain(int32(x), +1)
 				}
 			}
 		}
@@ -369,7 +596,7 @@ func (st *fmState) applyMove(c int) {
 }
 
 // bumpGain adjusts an unlocked cell's gain and its bucket position.
-func (st *fmState) bumpGain(c, delta int) {
+func (st *fmState) bumpGain(c int32, delta int32) {
 	if st.locked[c] {
 		return
 	}

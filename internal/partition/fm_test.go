@@ -267,3 +267,46 @@ func TestFMPropertyAreaConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMoveFilterMatchesBalancedAfter checks the pickMove area-threshold
+// filter against the balancedAfter reference over randomized states: for
+// every cell the two must agree exactly, including at the float
+// boundaries the bisection resolves.
+func TestMoveFilterMatchesBalancedAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(40)
+		areas := make([]float64, n)
+		for i := range areas {
+			switch rng.Intn(4) {
+			case 0:
+				areas[i] = 0
+			case 1:
+				areas[i] = float64(rng.Intn(5)) * 0.17
+			default:
+				areas[i] = rng.Float64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+		}
+		h := NewHypergraph(areas)
+		side := make([]uint8, n)
+		for i := range side {
+			side[i] = uint8(rng.Intn(2))
+		}
+		opt := DefaultFMOptions()
+		opt.TargetFrac = 0.2 + 0.6*rng.Float64()
+		opt.Tolerance = math.Pow(10, -1-3*rng.Float64())
+		st := &fmState{}
+		st.reset(h, opt)
+		copy(st.side, side)
+		st.area = sideAreas(h, side)
+		flt := st.computeFilter()
+		for c := 0; c < n; c++ {
+			want := st.balancedAfter(int32(c))
+			got := flt.ok(st.side[c], h.Area[c])
+			if got != want {
+				t.Fatalf("trial %d cell %d (side %d, area %v, a0 %v, total %v, target %v, tol %v): filter %v, balancedAfter %v",
+					trial, c, st.side[c], h.Area[c], st.area[0], st.total, opt.TargetFrac, opt.Tolerance, got, want)
+			}
+		}
+	}
+}

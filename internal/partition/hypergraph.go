@@ -9,6 +9,8 @@ package partition
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/dense"
 )
 
 // Hypergraph is the partitioning view of a netlist: weighted cells
@@ -25,8 +27,18 @@ type Hypergraph struct {
 	// way before FM runs on the remainder.
 	Fixed []int8
 
-	// pinsOf is the inverse map, built lazily: nets incident to a cell.
-	pinsOf [][]int
+	// pinsOff/pinsIdx are the inverse map in CSR form, built lazily:
+	// pinsIdx[pinsOff[c]:pinsOff[c+1]] are the nets incident to cell c.
+	// Two flat arrays instead of a slice per cell keep the FM inner
+	// loops on contiguous memory and the build allocation-free per cell.
+	pinsOff   []int32
+	pinsIdx   []int32
+	pinsFill  []int32
+	pinsBuilt bool
+
+	// arena backs the pin slices NetBuf hands out; ResetCells rewinds it
+	// wholesale once the cleared nets are dead.
+	arena []int
 }
 
 // NewHypergraph creates a hypergraph with n free cells of the given areas.
@@ -39,7 +51,51 @@ func NewHypergraph(areas []float64) *Hypergraph {
 }
 
 // AddNet appends a hyperedge over the given cells.
-func (h *Hypergraph) AddNet(cells ...int) { h.Nets = append(h.Nets, cells) }
+func (h *Hypergraph) AddNet(cells ...int) {
+	h.Nets = append(h.Nets, cells)
+	h.pinsBuilt = false // connectivity changed; rebuild lazily
+}
+
+// ResetCells reinitializes h to the given cell areas with every cell
+// free, clearing the net list while retaining backing storage: the pin
+// arena rewinds for NetBuf to re-carve, and the lazy inverse map's
+// arrays are reused by the next build. One hypergraph (plus one Engine)
+// can thereby serve a long sequence of small partitions — the placer's
+// bisection frontier, the tier partitioner's bin refinement — without
+// touching the allocator once warm. The caller must be done with the
+// previous round's pin slices: the reset reclaims their storage.
+func (h *Hypergraph) ResetCells(areas []float64) {
+	h.Area = areas
+	h.Fixed = dense.Grow(h.Fixed, len(areas))
+	for i := range h.Fixed {
+		h.Fixed[i] = -1
+	}
+	h.Nets = h.Nets[:0]
+	h.arena = h.arena[:0]
+	h.pinsBuilt = false
+}
+
+// NetBuf returns an empty pin buffer with capacity for max pins, carved
+// from the hypergraph's arena, for a subsequent AddNet call. Append up
+// to max pins, then pass the buffer to AddNet — the hyperedge keeps it
+// (discarding it instead is fine; the reservation is reclaimed at the
+// next ResetCells). Sizing the reservation up front means the append
+// loop itself can never trigger slice growth, whatever mix of net
+// degrees the frontier produces.
+func (h *Hypergraph) NetBuf(max int) []int {
+	if len(h.arena)+max > cap(h.arena) {
+		n := 2 * (len(h.arena) + max)
+		if n < 1024 {
+			n = 1024
+		}
+		// Slices already handed out keep the old block alive; only new
+		// carves move to the fresh one.
+		h.arena = make([]int, 0, n)
+	}
+	off := len(h.arena)
+	h.arena = h.arena[:off+max]
+	return h.arena[off : off : off+max]
+}
 
 // NumCells returns the cell count.
 func (h *Hypergraph) NumCells() int { return len(h.Area) }
@@ -70,28 +126,45 @@ func (h *Hypergraph) Validate() error {
 	return nil
 }
 
-// cellNets returns nets incident to each cell, building the map on first
-// use.
-func (h *Hypergraph) cellNets() [][]int {
-	if h.pinsOf != nil {
-		return h.pinsOf
+// cellNets builds the cell→nets inverse map on first use, reusing the
+// CSR arrays of any prior build.
+func (h *Hypergraph) cellNets() {
+	if h.pinsBuilt {
+		return
 	}
-	h.pinsOf = make([][]int, len(h.Area))
-	deg := make([]int, len(h.Area))
+	n := len(h.Area)
+	off := dense.Zero(h.pinsOff, n+1)
 	for _, net := range h.Nets {
 		for _, c := range net {
-			deg[c]++
+			off[c+1]++
 		}
 	}
-	for i, d := range deg {
-		h.pinsOf[i] = make([]int, 0, d)
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
 	}
+	idx := dense.Grow(h.pinsIdx, int(off[n]))
+	fill := dense.Grow(h.pinsFill, n)
+	copy(fill, off[:n])
 	for ni, net := range h.Nets {
 		for _, c := range net {
-			h.pinsOf[c] = append(h.pinsOf[c], ni)
+			idx[fill[c]] = int32(ni)
+			fill[c]++
 		}
 	}
-	return h.pinsOf
+	h.pinsOff, h.pinsIdx, h.pinsFill = off, idx, fill
+	h.pinsBuilt = true
+}
+
+// netsOf returns the nets incident to cell c, in insertion order.
+func (h *Hypergraph) netsOf(c int) []int32 {
+	h.cellNets()
+	return h.pinsIdx[h.pinsOff[c]:h.pinsOff[c+1]]
+}
+
+// cellDeg returns the number of net pins on cell c.
+func (h *Hypergraph) cellDeg(c int) int {
+	h.cellNets()
+	return int(h.pinsOff[c+1] - h.pinsOff[c])
 }
 
 // TotalArea returns the sum of cell areas.

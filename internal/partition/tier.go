@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dense"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/tech"
@@ -210,7 +211,6 @@ func trimSide0(h *Hypergraph, sol *Solution, maxFrac float64) {
 			cnt[ni][sol.Side[c]]++
 		}
 	}
-	cellNets := h.cellNets()
 	type cand struct {
 		idx, gain int
 	}
@@ -220,7 +220,7 @@ func trimSide0(h *Hypergraph, sol *Solution, maxFrac float64) {
 			continue
 		}
 		g := 0
-		for _, ni := range cellNets[i] {
+		for _, ni := range h.netsOf(i) {
 			if len(h.Nets[ni]) < 2 {
 				continue
 			}
@@ -251,57 +251,76 @@ func trimSide0(h *Hypergraph, sol *Solution, maxFrac float64) {
 }
 
 // refineBins runs FM inside each placement bin with out-of-bin neighbours
-// pinned to their current side.
+// pinned to their current side. One reusable scratch — dense
+// epoch-stamped index maps plus a storage-retaining sub-hypergraph and
+// engine — serves every bin, so the sweep stays off the allocator after
+// the first bin.
 func refineBins(h *Hypergraph, sol *Solution, cells []*netlist.Instance, grid *geom.Grid, opt TierOptions) error {
-	// Bucket cell indices by bin.
-	bins := make([][]int, grid.Bins())
+	// Bucket cell indices by bin, in CSR form (bin-index rows preserve
+	// the old bins-then-cells iteration order exactly).
+	var bins dense.CSR[int32]
+	bins.Reset(grid.Bins())
+	for _, c := range cells {
+		ix, iy := grid.Locate(c.Loc)
+		bins.Count(int32(grid.Index(ix, iy)))
+	}
+	bins.Seal()
 	for i, c := range cells {
 		ix, iy := grid.Locate(c.Loc)
-		b := grid.Index(ix, iy)
-		bins[b] = append(bins[b], i)
+		bins.Append(int32(grid.Index(ix, iy)), int32(i))
 	}
-	cellNets := h.cellNets()
 
-	for _, members := range bins {
+	var (
+		sh       = NewHypergraph(nil)
+		eng      Engine
+		localIdx = make([]int32, len(h.Area))  // global idx → local idx
+		localEp  = make([]uint32, len(h.Area)) // valid when == epoch
+		netEp    = make([]uint32, len(h.Nets))
+		areas    []float64
+		init     []uint8
+		epoch    uint32
+	)
+	for b := 0; b < bins.Rows(); b++ {
+		members := bins.Row(int32(b))
 		if len(members) < 4 {
 			continue
 		}
+		epoch++
+		ep := epoch
 		// Build the bin sub-hypergraph: member cells free, plus two
 		// virtual fixed terminals standing in for external pins.
-		sub := make(map[int]int, len(members)) // global idx → local idx
-		areas := make([]float64, 0, len(members)+2)
+		areas = areas[:0]
 		for li, gi := range members {
-			sub[gi] = li
+			localIdx[gi] = int32(li)
+			localEp[gi] = ep
 			areas = append(areas, h.Area[gi])
 		}
 		ext0 := len(areas) // virtual terminal on side 0
 		ext1 := ext0 + 1
 		areas = append(areas, 0, 0)
 
-		sh := NewHypergraph(areas)
+		sh.ResetCells(areas)
 		for li, gi := range members {
 			sh.Fixed[li] = h.Fixed[gi] // keep timing pins pinned
-			_ = li
 		}
 		sh.Fixed[ext0] = 0
 		sh.Fixed[ext1] = 1
 
-		seen := make(map[int]bool)
 		for _, gi := range members {
-			for _, ni := range cellNets[gi] {
-				if seen[ni] {
+			for _, ni := range h.netsOf(int(gi)) {
+				if netEp[ni] == ep {
 					continue
 				}
-				seen[ni] = true
+				netEp[ni] = ep
 				net := h.Nets[ni]
 				if len(net) < 2 {
 					continue
 				}
-				pins := make([]int, 0, len(net))
+				pins := sh.NetBuf(len(net) + 2)
 				hasExt := [2]bool{}
 				for _, c := range net {
-					if li, ok := sub[c]; ok {
-						pins = append(pins, li)
+					if localEp[c] == ep {
+						pins = append(pins, int(localIdx[c]))
 					} else {
 						hasExt[sol.Side[c]] = true
 					}
@@ -313,20 +332,21 @@ func refineBins(h *Hypergraph, sol *Solution, cells []*netlist.Instance, grid *g
 					pins = append(pins, ext1)
 				}
 				if len(pins) >= 2 {
-					sh.AddNet(pins...)
+					sh.AddNet(pins...) // the hyperedge keeps the buffer
 				}
 			}
 		}
 
-		init := make([]uint8, len(areas))
+		init = dense.Grow(init, len(areas))
 		for li, gi := range members {
 			init[li] = sol.Side[gi]
 		}
+		init[ext0] = 0
 		init[ext1] = 1
 
 		fmOpt := opt.FM
 		fmOpt.MaxPasses = 4
-		ssol, err := FM(sh, init, fmOpt)
+		ssol, err := eng.FM(sh, init, fmOpt)
 		if err != nil {
 			// An infeasible bin (e.g. all pinned) is not fatal: keep the
 			// current assignment.

@@ -1,0 +1,80 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// TestBisectAllocs pins the steady-state allocation count of one
+// bisection cut — the placer's hot kernel, run once per region per
+// recursion level. With the pooled scratch (epoch-stamped index maps,
+// storage-retaining hypergraph, reusable FM engine) a warm cut should
+// allocate only the FM result snapshot, independent of region size.
+func TestBisectAllocs(t *testing.T) {
+	d := genDesign(t, designs.AES, 0.05)
+	region := geom.R(0, 0, 120, 100)
+	var cells []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Fixed || inst.Master.Function.IsMacro() {
+			continue
+		}
+		cells = append(cells, inst)
+		inst.InitLoc(region.Center())
+	}
+	adj := buildAdjacency(d, 64)
+	opt := DefaultGlobalOptions()
+
+	run := func() {
+		if _, _, _, _, err := bisect(d, adj, region, cells, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the scratch pool
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	t.Logf("allocs/run: bisect over %d cells=%v", len(cells), allocs)
+	if allocs > maxBisectAllocs {
+		t.Errorf("bisect allocates %v per run over %d cells, want <= %v",
+			allocs, len(cells), maxBisectAllocs)
+	}
+}
+
+// maxBisectAllocs covers the FM Solution snapshot (struct + side copy)
+// plus pool jitter; the pre-refactor kernel allocated thousands per cut
+// (maps, per-net pin slices, fresh hypergraphs).
+const maxBisectAllocs = 8
+
+// BenchmarkKernelBisect measures one warm bisection cut; its B/op is
+// guarded against the committed BENCH_alloc.json baseline by
+// tools/benchguard in CI.
+func BenchmarkKernelBisect(b *testing.B) {
+	d := genDesign(b, designs.AES, 0.05)
+	region := geom.R(0, 0, 120, 100)
+	var cells []*netlist.Instance
+	for _, inst := range d.Instances {
+		if inst.Fixed || inst.Master.Function.IsMacro() {
+			continue
+		}
+		cells = append(cells, inst)
+		inst.InitLoc(region.Center())
+	}
+	adj := buildAdjacency(d, 64)
+	opt := DefaultGlobalOptions()
+	run := func() {
+		if _, _, _, _, err := bisect(d, adj, region, cells, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

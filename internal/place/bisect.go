@@ -2,8 +2,10 @@ package place
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
+	"repro/internal/dense"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/par"
@@ -75,6 +77,11 @@ func Global(d *netlist.Design, region geom.Rect, opt GlobalOptions) error {
 	// leaf spreads apply afterwards, sequentially in region order. The
 	// next level therefore has exactly one possible composition,
 	// whatever the worker count.
+	//
+	// Each region's cell list is an exclusively-owned subslice of
+	// movable: bisect partitions it in place, so the whole recursion
+	// shares one backing array and the frontier never reallocates cell
+	// lists.
 	type job struct {
 		region geom.Rect
 		cells  []*netlist.Instance
@@ -122,65 +129,147 @@ func Global(d *netlist.Design, region geom.Rect, opt GlobalOptions) error {
 	return nil
 }
 
-// adjacency maps instance ID → list of net IDs; nets stored once.
+// adjacency is the placement view of the netlist in CSR form: per kept
+// net the member instances, and per instance the incident net indices.
+// Flat index slices instead of maps keep the bisection frontier's inner
+// loops on contiguous memory.
 type adjacency struct {
-	nets    [][]*netlist.Instance // per kept net: member instances
-	ofInst  map[int][]int
-	portLoc map[int]geom.Point // net index → representative port location
+	// memberDat[memberOff[ni]:memberOff[ni+1]] are net ni's instances.
+	memberOff []int32
+	memberDat []*netlist.Instance
+	// instNets rows are keyed by instance ID; values are net indices in
+	// net insertion order.
+	instNets dense.CSR[int32]
+	// portLoc[ni] is the representative port location of net ni, valid
+	// when hasPort[ni].
+	portLoc []geom.Point
+	hasPort []bool
+}
+
+// keepNet reports whether a net participates in the cut objective.
+func keepNet(n *netlist.Net, maxDeg int) bool {
+	if n.IsClock || n.Degree() > maxDeg || n.Degree() < 2 {
+		return false
+	}
+	return n.Driver.Valid() || len(n.Sinks) > 0
 }
 
 func buildAdjacency(d *netlist.Design, maxDeg int) *adjacency {
 	if maxDeg <= 0 {
 		maxDeg = 1 << 30
 	}
-	a := &adjacency{ofInst: make(map[int][]int), portLoc: make(map[int]geom.Point)}
+	a := &adjacency{}
+	nNets, nMembers := 0, 0
+	a.instNets.Reset(len(d.Instances))
 	for _, n := range d.Nets {
-		if n.IsClock || n.Degree() > maxDeg || n.Degree() < 2 {
+		if !keepNet(n, maxDeg) {
 			continue
 		}
-		var members []*netlist.Instance
+		nNets++
 		if n.Driver.Valid() {
-			members = append(members, n.Driver.Inst)
+			nMembers++
+			a.instNets.Count(int32(n.Driver.Inst.ID))
 		}
 		for _, s := range n.Sinks {
-			members = append(members, s.Inst)
+			nMembers++
+			a.instNets.Count(int32(s.Inst.ID))
 		}
-		if len(members) == 0 {
+	}
+	a.instNets.Seal()
+	a.memberOff = make([]int32, 1, nNets+1)
+	a.memberDat = make([]*netlist.Instance, 0, nMembers)
+	a.portLoc = make([]geom.Point, nNets)
+	a.hasPort = make([]bool, nNets)
+	for _, n := range d.Nets {
+		if !keepNet(n, maxDeg) {
 			continue
 		}
-		idx := len(a.nets)
-		a.nets = append(a.nets, members)
-		for _, m := range members {
-			a.ofInst[m.ID] = append(a.ofInst[m.ID], idx)
+		ni := int32(len(a.memberOff) - 1)
+		if n.Driver.Valid() {
+			a.memberDat = append(a.memberDat, n.Driver.Inst)
+			a.instNets.Append(int32(n.Driver.Inst.ID), ni)
 		}
+		for _, s := range n.Sinks {
+			a.memberDat = append(a.memberDat, s.Inst)
+			a.instNets.Append(int32(s.Inst.ID), ni)
+		}
+		a.memberOff = append(a.memberOff, int32(len(a.memberDat)))
 		if n.DriverPort != nil {
-			a.portLoc[idx] = n.DriverPort.Loc
+			a.portLoc[ni], a.hasPort[ni] = n.DriverPort.Loc, true
 		} else if len(n.SinkPorts) > 0 {
-			a.portLoc[idx] = n.SinkPorts[0].Loc
+			a.portLoc[ni], a.hasPort[ni] = n.SinkPorts[0].Loc, true
 		}
 	}
 	return a
 }
 
+// members returns net ni's instances.
+func (a *adjacency) members(ni int32) []*netlist.Instance {
+	return a.memberDat[a.memberOff[ni]:a.memberOff[ni+1]]
+}
+
+// bisectScratch is the per-worker reusable state of one cut: the dense
+// inst→local-index map and the net-seen set are epoch-stamped (bumping
+// the epoch invalidates both in O(1)), and the hypergraph plus FM engine
+// recycle their buffers across the whole bisection frontier.
+type bisectScratch struct {
+	epoch    uint32
+	localIdx []int32  // by instance ID, valid when localEp[id] == epoch
+	localEp  []uint32 // by instance ID
+	netEp    []uint32 // by adjacency net index
+	areas    []float64
+	side1    []*netlist.Instance // stable-partition spill buffer
+	h        *partition.Hypergraph
+	eng      partition.Engine
+}
+
+var bisectPool = sync.Pool{New: func() any {
+	return &bisectScratch{h: partition.NewHypergraph(nil)}
+}}
+
+// begin sizes the stamp arrays and opens a new epoch. Freshly grown
+// memory is zeroed by the allocator and reused memory holds only past
+// epochs, so stale entries can never match the new epoch.
+func (sc *bisectScratch) begin(nInsts, nNets int) uint32 {
+	sc.epoch++
+	if sc.epoch == 0 { // uint32 wrap: invalidate everything the slow way
+		dense.Zero(sc.localEp, len(sc.localEp))
+		dense.Zero(sc.netEp, len(sc.netEp))
+		sc.epoch = 1
+	}
+	sc.localIdx = dense.Grow(sc.localIdx, nInsts)
+	sc.localEp = dense.Grow(sc.localEp, nInsts)
+	sc.netEp = dense.Grow(sc.netEp, nNets)
+	return sc.epoch
+}
+
 // bisect splits cells across the longer axis of region using FM with
-// terminal propagation, returning the two cell sets and subregions.
+// terminal propagation, returning the two cell sets and subregions. The
+// returned slices partition cells' own storage in place.
+//
+//hotpath:kernel
 func bisect(d *netlist.Design, adj *adjacency, region geom.Rect, cells []*netlist.Instance, opt GlobalOptions) (left, right []*netlist.Instance, lr, rr geom.Rect, err error) {
 	vertCut := region.W() >= region.H() // vertical cut line splits x
 
+	sc := bisectPool.Get().(*bisectScratch)
+	defer bisectPool.Put(sc)
+	ep := sc.begin(len(d.Instances), len(adj.hasPort))
+
 	// Build the sub-hypergraph over cells, with two virtual terminals.
-	local := make(map[int]int, len(cells)) // inst ID → local index
-	areas := make([]float64, 0, len(cells)+2)
+	sc.areas = sc.areas[:0]
 	totalArea := 0.0
 	for i, c := range cells {
-		local[c.ID] = i
+		sc.localIdx[c.ID] = int32(i)
+		sc.localEp[c.ID] = ep
 		a := c.Master.Area()
-		areas = append(areas, a)
+		sc.areas = append(sc.areas, a)
 		totalArea += a
 	}
-	t0 := len(areas)
+	t0 := len(sc.areas)
 	t1 := t0 + 1
-	areas = append(areas, 0, 0)
-	h := partition.NewHypergraph(areas)
+	sc.areas = append(sc.areas, 0, 0)
+	h := sc.h
+	h.ResetCells(sc.areas)
 	h.Fixed[t0] = 0
 	h.Fixed[t1] = 1
 
@@ -202,25 +291,24 @@ func bisect(d *netlist.Design, adj *adjacency, region geom.Rect, cells []*netlis
 		return 1
 	}
 
-	seenNet := make(map[int]bool)
 	for _, c := range cells {
-		for _, ni := range adj.ofInst[c.ID] {
-			if seenNet[ni] {
+		for _, ni := range adj.instNets.Row(int32(c.ID)) {
+			if sc.netEp[ni] == ep {
 				continue
 			}
-			seenNet[ni] = true
-			members := adj.nets[ni]
-			pins := make([]int, 0, len(members)+2)
+			sc.netEp[ni] = ep
+			members := adj.members(ni)
+			pins := h.NetBuf(len(members) + 2)
 			hasExt := [2]bool{}
 			for _, m := range members {
-				if li, ok := local[m.ID]; ok {
-					pins = append(pins, li)
+				if sc.localEp[m.ID] == ep {
+					pins = append(pins, int(sc.localIdx[m.ID]))
 				} else {
 					hasExt[sideOfPoint(m.Loc)] = true
 				}
 			}
-			if p, ok := adj.portLoc[ni]; ok {
-				hasExt[sideOfPoint(p)] = true
+			if adj.hasPort[ni] {
+				hasExt[sideOfPoint(adj.portLoc[ni])] = true
 			}
 			if hasExt[0] {
 				pins = append(pins, t0)
@@ -229,29 +317,37 @@ func bisect(d *netlist.Design, adj *adjacency, region geom.Rect, cells []*netlis
 				pins = append(pins, t1)
 			}
 			if len(pins) >= 2 {
-				h.AddNet(pins...)
+				h.AddNet(pins...) // the hyperedge keeps the buffer
 			}
 		}
 	}
 
 	fmOpt := opt.FM
-	sol, err := partition.FM(h, nil, fmOpt)
+	sol, err := sc.eng.FM(h, nil, fmOpt)
 	if err != nil {
 		return nil, nil, geom.Rect{}, geom.Rect{}, fmt.Errorf("place: bisect FM: %w", err)
 	}
 
+	// Stable in-place partition: side-0 cells compact to the front in
+	// order, side-1 cells spill to scratch and copy back after — the
+	// same left/right orders the old append-based split produced.
+	nl := 0
+	sc.side1 = sc.side1[:0]
 	var areaLeft float64
 	for i, c := range cells {
 		if sol.Side[i] == 0 {
-			left = append(left, c)
+			cells[nl] = c
+			nl++
 			areaLeft += c.Master.Area()
 		} else {
-			right = append(right, c)
+			sc.side1 = append(sc.side1, c)
 		}
 	}
+	copy(cells[nl:], sc.side1)
+	left, right = cells[:nl], cells[nl:]
 	// Degenerate splits (all cells one side) get a forced even split.
 	if len(left) == 0 || len(right) == 0 {
-		left, right, areaLeft = forcedSplit(cells, vertCut)
+		left, right, areaLeft = forcedSplit(cells)
 	}
 
 	frac := 0.5
@@ -276,23 +372,29 @@ func bisect(d *netlist.Design, adj *adjacency, region geom.Rect, cells []*netlis
 	return left, right, lr, rr, nil
 }
 
-// forcedSplit halves the cell list by area when FM degenerates.
-func forcedSplit(cells []*netlist.Instance, vertCut bool) (left, right []*netlist.Instance, areaLeft float64) {
-	sorted := append([]*netlist.Instance{}, cells...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+// byID sorts instances by ID in place. IDs are unique, so the result is
+// a deterministic total order whatever sort algorithm runs underneath.
+func byID(cells []*netlist.Instance) {
+	slices.SortFunc(cells, func(a, b *netlist.Instance) int { return a.ID - b.ID })
+}
+
+// forcedSplit halves the cell list by area when FM degenerates,
+// reordering cells in place (the caller owns the slice exclusively).
+func forcedSplit(cells []*netlist.Instance) (left, right []*netlist.Instance, areaLeft float64) {
+	byID(cells)
 	total := 0.0
-	for _, c := range sorted {
+	for _, c := range cells {
 		total += c.Master.Area()
 	}
-	for _, c := range sorted {
-		if areaLeft < total/2 {
-			left = append(left, c)
-			areaLeft += c.Master.Area()
-		} else {
-			right = append(right, c)
+	k := 0
+	for _, c := range cells {
+		if areaLeft >= total/2 {
+			break
 		}
+		areaLeft += c.Master.Area()
+		k++
 	}
-	return left, right, areaLeft
+	return cells[:k], cells[k:], areaLeft
 }
 
 // spreadLeaf distributes a leaf region's cells on a small grid inside it.
@@ -308,10 +410,8 @@ func spreadLeaf(region geom.Rect, cells []*netlist.Instance) {
 	rows := (n + cols - 1) / cols
 	dx := region.W() / float64(cols)
 	dy := region.H() / float64(rows)
-	// Deterministic order.
-	sorted := append([]*netlist.Instance{}, cells...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
-	for i, c := range sorted {
+	byID(cells) // deterministic order; in place — the region owns the slice
+	for i, c := range cells {
 		cx := region.Lx + (float64(i%cols)+0.5)*dx
 		cy := region.Ly + (float64(i/cols)+0.5)*dy
 		c.InitLoc(geom.Pt(cx, cy))

@@ -13,7 +13,7 @@ import (
 
 var lib = cell.NewLibrary(tech.Variant12T())
 
-func genDesign(t *testing.T, name designs.Name, scale float64) *netlist.Design {
+func genDesign(t testing.TB, name designs.Name, scale float64) *netlist.Design {
 	t.Helper()
 	d, err := designs.Generate(name, lib, designs.Params{Scale: scale, Seed: 3})
 	if err != nil {

@@ -1,0 +1,77 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// TestPerNetKernelAllocs pins the steady-state allocation count of the
+// per-net routing kernel — RSMT construction, wirelength, MIV counting,
+// and RC extraction with recycling. Once the scratch and RC pools are
+// warm, the whole chain must stay off the allocator: the flow runs it
+// once per net per sweep, so any per-call allocation here multiplies by
+// millions at scale 1.0.
+func TestPerNetKernelAllocs(t *testing.T) {
+	locs := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 2), geom.Pt(4, 8),
+		geom.Pt(7, 5), geom.Pt(1, 6),
+	}
+	tiers := []tech.Tier{
+		tech.TierBottom, tech.TierTop, tech.TierBottom,
+		tech.TierTop, tech.TierBottom,
+	}
+	_, n := buildNet3D(t, locs, tiers)
+	r := New()
+
+	// Warm the per-P scratch and RC pools.
+	for i := 0; i < 3; i++ {
+		r.NetWirelength(n)
+		r.CountMIVs(n)
+		RecycleRC(r.Extract(n))
+	}
+
+	wl := testing.AllocsPerRun(50, func() { r.NetWirelength(n) })
+	miv := testing.AllocsPerRun(50, func() { r.CountMIVs(n) })
+	rc := testing.AllocsPerRun(50, func() { RecycleRC(r.Extract(n)) })
+	t.Logf("allocs/run: NetWirelength=%v CountMIVs=%v Extract+Recycle=%v", wl, miv, rc)
+	if wl > 0 {
+		t.Errorf("NetWirelength allocates %v per run, want 0", wl)
+	}
+	if miv > 0 {
+		t.Errorf("CountMIVs allocates %v per run, want 0", miv)
+	}
+	if rc > 0 {
+		t.Errorf("Extract+RecycleRC allocates %v per run, want 0", rc)
+	}
+}
+
+// BenchmarkKernelNetRoute measures the warm per-net routing chain
+// (wirelength + MIV count + RC extraction with recycling); its B/op is
+// guarded against the committed BENCH_alloc.json baseline by
+// tools/benchguard in CI.
+func BenchmarkKernelNetRoute(b *testing.B) {
+	locs := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 2), geom.Pt(4, 8),
+		geom.Pt(7, 5), geom.Pt(1, 6),
+	}
+	tiers := []tech.Tier{
+		tech.TierBottom, tech.TierTop, tech.TierBottom,
+		tech.TierTop, tech.TierBottom,
+	}
+	_, n := buildNet3D(b, locs, tiers)
+	r := New()
+	for i := 0; i < 3; i++ {
+		r.NetWirelength(n)
+		r.CountMIVs(n)
+		RecycleRC(r.Extract(n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NetWirelength(n)
+		r.CountMIVs(n)
+		RecycleRC(r.Extract(n))
+	}
+}

@@ -137,6 +137,27 @@ func (c *Cache) Extract(n *netlist.Net) *NetRC {
 	return rc
 }
 
+// Recycle offers rc back to the extraction free list on behalf of a
+// caller that received it from Extract and has since replaced it (the
+// incremental timing engine, after a revision moved). The cache refuses
+// when the pointer is still published — stored in the current entry or
+// held by an in-flight extraction — so a stale Recycle is safe: at
+// worst the storage is not reused.
+func (c *Cache) Recycle(n *netlist.Net, rc *NetRC) {
+	if rc == nil {
+		return
+	}
+	c.mu.Lock()
+	live := n.ID < len(c.entries) && c.entries[n.ID].rc == rc
+	if f := c.flights[n.ID]; f != nil {
+		live = true // its result may be this pointer; don't race the fill
+	}
+	c.mu.Unlock()
+	if !live {
+		RecycleRC(rc)
+	}
+}
+
 // Stats returns the cumulative hit/miss/coalesce counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
@@ -188,7 +209,9 @@ func (c *Cache) Audit() error {
 			continue
 		}
 		fresh := c.inner.Extract(n)
-		if !rcEqual(e.rc, fresh) {
+		bad := !rcEqual(e.rc, fresh)
+		RecycleRC(fresh) // audit-private comparison copy, never published
+		if bad {
 			return &ErrCorrupted{Net: n.Name}
 		}
 	}

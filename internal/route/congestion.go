@@ -37,12 +37,19 @@ func (r *Router) Congestion(d *netlist.Design, outline geom.Rect, nx, ny int) (*
 	cm.SupplyH = r.Stack.RoutingCapacityPerUm(true) * bh * bw
 	cm.SupplyV = r.Stack.RoutingCapacityPerUm(false) * bw * bh
 
+	sc := getScratch()
+	defer putScratch(sc)
 	for _, n := range d.Nets {
 		if n.IsClock {
 			continue
 		}
-		tree := r.NetTree(n, true)
-		for _, s := range tree.Segments {
+		sc.pinbuf = n.AppendPinLocs(sc.pinbuf[:0])
+		sc.dedup(sc.pinbuf)
+		if len(sc.pts) <= 1 {
+			continue
+		}
+		sc.build(true)
+		for _, s := range sc.segs {
 			addSegment(cm, s)
 		}
 	}

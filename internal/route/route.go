@@ -1,6 +1,9 @@
 package route
 
 import (
+	"sync"
+
+	"repro/internal/dense"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/par"
@@ -43,12 +46,33 @@ func New() *Router {
 
 // NetTree routes a net's pins (driver first) into a Steiner estimate.
 func (r *Router) NetTree(n *netlist.Net, keepSegments bool) Tree {
-	return RSMT(n.PinLocs(), keepSegments)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.pinbuf = n.AppendPinLocs(sc.pinbuf[:0])
+	sc.dedup(sc.pinbuf)
+	if len(sc.pts) <= 1 {
+		return Tree{}
+	}
+	length := sc.build(keepSegments)
+	t := Tree{Length: length, SinkPathLen: append([]float64(nil), sc.pathLen[1:len(sc.pts)]...)}
+	if keepSegments {
+		t.Segments = append([]Segment(nil), sc.segs...)
+	}
+	return t
 }
 
 // NetWirelength returns the Steiner wirelength of one net in µm.
+//
+//hotpath:kernel
 func (r *Router) NetWirelength(n *netlist.Net) float64 {
-	return r.NetTree(n, false).Length
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.pinbuf = n.AppendPinLocs(sc.pinbuf[:0])
+	sc.dedup(sc.pinbuf)
+	if len(sc.pts) <= 1 {
+		return 0
+	}
+	return sc.build(false)
 }
 
 // Wirelength sums Steiner wirelength over the design. Clock nets are
@@ -78,7 +102,16 @@ func (r *Router) Wirelength(d *netlist.Design) (signal, clock float64) {
 // share a via, far-apart clusters each get their own. Returns 0 for
 // single-tier nets.
 func (r *Router) CountMIVs(n *netlist.Net) int {
-	var pins [2][]geom.Point
+	sc := getScratch()
+	defer putScratch(sc)
+	return r.countMIVs(sc, n)
+}
+
+//hotpath:kernel
+func (r *Router) countMIVs(sc *rsmtScratch, n *netlist.Net) int {
+	pins := &sc.clusterPts
+	pins[0] = pins[0][:0]
+	pins[1] = pins[1][:0]
 	driverTier := tech.TierBottom
 	if n.Driver.Valid() {
 		driverTier = n.Driver.Inst.Tier
@@ -90,12 +123,16 @@ func (r *Router) CountMIVs(n *netlist.Net) int {
 	if len(pins[0]) == 0 || len(pins[1]) == 0 {
 		return 0
 	}
-	return clusterCount(pins[driverTier.Other()], r.MIVClusterRadius)
+	return clusterCount(sc, pins[driverTier.Other()], r.MIVClusterRadius)
 }
 
 // clusterCount greedily groups points within radius of a cluster seed.
-func clusterCount(pts []geom.Point, radius float64) int {
-	taken := make([]bool, len(pts))
+func clusterCount(sc *rsmtScratch, pts []geom.Point, radius float64) int {
+	sc.taken = dense.Grow(sc.taken, len(pts))
+	taken := sc.taken
+	for i := range taken {
+		taken[i] = false
+	}
 	clusters := 0
 	for i := range pts {
 		if taken[i] {
@@ -143,11 +180,46 @@ type NetRC struct {
 	MIVs int
 }
 
+// rcPool recycles NetRC shells and their sink arrays between
+// extractions. sync.Pool keeps the lists per-P, so the parallel
+// extraction fan-outs each draw from their own worker-local free list.
+var rcPool = sync.Pool{New: func() any { return new(NetRC) }}
+
+// newNetRC returns a recycled (or fresh) NetRC with zeroed totals and
+// empty sink slices holding at least the given capacity.
+func newNetRC(sinks int) *NetRC {
+	rc := rcPool.Get().(*NetRC)
+	rc.WireLen, rc.WireCap, rc.MIVs = 0, 0, 0
+	if cap(rc.SinkR) < sinks {
+		rc.SinkR = make([]float64, 0, sinks)
+		rc.SinkCapShare = make([]float64, 0, sinks)
+	}
+	rc.SinkR = rc.SinkR[:0]
+	rc.SinkCapShare = rc.SinkCapShare[:0]
+	return rc
+}
+
+// RecycleRC returns rc to the extraction free list. The caller must hold
+// the only live reference: recycled storage is reused by later
+// extractions, so recycling a NetRC that a cache entry, analysis result,
+// or another goroutine can still read corrupts their view. The safe
+// call sites are owners of provably private results — see Cache.Recycle
+// for the guarded variant the timing engine uses.
+func RecycleRC(rc *NetRC) {
+	if rc != nil {
+		rcPool.Put(rc)
+	}
+}
+
 // Extract computes the lumped RC view of a net over the router's stack.
 // Wire R/C use the stack averages (signal routing spreads across layers);
 // each MIV adds its R in series (approximated onto every sink path of a
 // crossing net) and its C to the total. With WLMPerSinkFF set the
 // geometric estimate is replaced by the wire-load model.
+//
+// Results come from a free list refilled by RecycleRC; a result is
+// owned by the caller until recycled or published (e.g. stored in a
+// Cache, which then hands the same pointer to every caller).
 func (r *Router) Extract(n *netlist.Net) *NetRC {
 	if r.WLMPerSinkFF > 0 {
 		return r.extractWLM(n)
@@ -161,10 +233,9 @@ func (r *Router) extractWLM(n *netlist.Net) *NetRC {
 	avgR, avgC := r.Stack.AvgR(), r.Stack.AvgC()
 	perLen := r.WLMPerSinkFF / avgC // µm of wire per sink
 	sinks := len(n.Sinks) + len(n.SinkPorts)
-	rc := &NetRC{
-		WireLen: perLen * float64(sinks),
-		WireCap: r.WLMPerSinkFF * float64(sinks),
-	}
+	rc := newNetRC(sinks)
+	rc.WireLen = perLen * float64(sinks)
+	rc.WireCap = r.WLMPerSinkFF * float64(sinks)
 	for i := 0; i < sinks; i++ {
 		rc.SinkR = append(rc.SinkR, perLen*avgR)
 		rc.SinkCapShare = append(rc.SinkCapShare, r.WLMPerSinkFF/2)
@@ -172,26 +243,34 @@ func (r *Router) extractWLM(n *netlist.Net) *NetRC {
 	return rc
 }
 
+//hotpath:kernel
 func (r *Router) extractGeometric(n *netlist.Net) *NetRC {
-	tree := r.NetTree(n, false)
-	avgR, avgC := r.Stack.AvgR(), r.Stack.AvgC()
-	rc := &NetRC{
-		WireLen: tree.Length,
-		WireCap: tree.Length * avgC,
-		MIVs:    r.CountMIVs(n),
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.pinbuf = n.AppendPinLocs(sc.pinbuf[:0])
+	sc.dedup(sc.pinbuf)
+	var length float64
+	if len(sc.pts) > 1 {
+		length = sc.build(false)
 	}
+	avgR, avgC := r.Stack.AvgR(), r.Stack.AvgC()
+	rc := newNetRC(len(n.Sinks) + len(n.SinkPorts))
+	rc.WireLen = length
+	rc.WireCap = length * avgC
+	rc.MIVs = r.countMIVs(sc, n)
 	rc.WireCap += float64(rc.MIVs) * r.MIV.C
 
-	// Per-sink path resistance from the tree, in pin order. RSMT dedups
-	// coincident pins, so map by location.
-	pathByLoc := make(map[geom.Point]float64)
-	locs := dedup(n.PinLocs())
-	for i, l := range locs[1:] {
-		pathByLoc[l] = tree.SinkPathLen[i]
+	// Per-sink path resistance from the tree, in pin order. The builder
+	// dedups coincident pins, so map by location.
+	clear(sc.pathLoc)
+	if len(sc.pts) > 1 {
+		for i, l := range sc.pts[1:] {
+			sc.pathLoc[l] = sc.pathLen[i+1]
+		}
 	}
 	crossing := rc.MIVs > 0
 	appendSink := func(loc geom.Point, otherTier bool) {
-		pl := pathByLoc[loc]
+		pl := sc.pathLoc[loc]
 		res := pl * avgR
 		if crossing && otherTier {
 			res += r.MIV.R

@@ -100,7 +100,7 @@ func TestRSMTSegmentsAccountForLength(t *testing.T) {
 
 // buildNet3D creates a net with a driver and sinks at given locations and
 // tiers.
-func buildNet3D(t *testing.T, locs []geom.Point, tiers []tech.Tier) (*netlist.Design, *netlist.Net) {
+func buildNet3D(t testing.TB, locs []geom.Point, tiers []tech.Tier) (*netlist.Design, *netlist.Net) {
 	t.Helper()
 	d := netlist.New("n3d")
 	n, _ := d.AddNet("n")

@@ -7,7 +7,9 @@ package route
 import (
 	"math"
 	"sort"
+	"sync"
 
+	"repro/internal/dense"
 	"repro/internal/geom"
 )
 
@@ -23,34 +25,74 @@ func (s Segment) Length() float64 { return s.A.ManhattanDist(s.B) }
 // Horizontal reports the segment orientation.
 func (s Segment) Horizontal() bool { return s.A.Y == s.B.Y }
 
-// segStore accumulates rectilinear segments with overlap merging so that
-// shared track length is counted once — the mechanism that turns an
-// L-routed MST into a Steiner tree.
-type segStore struct {
-	h map[float64][]ival // y → x-intervals
-	v map[float64][]ival // x → y-intervals
-	// total is the union length inserted so far.
-	total float64
-}
-
 type ival struct{ lo, hi float64 }
 
-func newSegStore() *segStore {
-	return &segStore{h: make(map[float64][]ival), v: make(map[float64][]ival)}
+// trackSet stores per-track merged intervals as two parallel sorted
+// slices (track coordinate → interval list) instead of a map: lookups
+// binary-search a contiguous key array, iteration is in coordinate
+// order, and reset retains every interval backing array for the next
+// net, so a warm set allocates nothing.
+type trackSet struct {
+	keys  []float64
+	ivs   [][]ival
+	spare [][]ival // retired interval slices, reused by new tracks
 }
 
-// addedLen returns how much new length inserting [lo,hi] at key would add
-// to the track set m, without inserting.
-func addedLen(m map[float64][]ival, key, lo, hi float64) float64 {
+// reset empties the set, retiring the interval storage for reuse.
+func (ts *trackSet) reset() {
+	for i := range ts.ivs {
+		if cap(ts.ivs[i]) > 0 {
+			ts.spare = append(ts.spare, ts.ivs[i][:0])
+		}
+		ts.ivs[i] = nil
+	}
+	ts.keys = ts.keys[:0]
+	ts.ivs = ts.ivs[:0]
+}
+
+// track returns the index of key's interval list, creating an empty one
+// (backed by retired storage when available) if the track is new.
+func (ts *trackSet) track(key float64) int {
+	i := sort.SearchFloat64s(ts.keys, key)
+	if i < len(ts.keys) && ts.keys[i] == key {
+		return i
+	}
+	var fresh []ival
+	if n := len(ts.spare); n > 0 {
+		fresh = ts.spare[n-1]
+		ts.spare = ts.spare[:n-1]
+	}
+	ts.keys = append(ts.keys, 0)
+	ts.ivs = append(ts.ivs, nil)
+	copy(ts.keys[i+1:], ts.keys[i:])
+	copy(ts.ivs[i+1:], ts.ivs[i:])
+	ts.keys[i] = key
+	ts.ivs[i] = fresh
+	return i
+}
+
+// overlapLen returns the length of [lo,hi] already covered by ivs.
+func overlapLen(ivs []ival, lo, hi float64) float64 {
+	covered := 0.0
+	for _, iv := range ivs {
+		oLo, oHi := math.Max(lo, iv.lo), math.Min(hi, iv.hi)
+		if oHi > oLo {
+			covered += oHi - oLo
+		}
+	}
+	return covered
+}
+
+// addedLen returns how much new length inserting [lo,hi] at key would
+// add, without inserting.
+func (ts *trackSet) addedLen(key, lo, hi float64) float64 {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
 	add := hi - lo
-	for _, iv := range m[key] {
-		oLo, oHi := math.Max(lo, iv.lo), math.Min(hi, iv.hi)
-		if oHi > oLo {
-			add -= oHi - oLo
-		}
+	i := sort.SearchFloat64s(ts.keys, key)
+	if i < len(ts.keys) && ts.keys[i] == key {
+		add -= overlapLen(ts.ivs[i], lo, hi)
 	}
 	if add < 0 {
 		add = 0
@@ -58,15 +100,27 @@ func addedLen(m map[float64][]ival, key, lo, hi float64) float64 {
 	return add
 }
 
-// insert adds [lo,hi] at key into m, merging overlaps, and returns the
-// newly added length.
-func insert(m map[float64][]ival, key, lo, hi float64) float64 {
+// insert adds [lo,hi] at key, merging overlaps, and returns the newly
+// added length. The track list stays sorted and disjoint throughout, so
+// placing the new interval at its sorted position and merging in place
+// reproduces the sort-and-merge of the old map-backed store exactly.
+func (ts *trackSet) insert(key, lo, hi float64) float64 {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	add := addedLen(m, key, lo, hi)
-	ivs := append(m[key], ival{lo, hi})
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	ti := ts.track(key)
+	ivs := ts.ivs[ti]
+	add := hi - lo - overlapLen(ivs, lo, hi)
+	if add < 0 {
+		add = 0
+	}
+	ivs = append(ivs, ival{lo, hi})
+	j := len(ivs) - 1
+	for j > 0 && ivs[j-1].lo > lo {
+		ivs[j] = ivs[j-1]
+		j--
+	}
+	ivs[j] = ival{lo, hi}
 	merged := ivs[:1]
 	for _, iv := range ivs[1:] {
 		last := &merged[len(merged)-1]
@@ -78,8 +132,24 @@ func insert(m map[float64][]ival, key, lo, hi float64) float64 {
 			merged = append(merged, iv)
 		}
 	}
-	m[key] = merged
+	ts.ivs[ti] = merged
 	return add
+}
+
+// segStore accumulates rectilinear segments with overlap merging so that
+// shared track length is counted once — the mechanism that turns an
+// L-routed MST into a Steiner tree.
+type segStore struct {
+	h trackSet // y → x-intervals
+	v trackSet // x → y-intervals
+	// total is the union length inserted so far.
+	total float64
+}
+
+func (st *segStore) reset() {
+	st.h.reset()
+	st.v.reset()
+	st.total = 0
 }
 
 // addL routes an L-shaped connection from a to b choosing the bend that
@@ -90,43 +160,43 @@ func (st *segStore) addL(a, b geom.Point) float64 {
 		return 0
 	}
 	if a.X == b.X {
-		add := insert(st.v, a.X, a.Y, b.Y)
+		add := st.v.insert(a.X, a.Y, b.Y)
 		st.total += add
 		return add
 	}
 	if a.Y == b.Y {
-		add := insert(st.h, a.Y, a.X, b.X)
+		add := st.h.insert(a.Y, a.X, b.X)
 		st.total += add
 		return add
 	}
 	// Option 1: horizontal at a.Y then vertical at b.X.
-	o1 := addedLen(st.h, a.Y, a.X, b.X) + addedLen(st.v, b.X, a.Y, b.Y)
+	o1 := st.h.addedLen(a.Y, a.X, b.X) + st.v.addedLen(b.X, a.Y, b.Y)
 	// Option 2: vertical at a.X then horizontal at b.Y.
-	o2 := addedLen(st.v, a.X, a.Y, b.Y) + addedLen(st.h, b.Y, a.X, b.X)
+	o2 := st.v.addedLen(a.X, a.Y, b.Y) + st.h.addedLen(b.Y, a.X, b.X)
 	var add float64
 	if o1 <= o2 {
-		add = insert(st.h, a.Y, a.X, b.X) + insert(st.v, b.X, a.Y, b.Y)
+		add = st.h.insert(a.Y, a.X, b.X) + st.v.insert(b.X, a.Y, b.Y)
 	} else {
-		add = insert(st.v, a.X, a.Y, b.Y) + insert(st.h, b.Y, a.X, b.X)
+		add = st.v.insert(a.X, a.Y, b.Y) + st.h.insert(b.Y, a.X, b.X)
 	}
 	st.total += add
 	return add
 }
 
-// segments exports the stored wire pieces.
-func (st *segStore) segments() []Segment {
-	var out []Segment
-	for y, ivs := range st.h {
-		for _, iv := range ivs {
-			out = append(out, Segment{geom.Pt(iv.lo, y), geom.Pt(iv.hi, y)})
+// appendSegments exports the stored wire pieces into buf, tracks in
+// coordinate order.
+func (st *segStore) appendSegments(buf []Segment) []Segment {
+	for i, y := range st.h.keys {
+		for _, iv := range st.h.ivs[i] {
+			buf = append(buf, Segment{geom.Pt(iv.lo, y), geom.Pt(iv.hi, y)})
 		}
 	}
-	for x, ivs := range st.v {
-		for _, iv := range ivs {
-			out = append(out, Segment{geom.Pt(x, iv.lo), geom.Pt(x, iv.hi)})
+	for i, x := range st.v.keys {
+		for _, iv := range st.v.ivs[i] {
+			buf = append(buf, Segment{geom.Pt(x, iv.lo), geom.Pt(x, iv.hi)})
 		}
 	}
-	return out
+	return buf
 }
 
 // Tree is a routed net estimate.
@@ -140,25 +210,86 @@ type Tree struct {
 	SinkPathLen []float64
 }
 
-// RSMT builds a rectilinear Steiner tree estimate over pts. pts[0] is the
-// root (driver). For ≤ 3 pins the construction is optimal; beyond that it
-// is the overlap-merged L-routed MST heuristic (within a few percent of
-// FLUTE on typical placement nets). keepSegments controls whether the
-// geometry is returned (the congestion map and figure renderers want it).
-func RSMT(pts []geom.Point, keepSegments bool) Tree {
-	pts = dedup(pts)
-	n := len(pts)
-	switch n {
-	case 0, 1:
-		return Tree{}
+// rsmtScratch is the per-construction workspace of the RSMT builder and
+// the RC extraction: one flat buffer set reused net after net. The
+// sync.Pool hands each P its own scratch, so the parallel fan-outs get
+// per-worker free lists without locks on the hot path.
+type rsmtScratch struct {
+	pinbuf  []geom.Point // raw pin locations (AppendPinLocs target)
+	pts     []geom.Point // deduped pins, root first
+	seen    map[geom.Point]bool
+	parent  []int32
+	dist    []float64
+	inTree  []bool
+	childs  dense.CSR[int32]
+	queue   []int32
+	pathLen []float64 // root-path length per deduped pin
+	segs    []Segment
+	st      segStore
+
+	// Extraction-side buffers (route.go).
+	pathLoc    map[geom.Point]float64
+	clusterPts [2][]geom.Point
+	taken      []bool
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &rsmtScratch{
+		seen:    make(map[geom.Point]bool),
+		pathLoc: make(map[geom.Point]float64),
 	}
+}}
+
+func getScratch() *rsmtScratch   { return scratchPool.Get().(*rsmtScratch) }
+func putScratch(sc *rsmtScratch) { scratchPool.Put(sc) }
+
+// dedup fills sc.pts with pts minus duplicate points, preserving order
+// (and keeping index 0 the root). Path lengths for deduped sinks are
+// recovered by callers via matching coordinates; the flow only ever
+// needs per-unique-location data. Small pin sets scan linearly instead
+// of hashing — cheaper for the typical net and allocation-free either
+// way.
+func (sc *rsmtScratch) dedup(pts []geom.Point) {
+	sc.pts = sc.pts[:0]
+	if len(pts) <= 24 {
+	outer:
+		for _, p := range pts {
+			for _, q := range sc.pts {
+				if p == q {
+					continue outer
+				}
+			}
+			sc.pts = append(sc.pts, p)
+		}
+		return
+	}
+	clear(sc.seen)
+	for _, p := range pts {
+		if !sc.seen[p] {
+			sc.seen[p] = true
+			sc.pts = append(sc.pts, p)
+		}
+	}
+}
+
+// build runs the Prim+L-routing construction over the deduped pins in
+// sc.pts: root-path lengths land in sc.pathLen, the merged geometry in
+// sc.st (exported to sc.segs when keepSegments), and the Steiner length
+// is returned. Callers must have ≥ 2 points in sc.pts.
+//
+//hotpath:kernel
+func (sc *rsmtScratch) build(keepSegments bool) float64 {
+	pts := sc.pts
+	n := len(pts)
 
 	// Prim MST on Manhattan distance, rooted at pin 0.
-	parent := make([]int, n)
-	dist := make([]float64, n)
-	inTree := make([]bool, n)
+	sc.parent = dense.Grow(sc.parent, n)
+	sc.dist = dense.Grow(sc.dist, n)
+	sc.inTree = dense.Grow(sc.inTree, n)
+	parent, dist, inTree := sc.parent, sc.dist, sc.inTree
 	for i := range dist {
 		dist[i] = math.Inf(1)
+		inTree[i] = false
 	}
 	dist[0] = 0
 	parent[0] = -1
@@ -174,50 +305,60 @@ func RSMT(pts []geom.Point, keepSegments bool) Tree {
 			if !inTree[i] {
 				if d := pts[best].ManhattanDist(pts[i]); d < dist[i] {
 					dist[i] = d
-					parent[i] = best
+					parent[i] = int32(best)
 				}
 			}
 		}
 	}
 
 	// Route MST edges in BFS order from the root, merging overlaps.
-	children := make([][]int, n)
+	sc.childs.Reset(n)
 	for i := 1; i < n; i++ {
-		children[parent[i]] = append(children[parent[i]], i)
+		sc.childs.Count(parent[i])
 	}
-	st := newSegStore()
-	pathLen := make([]float64, n)
-	queue := []int{0}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, c := range children[u] {
+	sc.childs.Seal()
+	for i := 1; i < n; i++ {
+		sc.childs.Append(parent[i], int32(i))
+	}
+	st := &sc.st
+	st.reset()
+	sc.pathLen = dense.Grow(sc.pathLen, n)
+	pathLen := sc.pathLen
+	pathLen[0] = 0
+	queue := append(sc.queue[:0], 0)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, c := range sc.childs.Row(u) {
 			st.addL(pts[u], pts[c])
 			pathLen[c] = pathLen[u] + pts[u].ManhattanDist(pts[c])
 			queue = append(queue, c)
 		}
 	}
-
-	t := Tree{Length: st.total, SinkPathLen: pathLen[1:]}
+	sc.queue = queue[:0]
 	if keepSegments {
-		t.Segments = st.segments()
+		sc.segs = st.appendSegments(sc.segs[:0])
 	}
-	return t
+	return st.total
 }
 
-// dedup removes duplicate points, preserving order (and keeping index 0
-// the root). Path lengths for deduped sinks are recovered by callers via
-// matching coordinates; the flow only ever needs per-unique-location data.
-func dedup(pts []geom.Point) []geom.Point {
-	seen := make(map[geom.Point]bool, len(pts))
-	out := pts[:0:0]
-	for _, p := range pts {
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
-		}
+// RSMT builds a rectilinear Steiner tree estimate over pts. pts[0] is the
+// root (driver). For ≤ 3 pins the construction is optimal; beyond that it
+// is the overlap-merged L-routed MST heuristic (within a few percent of
+// FLUTE on typical placement nets). keepSegments controls whether the
+// geometry is returned (the congestion map and figure renderers want it).
+func RSMT(pts []geom.Point, keepSegments bool) Tree {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.dedup(pts)
+	if len(sc.pts) <= 1 {
+		return Tree{}
 	}
-	return out
+	length := sc.build(keepSegments)
+	t := Tree{Length: length, SinkPathLen: append([]float64(nil), sc.pathLen[1:len(sc.pts)]...)}
+	if keepSegments {
+		t.Segments = append([]Segment(nil), sc.segs...)
+	}
+	return t
 }
 
 // HPWL returns the half-perimeter wirelength of pts — the lower bound the

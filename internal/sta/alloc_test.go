@@ -1,0 +1,108 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+	"repro/internal/geom"
+	"repro/internal/route"
+)
+
+// TestIncrementalUpdateAllocs pins the steady-state allocation count of
+// the incremental Timer update: after the first full pass, a small
+// placement perturbation plus Update must run almost entirely on the
+// Timer's reused buffers (dirty/frontier marks, endpoint scratch,
+// pooled RC replacements). Timing repair and sizing loops call this
+// thousands of times per flow.
+func TestIncrementalUpdateAllocs(t *testing.T) {
+	d, err := designs.Generate(designs.AES, lib12, designs.Params{Scale: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range d.Instances {
+		inst.Loc = geom.Pt(float64(i%71), float64((i*13)%67))
+	}
+	cfg := DefaultConfig(1.0)
+	cfg.Router = route.New() // bare Router: replaced RCs recycle to the pool
+	tm, err := NewTimer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Close()
+	if _, err := tm.Update(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One movable instance nudged back and forth between two spots; each
+	// Update sees a one-cell frontier.
+	inst := d.Instances[len(d.Instances)/2]
+	flip := false
+	step := func() {
+		flip = !flip
+		p := geom.Pt(30, 20)
+		if flip {
+			p = geom.Pt(31, 21)
+		}
+		inst.SetLoc(p)
+		if _, err := tm.Update(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step() // warm the scratch buffers and pools
+	}
+	allocs := testing.AllocsPerRun(20, step)
+	t.Logf("allocs/run: SetLoc+incremental Update=%v", allocs)
+	// Steady state measures 0; the tiny ceiling only absorbs a GC
+	// clearing a sync.Pool mid-measurement. A dropped buffer reuse jumps
+	// far past it.
+	if allocs > maxIncrementalAllocs {
+		t.Errorf("incremental update allocates %v per run, want <= %v", allocs, maxIncrementalAllocs)
+	}
+}
+
+const maxIncrementalAllocs = 4
+
+// BenchmarkKernelIncrementalUpdate measures a warm one-cell-frontier
+// Timer update; its B/op is guarded against the committed
+// BENCH_alloc.json baseline by tools/benchguard in CI.
+func BenchmarkKernelIncrementalUpdate(b *testing.B) {
+	d, err := designs.Generate(designs.AES, lib12, designs.Params{Scale: 0.05, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, inst := range d.Instances {
+		inst.Loc = geom.Pt(float64(i%71), float64((i*13)%67))
+	}
+	cfg := DefaultConfig(1.0)
+	cfg.Router = route.New()
+	tm, err := NewTimer(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tm.Close()
+	if _, err := tm.Update(); err != nil {
+		b.Fatal(err)
+	}
+	inst := d.Instances[len(d.Instances)/2]
+	flip := false
+	step := func() {
+		flip = !flip
+		p := geom.Pt(30, 20)
+		if flip {
+			p = geom.Pt(31, 21)
+		}
+		inst.SetLoc(p)
+		if _, err := tm.Update(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/cell"
+	"repro/internal/dense"
 	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/route"
@@ -22,7 +23,9 @@ import (
 // register D-pins are handled as graph sources/endpoints rather than
 // separate nodes.
 
-// graph is the levelized combinational view of a design.
+// graph is the levelized combinational view of a design. rebuild reuses
+// the order/count storage, so a persistent Timer re-levelizing after a
+// structural edit allocates nothing once warm.
 type graph struct {
 	d *netlist.Design
 	// order lists combinational instances in topological order.
@@ -30,13 +33,25 @@ type graph struct {
 	// fanin[id] lists the driving instances of instance id's inputs
 	// (excluding clock pins and port-driven inputs).
 	faninCount []int
+	remaining  []int
 }
 
-// buildGraph levelizes the combinational portion of the design. Sequential
-// cells and macros are timing sources (their outputs launch) and sinks
-// (their D inputs capture); combinational loops are an error.
+// buildGraph levelizes the combinational portion of the design.
 func buildGraph(d *netlist.Design) (*graph, error) {
-	g := &graph{d: d, faninCount: make([]int, len(d.Instances))}
+	g := &graph{}
+	if err := g.rebuild(d); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// rebuild levelizes d into g, reusing g's storage. Sequential cells and
+// macros are timing sources (their outputs launch) and sinks (their D
+// inputs capture); combinational loops are an error.
+func (g *graph) rebuild(d *netlist.Design) error {
+	g.d = d
+	conn := d.Conn()
+	g.faninCount = dense.Zero(g.faninCount, len(d.Instances))
 
 	isSource := func(inst *netlist.Instance) bool {
 		f := inst.Master.Function
@@ -63,20 +78,20 @@ func buildGraph(d *netlist.Design) (*graph, error) {
 	}
 
 	// Kahn's algorithm: sources first, then zero-fanin combinational.
-	remaining := make([]int, len(d.Instances))
-	copy(remaining, g.faninCount)
-	queue := make([]*netlist.Instance, 0, len(d.Instances))
+	// g.order doubles as the FIFO queue — every queued instance lands in
+	// the order exactly once, in pop order, so a read cursor over the
+	// growing slice is the queue.
+	g.remaining = dense.Grow(g.remaining, len(d.Instances))
+	copy(g.remaining, g.faninCount)
+	g.order = g.order[:0]
 	for _, inst := range d.Instances {
-		if isSource(inst) || remaining[inst.ID] == 0 {
-			queue = append(queue, inst)
+		if isSource(inst) || g.remaining[inst.ID] == 0 {
+			g.order = append(g.order, inst)
 		}
 	}
-	g.order = make([]*netlist.Instance, 0, len(d.Instances))
-	for len(queue) > 0 {
-		inst := queue[0]
-		queue = queue[1:]
-		g.order = append(g.order, inst)
-		out := d.OutputNet(inst)
+	for qi := 0; qi < len(g.order); qi++ {
+		inst := g.order[qi]
+		out := conn.OutputNet(inst)
 		if out == nil {
 			continue
 		}
@@ -85,17 +100,17 @@ func buildGraph(d *netlist.Design) (*graph, error) {
 			if isSource(sk) || s.Spec().Dir == cell.DirClk {
 				continue
 			}
-			remaining[sk.ID]--
-			if remaining[sk.ID] == 0 {
-				queue = append(queue, sk)
+			g.remaining[sk.ID]--
+			if g.remaining[sk.ID] == 0 {
+				g.order = append(g.order, sk)
 			}
 		}
 	}
 	if len(g.order) != len(d.Instances) {
-		return nil, fmt.Errorf("sta: combinational cycle detected (%d of %d instances levelized)",
+		return fmt.Errorf("sta: combinational cycle detected (%d of %d instances levelized)",
 			len(g.order), len(d.Instances))
 	}
-	return g, nil
+	return nil
 }
 
 // TopoOrder returns the design's instances levelized source-first:

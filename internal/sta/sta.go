@@ -114,7 +114,9 @@ func (res *Result) applyDerates(inst *netlist.Instance, out *netlist.Net, d *net
 	if out != nil && out.CrossesTiers() {
 		der = der.Compose(cfg.Derates.ForOutputBoundary(fast))
 	}
-	for _, in := range d.InputNets(inst) {
+	// Conn's rows are shared slices — no per-node allocation here, and
+	// this runs once per instance per analysis.
+	for _, in := range d.Conn().InputNets(inst) {
 		if in.IsClock {
 			continue
 		}

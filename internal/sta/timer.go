@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/cell"
+	"repro/internal/dense"
 	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/route"
@@ -59,18 +60,23 @@ type Timer struct {
 	g       *graph
 	topoRev uint64
 	rc      []*route.NetRC // by net ID, refreshed as the journal dictates
+	rec     *route.Cache   // recycling guard when Router is a Cache
+	pooled  bool           // Router is a bare *route.Router (pool-backed)
 	pos     []int32        // instance ID → topological position
 	minZero []bool         // instance has a port-driven or floating input
-	fanin   [][]faninEdge  // by instance ID, in global push order
+	// fanin holds every instance's timing arcs (rows by instance ID) in
+	// global push order, as one flat CSR payload.
+	fanin dense.CSR[faninEdge]
 	// endStart/endCount locate each driver's endpoint entries inside
 	// res.endSlack so incremental updates can rewrite them in place.
 	endStart, endCount []int32
-	// flevels/blevels group topological positions into dependency levels
-	// of the position-gated forward and backward sweeps: nodes within a
+	// flev/blev group topological positions into dependency levels of
+	// the position-gated forward and backward sweeps: nodes within a
 	// level are mutually independent, so the full pass runs each level
-	// as one parallel fan-out. Rebuilt with the graph (purely
-	// structural), keyed on topoRev like fanin.
-	flevels, blevels [][]int32
+	// as one parallel fan-out over the level's flat row. Rebuilt with
+	// the graph (purely structural), keyed on topoRev like fanin.
+	flev, blev dense.CSR[int32]
+	lvl        []int32 // per-instance level, buildLevels scratch
 	// endScratch holds each driver's endpoint entries from the parallel
 	// backward sweep until the sequential assembly appends them to
 	// res.endSlack in the reference order. Indexed by instance ID.
@@ -79,6 +85,12 @@ type Timer struct {
 	// Forward-pass state the push model accumulates at input pins. Kept
 	// outside Result: only combinational instances' entries carry meaning.
 	arrIn, arrMinIn, slewIn, arrMinOut []float64
+
+	// Per-Update work-set buffers, reused across calls.
+	seedMarked          []bool
+	seeds               []int32
+	dirty, inB, predFix []bool
+	incScratch          []endpoint
 
 	fresh      bool // no update has run yet
 	structural bool // a ChangeStructure arrived since the last update
@@ -117,6 +129,8 @@ func NewTimer(d *netlist.Design, cfg Config) (*Timer, error) {
 		lat:   lat,
 		fresh: true,
 	}
+	t.rec, _ = cfg.Router.(*route.Cache)
+	_, t.pooled = cfg.Router.(*route.Router)
 	d.Observe(t)
 	return t, nil
 }
@@ -199,8 +213,9 @@ func timingSource(inst *netlist.Instance) bool {
 // sibling sinks, and the derate dependencies that reach one net away in
 // both directions.
 func (t *Timer) resolveSeeds() []int32 {
-	marked := make([]bool, len(t.d.Instances))
-	var seeds []int32
+	t.seedMarked = dense.Zero(t.seedMarked, len(t.d.Instances))
+	marked := t.seedMarked
+	seeds := t.seeds[:0]
 	add := func(id int) {
 		if !marked[id] {
 			marked[id] = true
@@ -223,11 +238,32 @@ func (t *Timer) resolveSeeds() []int32 {
 				add(s.Inst.ID)
 			}
 			if moved && !n.IsClock && n.ID < len(t.rc) {
+				old := t.rc[n.ID]
 				t.rc[n.ID] = t.cfg.Router.Extract(n)
+				t.recycle(n, old)
 			}
 		}
 	}
+	t.seeds = seeds
 	return seeds
+}
+
+// recycle returns a replaced extraction to the route free list. The
+// timer owns the pointers it holds in t.rc once it has replaced them —
+// nothing else retains a per-net RC across calls — but when the
+// extractor is a Cache the entry (or an in-flight fill) may still hold
+// the same pointer, so the guarded Cache.Recycle decides there. Unknown
+// extractor implementations (which may return shared storage) are never
+// recycled.
+func (t *Timer) recycle(n *netlist.Net, old *route.NetRC) {
+	if old == nil || old == t.rc[n.ID] {
+		return
+	}
+	if t.rec != nil {
+		t.rec.Recycle(n, old)
+	} else if t.pooled {
+		route.RecycleRC(old)
+	}
 }
 
 // fullUpdate recomputes everything: graph (when the topology revision
@@ -247,39 +283,60 @@ func (t *Timer) resolveSeeds() []int32 {
 func (t *Timer) fullUpdate() error {
 	d := t.d
 	if t.g == nil || t.topoRev != d.TopoRev() {
-		g, err := buildGraph(d)
-		if err != nil {
+		if t.g == nil {
+			t.g = &graph{}
+		}
+		if err := t.g.rebuild(d); err != nil {
 			return err
 		}
-		t.g = g
 		t.topoRev = d.TopoRev()
-		t.pos = make([]int32, len(d.Instances))
-		for p, inst := range g.order {
+		t.pos = dense.Grow(t.pos, len(d.Instances))
+		for p, inst := range t.g.order {
 			t.pos[inst.ID] = int32(p)
 		}
 		t.buildFanin()
 		t.buildLevels()
 	}
 	workers := t.cfg.Workers
-	t.rc = extractAll(d, t.cfg.Router, workers).rc
-	t.noteFanout(len(d.Nets))
+	// Extract in place over the retained per-net slots, handing each
+	// replaced extraction back to the route free list. Each net touches
+	// only its own slot, so the fan-out stays deterministic.
+	nNets := len(d.Nets)
+	if cap(t.rc) < nNets {
+		grown := make([]*route.NetRC, nNets)
+		copy(grown, t.rc)
+		t.rc = grown
+	} else {
+		t.rc = t.rc[:nNets]
+	}
+	par.ParallelFor(workers, nNets, func(i int) {
+		n := d.Nets[i]
+		old := t.rc[i]
+		if n.IsClock {
+			t.rc[i] = nil // clock timing comes from the CTS latency model
+		} else {
+			t.rc[i] = t.cfg.Router.Extract(n)
+		}
+		t.recycle(n, old)
+	})
+	t.noteFanout(nNets)
 
 	n := len(d.Instances)
 	res := t.res
 	if len(res.arrOut) != n {
-		res.arrOut = make([]float64, n)
-		res.reqOut = make([]float64, n)
-		res.delay = make([]float64, n)
-		res.slewOut = make([]float64, n)
-		res.inWire = make([]float64, n)
-		res.pred = make([]int32, n)
-		t.arrIn = make([]float64, n)
-		t.arrMinIn = make([]float64, n)
-		t.slewIn = make([]float64, n)
-		t.arrMinOut = make([]float64, n)
-		t.minZero = make([]bool, n)
-		t.endStart = make([]int32, n)
-		t.endCount = make([]int32, n)
+		res.arrOut = dense.Grow(res.arrOut, n)
+		res.reqOut = dense.Grow(res.reqOut, n)
+		res.delay = dense.Grow(res.delay, n)
+		res.slewOut = dense.Grow(res.slewOut, n)
+		res.inWire = dense.Grow(res.inWire, n)
+		res.pred = dense.Grow(res.pred, n)
+		t.arrIn = dense.Grow(t.arrIn, n)
+		t.arrMinIn = dense.Grow(t.arrMinIn, n)
+		t.slewIn = dense.Grow(t.slewIn, n)
+		t.arrMinOut = dense.Grow(t.arrMinOut, n)
+		t.minZero = dense.Grow(t.minZero, n)
+		t.endStart = dense.Grow(t.endStart, n)
+		t.endCount = dense.Grow(t.endCount, n)
 	}
 	res.endSlack = res.endSlack[:0]
 	for i := 0; i < n; i++ {
@@ -313,8 +370,8 @@ func (t *Timer) fullUpdate() error {
 	// Levels run in order; nodes within a level are independent (their
 	// landed fanin arcs all come from lower levels) and write only their
 	// own index-addressed state.
-	for _, level := range t.flevels {
-		level := level
+	for lv := 0; lv < t.flev.Rows(); lv++ {
+		level := t.flev.Row(int32(lv))
 		par.ParallelFor(workers, len(level), func(k int) {
 			inst := t.g.order[level[k]]
 			if !timingSource(inst) {
@@ -339,10 +396,10 @@ func (t *Timer) fullUpdate() error {
 	// backward computation — all in lower backward levels, final when
 	// the driver computes. Endpoint entries park in per-driver scratch.
 	if len(t.endScratch) != n {
-		t.endScratch = make([][]endpoint, n)
+		t.endScratch = dense.Grow(t.endScratch, n)
 	}
-	for _, level := range t.blevels {
-		level := level
+	for lv := 0; lv < t.blev.Rows(); lv++ {
+		level := t.blev.Row(int32(lv))
 		par.ParallelFor(workers, len(level), func(k int) {
 			inst := t.g.order[level[k]]
 			out := d.OutputNet(inst)
@@ -398,14 +455,15 @@ func (t *Timer) noteFanout(n int) {
 func (t *Timer) buildLevels() {
 	d := t.d
 	order := t.g.order
-	level := make([]int32, len(d.Instances))
+	t.lvl = dense.Zero(t.lvl, len(d.Instances))
+	level := t.lvl
 
 	maxF := int32(0)
 	for p, inst := range order {
 		lv := int32(0)
 		if !timingSource(inst) {
 			kpos := int32(p)
-			for _, e := range t.fanin[inst.ID] {
+			for _, e := range t.fanin.Row(int32(inst.ID)) {
 				if t.pos[e.drv] > kpos {
 					break
 				}
@@ -419,10 +477,13 @@ func (t *Timer) buildLevels() {
 			maxF = lv
 		}
 	}
-	t.flevels = make([][]int32, maxF+1)
+	t.flev.Reset(int(maxF) + 1)
+	for _, inst := range order {
+		t.flev.Count(level[inst.ID])
+	}
+	t.flev.Seal()
 	for p, inst := range order {
-		lv := level[inst.ID]
-		t.flevels[lv] = append(t.flevels[lv], int32(p))
+		t.flev.Append(level[inst.ID], int32(p))
 	}
 
 	// participates mirrors the runtime rc guard: extraction covers every
@@ -463,14 +524,19 @@ func (t *Timer) buildLevels() {
 			maxB = lv
 		}
 	}
-	t.blevels = make([][]int32, maxB+1)
+	t.blev.Reset(int(maxB) + 1)
+	for _, inst := range order {
+		if participates(inst) != nil {
+			t.blev.Count(level[inst.ID])
+		}
+	}
+	t.blev.Seal()
 	for i := len(order) - 1; i >= 0; i-- {
 		inst := order[i]
 		if participates(inst) == nil {
 			continue
 		}
-		lv := level[inst.ID]
-		t.blevels[lv] = append(t.blevels[lv], int32(i))
+		t.blev.Append(level[inst.ID], int32(i))
 	}
 }
 
@@ -481,9 +547,10 @@ func (t *Timer) incremental(seeds []int32) bool {
 	d := t.d
 	n := len(d.Instances)
 	res := t.res
-	dirty := make([]bool, n)   // indexed by topological position
-	inB := make([]bool, n)     // backward work set, same indexing
-	predFix := make([]bool, n) // nodes whose pred/inWire need a final replay
+	t.dirty = dense.Zero(t.dirty, n)     // indexed by topological position
+	t.inB = dense.Zero(t.inB, n)         // backward work set, same indexing
+	t.predFix = dense.Zero(t.predFix, n) // nodes needing a final pred replay
+	dirty, inB, predFix := t.dirty, t.inB, t.predFix
 	for _, id := range seeds {
 		dirty[t.pos[id]] = true
 	}
@@ -509,7 +576,7 @@ func (t *Timer) incremental(seeds []int32) bool {
 		inB[p] = true
 		// The node's fanin drivers read its stage delay and required time
 		// in their backward recompute, so they always join the work set.
-		for _, e := range t.fanin[inst.ID] {
+		for _, e := range t.fanin.Row(int32(inst.ID)) {
 			inB[t.pos[e.drv]] = true
 		}
 		if !changed {
@@ -544,7 +611,8 @@ func (t *Timer) incremental(seeds []int32) bool {
 	// Backward sweep in reverse topological order: requireds flow from
 	// sinks to drivers, so every position this loop adds to the work set
 	// is one it has not passed yet.
-	var scratch []endpoint
+	scratch := t.incScratch
+	defer func() { t.incScratch = scratch[:0] }()
 	for p := n - 1; p >= 0; p-- {
 		if !inB[p] {
 			continue
@@ -568,7 +636,7 @@ func (t *Timer) incremental(seeds []int32) bool {
 		if req != res.reqOut[inst.ID] {
 			res.reqOut[inst.ID] = req
 			if !timingSource(inst) {
-				for _, e := range t.fanin[inst.ID] {
+				for _, e := range t.fanin.Row(int32(inst.ID)) {
 					inB[t.pos[e.drv]] = true
 				}
 			}
@@ -580,11 +648,28 @@ func (t *Timer) incremental(seeds []int32) bool {
 
 // buildFanin records every data arc in (driver topological position, sink
 // index) order — exactly the order the full pass pushes arrivals — so a
-// replay reproduces its strict-comparison tie-breaks.
+// replay reproduces its strict-comparison tie-breaks. The arcs live in
+// one flat CSR payload keyed by sink instance ID; the two-pass build
+// preserves the push order within each row and reallocates nothing once
+// the storage is warm.
 func (t *Timer) buildFanin() {
-	t.fanin = make([][]faninEdge, len(t.d.Instances))
+	conn := t.d.Conn()
+	t.fanin.Reset(len(t.d.Instances))
 	for _, inst := range t.g.order {
-		out := t.d.OutputNet(inst)
+		out := conn.OutputNet(inst)
+		if out == nil || out.IsClock {
+			continue
+		}
+		for _, s := range out.Sinks {
+			if s.Spec().Dir == cell.DirClk {
+				continue
+			}
+			t.fanin.Count(int32(s.Inst.ID))
+		}
+	}
+	t.fanin.Seal()
+	for _, inst := range t.g.order {
+		out := conn.OutputNet(inst)
 		if out == nil || out.IsClock {
 			continue
 		}
@@ -592,7 +677,7 @@ func (t *Timer) buildFanin() {
 			if s.Spec().Dir == cell.DirClk {
 				continue
 			}
-			t.fanin[s.Inst.ID] = append(t.fanin[s.Inst.ID],
+			t.fanin.Append(int32(s.Inst.ID),
 				faninEdge{drv: int32(inst.ID), net: out, idx: int32(i)})
 		}
 	}
@@ -606,6 +691,8 @@ func (t *Timer) buildFanin() {
 // whose driver was released late stays in flight past its sink). The
 // fanin list is sorted by driver position, so the landed arcs are a
 // prefix.
+//
+//hotpath:kernel
 func (t *Timer) replayEffective(inst *netlist.Instance) {
 	id := inst.ID
 	kpos := t.pos[id]
@@ -614,7 +701,7 @@ func (t *Timer) replayEffective(inst *netlist.Instance) {
 	if t.minZero[id] {
 		ami = 0
 	}
-	for _, e := range t.fanin[id] {
+	for _, e := range t.fanin.Row(int32(id)) {
 		if t.pos[e.drv] > kpos {
 			break
 		}
@@ -644,7 +731,7 @@ func (t *Timer) replayPred(inst *netlist.Instance) {
 	id := inst.ID
 	ai := 0.0
 	pred, inw := int32(-1), 0.0
-	for _, e := range t.fanin[id] {
+	for _, e := range t.fanin.Row(int32(id)) {
 		rc := t.rc[e.net.ID]
 		s := e.net.Sinks[e.idx]
 		wd := tech.RCps(rc.SinkR[e.idx], rc.SinkCapShare[e.idx]+s.Spec().Cap)
@@ -660,6 +747,8 @@ func (t *Timer) replayPred(inst *netlist.Instance) {
 // computeNode recomputes one instance's stage delay, output arrival,
 // min-path arrival, and output slew, reporting whether any propagated
 // quantity moved (bitwise).
+//
+//hotpath:kernel
 func (t *Timer) computeNode(inst *netlist.Instance) bool {
 	d, res, cfg := t.d, t.res, &t.cfg
 	id := inst.ID

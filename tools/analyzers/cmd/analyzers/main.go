@@ -1,6 +1,6 @@
 // Command analyzers is the repository's custom vettool bundling the
-// journal/Timer-contract and robustness passes: journalmutate,
-// staleanalyze, statkeys, recoverbare.
+// journal/Timer-contract, robustness, and hot-kernel passes:
+// journalmutate, staleanalyze, statkeys, recoverbare, hotalloc.
 //
 // Usage:
 //
@@ -17,6 +17,7 @@ package main
 
 import (
 	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/hotalloc"
 	"repro/tools/analyzers/journalmutate"
 	"repro/tools/analyzers/recoverbare"
 	"repro/tools/analyzers/staleanalyze"
@@ -29,5 +30,6 @@ func main() {
 		staleanalyze.Analyzer,
 		statkeys.Analyzer,
 		recoverbare.Analyzer,
+		hotalloc.Analyzer,
 	)
 }

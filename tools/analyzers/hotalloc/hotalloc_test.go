@@ -1,0 +1,35 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/hotalloc"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "fixture", hotalloc.Analyzer)
+}
+
+// The refactored hot layers carry //hotpath:kernel markers on their kernels
+// (FM moves, RSMT build, RC extraction, Timer sweeps, bisection); each
+// must hold the no-allocation contract the pass enforces.
+func TestRouteClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/route", "repro/internal/route", hotalloc.Analyzer)
+}
+
+func TestPartitionClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/partition", "repro/internal/partition", hotalloc.Analyzer)
+}
+
+func TestPlaceClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/place", "repro/internal/place", hotalloc.Analyzer)
+}
+
+func TestStaClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/sta", "repro/internal/sta", hotalloc.Analyzer)
+}
+
+func TestCtsClean(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/cts", "repro/internal/cts", hotalloc.Analyzer)
+}

@@ -1,0 +1,93 @@
+// Fixture for the hotalloc pass.
+package fixture
+
+// sum is an unmarked function: nothing in it may flag, whatever it
+// allocates.
+func sum(xs []int) map[int]bool {
+	seen := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		var out []int
+		out = append(out, x)
+		seen[len(out)] = true
+	}
+	return seen
+}
+
+// hotMaps creates maps in a marked kernel: both forms flag.
+//
+//hotpath:kernel
+func hotMaps(n int) int {
+	m := make(map[int]int, n) // want "hot path allocates a map \(make\)"
+	lit := map[string]bool{}  // want "hot path allocates a map literal"
+	_ = lit
+	return len(m)
+}
+
+// hotLoopMake allocates per iteration: flags.
+//
+//hotpath:kernel
+func hotLoopMake(rows [][]int) int {
+	total := 0
+	for _, r := range rows {
+		buf := make([]int, len(r)) // want "make inside a loop"
+		copy(buf, r)
+		total += len(buf)
+	}
+	return total
+}
+
+// hotLoopGrowth regrows slices born empty inside the loop: all three
+// declaration forms flag.
+//
+//hotpath:kernel
+func hotLoopGrowth(rows [][]int) int {
+	total := 0
+	for _, r := range rows {
+		var a []int
+		a = append(a, r...) // want "regrows slice a from zero every iteration"
+		b := []int{}
+		b = append(b, r...) // want "regrows slice b from zero every iteration"
+		var c []int = nil
+		c = append(c, r...) // want "regrows slice c from zero every iteration"
+		total += len(a) + len(b) + len(c)
+	}
+	return total
+}
+
+// hotReuse appends through the sanctioned reuse idioms: scratch
+// declared outside the loop, a reslice of it, and a capacity-carrying
+// call result. None flag.
+//
+//hotpath:kernel
+func hotReuse(rows [][]int, scratch []int) int {
+	total := 0
+	var acc []int
+	for _, r := range rows {
+		acc = append(acc, r...) // outer scratch: amortized, clean
+		buf := scratch[:0]
+		buf = append(buf, r...) // reslice carries capacity: clean
+		got := carve(len(r))
+		got = append(got, r...) // call result carries capacity: clean
+		total += len(buf) + len(got)
+	}
+	// Clearing a retained map is legal; only creation flags.
+	clear(retained)
+	return total + len(acc)
+}
+
+var retained = map[int]bool{}
+
+func carve(n int) []int { return make([]int, 0, n) }
+
+// hotShadowedMake calls a local function named make: not the builtin,
+// clean.
+//
+//hotpath:kernel
+func hotShadowedMake(rows [][]int) int {
+	make := func(n int) []int { return nil }
+	total := 0
+	for _, r := range rows {
+		total += len(make(len(r)))
+	}
+	return total
+}

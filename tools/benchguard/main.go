@@ -1,0 +1,232 @@
+// Command benchguard runs the //hotpath:kernel-marked kernels' benchmarks with
+// -benchmem and asserts their B/op and allocs/op against the committed
+// baselines in BENCH_alloc.json.
+//
+// The guard is coarse by design: measured <= max(guard × baseline,
+// floor). A reintroduced map or per-iteration slice rebuild in a hot
+// kernel shows up as thousands of bytes per op and sails past the 2×
+// line; scheduler and GC jitter around a zero baseline is absorbed by
+// the absolute floors.
+//
+// Usage:
+//
+//	go run ./tools/benchguard              # check against BENCH_alloc.json
+//	go run ./tools/benchguard -update     # rewrite baselines from a fresh run
+//	go run ./tools/benchguard -benchtime 20x
+//
+// Exit status: 0 within budget, 1 regression or operational failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	Description      string               `json:"description"`
+	Date             string               `json:"date"`
+	CPU              string               `json:"cpu"`
+	Guard            float64              `json:"guard"`
+	FloorBytesPerOp  int64                `json:"floor_bytes_per_op"`
+	FloorAllocsPerOp int64                `json:"floor_allocs_per_op"`
+	Benchmarks       map[string]*baseline `json:"benchmarks"`
+}
+
+type baseline struct {
+	Package     string `json:"package"`
+	Workload    string `json:"workload"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// measurement is one parsed `-benchmem` result line.
+type measurement struct {
+	name        string // benchmark name with any -N GOMAXPROCS suffix stripped
+	bytesPerOp  int64
+	allocsPerOp int64
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_alloc.json", "baseline file to check (or rewrite with -update)")
+	benchtime := flag.String("benchtime", "10x", "go test -benchtime value")
+	update := flag.Bool("update", false, "rewrite the baseline file from a fresh run instead of checking")
+	flag.Parse()
+
+	bf, err := loadBaselines(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	got, err := runBenchmarks(bf, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := rewrite(*baselinePath, bf, got); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: rewrote %s with %d fresh baselines\n", *baselinePath, len(got))
+		return
+	}
+	if failed := check(bf, got); failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+func loadBaselines(path string) (*baselineFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Guard <= 1 {
+		return nil, fmt.Errorf("%s: guard must be > 1, got %v", path, bf.Guard)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &bf, nil
+}
+
+// runBenchmarks invokes `go test -bench` once per package covering all
+// of that package's baselined benchmarks, and returns the parsed
+// measurements keyed by benchmark name.
+func runBenchmarks(bf *baselineFile, benchtime string) (map[string]measurement, error) {
+	byPkg := map[string][]string{}
+	for name, b := range bf.Benchmarks {
+		byPkg[b.Package] = append(byPkg[b.Package], name)
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for pkg := range byPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	got := map[string]measurement{}
+	for _, pkg := range pkgs {
+		names := byPkg[pkg]
+		sort.Strings(names)
+		pattern := "^(" + strings.Join(names, "|") + ")$"
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench %s %s: %w\n%s", pattern, pkg, err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			m, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			got[m.name] = m
+		}
+	}
+	return got, nil
+}
+
+// parseBenchLine parses one `go test -benchmem` result line of the form
+//
+//	BenchmarkName-8   10   1352 ns/op   16048 B/op   4 allocs/op
+//
+// Value/unit pairs other than B/op and allocs/op are ignored.
+func parseBenchLine(line string) (measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return measurement{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	m := measurement{name: name, bytesPerOp: -1, allocsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			m.bytesPerOp = v
+		case "allocs/op":
+			m.allocsPerOp = v
+		}
+	}
+	if m.bytesPerOp < 0 || m.allocsPerOp < 0 {
+		return measurement{}, false
+	}
+	return m, true
+}
+
+// budget is the allowed ceiling for a baseline value.
+func budget(guard float64, base, floor int64) int64 {
+	b := int64(guard * float64(base))
+	if b < floor {
+		b = floor
+	}
+	return b
+}
+
+// check prints one line per benchmark and reports whether any exceeded
+// its budget (or went missing).
+func check(bf *baselineFile, got map[string]measurement) (failed bool) {
+	names := make([]string, 0, len(bf.Benchmarks))
+	for name := range bf.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := bf.Benchmarks[name]
+		m, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-34s missing from bench output (renamed or deleted?)\n", name)
+			failed = true
+			continue
+		}
+		maxB := budget(bf.Guard, base.BytesPerOp, bf.FloorBytesPerOp)
+		maxA := budget(bf.Guard, base.AllocsPerOp, bf.FloorAllocsPerOp)
+		status := "ok  "
+		if m.bytesPerOp > maxB || m.allocsPerOp > maxA {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-34s %6d B/op (budget %6d)  %4d allocs/op (budget %4d)\n",
+			status, name, m.bytesPerOp, maxB, m.allocsPerOp, maxA)
+	}
+	if failed {
+		fmt.Println("benchguard: hot-kernel allocation budget exceeded; if the growth is intended, regenerate with: go run ./tools/benchguard -update")
+	}
+	return failed
+}
+
+// rewrite stores the fresh measurements back into the baseline file,
+// preserving its prose fields and guard settings.
+func rewrite(path string, bf *baselineFile, got map[string]measurement) error {
+	for name, base := range bf.Benchmarks {
+		m, ok := got[name]
+		if !ok {
+			return fmt.Errorf("benchmark %s missing from bench output", name)
+		}
+		base.BytesPerOp = m.bytesPerOp
+		base.AllocsPerOp = m.allocsPerOp
+	}
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

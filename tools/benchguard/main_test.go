@@ -1,0 +1,80 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line   string
+		ok     bool
+		name   string
+		bytes  int64
+		allocs int64
+	}{
+		{"BenchmarkKernelBisect-8 \t 10\t 1952495 ns/op\t 16048 B/op\t 4 allocs/op", true, "BenchmarkKernelBisect", 16048, 4},
+		{"BenchmarkKernelNetRoute \t 10\t 1352 ns/op\t 0 B/op\t 0 allocs/op", true, "BenchmarkKernelNetRoute", 0, 0},
+		// Extra custom metrics between the standard pairs are ignored.
+		{"BenchmarkX-4   5   99 ns/op   7 widgets/op   128 B/op   2 allocs/op", true, "BenchmarkX", 128, 2},
+		{"PASS", false, "", 0, 0},
+		{"ok  \trepro/internal/route\t0.1s", false, "", 0, 0},
+		// No -benchmem columns: not a usable measurement.
+		{"BenchmarkY-8   10   1352 ns/op", false, "", 0, 0},
+		// Hyphen in the name is not a GOMAXPROCS suffix.
+		{"BenchmarkSweep/n-queens   10   5 ns/op   0 B/op   0 allocs/op", true, "BenchmarkSweep/n-queens", 0, 0},
+	}
+	for _, tc := range cases {
+		m, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseBenchLine(%q) ok=%v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if m.name != tc.name || m.bytesPerOp != tc.bytes || m.allocsPerOp != tc.allocs {
+			t.Errorf("parseBenchLine(%q) = %+v, want name=%q bytes=%d allocs=%d",
+				tc.line, m, tc.name, tc.bytes, tc.allocs)
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	// The floor carries zero baselines; the multiplier carries real ones.
+	if got := budget(2.0, 0, 512); got != 512 {
+		t.Errorf("budget(2, 0, 512) = %d, want 512", got)
+	}
+	if got := budget(2.0, 16048, 512); got != 32096 {
+		t.Errorf("budget(2, 16048, 512) = %d, want 32096", got)
+	}
+	if got := budget(2.0, 63, 4); got != 126 {
+		t.Errorf("budget(2, 63, 4) = %d, want 126", got)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	bf := &baselineFile{
+		Guard:            2.0,
+		FloorBytesPerOp:  512,
+		FloorAllocsPerOp: 4,
+		Benchmarks: map[string]*baseline{
+			"BenchmarkA": {BytesPerOp: 0, AllocsPerOp: 0},
+			"BenchmarkB": {BytesPerOp: 1000, AllocsPerOp: 10},
+		},
+	}
+	ok := map[string]measurement{
+		"BenchmarkA": {name: "BenchmarkA", bytesPerOp: 400, allocsPerOp: 3},
+		"BenchmarkB": {name: "BenchmarkB", bytesPerOp: 1999, allocsPerOp: 20},
+	}
+	if check(bf, ok) {
+		t.Error("check flagged measurements within budget")
+	}
+	bad := map[string]measurement{
+		"BenchmarkA": {name: "BenchmarkA", bytesPerOp: 4096, allocsPerOp: 0},
+		"BenchmarkB": {name: "BenchmarkB", bytesPerOp: 1000, allocsPerOp: 10},
+	}
+	if !check(bf, bad) {
+		t.Error("check missed a B/op regression past the floor")
+	}
+	if !check(bf, map[string]measurement{"BenchmarkB": ok["BenchmarkB"]}) {
+		t.Error("check missed a benchmark absent from the output")
+	}
+}
