@@ -734,7 +734,7 @@ func (s *flowState) buildDB(fc *flow.Context, stage string) *designDB {
 	}
 	if s.preassign != nil {
 		dd.hasPreassign = true
-		for inst, t := range s.preassign {
+		for inst, t := range s.preassign { //maporder:ok collection loop; pairs sorted by Inst immediately below
 			dd.preassign = append(dd.preassign, preassignPair{Inst: int32(inst.ID), Tier: t})
 		}
 		sort.Slice(dd.preassign, func(i, j int) bool { return dd.preassign[i].Inst < dd.preassign[j].Inst })
@@ -875,7 +875,14 @@ func (s *flowState) runFlow(fc *flow.Context, stages []flow.Stage) (*Result, err
 		if err != nil {
 			return nil, err
 		}
-		for st := range saveSet {
+		// Sorted validation order, so the stage named by the error is
+		// the same on every run.
+		requested := make([]string, 0, len(saveSet))
+		for st := range saveSet { //maporder:ok collection loop; sorted immediately below
+			requested = append(requested, st)
+		}
+		sort.Strings(requested)
+		for _, st := range requested {
 			found := false
 			for i := range stages {
 				if stages[i].Name == st {

@@ -350,7 +350,7 @@ func (s *RouteSection) Decode(r *Reader) error {
 			return err
 		}
 		rc.MIVs = int(mivs)
-		e.RC = rc
+		e.RC = rc //poolescape:ignore deserialization builds a fresh heap shell, never drawn from the pool
 		s.Entries = append(s.Entries, e)
 	}
 	return nil

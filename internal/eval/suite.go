@@ -405,7 +405,7 @@ func (s *Suite) DesignsInOrder() []designs.Name {
 	}
 	// Any extras (shouldn't happen) appended deterministically.
 	var rest []designs.Name
-	for n := range s.Results {
+	for n := range s.Results { //maporder:ok collection loop; rest is sorted immediately below
 		if !seen[n] {
 			rest = append(rest, n)
 		}

@@ -12,6 +12,28 @@
 // worker count. Work items must not draw from a shared RNG — a stream
 // consumed in scheduling order would differ run to run; seeds must be
 // pre-split per item instead (the flow.AttemptSeed pattern).
+//
+// A conforming kernel writes only its own index-addressed slot and
+// reduces after the barrier:
+//
+//	wls := make([]float64, len(nets))
+//	par.ParallelFor(workers, len(nets), func(i int) {
+//		wls[i] = length(nets[i]) // own slot; reads frozen state only
+//	})
+//	total := 0.0
+//	for _, wl := range wls {
+//		total += wl // ordered reduction, after all items finished
+//	}
+//
+// The shape below violates the contract — the captured accumulator is
+// written in schedule order, so the result depends on the interleaving
+// (and loses updates outright). The pardet analyzer rejects it
+// statically:
+//
+//	var total float64
+//	par.ParallelFor(workers, len(nets), func(i int) {
+//		total += length(nets[i]) // schedule-ordered shared write
+//	})
 package par
 
 import (

@@ -133,6 +133,68 @@ func TestBudget(t *testing.T) {
 	}
 }
 
+// TestBudgetEdgeCases pins the degenerate inputs: a total smaller than
+// the outer fan-out floors at one inner worker per job, non-positive
+// arguments resolve instead of dividing by zero or going negative, and
+// overflow-adjacent totals pass through undistorted.
+func TestBudgetEdgeCases(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	cases := []struct {
+		name               string
+		total, outer, want int
+	}{
+		{"total smaller than outer", 2, 7, 1},
+		{"total one, huge outer", 1, maxInt, 1},
+		{"negative outer treated as one", 8, -2, 8},
+		{"zero outer treated as one", 8, 0, 8},
+		{"max total single job", maxInt, 1, maxInt},
+		{"max total max outer", maxInt, maxInt, 1},
+		{"near-max total two jobs", maxInt - 1, 2, (maxInt - 1) / 2},
+	}
+	for _, c := range cases {
+		if got := Budget(c.total, c.outer); got != c.want {
+			t.Errorf("%s: Budget(%d, %d) = %d, want %d", c.name, c.total, c.outer, got, c.want)
+		}
+	}
+	// Negative totals mean "automatic", same as zero.
+	if got := Budget(-5, 3); got != Budget(0, 3) {
+		t.Errorf("Budget(-5, 3) = %d, want %d", got, Budget(0, 3))
+	}
+	// The documented invariant: whenever the budget can cover the outer
+	// fan-out at all, outer × inner stays within it.
+	for total := 1; total <= 16; total++ {
+		for outer := 1; outer <= total; outer++ {
+			if inner := Budget(total, outer); outer*inner > total {
+				t.Errorf("Budget(%d, %d) = %d: outer×inner %d exceeds total", total, outer, inner, outer*inner)
+			}
+		}
+	}
+	// And the floor: inner never drops below one even when the budget
+	// cannot cover the fan-out.
+	for _, outer := range []int{2, 3, 100, maxInt} {
+		if inner := Budget(1, outer); inner != 1 {
+			t.Errorf("Budget(1, %d) = %d, want 1", outer, inner)
+		}
+	}
+}
+
+// TestWorkersEdgeCases pins the resolution rule at its boundaries.
+func TestWorkersEdgeCases(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	auto := runtime.GOMAXPROCS(0)
+	if got := Workers(maxInt); got != maxInt {
+		t.Errorf("Workers(maxInt) = %d, want maxInt (explicit counts pass through)", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	for _, n := range []int{0, -1, -maxInt} {
+		if got := Workers(n); got != auto {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, auto)
+		}
+	}
+}
+
 func TestStats(t *testing.T) {
 	var s Stats
 	s.Note(10)

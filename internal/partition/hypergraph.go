@@ -50,6 +50,15 @@ func NewHypergraph(areas []float64) *Hypergraph {
 	return &Hypergraph{Area: areas, Fixed: fixed}
 }
 
+// PinBuf is a pin buffer carved from the hypergraph's arena by NetBuf.
+// It is valid until the next ResetCells rewinds the arena: append pins
+// into it and hand it to AddNet (or drop it) before then, and never
+// store it into longer-lived structure — the poolescape pass enforces
+// this statically.
+//
+//pool:scoped
+type PinBuf []int
+
 // AddNet appends a hyperedge over the given cells.
 func (h *Hypergraph) AddNet(cells ...int) {
 	h.Nets = append(h.Nets, cells)
@@ -82,7 +91,9 @@ func (h *Hypergraph) ResetCells(areas []float64) {
 // next ResetCells). Sizing the reservation up front means the append
 // loop itself can never trigger slice growth, whatever mix of net
 // degrees the frontier produces.
-func (h *Hypergraph) NetBuf(max int) []int {
+//
+//pool:boundary the arena carve site; buffers die at the next ResetCells
+func (h *Hypergraph) NetBuf(max int) PinBuf {
 	if len(h.arena)+max > cap(h.arena) {
 		n := 2 * (len(h.arena) + max)
 		if n < 1024 {
@@ -94,7 +105,7 @@ func (h *Hypergraph) NetBuf(max int) []int {
 	}
 	off := len(h.arena)
 	h.arena = h.arena[:off+max]
-	return h.arena[off : off : off+max]
+	return PinBuf(h.arena[off : off : off+max])
 }
 
 // NumCells returns the cell count.

@@ -211,7 +211,10 @@ func (a *adjacency) members(ni int32) []*netlist.Instance {
 // bisectScratch is the per-worker reusable state of one cut: the dense
 // inst→local-index map and the net-seen set are epoch-stamped (bumping
 // the epoch invalidates both in O(1)), and the hypergraph plus FM engine
-// recycle their buffers across the whole bisection frontier.
+// recycle their buffers across the whole bisection frontier. References
+// die at the bisectPool.Put; the poolescape pass enforces this.
+//
+//pool:scoped
 type bisectScratch struct {
 	epoch    uint32
 	localIdx []int32  // by instance ID, valid when localEp[id] == epoch

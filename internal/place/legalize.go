@@ -199,7 +199,20 @@ func CheckLegal(cells []*netlist.Instance, region geom.Rect, eps float64) error 
 		k := rowKey{c.Tier, int64(math.Round(c.Loc.Y * 1e6))}
 		rows[k] = append(rows[k], c)
 	}
-	for _, row := range rows {
+	// Check rows in (tier, y) order so the first error named is the same
+	// on every run.
+	keys := make([]rowKey, 0, len(rows))
+	for k := range rows { //maporder:ok collection loop; keys sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tier != keys[j].tier {
+			return keys[i].tier < keys[j].tier
+		}
+		return keys[i].y < keys[j].y
+	})
+	for _, k := range keys {
+		row := rows[k]
 		sort.Slice(row, func(i, j int) bool { return row[i].Loc.X < row[j].Loc.X })
 		for i := 1; i < len(row); i++ {
 			a, b := row[i-1], row[i]

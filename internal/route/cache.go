@@ -96,6 +96,8 @@ func NewCache(inner Extractor, d *netlist.Design) *Cache {
 // Extract implements Extractor: a journal-validated hit returns the
 // stored RC, a lookup that races an in-flight extraction of the same
 // revision waits for it, and anything else re-extracts and stores.
+//
+//pool:boundary the cache owns publication of NetRC results
 func (c *Cache) Extract(n *netlist.Net) *NetRC {
 	c.mu.Lock()
 	if n.ID >= len(c.entries) {
@@ -244,6 +246,8 @@ func rcEqual(a, b *NetRC) bool {
 // so ordinary revision-keyed lookups keep serving the wrong values. The
 // perturbation is seeded for reproducibility and never exactly zero, so
 // Audit always detects it. Returns how many entries were poisoned.
+//
+//pool:boundary fault injection rewrites cache slots by design
 func (c *Cache) Poison(seed int64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

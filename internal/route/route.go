@@ -165,6 +165,13 @@ func (r *Router) TotalMIVs(d *netlist.Design) int {
 }
 
 // NetRC is the lumped extraction of one net for timing and power.
+//
+// NetRC shells are pool-recycled: a value is owned by the caller of
+// Extract until recycled (RecycleRC / Cache.Recycle) or published
+// through one of the lifecycle functions below, and must not be stored
+// past that point — the poolescape pass enforces this statically.
+//
+//pool:scoped
 type NetRC struct {
 	// WireLen is the Steiner length in µm.
 	WireLen float64
@@ -187,6 +194,8 @@ var rcPool = sync.Pool{New: func() any { return new(NetRC) }}
 
 // newNetRC returns a recycled (or fresh) NetRC with zeroed totals and
 // empty sink slices holding at least the given capacity.
+//
+//pool:boundary the allocator half of the NetRC lifecycle
 func newNetRC(sinks int) *NetRC {
 	rc := rcPool.Get().(*NetRC)
 	rc.WireLen, rc.WireCap, rc.MIVs = 0, 0, 0
@@ -205,6 +214,8 @@ func newNetRC(sinks int) *NetRC {
 // or another goroutine can still read corrupts their view. The safe
 // call sites are owners of provably private results — see Cache.Recycle
 // for the guarded variant the timing engine uses.
+//
+//pool:boundary the recycler half of the NetRC lifecycle
 func RecycleRC(rc *NetRC) {
 	if rc != nil {
 		rcPool.Put(rc)
@@ -220,6 +231,8 @@ func RecycleRC(rc *NetRC) {
 // Results come from a free list refilled by RecycleRC; a result is
 // owned by the caller until recycled or published (e.g. stored in a
 // Cache, which then hands the same pointer to every caller).
+//
+//pool:boundary hands pool-fresh results to their owning caller
 func (r *Router) Extract(n *netlist.Net) *NetRC {
 	if r.WLMPerSinkFF > 0 {
 		return r.extractWLM(n)
@@ -229,6 +242,8 @@ func (r *Router) Extract(n *netlist.Net) *NetRC {
 
 // extractWLM is the pre-placement wire-load model: per-sink fixed wire
 // cap, matching resistance via the stack's average RC, no MIVs.
+//
+//pool:boundary Extract's WLM leg; result ownership passes to the caller
 func (r *Router) extractWLM(n *netlist.Net) *NetRC {
 	avgR, avgC := r.Stack.AvgR(), r.Stack.AvgC()
 	perLen := r.WLMPerSinkFF / avgC // µm of wire per sink
@@ -244,6 +259,7 @@ func (r *Router) extractWLM(n *netlist.Net) *NetRC {
 }
 
 //hotpath:kernel
+//pool:boundary Extract's geometric leg; result ownership passes to the caller
 func (r *Router) extractGeometric(n *netlist.Net) *NetRC {
 	sc := getScratch()
 	defer putScratch(sc)

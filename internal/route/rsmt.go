@@ -213,7 +213,10 @@ type Tree struct {
 // rsmtScratch is the per-construction workspace of the RSMT builder and
 // the RC extraction: one flat buffer set reused net after net. The
 // sync.Pool hands each P its own scratch, so the parallel fan-outs get
-// per-worker free lists without locks on the hot path.
+// per-worker free lists without locks on the hot path. References die
+// at putScratch; the poolescape pass enforces this.
+//
+//pool:scoped
 type rsmtScratch struct {
 	pinbuf  []geom.Point // raw pin locations (AppendPinLocs target)
 	pts     []geom.Point // deduped pins, root first
@@ -240,7 +243,14 @@ var scratchPool = sync.Pool{New: func() any {
 	}
 }}
 
-func getScratch() *rsmtScratch   { return scratchPool.Get().(*rsmtScratch) }
+// getScratch leases a scratch from the pool; pair with putScratch.
+//
+//pool:boundary the scratch lease API
+func getScratch() *rsmtScratch { return scratchPool.Get().(*rsmtScratch) }
+
+// putScratch ends the lease; the scratch must not be touched after.
+//
+//pool:boundary the scratch lease API
 func putScratch(sc *rsmtScratch) { scratchPool.Put(sc) }
 
 // dedup fills sc.pts with pts minus duplicate points, preserving order

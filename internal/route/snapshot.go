@@ -18,6 +18,8 @@ type CacheEntry struct {
 // Export returns the valid entries in net-ID order. Invalid (never
 // filled or invalidated) slots are omitted; the RC pointers are shared
 // with the cache, matching the immutable-result contract of Extract.
+//
+//pool:boundary snapshotting shares the cache-owned RC pointers
 func (c *Cache) Export() []CacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -34,6 +36,8 @@ func (c *Cache) Export() []CacheEntry {
 // Restore installs exported entries into the cache, validating net IDs
 // against the design. Restore is for a freshly built cache on a
 // restored design; existing entries at the same IDs are overwritten.
+//
+//pool:boundary restore re-seeds the cache's owned entries
 func (c *Cache) Restore(entries []CacheEntry) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

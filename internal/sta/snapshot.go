@@ -79,12 +79,16 @@ func (res *Result) Snapshot() *Snapshot {
 // attached to a Timer.
 func RestoreResult(d *netlist.Design, s *Snapshot) (*Result, error) {
 	n := len(d.Instances)
-	for name, arr := range map[string][]float64{
-		"arrival": s.ArrOut, "required": s.ReqOut, "delay": s.Delay,
-		"slew": s.SlewOut, "wire": s.InWire,
-	} {
-		if len(arr) != n {
-			return nil, fmt.Errorf("sta: restore: %s array covers %d instances, design has %d", name, len(arr), n)
+	arrays := []struct {
+		name string
+		arr  []float64
+	}{
+		{"arrival", s.ArrOut}, {"required", s.ReqOut}, {"delay", s.Delay},
+		{"slew", s.SlewOut}, {"wire", s.InWire},
+	}
+	for _, a := range arrays {
+		if len(a.arr) != n {
+			return nil, fmt.Errorf("sta: restore: %s array covers %d instances, design has %d", a.name, len(a.arr), n)
 		}
 	}
 	if len(s.Pred) != n {

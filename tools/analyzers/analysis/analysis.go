@@ -38,15 +38,21 @@ type Pass struct {
 	Report func(Diagnostic)
 }
 
-// Diagnostic is one finding at one position.
+// Diagnostic is one finding at one position. ID is the finding's stable
+// machine-readable code (`pardet001` style): it identifies the *kind* of
+// violation independently of message wording, so benchdiff/CI tooling
+// can track finding counts across commits even as messages are reworded.
 type Diagnostic struct {
 	Pos     token.Pos
+	ID      string
 	Message string
 }
 
-// Reportf reports a formatted finding.
-func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
-	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+// Reportf reports a formatted finding under the given stable ID. Every
+// report site owns exactly one ID; IDs are never renumbered or reused,
+// only retired.
+func (p *Pass) Reportf(id string, pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, ID: id, Message: fmt.Sprintf(format, args...)})
 }
 
 // InTestFile reports whether pos falls in a _test.go file; the passes

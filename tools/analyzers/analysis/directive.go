@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveSpec describes one comment-directive family an analyzer owns:
+// `//Name:verb [reason]` lines, in Go's directive form (no space after
+// the slashes). Verbs maps each legal verb to whether it requires a
+// trailing free-text reason.
+type DirectiveSpec struct {
+	// Name is the directive namespace before the colon ("staleanalyze",
+	// "pool", "hotpath", ...).
+	Name string
+	// Verbs maps verb -> reason-required. A reason-required verb with no
+	// reason is malformed: a bare exception documents nothing for the
+	// next auditor.
+	Verbs map[string]bool
+}
+
+// directive is one parsed `//name:verb reason` comment.
+type directive struct {
+	name, verb, reason string
+	pos                token.Pos
+}
+
+// parseDirective splits a comment into directive form, or reports false
+// for ordinary comments. Only Go's machine-directive shape counts: the
+// text must follow `//` immediately (no space) and carry a lowercase
+// name, a colon, and a verb token.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok || text == "" || text[0] == ' ' || text[0] == '\t' || strings.HasPrefix(text, "/") {
+		return directive{}, false
+	}
+	name, rest, ok := strings.Cut(text, ":")
+	if !ok || name == "" || !wordLike(name) {
+		return directive{}, false
+	}
+	verb, reason, _ := strings.Cut(rest, " ")
+	if verb == "" || !wordLike(verb) {
+		return directive{}, false
+	}
+	// A second `//` starts a separate trailing comment (fixture `// want`
+	// markers, cross-references); it is not part of the reason.
+	reason, _, _ = strings.Cut(reason, "//")
+	return directive{name: name, verb: verb, reason: strings.TrimSpace(reason), pos: c.Pos()}, true
+}
+
+// wordLike reports whether s looks like a directive name/verb token:
+// lowercase letters and digits only. This keeps URLs ("https://..."),
+// key: value prose, and emphatic NOTE: comments out of directive space.
+func wordLike(s string) bool {
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanDirectives validates every comment of f against the analyzer's
+// directive specs and returns, per "name:verb", the set of source lines
+// carrying a well-formed instance. Malformed instances are themselves
+// findings (reported through pass): a verb the family does not define, a
+// missing reason on a reason-required verb, or a near-miss misspelling
+// of the family name — each of which would otherwise silently disable
+// the suppression (or marking) the author intended, which is exactly how
+// audited exceptions rot.
+//
+// Validation findings use the 900-series IDs of the calling analyzer:
+// <name>901 missing reason, <name>902 unknown verb, <name>903 misspelled
+// directive name.
+func ScanDirectives(pass *Pass, f *ast.File, specs ...DirectiveSpec) map[string]map[int]bool {
+	valid := make(map[string]map[int]bool)
+	an := pass.Analyzer.Name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			inTest := pass.InTestFile(c.Pos())
+			for _, spec := range specs {
+				if d.name == spec.Name {
+					needsReason, known := spec.Verbs[d.verb]
+					switch {
+					case !known:
+						if !inTest {
+							pass.Reportf(an+"902", d.pos,
+								"unknown //%s: directive verb %q (known: %s)",
+								spec.Name, d.verb, verbList(spec))
+						}
+					case needsReason && d.reason == "":
+						if !inTest {
+							pass.Reportf(an+"901", d.pos,
+								"//%s:%s directive needs a reason: a bare exception documents nothing for the next auditor",
+								spec.Name, d.verb)
+						}
+					default:
+						key := spec.Name + ":" + d.verb
+						if valid[key] == nil {
+							valid[key] = make(map[int]bool)
+						}
+						valid[key][pass.Fset.Position(d.pos).Line] = true
+					}
+					break
+				}
+				// A typo'd family name with one of this family's verbs is
+				// almost certainly a misspelled directive: it suppresses
+				// nothing while looking like it does.
+				if _, knownVerb := spec.Verbs[d.verb]; knownVerb && editDistance(d.name, spec.Name) <= 2 {
+					if !inTest {
+						pass.Reportf(an+"903", d.pos,
+							"//%s:%s looks like a misspelled //%s:%s directive; it has no effect as written",
+							d.name, d.verb, spec.Name, d.verb)
+					}
+					break
+				}
+			}
+		}
+	}
+	return valid
+}
+
+// verbList renders a spec's verbs for diagnostics, sorted for stable
+// output.
+func verbList(spec DirectiveSpec) string {
+	verbs := make([]string, 0, len(spec.Verbs))
+	for v := range spec.Verbs {
+		verbs = append(verbs, v)
+	}
+	// insertion sort: the sets are tiny and this avoids an import.
+	for i := 1; i < len(verbs); i++ {
+		for j := i; j > 0 && verbs[j] < verbs[j-1]; j-- {
+			verbs[j], verbs[j-1] = verbs[j-1], verbs[j]
+		}
+	}
+	return strings.Join(verbs, ", ")
+}
+
+// editDistance is the Levenshtein distance between two short ASCII
+// strings (directive names), used to spot near-miss misspellings.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

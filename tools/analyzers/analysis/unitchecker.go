@@ -37,6 +37,80 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// jsonFlag is the flag-description schema cmd/go expects from a
+// vettool's -flags query (mirrors x/tools' analysisflags).
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// toolFlags are the flags this vettool accepts (and therefore advertises
+// to cmd/go): one boolean per analyzer to run a subset — the per-pass CI
+// legs use `go vet -vettool=... -maporder ./...` so a failure names its
+// pass — plus -json for machine-readable JSONL findings.
+func toolFlags(analyzers []*Analyzer) []jsonFlag {
+	flags := []jsonFlag{{Name: "json", Bool: true,
+		Usage: "emit findings as JSON lines ({pass, id, pos, message}) instead of plain text"}}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true,
+			Usage: "run only the selected analyzers (default: all): " + strings.SplitN(a.Doc, "\n", 2)[0]})
+	}
+	return flags
+}
+
+// parseToolArgs splits the tool's argument list into options and
+// operands. Selecting any analyzer by flag deselects the rest.
+func parseToolArgs(args []string, analyzers []*Analyzer) (selected []*Analyzer, jsonOut bool, rest []string, err error) {
+	enabled := make(map[string]bool)
+	anySelected := false
+	i := 0
+	for ; i < len(args); i++ {
+		arg := args[i]
+		if !strings.HasPrefix(arg, "-") || arg == "-" {
+			break
+		}
+		name := strings.TrimLeft(arg, "-")
+		val := true
+		if n, v, ok := strings.Cut(name, "="); ok {
+			name = n
+			switch v {
+			case "true", "1":
+				val = true
+			case "false", "0":
+				val = false
+			default:
+				return nil, false, nil, fmt.Errorf("bad boolean flag value %q", arg)
+			}
+		}
+		known := false
+		if name == "json" {
+			jsonOut, known = val, true
+		}
+		for _, a := range analyzers {
+			if name == a.Name {
+				enabled[name], known = val, true
+				if val {
+					anySelected = true
+				}
+			}
+		}
+		if !known {
+			return nil, false, nil, fmt.Errorf("unknown flag %q", arg)
+		}
+	}
+	selected = analyzers
+	if anySelected {
+		selected = nil
+		for _, a := range analyzers {
+			if enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+	return selected, jsonOut, args[i:], nil
+}
+
 // Main is the entry point for a vettool binary. It speaks the cmd/go vet
 // protocol (-V=full fingerprinting, -flags discovery, one JSON .cfg per
 // package unit) and doubles as a standalone driver: invoked with package
@@ -46,8 +120,7 @@ func Main(analyzers ...*Analyzer) {
 	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
 	args := os.Args[1:]
 
-	switch {
-	case len(args) == 1 && args[0] == "-V=full":
+	if len(args) == 1 && args[0] == "-V=full" {
 		// cmd/go fingerprints the tool for its build cache; a devel
 		// version must carry a buildID= field, so hash the executable —
 		// any rebuild (edited analyzers included) changes the key.
@@ -60,24 +133,25 @@ func Main(analyzers ...*Analyzer) {
 		}
 		fmt.Printf("%s version devel buildID=%s\n", progname, id)
 		return
-	case len(args) == 1 && args[0] == "-flags":
-		// We expose no analyzer flags.
-		fmt.Println("[]")
-		return
-	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		diags, err := unitcheck(args[0], analyzers)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		out, err := json.Marshal(toolFlags(analyzers))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			os.Exit(1)
 		}
-		if diags > 0 {
-			os.Exit(2)
-		}
+		fmt.Println(string(out))
 		return
-	case len(args) == 0 || strings.HasPrefix(args[0], "-"):
+	}
+
+	selected, jsonOut, rest, err := parseToolArgs(args, analyzers)
+	if err != nil || len(rest) == 0 {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		}
 		fmt.Fprintf(os.Stderr, `usage:
-  %[1]s package...              # standalone: runs go vet -vettool=%[1]s
-  go vet -vettool=$(command -v %[1]s) package...
+  %[1]s [-json] [-<analyzer>...] package...   # standalone: runs go vet -vettool=%[1]s
+  go vet -vettool=$(command -v %[1]s) [-json] [-<analyzer>...] package...
 
 analyzers:
 `, progname)
@@ -87,13 +161,28 @@ analyzers:
 		os.Exit(2)
 	}
 
-	// Standalone mode: delegate the package loading to the go toolchain.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		diags, err := unitcheck(rest[0], selected, jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		if diags > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	// Standalone mode: delegate the package loading to the go toolchain,
+	// forwarding the analyzer-selection and output flags.
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	vetArgs := []string{"vet", "-vettool=" + self}
+	vetArgs = append(vetArgs, args...)
+	cmd := exec.Command("go", vetArgs...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -105,8 +194,18 @@ analyzers:
 	}
 }
 
+// jsonDiagnostic is the machine-readable finding record of -json mode,
+// one JSON object per line on stderr so per-unit outputs concatenate
+// into a single JSONL stream under go vet.
+type jsonDiagnostic struct {
+	Pass    string `json:"pass"`
+	ID      string `json:"id"`
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
 // unitcheck analyzes one package unit and returns the diagnostic count.
-func unitcheck(cfgFile string, analyzers []*Analyzer) (int, error) {
+func unitcheck(cfgFile string, analyzers []*Analyzer, jsonOut bool) (int, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return 0, err
@@ -168,9 +267,28 @@ func unitcheck(cfgFile string, analyzers []*Analyzer) (int, error) {
 		return 0, err
 	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		if jsonOut {
+			rec, err := json.Marshal(jsonDiagnostic{
+				Pass:    passOf(d.ID),
+				ID:      d.ID,
+				Pos:     fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintln(os.Stderr, string(rec))
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.ID)
+		}
 	}
 	return len(diags), nil
+}
+
+// passOf recovers the analyzer name from a stable finding ID
+// (`pardet001` -> `pardet`).
+func passOf(id string) string {
+	return strings.TrimRight(id, "0123456789")
 }
 
 // RunAnalyzers executes the passes over one type-checked package and

@@ -1,0 +1,116 @@
+package analysis
+
+import "testing"
+
+func testAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		{Name: "alpha", Doc: "first pass"},
+		{Name: "beta", Doc: "second pass"},
+		{Name: "gamma", Doc: "third pass"},
+	}
+}
+
+func names(as []*Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestParseToolArgsDefaultsToAll(t *testing.T) {
+	sel, jsonOut, rest, err := parseToolArgs([]string{"pkg.cfg"}, testAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 || jsonOut {
+		t.Fatalf("selected %v json=%v, want all three and json off", names(sel), jsonOut)
+	}
+	if len(rest) != 1 || rest[0] != "pkg.cfg" {
+		t.Fatalf("rest = %v, want [pkg.cfg]", rest)
+	}
+}
+
+func TestParseToolArgsSelection(t *testing.T) {
+	sel, jsonOut, rest, err := parseToolArgs([]string{"-beta", "-json", "pkg.cfg"}, testAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Name != "beta" {
+		t.Fatalf("selected %v, want [beta] only: naming one pass deselects the rest", names(sel))
+	}
+	if !jsonOut {
+		t.Fatal("-json not recognized")
+	}
+	if len(rest) != 1 || rest[0] != "pkg.cfg" {
+		t.Fatalf("rest = %v, want [pkg.cfg]", rest)
+	}
+}
+
+func TestParseToolArgsMultipleSelection(t *testing.T) {
+	sel, _, _, err := parseToolArgs([]string{"-alpha=true", "-gamma", "pkg.cfg"}, testAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "alpha" || sel[1].Name != "gamma" {
+		t.Fatalf("selected %v, want [alpha gamma] in registration order", names(sel))
+	}
+}
+
+func TestParseToolArgsFalseIsNotASelection(t *testing.T) {
+	// An explicit -pass=false alone does not narrow the set: only a true
+	// flag counts as "the caller named passes to run".
+	sel, _, _, err := parseToolArgs([]string{"-beta=false", "pkg.cfg"}, testAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selected %v, want all three", names(sel))
+	}
+	// Combined with a positive selection it excludes the named pass.
+	sel, _, _, err = parseToolArgs([]string{"-alpha", "-beta=false", "pkg.cfg"}, testAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Name != "alpha" {
+		t.Fatalf("selected %v, want [alpha]", names(sel))
+	}
+}
+
+func TestParseToolArgsUnknownFlag(t *testing.T) {
+	if _, _, _, err := parseToolArgs([]string{"-nosuchpass", "pkg.cfg"}, testAnalyzers()); err == nil {
+		t.Fatal("unknown flag accepted; want an error so typos fail loudly")
+	}
+	if _, _, _, err := parseToolArgs([]string{"-alpha=maybe", "pkg.cfg"}, testAnalyzers()); err == nil {
+		t.Fatal("bad boolean value accepted; want an error")
+	}
+}
+
+func TestToolFlagsCoverEveryAnalyzer(t *testing.T) {
+	flags := toolFlags(testAnalyzers())
+	want := map[string]bool{"json": true, "alpha": true, "beta": true, "gamma": true}
+	for _, f := range flags {
+		if !want[f.Name] {
+			t.Errorf("unexpected flag %q", f.Name)
+		}
+		delete(want, f.Name)
+		if !f.Bool {
+			t.Errorf("flag %q is not boolean; cmd/go only forwards known bool flags", f.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("missing flag %q", name)
+	}
+}
+
+func TestPassOf(t *testing.T) {
+	for id, want := range map[string]string{
+		"pardet001":   "pardet",
+		"maporder903": "maporder",
+		"wallclock":   "wallclock",
+	} {
+		if got := passOf(id); got != want {
+			t.Errorf("passOf(%q) = %q, want %q", id, got, want)
+		}
+	}
+}

@@ -143,9 +143,16 @@ func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
 	var out []*expectation
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
+			// Leading form: `// want "re"`. Embedded form, for findings
+			// that anchor on a directive comment's own line:
+			// `//name:verb ... // want "re"`.
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 			if !strings.HasPrefix(text, "want ") {
-				continue
+				if i := strings.Index(text, "// want "); i > 0 {
+					text = text[i+len("// "):]
+				} else {
+					continue
+				}
 			}
 			quoted := strings.TrimSpace(strings.TrimPrefix(text, "want "))
 			if len(quoted) < 2 || quoted[0] != '"' || quoted[len(quoted)-1] != '"' {

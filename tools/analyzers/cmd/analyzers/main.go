@@ -1,6 +1,19 @@
 // Command analyzers is the repository's custom vettool bundling the
-// journal/Timer-contract, robustness, and hot-kernel passes:
-// journalmutate, staleanalyze, statkeys, recoverbare, hotalloc.
+// nine contract passes:
+//
+//   - journalmutate — no mutation of journaled snapshot state
+//   - staleanalyze  — Timer results read only after (Re)Analyze
+//   - statkeys      — AddStat keys come from internal/flow's registry
+//   - recoverbare   — recover() only in the centralized panic layers
+//   - hotalloc      — no allocation patterns in //hotpath:kernel funcs
+//   - pardet        — par.ParallelFor/par.Do closures honor the
+//     deterministic-parallelism write contract
+//   - poolescape    — //pool:scoped values stay inside their
+//     recycle/epoch boundary
+//   - maporder      — no order-dependent map ranges in
+//     determinism-critical packages
+//   - wallclock     — no wall-clock or global-rand reads in
+//     determinism-critical packages
 //
 // Usage:
 //
@@ -11,6 +24,12 @@
 //
 //	/tmp/analyzers ./...
 //
+// Pass selection: naming one or more analyzer flags runs only those
+// passes (go vet -vettool=/tmp/analyzers -maporder ./...). With
+// -json, findings are additionally emitted as JSON Lines on stderr
+// ({"pass","id","pos","message"}), one object per finding, with the
+// stable finding ID (e.g. pardet001) machine-readable.
+//
 // Exit status: 0 clean, 2 findings, 1 operational failure — so the CI
 // analyzers job can gate on it directly.
 package main
@@ -19,9 +38,13 @@ import (
 	"repro/tools/analyzers/analysis"
 	"repro/tools/analyzers/hotalloc"
 	"repro/tools/analyzers/journalmutate"
+	"repro/tools/analyzers/maporder"
+	"repro/tools/analyzers/pardet"
+	"repro/tools/analyzers/poolescape"
 	"repro/tools/analyzers/recoverbare"
 	"repro/tools/analyzers/staleanalyze"
 	"repro/tools/analyzers/statkeys"
+	"repro/tools/analyzers/wallclock"
 )
 
 func main() {
@@ -31,5 +54,9 @@ func main() {
 		statkeys.Analyzer,
 		recoverbare.Analyzer,
 		hotalloc.Analyzer,
+		pardet.Analyzer,
+		poolescape.Analyzer,
+		maporder.Analyzer,
+		wallclock.Analyzer,
 	)
 }

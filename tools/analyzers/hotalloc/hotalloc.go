@@ -41,8 +41,16 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+// directive is the marker family; ScanDirectives reports malformed
+// instances (e.g. //hotpath:kernl, which silently un-marks the kernel).
+var directive = analysis.DirectiveSpec{
+	Name:  "hotpath",
+	Verbs: map[string]bool{"kernel": false},
+}
+
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
+		analysis.ScanDirectives(pass, f, directive)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !isHot(fn) {
@@ -85,17 +93,17 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		switch node := n.(type) {
 		case *ast.CompositeLit:
 			if _, ok := pass.TypesInfo.Types[node].Type.Underlying().(*types.Map); ok {
-				pass.Reportf(node.Pos(),
+				pass.Reportf("hotalloc001", node.Pos(),
 					"hot path allocates a map literal; use a dense index slice or epoch-stamped scratch")
 			}
 		case *ast.CallExpr:
 			switch builtinName(pass, node) {
 			case "make":
 				if _, ok := pass.TypesInfo.Types[node].Type.Underlying().(*types.Map); ok {
-					pass.Reportf(node.Pos(),
+					pass.Reportf("hotalloc002", node.Pos(),
 						"hot path allocates a map (make); use a dense index slice or epoch-stamped scratch")
 				} else if loop != nil {
-					pass.Reportf(node.Pos(),
+					pass.Reportf("hotalloc003", node.Pos(),
 						"hot path calls make inside a loop (a per-iteration allocation); hoist it into reusable scratch (dense.Grow)")
 				}
 			case "append":
@@ -111,7 +119,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 					break // declared outside the loop: amortized reuse
 				}
 				if init, known := declInit[obj]; known && growsFromZero(init) {
-					pass.Reportf(node.Pos(),
+					pass.Reportf("hotalloc004", node.Pos(),
 						"hot path regrows slice %s from zero every iteration; reuse a scratch buffer declared outside the loop", dst.Name)
 				}
 			}

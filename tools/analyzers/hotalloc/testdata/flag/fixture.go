@@ -91,3 +91,18 @@ func hotShadowedMake(rows [][]int) int {
 	}
 	return total
 }
+
+// Malformed hotpath markers are findings: each fails to mark the
+// function, so the allocations below stay (wrongly) unflagged — the
+// directive diagnostics are the only thing standing between a typo and
+// a silently unchecked kernel.
+
+//hotpath:kernl // want "unknown //hotpath: directive verb"
+func typoVerb(n int) map[int]int {
+	return make(map[int]int, n) // unmarked: not flagged
+}
+
+//hotpth:kernel // want "looks like a misspelled //hotpath:kernel directive"
+func typoName(n int) map[int]int {
+	return make(map[int]int, n) // unmarked: not flagged
+}

@@ -63,7 +63,7 @@ func checkTarget(pass *analysis.Pass, expr ast.Expr) {
 					analysis.NamedFrom(t, netlistPath, "Instance") &&
 					isFieldSelection(pass.TypesInfo, e) &&
 					!pass.InTestFile(e.Pos()) {
-					pass.Reportf(e.Sel.Pos(),
+					pass.Reportf("journalmutate001", e.Sel.Pos(),
 						"direct write to netlist.Instance.%s bypasses the change journal; use Set%s (or Init%s before observers attach)",
 						field, field, field)
 				}

@@ -1,0 +1,144 @@
+// Package maporder flags order-dependent work inside `range` over a
+// map in the determinism-critical packages. Go randomizes map
+// iteration order per run, so a map range whose body appends to a
+// slice, writes through an io.Writer, or formats output via fmt
+// produces run-dependent bytes — the exact failure the golden-table
+// harness (FLOW_WORKERS=1 vs 8, byte-identical goldens) exists to
+// catch, except it only catches the orderings the test run happened to
+// draw. The static check closes that gap.
+//
+// The pass applies only to the packages whose output is pinned by
+// goldens or consumed by them: core, eval, report, sta, route, place,
+// cts, and partition. Inside those, a `for k := range m` over a
+// map-typed operand is flagged when its body:
+//
+//   - appends to any slice (the slice's element order now depends on
+//     map iteration order),
+//   - calls a Write/WriteString/WriteByte/WriteRune method (bytes
+//     reach an io.Writer in map order),
+//   - calls any function in package fmt (printed or formatted output,
+//     including the error chosen by an early-return fmt.Errorf,
+//     depends on which key is visited first).
+//
+// The fix is to iterate sorted keys (collect, sort.Strings/slices.Sort,
+// then index the map) — which is no longer a map range and needs no
+// annotation. Bodies that are genuinely order-independent despite the
+// pattern (e.g. the append is re-sorted immediately after the loop)
+// carry `//maporder:ok <reason>` on the range statement's line.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the pass instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-dependent map ranges in determinism-critical packages\n\n" +
+		"a range over a map that appends, writes, or fmt-formats in its\n" +
+		"body emits run-dependent bytes; iterate sorted keys instead or\n" +
+		"annotate //maporder:ok <reason> after an order-independence audit.",
+	Run: run,
+}
+
+// critical is the package set whose output the goldens pin.
+var critical = map[string]bool{
+	"repro/internal/core":      true,
+	"repro/internal/eval":      true,
+	"repro/internal/report":    true,
+	"repro/internal/sta":       true,
+	"repro/internal/route":     true,
+	"repro/internal/place":     true,
+	"repro/internal/cts":       true,
+	"repro/internal/partition": true,
+}
+
+// directive is the pass's audited-exception marker.
+var directive = analysis.DirectiveSpec{
+	Name:  "maporder",
+	Verbs: map[string]bool{"ok": true},
+}
+
+// writerMethods are the io.Writer-family methods whose call inside a map
+// range pushes bytes out in iteration order.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !critical[pass.Pkg.Path()] {
+		// Still validate the directive family so a stray //maporder:okk
+		// in an unchecked package is caught rather than silently inert.
+		for _, f := range pass.Files {
+			analysis.ScanDirectives(pass, f, directive)
+		}
+		return nil
+	}
+	for _, f := range pass.Files {
+		ok := analysis.ScanDirectives(pass, f, directive)["maporder:ok"]
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, isRange := n.(*ast.RangeStmt)
+			if !isRange {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.InTestFile(rng.Pos()) || ok[pass.Fset.Position(rng.Pos()).Line] {
+				return true
+			}
+			checkBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody reports the first order-dependent effect of each kind found
+// in the map range's body. Nested map ranges report on their own visit.
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt) {
+	var sawAppend, sawWrite, sawFmt bool
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+			if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && !sawAppend {
+				sawAppend = true
+				pass.Reportf("maporder001", call.Pos(),
+					"append inside a range over a map: element order depends on map iteration order; iterate sorted keys, or annotate //maporder:ok <reason> if re-sorted after")
+			}
+			return true
+		}
+		obj := analysis.FuncObject(pass.TypesInfo, call)
+		if obj == nil {
+			return true
+		}
+		sig, isSig := obj.Type().(*types.Signature)
+		if isSig && sig.Recv() != nil {
+			if writerMethods[obj.Name()] && !sawWrite {
+				sawWrite = true
+				pass.Reportf("maporder002", call.Pos(),
+					"%s inside a range over a map writes bytes in map iteration order; iterate sorted keys instead", obj.Name())
+			}
+			return true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && !sawFmt {
+			sawFmt = true
+			pass.Reportf("maporder003", call.Pos(),
+				"fmt.%s inside a range over a map: formatted output (or the error chosen first) depends on map iteration order; iterate sorted keys instead", obj.Name())
+		}
+		return true
+	})
+}

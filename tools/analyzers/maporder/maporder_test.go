@@ -1,0 +1,36 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/maporder"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "repro/internal/eval", maporder.Analyzer)
+}
+
+// Outside the critical package set the map-range rules stay silent;
+// only directive validation remains active.
+func TestUncheckedPackage(t *testing.T) {
+	analyzertest.Run(t, "testdata/unchecked", "fixture", maporder.Analyzer)
+}
+
+// The emit paths under goldens must be clean for real: report's tables,
+// eval's sinks, core's design serialization, sta's snapshots.
+func TestReportExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/report", "repro/internal/report", maporder.Analyzer)
+}
+
+func TestEvalExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/eval", "repro/internal/eval", maporder.Analyzer)
+}
+
+func TestCoreExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/core", "repro/internal/core", maporder.Analyzer)
+}
+
+func TestStaExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/sta", "repro/internal/sta", maporder.Analyzer)
+}

@@ -1,0 +1,98 @@
+// Fixture for the maporder pass, type-checked under a
+// determinism-critical import path so the package gate is open.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside a range over a map"
+	}
+	return keys
+}
+
+func emitWriter(w *strings.Builder, m map[string]float64) {
+	for k, v := range m {
+		w.WriteString(k) // want "WriteString inside a range over a map"
+		_ = v
+	}
+}
+
+func emitFmt(m map[string]int) error {
+	for name, n := range m {
+		if n < 0 {
+			return fmt.Errorf("bad count for %s", name) // want "fmt.Errorf inside a range over a map"
+		}
+	}
+	return nil
+}
+
+// onePerKind: repeated effects of one kind report once per range.
+func onePerKind(m map[int]int) ([]int, []int) {
+	var a, b []int
+	for k, v := range m {
+		a = append(a, k) // want "append inside a range over a map"
+		b = append(b, v)
+	}
+	return a, b
+}
+
+// sortedAfter is the canonical fix's first half: the collection loop
+// still ranges the map, so it carries the audited annotation.
+func sortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //maporder:ok collection loop; keys sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedIteration ranges the sorted key slice — not a map range at all.
+func sortedIteration(w *strings.Builder, m map[string]int) {
+	for _, k := range sortedAfter(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// orderIndependent folds commutatively; no flagged effect in the body.
+func orderIndependent(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// bareDirective: a reason-less //maporder:ok is itself a finding and
+// suppresses nothing.
+func bareDirective(m map[string]int) []string {
+	var keys []string
+	for k := range m { //maporder:ok // want "directive needs a reason"
+		keys = append(keys, k) // want "append inside a range over a map"
+	}
+	return keys
+}
+
+// misspelled: a typo'd family name is flagged and has no effect.
+func misspelled(m map[string]int) []string {
+	var keys []string
+	for k := range m { //maporde:ok typo'd family name // want "looks like a misspelled //maporder:ok directive"
+		keys = append(keys, k) // want "append inside a range over a map"
+	}
+	return keys
+}
+
+// unknownVerb: a verb outside the family is flagged and has no effect.
+func unknownVerb(m map[string]int) []string {
+	var keys []string
+	for k := range m { //maporder:okay audited // want "unknown //maporder: directive verb"
+		keys = append(keys, k) // want "append inside a range over a map"
+	}
+	return keys
+}

@@ -1,0 +1,21 @@
+// Fixture loaded under a neutral import path: outside the
+// determinism-critical set the map-range rules are silent, but the
+// directive family is still validated (a malformed annotation here
+// would rot unnoticed until the package joined the critical set).
+package fixture
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // outside the critical set: not flagged
+	}
+	return keys
+}
+
+func staleAnnotation(m map[string]int) []string {
+	var keys []string
+	for k := range m { //maporder:ok // want "directive needs a reason"
+		keys = append(keys, k)
+	}
+	return keys
+}

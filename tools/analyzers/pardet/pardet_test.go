@@ -1,0 +1,33 @@
+package pardet_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/pardet"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "fixture", pardet.Analyzer)
+}
+
+// The engine packages' real fan-outs must all conform: sta's level
+// sweeps and RC extraction, route's wirelength kernels, place's
+// parallel bisection.
+func TestStaExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/sta", "repro/internal/sta", pardet.Analyzer)
+}
+
+func TestRouteExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/route", "repro/internal/route", pardet.Analyzer)
+}
+
+func TestPlaceExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/place", "repro/internal/place", pardet.Analyzer)
+}
+
+// cts's partition kernel forks t.left/t.right across one par.Do call —
+// the distinct-slots shape the cross-closure check must accept.
+func TestCtsExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/cts", "repro/internal/cts", pardet.Analyzer)
+}

@@ -1,0 +1,88 @@
+// Fixture for the poolescape pass: a locally declared //pool:scoped
+// type plus the cross-package registry (route.NetRC).
+package fixture
+
+import "repro/internal/route"
+
+// Shell is a recycled scratch shell; references die at RecycleShell.
+//
+//pool:scoped
+type Shell struct {
+	vals []float64
+}
+
+var freelist []*Shell
+
+// holder outlives any one extraction epoch.
+type holder struct {
+	shell *Shell
+	byVal Shell
+}
+
+var globalShell *Shell
+
+// NewShell hands shells out of the pool.
+//
+//pool:boundary the allocator is the lifecycle API
+func NewShell() *Shell {
+	if n := len(freelist); n > 0 {
+		s := freelist[n-1]
+		freelist = freelist[:n-1]
+		return s
+	}
+	return &Shell{}
+}
+
+// RecycleShell takes shells back; the only sanctioned publication.
+//
+//pool:boundary the recycler owns the freelist
+func RecycleShell(s *Shell) {
+	freelist = append(freelist, s)
+}
+
+func fieldStore(h *holder, s *Shell) {
+	h.shell = s // want "stored into a struct field"
+	// A by-value copy still aliases the pooled backing storage.
+	h.byVal = *s  // want "stored into a struct field"
+	h.shell = nil // clearing a slot publishes nothing
+}
+
+func pkgVarStore(s *Shell) {
+	globalShell = s // want "stored into a package variable"
+}
+
+func channelSend(ch chan *Shell, s *Shell) {
+	ch <- s // want "sent on a channel"
+}
+
+func leakReturn(s *Shell) *Shell {
+	return s // want "returned past its recycle/epoch boundary"
+}
+
+func literalStore(s *Shell) {
+	h := holder{shell: s} // want "stored into a struct literal field"
+	_ = h
+}
+
+func audited(h *holder, s *Shell) {
+	h.shell = s //poolescape:ignore epoch-stamped cache slot, audited in the recycle test
+}
+
+func localUse(s *Shell) float64 {
+	tmp := s // a new local: stays inside the frame
+	var sum float64
+	for _, v := range tmp.vals {
+		sum += v
+	}
+	return sum
+}
+
+// keeper demonstrates the cross-package registry: route.NetRC is
+// pool-scoped even though its marker lives in another package.
+type keeper struct {
+	rc *route.NetRC
+}
+
+func hoardRC(k *keeper, rc *route.NetRC) {
+	k.rc = rc // want "stored into a struct field"
+}

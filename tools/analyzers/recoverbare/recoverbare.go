@@ -59,7 +59,7 @@ func run(pass *analysis.Pass) error {
 			if pass.InTestFile(call.Pos()) {
 				return true
 			}
-			pass.Reportf(call.Pos(),
+			pass.Reportf("recoverbare001", call.Pos(),
 				"naked recover() outside internal/fault and internal/flow; route the panic through flow.Shield (or the stage runner) so it keeps attribution and its stack")
 			return true
 		})

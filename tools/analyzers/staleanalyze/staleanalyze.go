@@ -11,7 +11,6 @@ package staleanalyze
 
 import (
 	"go/ast"
-	"strings"
 
 	"repro/tools/analyzers/analysis"
 )
@@ -31,13 +30,20 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+// directive is the pass's exception family; ScanDirectives also reports
+// malformed instances (typo'd name, missing reason) as findings.
+var directive = analysis.DirectiveSpec{
+	Name:  "staleanalyze",
+	Verbs: map[string]bool{"ignore": true},
+}
+
 func run(pass *analysis.Pass) error {
 	pkgPath := pass.Pkg.Path()
 	if pkgPath == staPath {
 		return nil // the engine's own implementation and helpers
 	}
 	for _, f := range pass.Files {
-		ignored := ignoreLines(pass, f)
+		ignored := analysis.ScanDirectives(pass, f, directive)["staleanalyze:ignore"]
 		loopDepth := 0
 		var walk func(n ast.Node) bool
 		walk = func(n ast.Node) bool {
@@ -59,10 +65,10 @@ func run(pass *analysis.Pass) error {
 				}
 				switch {
 				case loopDepth > 0:
-					pass.Reportf(stmt.Pos(),
+					pass.Reportf("staleanalyze001", stmt.Pos(),
 						"raw sta.Analyze inside a loop re-levelizes from scratch each iteration; use the stage Timer's Update (or //staleanalyze:ignore <reason>)")
 				case pkgPath == corePath:
-					pass.Reportf(stmt.Pos(),
+					pass.Reportf("staleanalyze002", stmt.Pos(),
 						"internal/core must time through the shared incremental Timer, not raw sta.Analyze (or //staleanalyze:ignore <reason>)")
 				}
 			}
@@ -86,23 +92,4 @@ func visitLoop(depth *int, body *ast.BlockStmt, walk func(ast.Node) bool, header
 	*depth++
 	ast.Inspect(body, walk)
 	*depth--
-}
-
-// ignoreLines collects the lines carrying a staleanalyze:ignore directive
-// with a non-empty reason.
-func ignoreLines(pass *analysis.Pass, f *ast.File) map[int]bool {
-	lines := make(map[int]bool)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			if !strings.HasPrefix(text, "staleanalyze:ignore") {
-				continue
-			}
-			if strings.TrimSpace(strings.TrimPrefix(text, "staleanalyze:ignore")) == "" {
-				continue // a bare directive documents nothing; keep flagging
-			}
-			lines[pass.Fset.Position(c.Pos()).Line] = true
-		}
-	}
-	return lines
 }

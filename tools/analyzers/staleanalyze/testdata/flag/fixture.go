@@ -29,6 +29,23 @@ func annotated(d *netlist.Design, cfg sta.Config) {
 	}
 }
 
+// Malformed directives are findings in their own right, and each
+// silently fails to suppress the in-loop report below it.
+func malformedDirectives(d *netlist.Design, cfg sta.Config) {
+	for i := 0; i < 2; i++ {
+		//staleanalyze:ignore // want "directive needs a reason"
+		_, _ = sta.Analyze(d, cfg) // want "raw sta.Analyze inside a loop"
+	}
+	for i := 0; i < 2; i++ {
+		//staleanalyz:ignore typo'd family name // want "looks like a misspelled //staleanalyze:ignore directive"
+		_, _ = sta.Analyze(d, cfg) // want "raw sta.Analyze inside a loop"
+	}
+	for i := 0; i < 2; i++ {
+		//staleanalyze:ignored audited // want "unknown //staleanalyze: directive verb"
+		_, _ = sta.Analyze(d, cfg) // want "raw sta.Analyze inside a loop"
+	}
+}
+
 func outsideLoop(d *netlist.Design, cfg sta.Config) {
 	// A one-shot analysis outside any loop is the intended use.
 	_, _ = sta.Analyze(d, cfg)

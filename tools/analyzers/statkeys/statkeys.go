@@ -38,7 +38,7 @@ func run(pass *analysis.Pass) error {
 			if pass.InTestFile(call.Pos()) || registryConst(pass.TypesInfo, call.Args[0]) {
 				return true
 			}
-			pass.Reportf(call.Args[0].Pos(),
+			pass.Reportf("statkeys001", call.Args[0].Pos(),
 				"AddStat key must be a flow.Stat* constant from internal/flow/statkeys.go, not an ad-hoc string")
 			return true
 		})

@@ -1,0 +1,49 @@
+// Fixture for the wallclock pass, type-checked under a
+// determinism-critical import path so the package gate is open.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timed() time.Duration {
+	start := time.Now()      // want "time.Now in a determinism-critical package"
+	return time.Since(start) // want "time.Since in a determinism-critical package"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in a determinism-critical package"
+}
+
+func jitter(spread float64) float64 {
+	return spread * rand.Float64() // want "global rand.Float64 draws from the process-wide stream"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle draws from the process-wide stream"
+}
+
+// seeded is the sanctioned pattern: constructors are exempt and methods
+// on the explicit generator are fine.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// durations: arithmetic and formatting on time values read no clock.
+func durations(d time.Duration) (float64, string) {
+	return d.Seconds(), (5 * time.Millisecond).String()
+}
+
+// audited carries the pass's exception directive.
+func audited() int64 {
+	return time.Now().UnixNano() //wallclock:ignore fixture exercises the audited-exception path
+}
+
+// bareDirective: a reason-less ignore is a finding (and, attached to
+// its own line, suppresses nothing below it).
+func bareDirective() time.Time {
+	//wallclock:ignore // want "directive needs a reason"
+	return time.Now() // want "time.Now in a determinism-critical package"
+}

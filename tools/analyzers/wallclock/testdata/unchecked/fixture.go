@@ -1,0 +1,20 @@
+// Fixture loaded under a neutral import path: wall-clock and global
+// rand are legal outside the determinism-critical set (this is where
+// the flow metrics layer lives), but the directive family is still
+// validated.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp is the flow-metrics shape: wall time around a stage, outside
+// the checked set.
+func stamp() (time.Time, float64) {
+	return time.Now(), rand.Float64() // outside the critical set: not flagged
+}
+
+func staleAnnotation() time.Time {
+	return time.Now() //wallclock:ignore // want "directive needs a reason"
+}

@@ -1,0 +1,119 @@
+// Package wallclock flags ambient-nondeterminism sources — wall-clock
+// reads and the global math/rand stream — in the determinism-critical
+// packages. The flow contract (internal/par's package doc, DESIGN.md
+// §6) is that a stage's output is a pure function of (design, config,
+// seed): time.Now folded into a result, or rand.Float64 drawn from the
+// process-global source, silently breaks byte-identical goldens and
+// the resumed-vs-fresh journal replay in ways that reproduce only
+// under the wall clock or scheduling that produced them.
+//
+// In core, eval, report, sta, route, place, cts, and partition the
+// pass flags:
+//
+//   - time.Now / time.Since / time.Until calls (wallclock001). Wall
+//     time belongs to the flow layer's stage metrics (flow.Context
+//     timings, internal/prof), which live outside the checked set and
+//     stamp durations around kernels, never inside them.
+//   - package-level math/rand and math/rand/v2 functions — Intn,
+//     Float64, Shuffle, Perm, Seed, … — which draw from the shared
+//     global stream (wallclock002). Seeded determinism uses an
+//     explicit *rand.Rand from core.Config's seed, fanned out
+//     per-attempt via the par.AttemptSeed pattern.
+//
+// Methods on an explicit *rand.Rand are not flagged (that is the
+// sanctioned pattern; pardet separately checks such state isn't shared
+// across parallel work items). Audited exceptions carry
+// `//wallclock:ignore <reason>` on the offending line.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the pass instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flag time.Now/Since and global math/rand in determinism-critical packages\n\n" +
+		"stage outputs must be pure functions of (design, config, seed);\n" +
+		"wall-clock reads and the global rand stream belong to the flow\n" +
+		"metrics layer and the seeded-*rand.Rand pattern respectively.",
+	Run: run,
+}
+
+// critical is the package set under the purity contract. Wall-time
+// metrics (flow.Context stage timings, internal/prof) live outside it
+// by design.
+var critical = map[string]bool{
+	"repro/internal/core":      true,
+	"repro/internal/eval":      true,
+	"repro/internal/report":    true,
+	"repro/internal/sta":       true,
+	"repro/internal/route":     true,
+	"repro/internal/place":     true,
+	"repro/internal/cts":       true,
+	"repro/internal/partition": true,
+}
+
+// clockFuncs are the package-level time functions that read the wall
+// clock. (time.Duration arithmetic and formatting stay legal.)
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// directive is the pass's audited-exception marker.
+var directive = analysis.DirectiveSpec{
+	Name:  "wallclock",
+	Verbs: map[string]bool{"ignore": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !critical[pass.Pkg.Path()] {
+		for _, f := range pass.Files {
+			analysis.ScanDirectives(pass, f, directive)
+		}
+		return nil
+	}
+	for _, f := range pass.Files {
+		ignored := analysis.ScanDirectives(pass, f, directive)["wallclock:ignore"]
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.FuncObject(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on an explicit *rand.Rand) are fine
+			}
+			if pass.InTestFile(call.Pos()) || ignored[pass.Fset.Position(call.Pos()).Line] {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if clockFuncs[obj.Name()] {
+					pass.Reportf("wallclock001", call.Pos(),
+						"time.%s in a determinism-critical package: stage outputs must not depend on the wall clock; record durations in the flow metrics layer instead", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// The New* constructors build the explicit seeded
+				// generator the contract calls for; only the stream
+				// draws touch shared state.
+				if strings.HasPrefix(obj.Name(), "New") {
+					return true
+				}
+				pass.Reportf("wallclock002", call.Pos(),
+					"global %s.%s draws from the process-wide stream; use a *rand.Rand seeded from the config (par.AttemptSeed pattern)", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

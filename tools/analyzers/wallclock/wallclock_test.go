@@ -1,0 +1,36 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analyzertest"
+	"repro/tools/analyzers/wallclock"
+)
+
+func TestFlagging(t *testing.T) {
+	analyzertest.Run(t, "testdata/flag", "repro/internal/sta", wallclock.Analyzer)
+}
+
+// Outside the critical set (where the flow metrics layer lives) the
+// clock and rand rules stay silent; directive validation remains.
+func TestUncheckedPackage(t *testing.T) {
+	analyzertest.Run(t, "testdata/unchecked", "fixture", wallclock.Analyzer)
+}
+
+// The kernel packages must be genuinely clock-free: their only rand is
+// the seeded-constructor pattern and durations come from the flow layer.
+func TestStaExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/sta", "repro/internal/sta", wallclock.Analyzer)
+}
+
+func TestRouteExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/route", "repro/internal/route", wallclock.Analyzer)
+}
+
+func TestPartitionExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/partition", "repro/internal/partition", wallclock.Analyzer)
+}
+
+func TestCoreExempt(t *testing.T) {
+	analyzertest.Run(t, "../../../internal/core", "repro/internal/core", wallclock.Analyzer)
+}
