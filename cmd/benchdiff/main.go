@@ -1,0 +1,265 @@
+// Command benchdiff compares two benchmark baseline files (the
+// committed BENCH_*.json documents) metric by metric and fails on
+// regressions beyond a noise bound. It renders a trajectory table —
+// old value, new value, delta — for every numeric metric, classifies
+// each metric's direction from its name (ns_per_op, _ms, bytes_per_op,
+// allocs_per_op shrink; mb_per_s, speedup grow), and exits non-zero
+// when any gated metric moved the wrong way by more than the
+// tolerance. Metrics whose direction the name does not reveal are
+// reported as informational and never gate.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.10] old.json new.json
+//
+// The noise bound is multiplicative (-tol 0.10 = 10% drift allowed)
+// plus small absolute floors for the near-zero counters
+// (allocs_per_op, bytes_per_op) so GC jitter around zero never flags.
+// A file compared against itself always passes — the CI gate runs
+// every committed baseline through that identity check, so a schema
+// change that breaks parsing fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// benchFile is the shared shape of every BENCH_*.json document: free
+// metadata plus a section of named entries whose numeric fields are the
+// metrics. Two section names are in use ("benchmarks" for the
+// micro-benchmark baselines, "runs" for the whole-flow profiles);
+// nested objects flatten to dotted metrics ("before.wall_s").
+type benchFile struct {
+	Description string                    `json:"description"`
+	Date        string                    `json:"date"`
+	Benchmarks  map[string]map[string]any `json:"-"`
+}
+
+func loadBench(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	var raw struct {
+		Description string         `json:"description"`
+		Date        string         `json:"date"`
+		Benchmarks  map[string]any `json:"benchmarks"`
+		Runs        map[string]any `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	f.Description, f.Date = raw.Description, raw.Date
+	section := raw.Benchmarks
+	if len(section) == 0 {
+		section = raw.Runs
+	}
+	if len(section) == 0 {
+		return f, fmt.Errorf("%s: no benchmarks or runs section", path)
+	}
+	f.Benchmarks = make(map[string]map[string]any, len(section))
+	for name, v := range section {
+		entry, ok := v.(map[string]any)
+		if !ok {
+			continue
+		}
+		flat := make(map[string]any)
+		flatten("", entry, flat)
+		f.Benchmarks[name] = flat
+	}
+	return f, nil
+}
+
+// flatten copies entry's fields into out, prefixing nested objects'
+// fields with "parent." so every metric is one level deep.
+func flatten(prefix string, entry map[string]any, out map[string]any) {
+	for k, v := range entry {
+		key := prefix + k
+		if nested, ok := v.(map[string]any); ok {
+			flatten(key+".", nested, out)
+			continue
+		}
+		out[key] = v
+	}
+}
+
+// direction classifies a metric by name: -1 lower-is-better, +1
+// higher-is-better, 0 unknown (informational only). Higher-better
+// patterns are matched first because "mb_per_s" also ends in "_s".
+func direction(metric string) int {
+	if i := strings.LastIndexByte(metric, '.'); i >= 0 {
+		metric = metric[i+1:] // "before.wall_s" classifies as "wall_s"
+	}
+	switch {
+	case strings.Contains(metric, "mb_per_s"),
+		strings.Contains(metric, "speedup"):
+		return +1
+	case strings.Contains(metric, "ns_per_op"),
+		strings.Contains(metric, "bytes_per_op"),
+		strings.Contains(metric, "allocs_per_op"),
+		strings.HasSuffix(metric, "_ms"),
+		strings.HasSuffix(metric, "_s"),
+		strings.HasSuffix(metric, "_mb"):
+		return -1
+	}
+	return 0
+}
+
+// floor is the absolute slack added to the noise bound for counters
+// that sit near zero, where a multiplicative tolerance is meaningless.
+func floor(metric string) float64 {
+	switch {
+	case strings.Contains(metric, "allocs_per_op"):
+		return 4
+	case strings.Contains(metric, "bytes_per_op"):
+		return 512
+	}
+	return 0
+}
+
+// row is one metric's trajectory.
+type row struct {
+	Bench, Metric string
+	Old, New      float64
+	HasNew        bool
+	Status        string // "ok", "improved", "info", "new", "REGRESSED", "MISSING"
+}
+
+// delta returns the relative change in percent.
+func (r row) delta() float64 {
+	if r.Old == 0 {
+		return 0
+	}
+	return (r.New - r.Old) / r.Old * 100
+}
+
+// diffBench compares every numeric metric of old against new under the
+// noise bound tol, returning the trajectory rows (sorted by benchmark,
+// then metric) and the number of gating failures. A benchmark or gated
+// metric that disappeared counts as a failure — a deleted baseline
+// must be deleted deliberately, not dropped silently.
+func diffBench(oldF, newF benchFile, tol float64) (rows []row, failures int) {
+	for bench, oldMetrics := range oldF.Benchmarks {
+		newMetrics := newF.Benchmarks[bench]
+		for metric, ov := range oldMetrics {
+			oldVal, ok := asFloat(ov)
+			if !ok {
+				continue // workload strings etc.
+			}
+			r := row{Bench: bench, Metric: metric, Old: oldVal}
+			dir := direction(metric)
+			nv, present := newMetrics[metric]
+			newVal, numeric := asFloat(nv)
+			switch {
+			case !present || !numeric:
+				if dir == 0 {
+					continue // informational metric dropped: not gated
+				}
+				r.Status = "MISSING"
+				failures++
+			default:
+				r.New, r.HasNew = newVal, true
+				switch {
+				case dir == 0:
+					r.Status = "info"
+				case dir < 0 && newVal > oldVal*(1+tol)+floor(metric):
+					r.Status = "REGRESSED"
+					failures++
+				case dir > 0 && newVal < oldVal*(1-tol)-floor(metric):
+					r.Status = "REGRESSED"
+					failures++
+				case (dir < 0 && newVal < oldVal) || (dir > 0 && newVal > oldVal):
+					r.Status = "improved"
+				default:
+					r.Status = "ok"
+				}
+			}
+			rows = append(rows, r)
+		}
+		// Metrics that exist only in the new file are surfaced, never
+		// gated: a new measurement is information, not a regression.
+		for metric, nv := range newMetrics {
+			if _, had := oldMetrics[metric]; had {
+				continue
+			}
+			if newVal, ok := asFloat(nv); ok {
+				rows = append(rows, row{Bench: bench, Metric: metric, New: newVal, HasNew: true, Status: "new"})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Bench != rows[j].Bench {
+			return rows[i].Bench < rows[j].Bench
+		}
+		return rows[i].Metric < rows[j].Metric
+	})
+	return rows, failures
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// trajectoryTable renders the comparison.
+func trajectoryTable(title string, rows []row) *report.Table {
+	t := report.NewTable(title, "Benchmark", "Metric", "Old", "New", "Delta", "Status")
+	for _, r := range rows {
+		newCell, deltaCell := "-", "-"
+		if r.HasNew {
+			newCell = trim(r.New)
+			if r.Old != 0 {
+				deltaCell = fmt.Sprintf("%+.1f%%", r.delta())
+			}
+		}
+		oldCell := "-"
+		if !(r.Status == "new") {
+			oldCell = trim(r.Old)
+		}
+		t.AddRowf(r.Bench, r.Metric, oldCell, newCell, deltaCell, r.Status)
+	}
+	return t
+}
+
+func trim(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "relative noise bound per metric (0.10 = 10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.10] old.json new.json")
+		os.Exit(2)
+	}
+	oldF, err := loadBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newF, err := loadBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rows, failures := diffBench(oldF, newF, *tol)
+	title := fmt.Sprintf("Benchmark trajectory — %s vs %s (noise bound %.0f%%)",
+		flag.Arg(0), flag.Arg(1), *tol*100)
+	fmt.Println(trajectoryTable(title, rows))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond the %.0f%% noise bound\n", failures, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d metric(s) within bounds\n", len(rows))
+}

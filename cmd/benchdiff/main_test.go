@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func bench(metrics map[string]any) benchFile {
+	return benchFile{Benchmarks: map[string]map[string]any{"BenchmarkX": metrics}}
+}
+
+func countStatus(rows []row, status string) int {
+	n := 0
+	for _, r := range rows {
+		if r.Status == status {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIdenticalFilesPass(t *testing.T) {
+	f := bench(map[string]any{
+		"ns_per_op": 1000.0, "mb_per_s": 50.0, "workload": "a string",
+	})
+	rows, failures := diffBench(f, f, 0.10)
+	if failures != 0 {
+		t.Fatalf("self-compare: %d failures, want 0", failures)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (string metric skipped)", len(rows))
+	}
+}
+
+func TestSlowdownBeyondBoundFails(t *testing.T) {
+	old := bench(map[string]any{"ns_per_op": 1000.0})
+	new_ := bench(map[string]any{"ns_per_op": 1200.0}) // +20% > 10% bound
+	rows, failures := diffBench(old, new_, 0.10)
+	if failures != 1 || countStatus(rows, "REGRESSED") != 1 {
+		t.Fatalf("want 1 regression, got failures=%d rows=%+v", failures, rows)
+	}
+	// Within the bound: passes.
+	new_ = bench(map[string]any{"ns_per_op": 1090.0})
+	if _, failures := diffBench(old, new_, 0.10); failures != 0 {
+		t.Fatalf("9%% drift flagged at a 10%% bound")
+	}
+}
+
+func TestHigherBetterDirection(t *testing.T) {
+	old := bench(map[string]any{"speedup": 100.0})
+	faster := bench(map[string]any{"speedup": 150.0})
+	rows, failures := diffBench(old, faster, 0.10)
+	if failures != 0 || countStatus(rows, "improved") != 1 {
+		t.Fatalf("higher speedup flagged: failures=%d rows=%+v", failures, rows)
+	}
+	slower := bench(map[string]any{"speedup": 80.0}) // -20%
+	if _, failures := diffBench(old, slower, 0.10); failures != 1 {
+		t.Fatalf("speedup drop not flagged")
+	}
+}
+
+func TestAbsoluteFloorAbsorbsJitterNearZero(t *testing.T) {
+	old := bench(map[string]any{"allocs_per_op": 0.0, "bytes_per_op": 0.0})
+	jitter := bench(map[string]any{"allocs_per_op": 3.0, "bytes_per_op": 400.0})
+	if _, failures := diffBench(old, jitter, 0.10); failures != 0 {
+		t.Fatalf("sub-floor jitter flagged as regression")
+	}
+	real_ := bench(map[string]any{"allocs_per_op": 50.0, "bytes_per_op": 9000.0})
+	if _, failures := diffBench(old, real_, 0.10); failures != 2 {
+		t.Fatalf("above-floor growth not flagged")
+	}
+}
+
+func TestMissingGatedMetricFails(t *testing.T) {
+	old := bench(map[string]any{"ns_per_op": 1000.0, "note": "info"})
+	new_ := bench(map[string]any{})
+	rows, failures := diffBench(old, new_, 0.10)
+	if failures != 1 || countStatus(rows, "MISSING") != 1 {
+		t.Fatalf("dropped gated metric not flagged: failures=%d rows=%+v", failures, rows)
+	}
+}
+
+func TestNewMetricIsInformational(t *testing.T) {
+	old := bench(map[string]any{"ns_per_op": 1000.0})
+	new_ := bench(map[string]any{"ns_per_op": 1000.0, "mb_per_s": 10.0})
+	rows, failures := diffBench(old, new_, 0.10)
+	if failures != 0 || countStatus(rows, "new") != 1 {
+		t.Fatalf("new metric gated or missing: failures=%d rows=%+v", failures, rows)
+	}
+}
+
+// TestCommittedBaselinesSelfCompare runs the CI identity gate in-process
+// over the repository's committed BENCH_*.json files: every baseline
+// must parse and pass against itself.
+func TestCommittedBaselinesSelfCompare(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed BENCH_*.json baselines found: %v", err)
+	}
+	for _, path := range matches {
+		f, err := loadBench(path)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		if _, failures := diffBench(f, f, 0.10); failures != 0 {
+			t.Errorf("%s: self-compare failed", filepath.Base(path))
+		}
+	}
+}
+
+func TestLoadBenchRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"nojson.json":  "not json",
+		"nobench.json": `{"description": "x"}`,
+		"empty.json":   `{"benchmarks": {}}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadBench(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -51,6 +51,13 @@ const (
 	// incompatible layout change. Readers refuse other versions with
 	// ErrVersion.
 	FormatVersion = 1
+	// TagLease frames one shard-coordination lease record inside an
+	// evaluation journal: the grant/renew/release/expire/quarantine
+	// lifecycle internal/shard's supervisor appends around the worker
+	// processes' fmax/flow records. Defined here with the file kinds so
+	// inspection tooling can name the frame without importing the
+	// evaluation layer; internal/eval owns the payload codec.
+	TagLease = "LEAS"
 )
 
 var (

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/check"
@@ -69,6 +70,40 @@ type ckptFlow struct {
 	Checks   []*check.Report    `json:"checks,omitempty"`
 }
 
+// Lease actions, in lifecycle order. A shard's lease history reads
+// grant → renew* → (release | expire | quarantine); expire and
+// quarantine return the shard to the pool for a fresh grant.
+const (
+	LeaseGrant      = "grant"      // shard claimed by an owner for one attempt
+	LeaseRenew      = "renew"      // liveness: the owner's journal made progress
+	LeaseRelease    = "release"    // the shard completed; the lease retires
+	LeaseExpire     = "expire"     // the owner died or stalled; work returns to the pool
+	LeaseQuarantine = "quarantine" // the shard's journal failed validation and was set aside
+)
+
+// Lease is one shard-coordination record of the journal: the supervisor
+// (internal/shard) appends the full lease lifecycle of every shard so a
+// killed-and-restarted supervisor can reconstruct ownership, and so the
+// farm's restarts/expiries/quarantines are auditable after the fact.
+// Owner tokens make the single-writer-per-shard discipline visible: every
+// grant names a fresh token, and no two grants of one shard are ever
+// live at once (the supervisor kills and reaps the old process before
+// appending the expiry that frees the shard).
+type Lease struct {
+	Kind    string `json:"kind"`
+	Shard   int    `json:"shard"`
+	Action  string `json:"action"`
+	Owner   string `json:"owner"`
+	Attempt int    `json:"attempt"`
+	// Reason qualifies expire ("stalled", "signal: killed", "exit 2") and
+	// quarantine ("crc mismatch", "option mismatch") records.
+	Reason string `json:"reason,omitempty"`
+	// Units is the shard's work set, recorded on the grant so the journal
+	// is self-describing and a resumed supervisor can verify the sharding
+	// still matches.
+	Units []Unit `json:"units,omitempty"`
+}
+
 type flowKey struct {
 	design designs.Name
 	config core.ConfigName
@@ -78,8 +113,9 @@ type flowKey struct {
 // fields is set. Both formats parse to this, which is what lets
 // ConvertCheckpoint translate between them without loss.
 type ckptRecord struct {
-	fmax *ckptFmax
-	flow *ckptFlow
+	fmax  *ckptFmax
+	flow  *ckptFlow
+	lease *Lease
 }
 
 // Checkpoint is an open evaluation journal: the completed work loaded
@@ -92,10 +128,11 @@ type Checkpoint struct {
 	// first bytes, or by extension (.db/.bin) for a fresh one.
 	bin bool
 
-	mu    sync.Mutex
-	f     *os.File
-	fmax  map[designs.Name]ckptFmax
-	flows map[flowKey]*ckptFlow
+	mu     sync.Mutex
+	f      *os.File
+	fmax   map[designs.Name]ckptFmax
+	flows  map[flowKey]*ckptFlow
+	leases []Lease
 }
 
 // headerFor derives the journal header binding a checkpoint to the
@@ -118,24 +155,59 @@ func headerFor(opt SuiteOptions) ckptHeader {
 	return h
 }
 
-func sameHeader(a, b ckptHeader) bool {
-	if a.Version != b.Version || a.Scale != b.Scale || a.Seed != b.Seed ||
-		a.FmaxIterations != b.FmaxIterations || a.Check != b.Check ||
-		len(a.Designs) != len(b.Designs) || len(a.Configs) != len(b.Configs) {
+// headerDiff reports exactly which header fields differ between a
+// journal's header (file) and the options of the run trying to use it
+// (run), one "field: file X, run Y" clause per mismatch. Empty means the
+// headers agree.
+func headerDiff(file, run ckptHeader) []string {
+	var diffs []string
+	add := func(field string, a, b any) {
+		diffs = append(diffs, fmt.Sprintf("%s: file %v, run %v", field, a, b))
+	}
+	if file.Version != run.Version {
+		add("format version", file.Version, run.Version)
+	}
+	if file.Scale != run.Scale {
+		add("scale", file.Scale, run.Scale)
+	}
+	if file.Seed != run.Seed {
+		add("seed", file.Seed, run.Seed)
+	}
+	if file.FmaxIterations != run.FmaxIterations {
+		add("fmax iterations", file.FmaxIterations, run.FmaxIterations)
+	}
+	if fc, rc := orOff(file.Check), orOff(run.Check); fc != rc {
+		add("check mode", fc, rc)
+	}
+	if !sameStrings(file.Designs, run.Designs) {
+		add("design set", strings.Join(file.Designs, ","), strings.Join(run.Designs, ","))
+	}
+	if !sameStrings(file.Configs, run.Configs) {
+		add("config set", strings.Join(file.Configs, ","), strings.Join(run.Configs, ","))
+	}
+	return diffs
+}
+
+func orOff(check string) string {
+	if check == "" {
+		return "off"
+	}
+	return check
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range a.Designs {
-		if a.Designs[i] != b.Designs[i] {
-			return false
-		}
-	}
-	for i := range a.Configs {
-		if a.Configs[i] != b.Configs[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
 	return true
 }
+
+func sameHeader(a, b ckptHeader) bool { return len(headerDiff(a, b)) == 0 }
 
 // binaryExt reports whether a fresh checkpoint at path should use the
 // binary framing (existing files are sniffed instead).
@@ -159,9 +231,14 @@ func parseCheckpoint(data []byte) (hdr ckptHeader, recs []ckptRecord, bin bool, 
 	return hdr, recs, false, err
 }
 
-// errDifferentOptions is shared by both formats so callers see one
-// message regardless of encoding.
-var errDifferentOptions = fmt.Errorf("journal was written under different suite options (scale/seed/designs/configs/check) — delete it or rerun with the original options")
+// errDifferentOptions builds the option-mismatch refusal, naming exactly
+// which header fields differ so the operator can tell a wrong flag from a
+// wrong file. Shared by both formats so callers see one message
+// regardless of encoding.
+func errDifferentOptions(diffs []string) error {
+	return fmt.Errorf("journal was written under different suite options — %s — delete it or rerun with the original options",
+		strings.Join(diffs, "; "))
+}
 
 // OpenCheckpoint opens (or creates) the journal at path for the given
 // suite options. An existing journal written under different options is
@@ -189,8 +266,8 @@ func OpenCheckpoint(path string, opt SuiteOptions) (*Checkpoint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("eval: checkpoint %s: %w", path, err)
 		}
-		if !sameHeader(hdr, want) {
-			return nil, fmt.Errorf("eval: checkpoint %s: %w", path, errDifferentOptions)
+		if diffs := headerDiff(hdr, want); len(diffs) > 0 {
+			return nil, fmt.Errorf("eval: checkpoint %s: %w", path, errDifferentOptions(diffs))
 		}
 		c.bin = bin
 		c.index(recs)
@@ -219,6 +296,8 @@ func (c *Checkpoint) index(recs []ckptRecord) {
 			c.fmax[designs.Name(rec.fmax.Design)] = *rec.fmax
 		case rec.flow != nil:
 			c.flows[flowKey{designs.Name(rec.flow.Design), core.ConfigName(rec.flow.Config)}] = rec.flow
+		case rec.lease != nil:
+			c.leases = append(c.leases, *rec.lease)
 		}
 	}
 }
@@ -278,6 +357,13 @@ func parseJSONLCkpt(data []byte) (ckptHeader, []ckptRecord, error) {
 				continue
 			}
 			recs = append(recs, ckptRecord{flow: &r})
+		case "lease":
+			var r Lease
+			if err := json.Unmarshal(raw, &r); err != nil || !validLeaseAction(r.Action) {
+				bad = line
+				continue
+			}
+			recs = append(recs, ckptRecord{lease: &r})
 		default:
 			bad = line
 		}
@@ -407,6 +493,40 @@ func (c *Checkpoint) PutFlow(design designs.Name, cfg core.ConfigName, r *core.R
 	c.flows[flowKey{design, cfg}] = rec
 	c.mu.Unlock()
 	return nil
+}
+
+// validLeaseAction gates the lease-action vocabulary on parse so a
+// corrupted action string is caught at load, not at supervisor-resume.
+func validLeaseAction(a string) bool {
+	switch a {
+	case LeaseGrant, LeaseRenew, LeaseRelease, LeaseExpire, LeaseQuarantine:
+		return true
+	}
+	return false
+}
+
+// PutLease appends one shard-coordination record. The Kind field is
+// normalized; callers fill everything else.
+func (c *Checkpoint) PutLease(l Lease) error {
+	if !validLeaseAction(l.Action) {
+		return fmt.Errorf("eval: checkpoint %s: invalid lease action %q", c.path, l.Action)
+	}
+	l.Kind = "lease"
+	if err := c.append(&l); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.leases = append(c.leases, l)
+	c.mu.Unlock()
+	return nil
+}
+
+// Leases returns every lease record in append order (loaded and newly
+// written alike).
+func (c *Checkpoint) Leases() []Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Lease{}, c.leases...)
 }
 
 // Completed reports how many f_max searches and flows the journal holds.

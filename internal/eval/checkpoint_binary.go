@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/designs"
 )
 
 // The binary evaluation journal is the streamable sibling of the JSONL
@@ -24,6 +25,10 @@ const (
 	tagCkptHeader = "EHDR"
 	tagCkptFmax   = "FMAX"
 	tagCkptFlow   = "FLOW"
+	// tagCkptLease frames shard-coordination records (db.TagLease): the
+	// lease lifecycle internal/shard's supervisor appends around the
+	// worker processes' own fmax/flow records.
+	tagCkptLease = db.TagLease
 )
 
 func appendHeaderFrame(dst []byte, h ckptHeader) ([]byte, error) {
@@ -117,9 +122,64 @@ func appendRecordFrame(dst []byte, rec any) ([]byte, error) {
 			db.PutCheckReport(w, rep)
 		}
 		return db.AppendFrame(dst, tagCkptFlow, w.Bytes())
+	case *Lease:
+		w.PutI32(int32(r.Shard))
+		w.PutString(r.Action)
+		w.PutString(r.Owner)
+		w.PutI32(int32(r.Attempt))
+		w.PutString(r.Reason)
+		w.PutU32(uint32(len(r.Units)))
+		for _, u := range r.Units {
+			w.PutString(string(u.Design))
+			w.PutString(string(u.Config))
+		}
+		return db.AppendFrame(dst, tagCkptLease, w.Bytes())
 	default:
 		return nil, fmt.Errorf("unsupported journal record %T", rec)
 	}
+}
+
+func readLeaseFrame(r *db.Reader) (*Lease, error) {
+	rec := &Lease{Kind: "lease"}
+	v, err := r.I32()
+	if err != nil {
+		return nil, err
+	}
+	rec.Shard = int(v)
+	if rec.Action, err = r.String(); err != nil {
+		return nil, err
+	}
+	if !validLeaseAction(rec.Action) {
+		return nil, db.Corruptf("lease frame: invalid action %q", rec.Action)
+	}
+	if rec.Owner, err = r.String(); err != nil {
+		return nil, err
+	}
+	if v, err = r.I32(); err != nil {
+		return nil, err
+	}
+	rec.Attempt = int(v)
+	if rec.Reason, err = r.String(); err != nil {
+		return nil, err
+	}
+	nu, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nu; i++ {
+		var u Unit
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		u.Design = designs.Name(s)
+		if s, err = r.String(); err != nil {
+			return nil, err
+		}
+		u.Config = core.ConfigName(s)
+		rec.Units = append(rec.Units, u)
+	}
+	return rec, nil
 }
 
 func readFmaxFrame(r *db.Reader) (*ckptFmax, error) {
@@ -243,6 +303,12 @@ func parseBinaryCkpt(data []byte) (ckptHeader, []ckptRecord, error) {
 				return hdr, nil, err
 			}
 			recs = append(recs, ckptRecord{flow: rec})
+		case tagCkptLease:
+			rec, err := readLeaseFrame(r)
+			if err != nil {
+				return hdr, nil, err
+			}
+			recs = append(recs, ckptRecord{lease: rec})
 		default:
 			// Unknown frame: a future record kind; skip it.
 		}
@@ -289,6 +355,8 @@ func ConvertCheckpoint(src, dst string) error {
 				out, err = appendRecordFrame(out, *rec.fmax)
 			case rec.flow != nil:
 				out, err = appendRecordFrame(out, rec.flow)
+			case rec.lease != nil:
+				out, err = appendRecordFrame(out, rec.lease)
 			}
 			if err != nil {
 				return fmt.Errorf("eval: convert %s: %w", src, err)
@@ -315,6 +383,8 @@ func ConvertCheckpoint(src, dst string) error {
 				e = add(*rec.fmax)
 			case rec.flow != nil:
 				e = add(rec.flow)
+			case rec.lease != nil:
+				e = add(rec.lease)
 			}
 			if e != nil {
 				return fmt.Errorf("eval: convert %s: %w", src, e)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/flow"
 )
@@ -217,5 +218,69 @@ func TestNilPlanHook(t *testing.T) {
 	var p *Plan
 	if p.Hook() != nil {
 		t.Fatal("nil plan must produce a nil hook")
+	}
+}
+
+// TestStallClass proves the stall class is a true wedge: the hook
+// records the firing but never returns — the shape the shard
+// supervisor's watchdog exists to kill. The wedged goroutine stays
+// blocked until the test process exits, exactly like a wedged worker
+// process stays blocked until SIGKILL.
+func TestStallClass(t *testing.T) {
+	p := NewPlan(Injection{Stage: "cts", Class: ClassStall})
+	hook := p.Hook()
+	c := flow.NewContext(context.Background(), "aes", "2D", 1)
+	returned := make(chan error, 1)
+	go func() { returned <- hook(c, "cts") }()
+	select {
+	case err := <-returned:
+		t.Fatalf("stall hook returned (%v); it must hang forever", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	f := p.Fired()
+	if len(f) != 1 || f[0].Class != ClassStall || f[0].At != "cts" {
+		t.Fatalf("Fired() = %+v, want one stall firing at cts", f)
+	}
+	if len(p.Pending()) != 0 {
+		t.Fatal("stalled injection still pending")
+	}
+}
+
+// TestSpecRoundTrip pins ParseSpec/FormatSpec as exact inverses over the
+// canonical form: parse → format → parse yields identical injections,
+// for every class and modifier combination.
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"*/*/place=panic",
+		"*/*/cts=stall",
+		"cpu/Hetero-M3D/timing-repair@2=error:retryable",
+		"*/*/eco=corrupt:journal,*/*/cts=cancel",
+		"aes/*/route@3=corrupt:journal:retryable",
+		"*/*/signoff=timeout",
+		"*/*/place=corrupt",
+	}
+	for _, spec := range specs {
+		p1, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		formatted := FormatSpec(p1.Pending())
+		p2, err := ParseSpec(formatted)
+		if err != nil {
+			t.Fatalf("ParseSpec(FormatSpec(%q)) = ParseSpec(%q): %v", spec, formatted, err)
+		}
+		got, want := p2.Pending(), p1.Pending()
+		if len(got) != len(want) {
+			t.Fatalf("%q -> %q: %d injections, want %d", spec, formatted, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%q -> %q: injection %d = %+v, want %+v", spec, formatted, i, got[i], want[i])
+			}
+		}
+		// The canonical form is a fixed point.
+		if again := FormatSpec(p2.Pending()); again != formatted {
+			t.Errorf("FormatSpec not canonical: %q -> %q", formatted, again)
+		}
 	}
 }

@@ -89,6 +89,44 @@ func parseInjection(item string) (Injection, error) {
 	return in, nil
 }
 
+// Spec renders the injection back into the -fault grammar in canonical
+// form: wildcards as "*", the occurrence suffix only when it is not the
+// default first visit, and modifiers only when they deviate from the
+// defaults. ParseSpec(in.Spec()) round-trips to an equal Injection — the
+// contract the supervisor relies on when forwarding chaos specs to
+// worker processes over their command line.
+func (in Injection) Spec() string {
+	var b strings.Builder
+	b.WriteString(orStar(in.Design))
+	b.WriteByte('/')
+	b.WriteString(orStar(in.Config))
+	b.WriteByte('/')
+	b.WriteString(orStar(in.Stage))
+	if in.Occurrence > 1 {
+		fmt.Fprintf(&b, "@%d", in.Occurrence)
+	}
+	b.WriteByte('=')
+	b.WriteString(string(in.Class))
+	if in.Class == ClassCorrupt && in.Target != "" && in.Target != TargetCache {
+		b.WriteByte(':')
+		b.WriteString(in.Target)
+	}
+	if in.Retryable {
+		b.WriteString(":retryable")
+	}
+	return b.String()
+}
+
+// FormatSpec renders a set of injections as one comma-separated -fault
+// spec, the inverse of ParseSpec.
+func FormatSpec(injections []Injection) string {
+	specs := make([]string, len(injections))
+	for i, in := range injections {
+		specs[i] = in.Spec()
+	}
+	return strings.Join(specs, ",")
+}
+
 func norm(s string) string {
 	s = strings.TrimSpace(s)
 	if s == "*" {

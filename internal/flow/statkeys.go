@@ -32,6 +32,15 @@ const (
 	StatDegradeUtil       = "degrade_util"       // extra utilization relaxations past the retry budget
 	StatPanicsRecovered   = "panics_recovered"   // stage panics recovered into errors
 
+	// Distributed-evaluation counters (internal/shard's supervisor). These
+	// are farm-level events, not per-stage engine work: the supervisor
+	// records them on its own synthetic metrics so the resilience report
+	// can fold coordination history into the same table as the in-process
+	// robustness counters.
+	StatWorkerRestarts   = "worker_restarts"   // worker processes restarted after crash or watchdog kill
+	StatLeaseExpiries    = "lease_expiries"    // shard leases expired back to the pool
+	StatShardQuarantines = "shard_quarantines" // shard journals quarantined (CRC/header validation failure)
+
 	// Intra-flow parallelism counters (internal/par fan-outs inside the
 	// place/route/sta/cts kernels). Both count *scheduled* work — fan-out
 	// rounds and the items they dispatched — which is identical at any

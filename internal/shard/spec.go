@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+// SpecEnv is the environment variable carrying a worker's serialized
+// WorkerSpec. The supervisor re-invokes its own binary in worker mode
+// with this set; the worker entry point (cmd/evalfarm, or a test
+// binary's TestMain) decodes it and calls RunWorker.
+const SpecEnv = "EVALFARM_SPEC"
+
+// WorkerSpec is everything a worker process needs to run its shard:
+// the suite options that define the results (they must reproduce the
+// supervisor's checkpoint header exactly), the shard's unit filter, its
+// private journal path, and the lease identity it runs under. The spec
+// travels as one JSON document in SpecEnv — no flag parsing, no
+// positional coupling between supervisor and worker versions.
+type WorkerSpec struct {
+	// Journal is the shard's private checkpoint path. The worker is the
+	// only writer; the supervisor only ever reads it (liveness, status)
+	// until the worker has been killed and reaped.
+	Journal string `json:"journal"`
+	// Shard and Owner identify the lease this process runs under;
+	// Attempt is 1 on the first grant and increments on every restart.
+	Shard   int    `json:"shard"`
+	Owner   string `json:"owner"`
+	Attempt int    `json:"attempt"`
+
+	// Result-defining options — the worker reconstructs SuiteOptions
+	// from these, and empty design/config lists default identically on
+	// both sides, so every shard journal carries the same header.
+	Scale          float64  `json:"scale"`
+	Seed           int64    `json:"seed"`
+	FmaxIterations int      `json:"fmaxIterations"`
+	Check          string   `json:"check,omitempty"`
+	Designs        []string `json:"designs,omitempty"`
+	Configs        []string `json:"configs,omitempty"`
+
+	// Units is the shard's slice of the matrix.
+	Units []eval.Unit `json:"units"`
+
+	// Execution shape (never part of the journal header): in-process
+	// suite workers and intra-flow parallelism for this process.
+	Workers     int `json:"workers,omitempty"`
+	FlowWorkers int `json:"flowWorkers,omitempty"`
+
+	// Fault is a fault-injection spec (internal/fault grammar) armed in
+	// the worker — the chaos channel. The supervisor only forwards it on
+	// a shard's first attempt, so deterministic faults cannot re-fire on
+	// every restart and wedge the farm in a kill loop.
+	Fault string `json:"fault,omitempty"`
+}
+
+// Encode serializes the spec for SpecEnv.
+func (s WorkerSpec) Encode() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("shard: encode worker spec: %w", err)
+	}
+	return string(b), nil
+}
+
+// ParseWorkerSpec decodes and validates a serialized WorkerSpec.
+func ParseWorkerSpec(raw string) (WorkerSpec, error) {
+	var s WorkerSpec
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		return s, fmt.Errorf("shard: parse worker spec: %w", err)
+	}
+	if s.Journal == "" {
+		return s, fmt.Errorf("shard: worker spec: missing journal path")
+	}
+	if s.Scale <= 0 {
+		return s, fmt.Errorf("shard: worker spec: scale must be positive (got %v)", s.Scale)
+	}
+	if len(s.Units) == 0 {
+		return s, fmt.Errorf("shard: worker spec: empty unit set")
+	}
+	if s.Owner == "" {
+		return s, fmt.Errorf("shard: worker spec: missing owner token")
+	}
+	return s, nil
+}
+
+// SpecFromEnv reports whether the process was invoked as a farm worker
+// (SpecEnv is set) and decodes the spec when it was. Worker entry
+// points call this first and fall through to normal operation when ok
+// is false.
+func SpecFromEnv() (spec WorkerSpec, ok bool, err error) {
+	raw := os.Getenv(SpecEnv)
+	if raw == "" {
+		return WorkerSpec{}, false, nil
+	}
+	spec, err = ParseWorkerSpec(raw)
+	return spec, true, err
+}
