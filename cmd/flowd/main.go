@@ -1,0 +1,98 @@
+// Command flowd is the flow-as-a-service daemon: it listens on a TCP
+// address and serves concurrent flow/STA/PPAC requests over the wire
+// protocol in internal/serve. Clients (cmd/flowc, the load harness)
+// open sessions that hold a journaled netlist with a persistent
+// incremental timer, apply placement mutations, and read back timing —
+// every response byte-identical to the equivalent offline run.
+//
+// Usage:
+//
+//	flowd [-addr :9173] [-max-sessions 64] [-workers 0]
+//	      [-max-frame bytes] [-cache dir] [-v]
+//
+// SIGINT/SIGTERM drain the daemon: accepting stops, in-flight work is
+// cancelled at the next stage boundary, every live connection receives
+// the protocol-level shutdown record, and the process exits once all
+// connections unwind (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("flowd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:9173", "listen address")
+		maxSess    = fs.Int("max-sessions", 64, "admitted sessions + PPAC evaluations before CodeBusy refusal")
+		workers    = fs.Int("workers", 0, "total intra-flow worker budget across sessions (0 = GOMAXPROCS)")
+		maxFrame   = fs.Int("max-frame", serve.DefaultMaxFrame, "received frame payload cap in bytes")
+		cacheDir   = fs.String("cache", "", "design-snapshot cache directory (default: private temp dir)")
+		drainGrace = fs.Duration("drain-timeout", 30*time.Second, "max wait for connections to unwind on shutdown")
+		verbose    = fs.Bool("v", false, "log connection-level events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "flowd: ", log.LstdFlags)
+	opt := serve.Options{
+		MaxSessions: *maxSess,
+		Workers:     *workers,
+		MaxFrame:    *maxFrame,
+		CacheDir:    *cacheDir,
+	}
+	if *verbose {
+		opt.Logf = logger.Printf
+	}
+	srv := serve.New(opt)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowd:", err)
+		return 1
+	}
+	logger.Printf("listening on %s (max-sessions %d)", lis.Addr(), *maxSess)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	select {
+	case s := <-sig:
+		logger.Printf("%v: draining (%d active sessions)", s, srv.ActiveSessions())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			return 1
+		}
+		if err := <-done; err != nil {
+			logger.Printf("serve: %v", err)
+			return 1
+		}
+		logger.Printf("drained cleanly")
+		return 0
+	case err := <-done:
+		if err != nil {
+			logger.Printf("serve: %v", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestSigtermDrains: the daemon exits 0 on SIGTERM after serving real
+// traffic — the signal path runs the same orderly Shutdown the serve
+// tests verify leak-free.
+func TestSigtermDrains(t *testing.T) {
+	const addr = "127.0.0.1:19173"
+	code := make(chan int, 1)
+	go func() { code <- run([]string{"-addr", addr, "-cache", t.TempDir()}) }()
+
+	// Wait for the listener, then run one session through it.
+	var cl *serve.Client
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if cl, err = serve.Dial(addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	req := &serve.OpenRequest{Design: "ldpc", Config: "2D-12T",
+		Scale: 0.05, Seed: 1, ClockGHz: 1.0, Boundary: "place"}
+	if _, err := cl.Open(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Timing(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("flowd exited %d after SIGTERM, want 0", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("flowd did not drain within 30s of SIGTERM")
+	}
+}

@@ -58,6 +58,13 @@ func boundaryOK(stage string) bool {
 	return false
 }
 
+// SaveBoundaries returns the stage boundaries a design database may be
+// saved at — and therefore the boundaries a served session may open at.
+// The returned slice is a copy, in flow order.
+func SaveBoundaries() []string {
+	return append([]string(nil), saveBoundaries...)
+}
+
 // parseSaveAfter splits and validates Options.SaveAfter ("" defaults to
 // the post-place boundary).
 func parseSaveAfter(list string) (map[string]bool, error) {

@@ -1,0 +1,59 @@
+package db
+
+import (
+	"hash/crc32"
+	"io"
+)
+
+// MaxStreamFrame is the payload cap WriteFrame/ReadFrame fall back to
+// when the caller passes a non-positive limit: large enough for a full
+// design-database upload, small enough that a hostile length field
+// cannot provoke an unbounded allocation.
+const MaxStreamFrame = 64 << 20
+
+// WriteFrame writes one tag/len/payload/CRC frame — the same layout
+// FrameIter reads — to a stream. The frame is assembled first and
+// written with a single Write call, so a frame never interleaves with
+// a concurrent writer that serializes at the same io.Writer.
+func WriteFrame(w io.Writer, tag string, payload []byte) error {
+	buf, err := AppendFrame(make([]byte, 0, 12+len(payload)), tag, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from a stream. max caps the accepted
+// payload length (non-positive means MaxStreamFrame) so a corrupt or
+// adversarial length field cannot provoke an unbounded allocation.
+// Error typing mirrors FrameIter.Next: io.EOF at a clean boundary
+// between frames, ErrTruncated when the stream ends mid-frame, and
+// ErrCorrupt on a CRC mismatch or an oversized length.
+func ReadFrame(r io.Reader, max int) (tag string, payload []byte, err error) {
+	if max <= 0 {
+		max = MaxStreamFrame
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, ErrTruncated
+	}
+	tag = string(hdr[:4])
+	n := int(leU32(hdr[4:]))
+	if n < 0 || n > max {
+		return tag, nil, Corruptf("frame %s: payload length %d exceeds the %d-byte cap", tag, n, max)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return tag, nil, ErrTruncated
+	}
+	payload = buf[:n]
+	want := leU32(buf[n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return tag, nil, Corruptf("frame %s: CRC mismatch (stored %08x, computed %08x)", tag, want, got)
+	}
+	return tag, payload, nil
+}

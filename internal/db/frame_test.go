@@ -1,0 +1,106 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestStreamFrameRoundTrip: frames written by WriteFrame read back
+// identically through both ReadFrame and the in-memory FrameIter — the
+// wire stream and the file format share one layout.
+func TestStreamFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		tag     string
+		payload []byte
+	}{
+		{"AAAA", nil},
+		{"BBBB", []byte{}},
+		{"CCCC", []byte("hello")},
+		{"DDDD", bytes.Repeat([]byte{0xa5}, 1<<16)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.tag, f.payload); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", f.tag, err)
+		}
+	}
+
+	it := NewFrameIter(buf.Bytes())
+	r := bytes.NewReader(buf.Bytes())
+	for _, f := range frames {
+		tag, payload, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame(%s): %v", f.tag, err)
+		}
+		itTag, itPayload, itErr := it.Next()
+		if itErr != nil {
+			t.Fatalf("FrameIter(%s): %v", f.tag, itErr)
+		}
+		if tag != f.tag || itTag != f.tag {
+			t.Fatalf("tag = %q / %q, want %q", tag, itTag, f.tag)
+		}
+		if !bytes.Equal(payload, f.payload) || !bytes.Equal(itPayload, f.payload) {
+			t.Fatalf("payload mismatch on %s", f.tag)
+		}
+	}
+	if _, _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("clean end = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamFrameBadTag(t *testing.T) {
+	if err := WriteFrame(io.Discard, "TOOLONG", nil); err == nil {
+		t.Fatal("WriteFrame accepted a non-4-byte tag")
+	}
+}
+
+// TestStreamFrameTruncated: a stream ending mid-header or mid-payload
+// yields ErrTruncated (which wraps ErrCorrupt), never a panic.
+func TestStreamFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "SECT", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]), 0)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: ErrTruncated must wrap ErrCorrupt", cut)
+		}
+	}
+}
+
+// TestStreamFrameCorrupt: a flipped payload byte fails the CRC with
+// ErrCorrupt but not ErrTruncated.
+func TestStreamFrameCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "SECT", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[9] ^= 0xff // inside the payload
+	_, _, err := ReadFrame(bytes.NewReader(data), 0)
+	if !errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want plain ErrCorrupt", err)
+	}
+}
+
+// TestStreamFrameLengthCap: a hostile length field is refused before
+// any allocation of that size happens.
+func TestStreamFrameLengthCap(t *testing.T) {
+	raw := []byte("SECT")
+	raw = appendU32(raw, 0xffffffff)
+	_, _, err := ReadFrame(bytes.NewReader(raw), 1<<20)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("error should name the cap: %v", err)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -23,8 +22,7 @@ type LogSink struct {
 	// Stages turns on per-stage lines (verbose).
 	Stages bool
 
-	mu     sync.Mutex
-	closed bool
+	gate flow.Gate
 }
 
 // Close detaches the sink from its writer: subsequent events are dropped
@@ -32,20 +30,17 @@ type LogSink struct {
 // down W — a cancelled suite's worker goroutines can still be unwinding
 // and report their final (failed) stage events after RunSuite has
 // returned, and those must not land on a writer whose lifetime ended.
+// The drop-after-close semantics live in flow.Gate, shared with the
+// serve wire adapter.
 func (l *LogSink) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.closed = true
+	l.gate.Close()
 	return nil
 }
 
 func (l *LogSink) printf(format string, args ...interface{}) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return
-	}
-	fmt.Fprintf(l.W, format+"\n", args...)
+	l.gate.Do(func() {
+		fmt.Fprintf(l.W, format+"\n", args...)
+	})
 }
 
 // StageStart implements flow.Sink (silent; starts are implied by dones).

@@ -1,0 +1,49 @@
+package flow
+
+import "sync"
+
+// Gate is the race-safe close gate shared by event-sink adapters. A
+// sink that renders pipeline events onto a resource whose lifetime can
+// end before the last event arrives — a log writer torn down after a
+// cancelled suite returns, a network connection the peer already
+// closed — runs every render inside Do and closes the gate when the
+// resource dies. Events arriving after Close are dropped without
+// touching the resource. This is the post-cancel straggler contract
+// eval.LogSink introduced, factored out so the serve wire adapter (and
+// any future sink) inherits exactly the same semantics.
+//
+// The zero value is an open gate, ready for concurrent use.
+type Gate struct {
+	mu     sync.Mutex
+	closed bool
+}
+
+// Do runs fn under the gate's lock unless the gate is closed, and
+// reports whether fn ran. Holding the lock across fn both serializes
+// concurrent renderers and makes Close a true barrier: once Close
+// returns, no fn started before it is still running and none will
+// start after.
+func (g *Gate) Do(fn func()) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	fn()
+	return true
+}
+
+// Close closes the gate: every subsequent Do is a dropped no-op. Close
+// is idempotent and returns only after any in-flight Do has completed.
+func (g *Gate) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+}
+
+// Closed reports whether the gate has been closed.
+func (g *Gate) Closed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}

@@ -1,0 +1,71 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Limiter is a counting semaphore for admission control: where Budget
+// splits a worker budget among jobs that already started, Limiter
+// decides how many jobs may be in flight at all. The serve daemon uses
+// one to cap concurrent sessions — TryAcquire at OPEN gives graceful
+// refusal instead of queueing, and Active feeds Budget so the flows
+// behind the admitted sessions share the worker budget.
+type Limiter struct {
+	slots  chan struct{}
+	active atomic.Int64
+}
+
+// NewLimiter returns a Limiter admitting at most n holders at once.
+// Non-positive n is clamped to 1.
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking and reports whether one was
+// available.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		l.active.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks until a slot is available or ctx is done, returning
+// ctx.Err() in the latter case.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.active.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by TryAcquire or Acquire. Releasing
+// without a matching acquire panics — that is always a caller bug.
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+		l.active.Add(-1)
+	default:
+		panic("par: Limiter.Release without matching Acquire")
+	}
+}
+
+// Active returns the number of slots currently held.
+func (l *Limiter) Active() int {
+	return int(l.active.Load())
+}
+
+// Cap returns the maximum number of concurrent holders.
+func (l *Limiter) Cap() int {
+	return cap(l.slots)
+}

@@ -1,0 +1,111 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", l.Cap())
+	}
+	if !l.TryAcquire() || !l.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past the cap")
+	}
+	if l.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", l.Active())
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	l.Release()
+	l.Release()
+	if l.Active() != 0 {
+		t.Fatalf("Active = %d, want 0", l.Active())
+	}
+}
+
+func TestLimiterClampsCap(t *testing.T) {
+	if got := NewLimiter(0).Cap(); got != 1 {
+		t.Fatalf("Cap(0) = %d, want 1", got)
+	}
+	if got := NewLimiter(-5).Cap(); got != 1 {
+		t.Fatalf("Cap(-5) = %d, want 1", got)
+	}
+}
+
+func TestLimiterAcquireBlocksUntilRelease(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(context.Background()) }()
+	select {
+	case <-done:
+		t.Fatal("Acquire returned with the slot held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+}
+
+func TestLimiterAcquireHonorsContext(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire failed on a fresh limiter")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire = %v, want context.DeadlineExceeded", err)
+	}
+	l.Release()
+}
+
+func TestLimiterReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewLimiter(1).Release()
+}
+
+// TestLimiterConcurrent: under -race, hammer acquire/release from many
+// goroutines and assert the cap was never exceeded.
+func TestLimiterConcurrent(t *testing.T) {
+	const cap, goroutines = 4, 16
+	l := NewLimiter(cap)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := l.Acquire(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				if a := l.Active(); a > cap {
+					t.Errorf("Active = %d exceeds cap %d", a, cap)
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Active() != 0 {
+		t.Fatalf("Active = %d after full drain", l.Active())
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/db"
+)
+
+// Client is the wire-protocol client cmd/flowc and the load harness
+// drive. A client owns one connection and therefore at most one
+// session; its request methods run the frame round-trip synchronously
+// and must not be called concurrently (matching the server's strict
+// in-order answering). Cancel is the one concurrency-safe method — it
+// is meant to be called from another goroutine to abort the request in
+// flight.
+type Client struct {
+	nc       net.Conn
+	br       *bufio.Reader
+	wmu      sync.Mutex
+	maxFrame int
+}
+
+// Dial connects to a flowd server and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c, err := NewClient(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection (loopback tests use
+// net.Pipe-style pairs) and performs the handshake.
+func NewClient(nc net.Conn) (*Client, error) {
+	c := &Client{nc: nc, br: bufio.NewReader(nc), maxFrame: DefaultMaxFrame}
+	if err := writeHandshake(nc); err != nil {
+		return nil, fmt.Errorf("serve: handshake: %w", err)
+	}
+	if err := readHandshake(c.br); err != nil {
+		return nil, fmt.Errorf("serve: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// writeFrame sends one request frame; safe against a concurrent Cancel.
+func (c *Client) writeFrame(tag string, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return db.WriteFrame(c.nc, tag, payload)
+}
+
+// await reads frames until the wanted response arrives, dispatching
+// events and converting ERRR/BYEE frames into typed errors.
+func (c *Client) await(want string, onEvent func(*Event)) ([]byte, error) {
+	for {
+		tag, payload, err := db.ReadFrame(c.br, c.maxFrame)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case want:
+			return payload, nil
+		case TagEvent:
+			ev, err := decodeEvent(payload)
+			if err != nil {
+				return nil, err
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		case TagError:
+			re, err := decodeError(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, re
+		case TagBye:
+			reason, err := decodeBye(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: server closed the connection (%s)", ErrShutdown, reason)
+		default:
+			return nil, db.Corruptf("unexpected frame %s while awaiting %s", tag, want)
+		}
+	}
+}
+
+func (c *Client) roundTrip(reqTag string, payload []byte, want string, onEvent func(*Event)) ([]byte, error) {
+	if err := c.writeFrame(reqTag, payload); err != nil {
+		return nil, err
+	}
+	return c.await(want, onEvent)
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(TagPing, nil, TagPong, nil)
+	return err
+}
+
+// Open establishes the connection's session. onEvent (optional)
+// receives streamed stage events while the opening flow runs, when
+// req.Events is set.
+func (c *Client) Open(req *OpenRequest, onEvent func(*Event)) (*SessionInfo, error) {
+	payload, err := c.roundTrip(TagOpen, req.encode(), TagSession, onEvent)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSessionInfo(payload)
+}
+
+// Mutate applies a batch of SetLoc/SetTier edits to the session's
+// netlist. The batch is atomic: any invalid entry rejects the whole
+// batch without touching the design.
+func (c *Client) Mutate(muts []Mutation) (*MutateResult, error) {
+	payload, err := c.roundTrip(TagMutate, encodeMutations(muts), TagMutateRes, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMutateResult(payload)
+}
+
+// Timing runs an incremental timing update on the session's persistent
+// Timer and returns the analysis.
+func (c *Client) Timing() (*TimingResult, error) {
+	payload, err := c.roundTrip(TagTiming, nil, TagTimingRes, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTimingResult(payload)
+}
+
+// RunPPAC asks for a one-shot full evaluation (fmax search + flow).
+// Only valid on a connection without an open session.
+func (c *Client) RunPPAC(req *PPACRequest, onEvent func(*Event)) (*PPACResult, error) {
+	payload, err := c.roundTrip(TagPPAC, req.encode(), TagPPACRes, onEvent)
+	if err != nil {
+		return nil, err
+	}
+	return decodePPACResult(payload)
+}
+
+// Cancel asks the server to abort the request currently in flight on
+// this connection. Best-effort and concurrency-safe: the aborted
+// request's own call returns a CodeCancelled RemoteError, or its normal
+// response if it won the race.
+func (c *Client) Cancel() error {
+	return c.writeFrame(TagCancel, nil)
+}
+
+// Close performs an orderly shutdown: CLOS, wait for the server's BYEE
+// record, close the socket. Safe to call on a connection the server
+// already tore down.
+func (c *Client) Close() error {
+	defer c.nc.Close()
+	if err := c.writeFrame(TagClose, nil); err != nil {
+		return nil // already torn down
+	}
+	for {
+		tag, payload, err := db.ReadFrame(c.br, c.maxFrame)
+		if err != nil {
+			return nil // server hung up without the record; socket close wins
+		}
+		if tag == TagBye {
+			if _, err := decodeBye(payload); err != nil {
+				return err
+			}
+			return nil
+		}
+		// Drain stragglers (late events, a response racing the close).
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+)
+
+// startFuzzServer runs one shared server for all of a fuzz target's
+// iterations. The iteration body dials fresh connections, so a prior
+// input's hangup never poisons the next.
+func startFuzzServer(f *testing.F) string {
+	f.Helper()
+	dir, err := os.MkdirTemp("", "serve-fuzz-*")
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := New(Options{CacheDir: dir, MaxSessions: 8})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(lis) }()
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			f.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			f.Errorf("Serve returned %v", err)
+		}
+		os.RemoveAll(dir)
+	})
+	return lis.Addr().String()
+}
+
+// drainServer reads everything the server sends until it hangs up or
+// goes quiet, checking each frame is a known response type that
+// decodes. Any server panic crashes the in-process test binary, which
+// is the fuzz failure signal.
+func drainServer(t *testing.T, nc net.Conn, br io.Reader) {
+	t.Helper()
+	for {
+		// Short: a server correctly ignoring garbage goes quiet, and
+		// that silence is the common case — don't stall the fuzz loop.
+		nc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		tag, payload, err := db.ReadFrame(br, DefaultMaxFrame)
+		if err != nil {
+			// EOF/reset (server hung up), a timeout (server correctly
+			// ignoring garbage), or a half-written frame cut by the
+			// server's close are all acceptable ends of the stream.
+			return
+		}
+		switch tag {
+		case TagSession:
+			_, err = decodeSessionInfo(payload)
+		case TagMutateRes:
+			_, err = decodeMutateResult(payload)
+		case TagTimingRes:
+			_, err = decodeTimingResult(payload)
+		case TagPPACRes:
+			_, err = decodePPACResult(payload)
+		case TagEvent:
+			_, err = decodeEvent(payload)
+		case TagError:
+			var re *RemoteError
+			re, err = decodeError(payload)
+			if err == nil && re.Code.String() == "unknown" {
+				t.Fatalf("server sent unregistered error code %d", re.Code)
+			}
+		case TagPong:
+			if len(payload) != 0 {
+				t.Fatalf("PONG with %d payload bytes", len(payload))
+			}
+		case TagBye:
+			_, err = decodeBye(payload)
+		default:
+			t.Fatalf("server sent unknown frame tag %q", tag)
+		}
+		if err != nil {
+			t.Fatalf("server sent undecodable %s frame: %v", tag, err)
+		}
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at a live server directly after
+// the handshake: whatever arrives, the server must never panic and must
+// only ever answer with well-formed frames carrying registered error
+// codes.
+func FuzzWireDecode(f *testing.F) {
+	addr := startFuzzServer(f)
+
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a frame"))
+	if ping, err := db.AppendFrame(nil, TagPing, nil); err == nil {
+		f.Add(ping)
+		// A valid frame followed by trailing garbage.
+		f.Add(append(append([]byte(nil), ping...), 0xde, 0xad, 0xbe, 0xef))
+		// A corrupted copy of a valid frame.
+		bad := append([]byte(nil), ping...)
+		bad[len(bad)-1] ^= 0xff
+		f.Add(bad)
+	}
+	if open, err := db.AppendFrame(nil, TagOpen, (&OpenRequest{Design: "x"}).encode()); err == nil {
+		f.Add(open)
+	}
+	// An oversized length prefix.
+	f.Add([]byte{'P', 'I', 'N', 'G', 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial:", err)
+		}
+		defer nc.Close()
+		nc.SetDeadline(time.Now().Add(10 * time.Second))
+		if err := writeHandshake(nc); err != nil {
+			return
+		}
+		if err := readHandshake(nc); err != nil {
+			t.Fatalf("handshake: %v", err)
+		}
+		nc.Write(data)
+		drainServer(t, nc, nc)
+	})
+}
+
+// Script opcodes for FuzzSessionScript: each input byte drives one
+// protocol operation against a live session connection.
+const (
+	opPing = iota
+	opOpen
+	opMutate
+	opTiming
+	opCancel
+	opClose
+	opUnknownTag
+	opBadPayload
+	opCount
+)
+
+// FuzzSessionScript drives fuzzed request sequences through the client
+// codec against a live server: any interleaving of opens, mutations,
+// timing queries, cancels and malformed frames must yield typed
+// protocol errors — never a panic, never an undecodable response.
+func FuzzSessionScript(f *testing.F) {
+	addr := startFuzzServer(f)
+
+	f.Add([]byte{opOpen, opTiming, opMutate, opTiming, opClose})
+	f.Add([]byte{opTiming, opMutate, opOpen, opOpen, opCancel})
+	f.Add([]byte{opOpen, opBadPayload, opPing})
+	f.Add([]byte{opUnknownTag, opPing, opOpen, opUnknownTag, opTiming})
+	f.Add([]byte{opClose, opClose})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 16 {
+			script = script[:16]
+		}
+		cl, err := Dial(addr)
+		if err != nil {
+			t.Skip("dial:", err)
+		}
+		defer cl.nc.Close()
+		// Every op bounds its round-trip; the tiny cached workload keeps
+		// real opens fast, so a stall here is a server hang — a bug.
+		deadline := func() { cl.nc.SetDeadline(time.Now().Add(60 * time.Second)) }
+
+		checkErr := func(op string, err error) bool {
+			if err == nil {
+				return true
+			}
+			var re *RemoteError
+			if errors.As(err, &re) {
+				return true // typed protocol error: the contract
+			}
+			if errors.Is(err, ErrShutdown) {
+				return false // server hung up with its BYEE record
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatalf("%s: server went silent (possible hang)", op)
+			}
+			// Transport-level EOF/reset after the server hung up on a
+			// protocol error is fine too; anything else is a fuzz find.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, net.ErrClosed) || isConnReset(err) {
+				return false
+			}
+			if errors.Is(err, db.ErrCorrupt) || errors.Is(err, db.ErrTruncated) {
+				return false // our own reader hit the server's close mid-frame
+			}
+			t.Fatalf("%s: untyped error %v", op, err)
+			return false
+		}
+
+		req := testWorkload
+		for _, op := range script {
+			deadline()
+			switch op % opCount {
+			case opPing:
+				if !checkErr("ping", cl.Ping()) {
+					return
+				}
+			case opOpen:
+				_, err := cl.Open(&req, nil)
+				if !checkErr("open", err) {
+					return
+				}
+			case opMutate:
+				_, err := cl.Mutate([]Mutation{{ID: int32(op), Kind: MutSetLoc, X: 1, Y: 2}})
+				if !checkErr("mutate", err) {
+					return
+				}
+			case opTiming:
+				_, err := cl.Timing()
+				if !checkErr("timing", err) {
+					return
+				}
+			case opCancel:
+				if err := cl.Cancel(); err != nil {
+					return
+				}
+			case opClose:
+				cl.Close()
+				return
+			case opUnknownTag:
+				if err := cl.writeFrame("ZZZZ", []byte{op}); err != nil {
+					return
+				}
+				_, err := cl.await(TagPong, nil)
+				if !checkErr("unknown-tag", err) {
+					return
+				}
+			case opBadPayload:
+				// A well-framed request whose payload does not decode.
+				if err := cl.writeFrame(TagOpen, []byte{0xff, 0xff}); err != nil {
+					return
+				}
+				_, err := cl.await(TagSession, nil)
+				if !checkErr("bad-payload", err) {
+					return
+				}
+			}
+		}
+		cl.Close()
+	})
+}
+
+// isConnReset matches the platform's connection-reset/broken-pipe
+// errors without importing syscall directly into the contract.
+func isConnReset(err error) bool {
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// sessionMutations builds a deterministic batch distinct per (session,
+// round) so concurrent sessions drive genuinely different journals.
+func sessionMutations(sess, round, cells int) []Mutation {
+	batch := make([]Mutation, 4)
+	for m := range batch {
+		batch[m] = Mutation{
+			ID:   int32((sess*211 + round*37 + m*11 + 5) % cells),
+			Kind: MutSetLoc,
+			X:    float64((sess*13+round*2+m)%101) * 1.5,
+			Y:    float64((sess*7+round+m*3)%103) * 1.25,
+		}
+	}
+	return batch
+}
+
+// TestConcurrentSessionsRace is the concurrency contract under -race:
+// several sessions mutate independent netlist copies while another
+// connection runs a full PPAC evaluation, and every session's
+// incremental timing stays bit-identical to a fresh offline analysis of
+// its own twin.
+func TestConcurrentSessionsRace(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	const sessions = 4
+	const rounds = 3
+	req := testWorkload
+
+	// One offline twin per session, built up front (they all start from
+	// the same boundary state).
+	twins := make([]*core.Result, sessions)
+	for i := range twins {
+		twins[i] = offlineTwin(t, &req)
+	}
+
+	var wg sync.WaitGroup
+	// The PPAC connection exercises the shared caches while sessions
+	// mutate — the read-only sharing this test puts under -race.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := dialT(t, addr)
+		defer cl.Close()
+		preq := &PPACRequest{Design: req.Design, Config: req.Config,
+			Scale: req.Scale, Seed: req.Seed, FmaxIterations: 2}
+		if _, err := cl.RunPPAC(preq, nil); err != nil {
+			t.Errorf("concurrent PPAC: %v", err)
+		}
+	}()
+
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			cl := dialT(t, addr)
+			defer cl.Close()
+			info, err := cl.Open(&req, nil)
+			if err != nil {
+				t.Errorf("session %d: open: %v", idx, err)
+				return
+			}
+			twin := twins[idx]
+			for r := 0; r < rounds; r++ {
+				muts := sessionMutations(idx, r, int(info.Cells))
+				if _, err := cl.Mutate(muts); err != nil {
+					t.Errorf("session %d round %d: mutate: %v", idx, r, err)
+					return
+				}
+				applyOffline(t, twin.Design, muts)
+				got, err := cl.Timing()
+				if err != nil {
+					t.Errorf("session %d round %d: timing: %v", idx, r, err)
+					return
+				}
+				want := analyzeOffline(t, &req, twin)
+				if !got.SameAnalysis(want) {
+					t.Errorf("session %d round %d: timing %+v != offline %+v", idx, r, got, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestWireSinkDropsStragglers pins the serve event adapter's straggler
+// contract: emits racing close never fire after close returns — the
+// generalization of eval.LogSink's post-cancel writer guard onto the
+// wire adapter.
+func TestWireSinkDropsStragglers(t *testing.T) {
+	var mu sync.Mutex
+	emitted := 0
+	closed := false
+	sink := &wireSink{emit: func(*Event) {
+		mu.Lock()
+		if closed {
+			t.Error("emit after close")
+		}
+		emitted++
+		mu.Unlock()
+	}}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				sink.StageDone("d", "c", "place", flow.StageMetric{}, nil)
+				sink.ConfigDone("d", "2D-12T", nil)
+			}
+		}(g)
+	}
+	close(start)
+	// Let the race actually develop: require some emits to have landed
+	// before closing, so close overlaps live traffic.
+	for {
+		mu.Lock()
+		n := emitted
+		mu.Unlock()
+		if n >= 100 {
+			break
+		}
+	}
+	// close() must be an idempotent barrier: once it returns, no emit —
+	// not even one already past the gate check — may still be running.
+	sink.close()
+	mu.Lock()
+	closed = true
+	mu.Unlock()
+	sink.close()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	t.Logf("%d emits before close, 0 after", emitted)
+}

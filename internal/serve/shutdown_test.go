@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+)
+
+// waitGoroutines polls until the process goroutine count settles back to
+// at most want, failing with a full stack dump if it never does.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestShutdownNoGoroutineLeak: a server that handled real sessions
+// drains on Shutdown with every connection goroutine accounted for.
+func TestShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Options{CacheDir: t.TempDir()})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(lis) }()
+
+	// Run a few real session lifecycles plus one connection left open
+	// mid-session when Shutdown hits.
+	req := testWorkload
+	for i := 0; i < 3; i++ {
+		cl := dialT(t, lis.Addr().String())
+		if _, err := cl.Open(&req, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Timing(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Close()
+	}
+	idle := dialT(t, lis.Addr().String())
+	defer idle.nc.Close()
+	if _, err := idle.Open(&req, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if got := s.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions after drain = %d", got)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestShutdownSendsProtocolRecord: a session left open across Shutdown
+// receives the protocol-level BYEE shutdown record — it learns the
+// server is going away, not just that the pipe broke.
+func TestShutdownSendsProtocolRecord(t *testing.T) {
+	s, addr := startServer(t, Options{})
+	cl := dialT(t, addr)
+	defer cl.nc.Close()
+
+	req := testWorkload
+	if _, err := cl.Open(&req, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// The next read on the idle session connection must surface the
+	// shutdown record as a typed ErrShutdown carrying the reason.
+	cl.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_, err := cl.await(TagPong, nil)
+	if !errors.Is(err, ErrShutdown) {
+		t.Fatalf("read during drain: err = %v, want ErrShutdown", err)
+	}
+	if !strings.Contains(err.Error(), "shutdown") {
+		t.Fatalf("shutdown record reason missing from %q", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestDisconnectCancelsFlow: a client that vanishes mid-OPEN (flow
+// still running) has its work cancelled promptly — the admission slot
+// frees without waiting for the flow to finish naturally.
+func TestDisconnectCancelsFlow(t *testing.T) {
+	s, addr := startServer(t, Options{})
+
+	// A heavier workload so the opening flow is observably in flight;
+	// a unique seed so no other test's snapshot can satisfy it.
+	req := testWorkload
+	req.Scale = 0.4
+	req.Seed = 424242
+	req.Events = true
+
+	cl := dialT(t, addr)
+	if err := cl.writeFrame(TagOpen, req.encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first stage event so the flow is provably running,
+	// then yank the socket.
+	cl.nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	tag, _, err := db.ReadFrame(cl.br, cl.maxFrame)
+	if err != nil || tag != TagEvent {
+		t.Fatalf("first frame = %s, %v (want EVNT)", tag, err)
+	}
+	abandoned := time.Now()
+	cl.nc.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for s.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned flow still holds its admission slot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("slot released %v after disconnect", time.Since(abandoned))
+
+	// The server is healthy afterwards.
+	cl2 := dialT(t, addr)
+	defer cl2.Close()
+	if err := cl2.Ping(); err != nil {
+		t.Fatalf("ping after abandoned flow: %v", err)
+	}
+}
+
+// TestServeAfterShutdownRefused: Serve on a drained server refuses
+// immediately instead of accepting connections it cannot honor.
+func TestServeAfterShutdownRefused(t *testing.T) {
+	s := New(Options{CacheDir: t.TempDir()})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(lis); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Serve after Shutdown: err = %v, want ErrShutdown", err)
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// wireSink adapts the pipeline's event callbacks (flow.Sink extended by
+// eval.EventSink's fmax/config completions) onto a connection: every
+// callback becomes one EVNT frame. The flow engine may deliver final
+// stage events after the request that ran the flow was cancelled — or
+// after the peer vanished — so every emit runs under a flow.Gate that
+// the connection closes at teardown: post-close stragglers are dropped
+// race-safely, exactly like eval.LogSink's writer guard.
+type wireSink struct {
+	gate flow.Gate
+	// emit writes one EVNT frame; called only while the gate is open.
+	emit func(*Event)
+}
+
+func (s *wireSink) event(ev *Event) {
+	s.gate.Do(func() { s.emit(ev) })
+}
+
+// close drops all subsequent events. Idempotent; returns only after any
+// in-flight emit finished.
+func (s *wireSink) close() { s.gate.Close() }
+
+// StageStart implements flow.Sink.
+func (s *wireSink) StageStart(design, config, stage string) {
+	s.event(&Event{Kind: EvStageStart, Design: design, Config: config, Stage: stage})
+}
+
+// StageDone implements flow.Sink.
+func (s *wireSink) StageDone(design, config, stage string, m flow.StageMetric, err error) {
+	ev := &Event{
+		Kind:   EvStageDone,
+		Design: design,
+		Config: config,
+		Stage:  stage,
+		Wall:   m.Wall,
+		Cells:  int32(m.Cells),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.event(ev)
+}
+
+// FmaxDone implements eval.EventSink.
+func (s *wireSink) FmaxDone(design string, cells int, fmaxGHz float64) {
+	s.event(&Event{Kind: EvFmaxDone, Design: design, Cells: int32(cells), Value: fmaxGHz})
+}
+
+// ConfigDone implements eval.EventSink.
+func (s *wireSink) ConfigDone(design string, config core.ConfigName, p *core.PPAC) {
+	ev := &Event{Kind: EvConfigDone, Design: design, Config: string(config)}
+	if p != nil {
+		ev.Cells = int32(p.Cells)
+		ev.Value = p.WNS
+	}
+	s.event(ev)
+}

@@ -1,0 +1,208 @@
+// Package serve is the flow-as-a-service layer: a long-running TCP
+// daemon (cmd/flowd) that serves concurrent flow, incremental-STA, and
+// PPAC requests over shared immutable technology and library data, plus
+// the matching client (Client, cmd/flowc) and loopback load harness.
+//
+// The wire protocol reuses internal/db's framing conventions: after an
+// 8-byte magic+version handshake in each direction, every message is
+// one tag/len/payload/CRC frame (db.WriteFrame/db.ReadFrame), payloads
+// encoded with db.Writer/db.Reader, and malformed input surfaces as the
+// same typed db.ErrCorrupt/db.ErrVersion/db.ErrTruncated errors the
+// design database uses. A connection carries at most one session:
+//
+//	idle  --OPEN-->  ready  --MUTS/TIMQ-->  ready  --CLOS-->  closed
+//	idle  --PPAC-->  idle            (one-shot evaluation, no session)
+//
+// Requests on a connection are answered strictly in order by a single
+// worker goroutine; CNCL is the one out-of-band frame (handled by the
+// read loop, it cancels the in-flight request's context). Admission is
+// bounded by a par.Limiter session cap — OPEN/PPAC beyond the cap get
+// a graceful CodeBusy refusal — and the flows behind admitted sessions
+// split the worker budget via par.Budget. Every timing or PPAC payload
+// a server produces is byte-identical to the equivalent offline
+// sta.Analyze / core.Run result.
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/db"
+)
+
+const (
+	// Magic opens the handshake in both directions; the version gate
+	// mirrors the design database's.
+	Magic = "H3SV"
+	// ProtocolVersion is bumped on any incompatible wire change.
+	ProtocolVersion = 1
+	// DefaultMaxFrame caps a received frame's payload (a design-database
+	// upload is the largest legitimate payload).
+	DefaultMaxFrame = db.MaxStreamFrame
+)
+
+// Request frame tags.
+const (
+	TagOpen   = "OPEN" // open a session (generate+flow or uploaded design database)
+	TagMutate = "MUTS" // apply a batch of SetLoc/SetTier mutations
+	TagTiming = "TIMQ" // incremental timing query on the session's Timer
+	TagPPAC   = "PPAC" // one-shot full evaluation (fmax search + flow)
+	TagPing   = "PING" // liveness probe
+	TagCancel = "CNCL" // out-of-band: cancel the in-flight request
+	TagClose  = "CLOS" // orderly connection close
+)
+
+// Response frame tags.
+const (
+	TagSession   = "SESS" // OPEN succeeded
+	TagMutateRes = "MUTR" // MUTS succeeded
+	TagTimingRes = "TIMR" // TIMQ result
+	TagPPACRes   = "PPCR" // PPAC result
+	TagEvent     = "EVNT" // streamed stage/progress event
+	TagError     = "ERRR" // request failed (typed code + message)
+	TagPong      = "PONG" // PING reply
+	TagBye       = "BYEE" // connection-level shutdown record
+)
+
+// Code classifies a protocol-level failure; it rides in every ERRR
+// frame so clients recover typed errors across the wire.
+type Code uint32
+
+const (
+	CodeCorrupt    Code = 1 // unframeable/undecodable input (db.ErrCorrupt)
+	CodeVersion    Code = 2 // handshake version mismatch (db.ErrVersion)
+	CodeBadRequest Code = 3 // well-framed but semantically invalid request
+	CodeState      Code = 4 // request not valid in the session's current state
+	CodeBusy       Code = 5 // session cap reached; retry later
+	CodeCancelled  Code = 6 // request cancelled (CNCL or client disconnect)
+	CodeShutdown   Code = 7 // server is draining
+	CodeInternal   Code = 8 // server-side failure (flow error, panic)
+)
+
+// Sentinel errors: the server classifies outgoing failures with
+// errors.Is against these (and db's), and RemoteError unwraps to them
+// so clients can classify with the same sentinels.
+var (
+	ErrBadRequest = errors.New("serve: bad request")
+	ErrState      = errors.New("serve: request not valid in this session state")
+	ErrBusy       = errors.New("serve: session capacity exhausted")
+	ErrCancelled  = errors.New("serve: request cancelled")
+	ErrShutdown   = errors.New("serve: server shutting down")
+	ErrInternal   = errors.New("serve: internal server error")
+)
+
+// sentinel maps a wire code back to its sentinel error.
+func (c Code) sentinel() error {
+	switch c {
+	case CodeCorrupt:
+		return db.ErrCorrupt
+	case CodeVersion:
+		return db.ErrVersion
+	case CodeBadRequest:
+		return ErrBadRequest
+	case CodeState:
+		return ErrState
+	case CodeBusy:
+		return ErrBusy
+	case CodeCancelled:
+		return ErrCancelled
+	case CodeShutdown:
+		return ErrShutdown
+	default:
+		return ErrInternal
+	}
+}
+
+// String names the code for logs and error text.
+func (c Code) String() string {
+	switch c {
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeVersion:
+		return "version"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeState:
+		return "state"
+	case CodeBusy:
+		return "busy"
+	case CodeCancelled:
+		return "cancelled"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code-%d", uint32(c))
+	}
+}
+
+// codeOf classifies a server-side error into its wire code. Order
+// matters: the typed sentinels are checked before the broad fallback.
+func codeOf(err error) Code {
+	switch {
+	case errors.Is(err, db.ErrVersion):
+		return CodeVersion
+	case errors.Is(err, db.ErrCorrupt):
+		return CodeCorrupt
+	case errors.Is(err, ErrBusy):
+		return CodeBusy
+	case errors.Is(err, ErrShutdown):
+		return CodeShutdown
+	case errors.Is(err, ErrCancelled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return CodeCancelled
+	case errors.Is(err, ErrState):
+		return CodeState
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	default:
+		return CodeInternal
+	}
+}
+
+// RemoteError is a server-reported failure reconstructed client-side
+// from an ERRR frame. It unwraps to the matching sentinel, so
+// errors.Is(err, serve.ErrBusy) or errors.Is(err, db.ErrCorrupt) work
+// across the wire exactly as they would in-process.
+type RemoteError struct {
+	Code Code
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("serve: remote %s error: %s", e.Code, e.Msg)
+}
+
+func (e *RemoteError) Unwrap() error { return e.Code.sentinel() }
+
+// writeHandshake sends this side's 8-byte magic+version preamble. Both
+// sides write first and read second, so the exchange cannot deadlock.
+func writeHandshake(w io.Writer) error {
+	var hs [8]byte
+	copy(hs[:4], Magic)
+	binary.LittleEndian.PutUint32(hs[4:], ProtocolVersion)
+	_, err := w.Write(hs[:])
+	return err
+}
+
+// readHandshake validates the peer's preamble, mirroring
+// db.ParseHeader's typing: bad magic is ErrCorrupt, a known magic at an
+// unknown version is ErrVersion.
+func readHandshake(r io.Reader) error {
+	var hs [8]byte
+	if _, err := io.ReadFull(r, hs[:]); err != nil {
+		return db.ErrTruncated
+	}
+	if string(hs[:4]) != Magic {
+		return db.Corruptf("bad protocol magic %q (want %q)", hs[:4], Magic)
+	}
+	if v := binary.LittleEndian.Uint32(hs[4:]); v != ProtocolVersion {
+		return fmt.Errorf("%w: peer speaks protocol v%d, this side v%d", db.ErrVersion, v, ProtocolVersion)
+	}
+	return nil
+}
